@@ -1,0 +1,517 @@
+(* tquad — command-line front end.
+
+   Compile MiniC programs to the simulated machine and analyse them with the
+   tQUAD / QUAD / gprof-sim profilers, or run the built-in wfs case study.
+
+     tquad disasm app.mc
+     tquad run app.mc --dir data/
+     tquad gprof app.mc --period 5000
+     tquad quad app.mc --dot qdu.dot
+     tquad tquad app.mc --slice 2000 --phases --csv series.csv
+     tquad wfs --scenario tiny --tool tquad *)
+
+open Cmdliner
+module Machine = Tq_vm.Machine
+module Vfs = Tq_vm.Vfs
+module Engine = Tq_dbi.Engine
+module Symtab = Tq_vm.Symtab
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* .mc files are MiniC (linked against the runtime image, entry via the
+   runtime's _start -> main); .s files are assembly providing their own
+   _start, linked with the runtime available for calls *)
+let compile_file path =
+  let source = read_file path in
+  if Tq_vm.Objfile.is_objfile source then begin
+    match Tq_vm.Objfile.decode source with
+    | prog -> prog
+    | exception Tq_vm.Objfile.Format_error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 1
+  end
+  else if Filename.check_suffix path ".s" then begin
+    match Tq_asm.Link.link [ Tq_asm.Asm_parse.parse source; Tq_rt.Rt.unit_no_start ] with
+    | prog -> prog
+    | exception Tq_asm.Asm_parse.Asm_error { line; msg } ->
+        Printf.eprintf "%s:%d: %s\n" path line msg;
+        exit 1
+    | exception Tq_asm.Link.Link_error msg ->
+        Printf.eprintf "%s: link error: %s\n" path msg;
+        exit 1
+  end
+  else
+    match Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"app" source ] with
+    | prog -> prog
+    | exception Tq_minic.Driver.Compile_error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 1
+
+let vfs_of_dir dir =
+  let vfs = Vfs.create () in
+  (match dir with
+  | None -> ()
+  | Some d ->
+      Array.iter
+        (fun name ->
+          let full = Filename.concat d name in
+          if Sys.is_regular_file full then Vfs.install vfs name (read_file full))
+        (Sys.readdir d));
+  vfs
+
+let write_back dir vfs before =
+  match dir with
+  | None -> ()
+  | Some d ->
+      List.iter
+        (fun name ->
+          if not (List.mem name before) then begin
+            let oc = open_out_bin (Filename.concat d name) in
+            output_string oc (Option.get (Vfs.contents vfs name));
+            close_out oc;
+            Printf.printf "wrote %s\n" (Filename.concat d name)
+          end)
+        (Vfs.list vfs)
+
+let finish m =
+  print_string (Machine.stdout_contents m);
+  match Machine.exit_code m with
+  | Some 0 -> ()
+  | Some c -> Printf.printf "[exit code %d]\n" c
+  | None -> Printf.printf "[did not exit]\n"
+
+let run_under file dir attach =
+  let prog = compile_file file in
+  let vfs = vfs_of_dir dir in
+  let before = Vfs.list vfs in
+  let m = Machine.create ~vfs prog in
+  let eng = Engine.create m in
+  let tool = attach eng in
+  (try Engine.run eng with
+  | Machine.Trap { ip; reason } ->
+      Printf.eprintf "trap at 0x%x: %s\n" ip reason;
+      exit 1
+  | Tq_vm.Executor.Out_of_fuel n ->
+      Printf.eprintf "out of fuel after %d instructions\n" n;
+      exit 1);
+  finish m;
+  write_back dir vfs before;
+  (tool, m)
+
+(* ---------- common args ---------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.mc")
+
+let dir_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory whose files are loaded into the program's virtual \
+           filesystem before the run; files the program creates are written \
+           back.")
+
+(* ---------- subcommands ---------- *)
+
+let build_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output object file.")
+  in
+  let run file out =
+    let prog = compile_file file in
+    Tq_vm.Objfile.write_file out prog;
+    Printf.printf "wrote %s (%d instructions, %d symbols)\n" out
+      (Array.length prog.Tq_vm.Program.code)
+      (Tq_vm.Symtab.count prog.Tq_vm.Program.symtab)
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:
+         "Compile and link to an on-disk binary; all other subcommands accept \
+          the resulting .bin directly")
+    Term.(const run $ file_arg $ out_arg)
+
+let disasm_cmd =
+  let run file =
+    print_string (Tq_vm.Program.disassemble (compile_file file))
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Compile a MiniC file and print the disassembly")
+    Term.(const run $ file_arg)
+
+let run_cmd =
+  let run file dir =
+    let _, _ = run_under file dir (fun _ -> ()) in
+    ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a MiniC program (uninstrumented)")
+    Term.(const run $ file_arg $ dir_arg)
+
+let period_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "period" ] ~docv:"N" ~doc:"Instructions between PC samples.")
+
+let gprof_cmd =
+  let run file dir period =
+    let g, _ =
+      run_under file dir (fun eng -> Tq_gprofsim.Gprofsim.attach ~period eng)
+    in
+    print_string (Tq_report.Report.flat_profile (Tq_gprofsim.Gprofsim.flat_profile g))
+  in
+  Cmd.v
+    (Cmd.info "gprof" ~doc:"Profile a MiniC program with the sampling profiler")
+    Term.(const run $ file_arg $ dir_arg $ period_arg)
+
+let track_all_arg =
+  Arg.(
+    value & flag
+    & info [ "track-all" ]
+        ~doc:
+          "Track runtime-library routines as kernels instead of attributing \
+           their traffic to the caller.")
+
+let quad_cmd =
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"PATH" ~doc:"Write the QDU graph in DOT format.")
+  in
+  let run file dir track_all dot =
+    let policy =
+      if track_all then Tq_prof.Call_stack.Track_all
+      else Tq_prof.Call_stack.Main_image_only
+    in
+    let q, _ = run_under file dir (fun eng -> Tq_quad.Quad.attach ~policy eng) in
+    print_string (Tq_report.Report.quad_table (Tq_quad.Quad.rows q));
+    Printf.printf "\nbindings (heaviest first):\n";
+    List.iteri
+      (fun i (b : Tq_quad.Quad.binding) ->
+        if i < 20 then
+          Printf.printf "  %-24s -> %-24s %12d B (incl), %10d UnMA\n"
+            b.producer.Symtab.name b.consumer.Symtab.name b.bytes_incl b.unma)
+      (Tq_quad.Quad.bindings q);
+    match dot with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Tq_quad.Quad.to_dot q);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "quad" ~doc:"Analyse producer/consumer memory bindings (QUAD)")
+    Term.(const run $ file_arg $ dir_arg $ track_all_arg $ dot_arg)
+
+let tquad_cmd =
+  let slice_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "slice" ] ~docv:"N" ~doc:"Time-slice interval in instructions.")
+  in
+  let phases_arg =
+    Arg.(value & flag & info [ "phases" ] ~doc:"Run phase identification.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH"
+          ~doc:"Write the per-kernel read-bandwidth series as CSV.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Write the kernel activity timeline as Chrome trace-event JSON \
+             (chrome://tracing, Perfetto).")
+  in
+  let run file dir track_all slice phases csv trace =
+    let policy =
+      if track_all then Tq_prof.Call_stack.Track_all
+      else Tq_prof.Call_stack.Main_image_only
+    in
+    let t, _ =
+      run_under file dir (fun eng ->
+          Tq_tquad.Tquad.attach ~slice_interval:slice ~policy eng)
+    in
+    let kernels = Tq_tquad.Tquad.kernels t in
+    Printf.printf "%d time slices of %d instructions; %d kernels\n"
+      (Tq_tquad.Tquad.total_slices t) slice (List.length kernels);
+    (* per-kernel summary *)
+    List.iter
+      (fun r ->
+        let tot = Tq_tquad.Tquad.totals t r in
+        Printf.printf
+          "  %-24s slices %6d-%-6d act %6d  R %9d/%9d  W %9d/%9d  max RW \
+           %8.4f B/ins\n"
+          r.Symtab.name tot.Tq_tquad.Tquad.first_slice tot.last_slice
+          tot.activity_span tot.read_incl tot.read_excl tot.write_incl
+          tot.write_excl
+          (Tq_tquad.Tquad.max_rw_bpi t r ~incl:true))
+      kernels;
+    print_newline ();
+    print_string
+      (Tq_report.Report.figure t ~metric:Tq_tquad.Tquad.Read_incl ~kernels
+         ~title:"read bandwidth (stack incl.)" ());
+    if phases then begin
+      let total = Tq_tquad.Tquad.total_slices t in
+      let window = max 8 (total / 40) and min_len = max 16 (total / 20) in
+      let ph =
+        Tq_tquad.Phases.detect ~threshold:0.2 ~window
+          ~gap:(max 2 (window / 6)) ~min_len t
+      in
+      print_newline ();
+      print_string (Tq_tquad.Phases.render ph)
+    end;
+    (match csv with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Tq_report.Report.figure_csv t ~metric:Tq_tquad.Tquad.Read_incl ~kernels);
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+    match trace with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Tq_report.Report.chrome_trace t);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "tquad"
+       ~doc:"Temporal memory bandwidth analysis (the paper's tQUAD tool)")
+    Term.(
+      const run $ file_arg $ dir_arg $ track_all_arg $ slice_arg $ phases_arg
+      $ csv_arg $ trace_arg)
+
+let mix_cmd =
+  let run file dir =
+    let mix, m = run_under file dir (fun eng -> Tq_prof.Ins_mix.attach eng) in
+    ignore m;
+    print_string (Tq_prof.Ins_mix.render mix);
+    Printf.printf "\nper kernel:\n";
+    List.iter
+      (fun (r, counts) ->
+        let total = Array.fold_left ( + ) 0 counts in
+        if total > 0 then begin
+          Printf.printf "  %-24s %9d:" r.Symtab.name total;
+          List.iteri
+            (fun i c ->
+              if counts.(i) > 0 then
+                Printf.printf " %s %d" (Tq_prof.Ins_mix.category_name c)
+                  counts.(i))
+            Tq_prof.Ins_mix.categories;
+          print_newline ()
+        end)
+      (Tq_prof.Ins_mix.per_kernel mix)
+  in
+  Cmd.v
+    (Cmd.info "mix" ~doc:"Instruction-mix profile (loads/stores/ALU/branches)")
+    Term.(const run $ file_arg $ dir_arg)
+
+let callgraph_cmd =
+  let run file dir period =
+    let g, _ =
+      run_under file dir (fun eng -> Tq_gprofsim.Gprofsim.attach ~period eng)
+    in
+    print_string (Tq_gprofsim.Gprofsim.call_graph_report g)
+  in
+  Cmd.v
+    (Cmd.info "callgraph" ~doc:"gprof-style call-graph report")
+    Term.(const run $ file_arg $ dir_arg $ period_arg)
+
+let cache_cmd =
+  let size_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "size-kib" ] ~docv:"N" ~doc:"Cache size in KiB.")
+  in
+  let assoc_arg =
+    Arg.(value & opt int 8 & info [ "assoc" ] ~docv:"N" ~doc:"Ways per set.")
+  in
+  let line_arg =
+    Arg.(value & opt int 64 & info [ "line" ] ~docv:"N" ~doc:"Line size in bytes.")
+  in
+  let run file dir size_kib assoc line =
+    let config =
+      { Tq_prof.Cache_sim.size_bytes = size_kib * 1024; line_bytes = line; assoc }
+    in
+    (match Tq_prof.Cache_sim.validate config with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "bad cache config: %s\n" msg;
+        exit 2);
+    let c, _ =
+      run_under file dir (fun eng -> Tq_prof.Cache_sim.attach ~config eng)
+    in
+    print_string (Tq_prof.Cache_sim.render c)
+  in
+  Cmd.v
+    (Cmd.info "cache" ~doc:"Per-kernel cache hit/miss simulation")
+    Term.(const run $ file_arg $ dir_arg $ size_arg $ assoc_arg $ line_arg)
+
+let diff_cmd =
+  let file2_arg =
+    Arg.(required & pos 1 (some non_dir_file) None & info [] ~docv:"AFTER.mc")
+  in
+  let run before after period =
+    let profile file =
+      let prog = compile_file file in
+      let m = Machine.create prog in
+      let eng = Engine.create m in
+      let g = Tq_gprofsim.Gprofsim.attach ~period eng in
+      (try Engine.run eng with
+      | Machine.Trap { ip; reason } ->
+          Printf.eprintf "%s: trap at 0x%x: %s\n" file ip reason;
+          exit 1);
+      Tq_gprofsim.Gprofsim.flat_profile g
+    in
+    print_string
+      (Tq_report.Report.profile_diff ~before:(profile before)
+         ~after:(profile after))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare the flat profiles of two program versions (the \
+          profile-revise-reprofile workflow)")
+    Term.(const run $ file_arg $ file2_arg $ period_arg)
+
+let footprint_cmd =
+  let run file dir =
+    let f, _ = run_under file dir (fun eng -> Tq_prof.Footprint.attach eng) in
+    print_string (Tq_prof.Footprint.render f)
+  in
+  Cmd.v
+    (Cmd.info "footprint"
+       ~doc:"Per-kernel unique-byte footprint by region (buffer sizing)")
+    Term.(const run $ file_arg $ dir_arg)
+
+let wcet_cmd =
+  let bound_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "bound" ] ~docv:"N"
+          ~doc:"Uniform loop bound (max header executions per loop entry).")
+  in
+  let routine_arg =
+    Arg.(
+      value & opt string "_start"
+      & info [ "routine" ] ~docv:"NAME" ~doc:"Routine to analyse.")
+  in
+  let run file bound routine =
+    let prog = compile_file file in
+    (* list loops per main-image routine *)
+    Tq_vm.Symtab.iter
+      (fun r ->
+        if r.Symtab.is_main_image then
+          match Tq_wcet.Wcet.loops prog r.Symtab.name with
+          | [] -> ()
+          | ls ->
+              Printf.printf "%s: %d loop(s)%s\n" r.Symtab.name (List.length ls)
+                (String.concat ""
+                   (List.map
+                      (fun l ->
+                        Printf.sprintf " [header 0x%x depth %d]"
+                          l.Tq_wcet.Wcet.header_addr l.Tq_wcet.Wcet.depth)
+                      ls))
+          | exception Tq_wcet.Wcet.Analysis_error msg ->
+              Printf.printf "%s: %s\n" r.Symtab.name msg)
+      prog.Tq_vm.Program.symtab;
+    let bounds name =
+      List.map (fun _ -> bound) (Tq_wcet.Wcet.loops prog name)
+    in
+    match Tq_wcet.Wcet.analyze prog ~bounds routine with
+    | b -> Printf.printf "\nWCET(%s) <= %d instructions (uniform bound %d)\n" routine b bound
+    | exception Tq_wcet.Wcet.Analysis_error msg ->
+        Printf.eprintf "analysis error: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "wcet" ~doc:"Static worst-case execution time bound")
+    Term.(const run $ file_arg $ bound_arg $ routine_arg)
+
+let wfs_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("tiny", Tq_wfs.Scenario.tiny);
+               ("default", Tq_wfs.Scenario.default);
+               ("large", Tq_wfs.Scenario.large) ])
+          Tq_wfs.Scenario.tiny
+      & info [ "scenario" ] ~docv:"NAME" ~doc:"Workload size: tiny, default or large.")
+  in
+  let tool_arg =
+    Arg.(
+      value
+      & opt (enum [ ("run", `Run); ("gprof", `Gprof); ("quad", `Quad); ("tquad", `Tquad) ])
+          `Tquad
+      & info [ "tool" ] ~docv:"TOOL" ~doc:"run, gprof, quad or tquad.")
+  in
+  let run scen tool =
+    Printf.printf "%s\n" (Tq_wfs.Scenario.describe scen);
+    let m =
+      Machine.create
+        ~vfs:(Tq_wfs.Harness.make_vfs scen)
+        (Tq_wfs.Harness.compile scen)
+    in
+    let eng = Engine.create m in
+    let fuel = Tq_wfs.Harness.fuel scen in
+    (match tool with
+    | `Run ->
+        Engine.run ~fuel eng;
+        finish m
+    | `Gprof ->
+        let g = Tq_gprofsim.Gprofsim.attach ~period:2_000 eng in
+        Engine.run ~fuel eng;
+        finish m;
+        print_string
+          (Tq_report.Report.flat_profile (Tq_gprofsim.Gprofsim.flat_profile g))
+    | `Quad ->
+        let q = Tq_quad.Quad.attach eng in
+        Engine.run ~fuel eng;
+        finish m;
+        print_string (Tq_report.Report.quad_table (Tq_quad.Quad.rows q))
+    | `Tquad ->
+        let t = Tq_tquad.Tquad.attach ~slice_interval:2_000 eng in
+        Engine.run ~fuel eng;
+        finish m;
+        let kernels = Tq_tquad.Tquad.kernels t in
+        print_string
+          (Tq_report.Report.figure t ~metric:Tq_tquad.Tquad.Read_incl ~kernels
+             ~title:"wfs read bandwidth (stack incl.)" ()));
+    ()
+  in
+  Cmd.v
+    (Cmd.info "wfs" ~doc:"Run the built-in hArtes-wfs case study")
+    Term.(const run $ scenario_arg $ tool_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "tquad" ~version:"1.0.0"
+       ~doc:
+         "Temporal memory bandwidth usage analysis on a simulated machine \
+          (reproduction of tQUAD, ICPP 2010)")
+    [ build_cmd; disasm_cmd; run_cmd; gprof_cmd; callgraph_cmd; quad_cmd;
+      tquad_cmd; mix_cmd; cache_cmd; footprint_cmd; wcet_cmd; diff_cmd;
+      wfs_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

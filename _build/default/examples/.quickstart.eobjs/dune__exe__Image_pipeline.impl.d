@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: List Printf Tq_apps Tq_dbi Tq_prof Tq_report Tq_tquad Tq_vm

@@ -1,0 +1,1 @@
+examples/matmul_bandwidth.ml: List Printf Tq_dbi Tq_minic Tq_quad Tq_report Tq_rt Tq_tquad Tq_vm

@@ -1,0 +1,1 @@
+examples/pointer_chase.ml: List Printf Tq_apps Tq_dbi Tq_prof Tq_tquad Tq_vm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Tq_dbi Tq_minic Tq_report Tq_rt Tq_tquad Tq_vm

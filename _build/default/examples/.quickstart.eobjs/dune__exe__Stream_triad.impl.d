@@ -1,0 +1,1 @@
+examples/stream_triad.ml: List Printf Tq_dbi Tq_minic Tq_rt Tq_tquad Tq_vm

@@ -1,0 +1,1 @@
+examples/task_clustering.ml: Array List Printf Tq_cluster Tq_dbi Tq_quad Tq_tquad Tq_vm Tq_wfs

@@ -1,0 +1,1 @@
+examples/wfs_phases.ml: List Printf Sys Tq_dbi Tq_report Tq_tquad Tq_vm Tq_wfs

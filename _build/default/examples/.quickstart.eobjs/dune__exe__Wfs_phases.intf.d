@@ -1,0 +1,1 @@
+examples/wfs_phases.mli:

@@ -1,0 +1,89 @@
+(* A STREAM-triad-style bandwidth microbenchmark on the simulated machine,
+   demonstrating:
+   - bytes/instruction as a platform-independent bandwidth unit (paper
+     Section V-B: multiply by IPC and clock to get bytes/second);
+   - the effect of the time-slice interval on measurement detail (the
+     paper's key tuning knob);
+   - the stack-inclusive vs stack-exclusive split.
+
+     dune exec examples/stream_triad.exe *)
+
+module Machine = Tq_vm.Machine
+module Engine = Tq_dbi.Engine
+module Tquad = Tq_tquad.Tquad
+
+let source =
+  {|
+float a[8192];
+float b[8192];
+float c[8192];
+
+void triad(float scalar, int rounds) {
+  for (int r = 0; r < rounds; r++)
+    for (int i = 0; i < 8192; i++)
+      a[i] = b[i] + scalar * c[i];
+}
+
+int main() {
+  for (int i = 0; i < 8192; i++) {
+    b[i] = (float) i;
+    c[i] = (float) (8192 - i);
+  }
+  triad(3.0, 4);
+  return 0;
+}
+|}
+
+let run slice_interval =
+  let program = Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"stream" source ] in
+  let machine = Machine.create program in
+  let engine = Engine.create machine in
+  let tquad = Tquad.attach ~slice_interval engine in
+  Engine.run engine;
+  (tquad, Machine.instr_count machine)
+
+let () =
+  Printf.printf "STREAM triad: a[i] = b[i] + s*c[i] over 8192 doubles x 4\n\n";
+  Printf.printf "slice-interval sweep (same run, different measurement grain):\n";
+  List.iter
+    (fun slice ->
+      let tq, _ = run slice in
+      let triad =
+        List.find
+          (fun k -> k.Tq_vm.Symtab.name = "triad")
+          (Tquad.kernels tq)
+      in
+      Printf.printf
+        "  slice %7d: %5d slices, triad avg R %5.3f B/ins (global %5.3f), \
+         max RW %5.3f\n"
+        slice (Tquad.total_slices tq)
+        (Tquad.avg_bpi tq triad Tquad.Read_incl)
+        (Tquad.avg_bpi tq triad Tquad.Read_excl)
+        (Tquad.max_rw_bpi tq triad ~incl:true))
+    [ 1_000; 10_000; 100_000; 1_000_000 ];
+
+  let tq, instr = run 10_000 in
+  let triad =
+    List.find (fun k -> k.Tq_vm.Symtab.name = "triad") (Tquad.kernels tq)
+  in
+  let totals = Tquad.totals tq triad in
+  Printf.printf "\ntriad totals over %d instructions:\n" instr;
+  Printf.printf "  reads : %9d B total, %9d B global (arrays)\n"
+    totals.Tquad.read_incl totals.Tquad.read_excl;
+  Printf.printf "  writes: %9d B total, %9d B global\n" totals.Tquad.write_incl
+    totals.Tquad.write_excl;
+  (* global traffic per element: 2 doubles read + 1 written = 24 bytes *)
+  Printf.printf "  expected global traffic: %d B reads, %d B writes\n"
+    (4 * 8192 * 16) (4 * 8192 * 8);
+  (* converting to bytes/second for a hypothetical target, as the paper
+     describes: bytes/instruction x instructions/cycle x cycles/second *)
+  let bpi =
+    Tquad.avg_bpi tq triad Tquad.Read_excl
+    +. Tquad.avg_bpi tq triad Tquad.Write_excl
+  in
+  let ipc = 1.2 and ghz = 2.83 (* the paper's Q9550 *) in
+  Printf.printf
+    "\nplatform projection (paper Section V): %.3f B/ins x %.1f IPC x %.2f \
+     GHz = %.2f GB/s sustained\n"
+    bpi ipc ghz
+    (bpi *. ipc *. ghz)

@@ -1,0 +1,61 @@
+(* The paper's end goal (Sections I/VI): feed the profiling results to a
+   task-clustering step that groups kernels so intra-cluster communication
+   is maximized and inter-cluster communication minimized — the input to
+   HW/SW partitioning on a reconfigurable platform.
+
+   This example runs the wfs case study under both QUAD (communication
+   affinity) and tQUAD (temporal co-activity), combines the two affinities,
+   and prints the clusters with their quality score.
+
+     dune exec examples/task_clustering.exe *)
+
+module Machine = Tq_vm.Machine
+module Engine = Tq_dbi.Engine
+module Cluster = Tq_cluster.Cluster
+
+let scen = Tq_wfs.Scenario.tiny
+let helpers = [ "main"; "w16"; "w32"; "PrimarySource_update" ]
+
+let () =
+  Printf.printf "%s\n\n" (Tq_wfs.Scenario.describe scen);
+  (* communication affinity from QUAD *)
+  let m1 =
+    Machine.create ~vfs:(Tq_wfs.Harness.make_vfs scen) (Tq_wfs.Harness.compile scen)
+  in
+  let e1 = Engine.create m1 in
+  let quad = Tq_quad.Quad.attach e1 in
+  Engine.run ~fuel:(Tq_wfs.Harness.fuel scen) e1;
+  let comm = Cluster.of_quad ~exclude:helpers quad in
+
+  (* temporal affinity from tQUAD *)
+  let m2 =
+    Machine.create ~vfs:(Tq_wfs.Harness.make_vfs scen) (Tq_wfs.Harness.compile scen)
+  in
+  let e2 = Engine.create m2 in
+  let tquad = Tq_tquad.Tquad.attach ~slice_interval:2_000 e2 in
+  Engine.run ~fuel:(Tq_wfs.Harness.fuel scen) e2;
+  let temporal = Cluster.of_tquad ~exclude:helpers tquad in
+
+  (* kernel sets can differ slightly (kernels with traffic vs with slices);
+     restrict both to the intersection *)
+  let common =
+    Array.to_list comm.Cluster.names
+    |> List.filter (fun n -> Array.exists (( = ) n) temporal.Cluster.names)
+  in
+  let comm = Cluster.restrict comm ~keep:common in
+  let temporal = Cluster.restrict temporal ~keep:common in
+
+  let show title t =
+    let clusters = Cluster.agglomerate t ~target:4 in
+    Printf.printf "%s (quality %.3f):\n%s\n" title (Cluster.quality t clusters)
+      (Cluster.render clusters)
+  in
+  show "communication-only clustering" comm;
+  show "temporal-only clustering" temporal;
+  show "combined (alpha = 0.6 communication)"
+    (Cluster.combine ~alpha:0.6 comm temporal);
+  Printf.printf
+    "Reading the result: the FFT pipeline (fft1d/bitrev/perm/cmult/cadd/\n\
+     Filter_process...) clusters with the delay line that consumes its\n\
+     output; wav_store ends up alone or with AudioIo_setFrames, whose\n\
+     buffer it drains — the separation the paper's DWB partitioning needs.\n"

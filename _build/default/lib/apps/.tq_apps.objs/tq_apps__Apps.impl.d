@@ -1,0 +1,1 @@
+lib/apps/apps.ml: Buffer Float Printf String Tq_minic Tq_rt

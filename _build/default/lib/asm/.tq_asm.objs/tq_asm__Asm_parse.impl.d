@@ -1,0 +1,1 @@
+lib/asm/asm_parse.ml: Buffer Builder Link List Printf String Tq_isa

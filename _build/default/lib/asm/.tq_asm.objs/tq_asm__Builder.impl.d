@@ -1,0 +1,1 @@
+lib/asm/builder.ml: Hashtbl Tq_isa Tq_util

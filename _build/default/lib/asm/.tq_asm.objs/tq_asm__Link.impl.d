@@ -1,0 +1,1 @@
+lib/asm/link.ml: Array Builder Hashtbl List Printf String Tq_isa Tq_vm

@@ -1,0 +1,1 @@
+lib/asm/link.mli: Builder Hashtbl Tq_vm

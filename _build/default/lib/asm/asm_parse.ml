@@ -1,0 +1,354 @@
+module Isa = Tq_isa.Isa
+
+exception Asm_error of { line : int; msg : string }
+
+let err line fmt = Printf.ksprintf (fun msg -> raise (Asm_error { line; msg })) fmt
+
+(* ---------- line tokenization ---------- *)
+
+(* Split a line into word tokens; commas are separators, parens and '?'
+   stick to their token ("0(x2)" stays whole, "?x3" stays whole). *)
+let tokenize_line s =
+  let s =
+    match (String.index_opt s ';', String.index_opt s '#') with
+    | Some i, Some j -> String.sub s 0 (min i j)
+    | Some i, None | None, Some i -> String.sub s 0 i
+    | None, None -> s
+  in
+  s
+  |> String.map (fun c -> if c = ',' || c = '\t' then ' ' else c)
+  |> String.split_on_char ' '
+  |> List.filter (fun t -> t <> "")
+
+(* string literal with escapes, for .ascii *)
+let parse_string line s =
+  if String.length s < 2 || s.[0] <> '"' || s.[String.length s - 1] <> '"' then
+    err line "expected a double-quoted string";
+  let body = String.sub s 1 (String.length s - 2) in
+  let buf = Buffer.create (String.length body) in
+  let i = ref 0 in
+  while !i < String.length body do
+    (if body.[!i] = '\\' && !i + 1 < String.length body then begin
+       (match body.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'r' -> Buffer.add_char buf '\r'
+       | '0' -> Buffer.add_char buf '\000'
+       | '\\' -> Buffer.add_char buf '\\'
+       | '"' -> Buffer.add_char buf '"'
+       | c -> err line "unknown escape '\\%c'" c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char buf body.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents buf
+
+(* the .ascii payload is the raw remainder of the line after the name *)
+let ascii_payload line raw name =
+  match String.index_opt raw '"' with
+  | None -> err line ".ascii %s: missing string" name
+  | Some i ->
+      let rest = String.sub raw i (String.length raw - i) in
+      let rest = String.trim rest in
+      parse_string line rest
+
+(* ---------- operand parsing ---------- *)
+
+let int_reg line tok =
+  let fail () = err line "expected integer register, got '%s'" tok in
+  if String.length tok < 2 || tok.[0] <> 'x' then fail ();
+  match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+  | Some n when n >= 0 && n < Isa.num_regs -> n
+  | _ -> fail ()
+
+let float_reg line tok =
+  let fail () = err line "expected float register, got '%s'" tok in
+  if String.length tok < 2 || tok.[0] <> 'f' then fail ();
+  match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+  | Some n when n >= 0 && n < Isa.num_regs -> n
+  | _ -> fail ()
+
+let imm line tok =
+  match int_of_string_opt tok with
+  | Some n -> n
+  | None -> err line "expected integer immediate, got '%s'" tok
+
+let fimm line tok =
+  match float_of_string_opt tok with
+  | Some f -> f
+  | None -> err line "expected float literal, got '%s'" tok
+
+(* reg-or-immediate operand *)
+let operand line tok =
+  if String.length tok >= 2 && tok.[0] = 'x' then
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some n when n >= 0 && n < Isa.num_regs -> Isa.Reg n
+    | _ -> Isa.Imm (imm line tok)
+  else Isa.Imm (imm line tok)
+
+(* "off(xN)" *)
+let mem_operand line tok =
+  match String.index_opt tok '(' with
+  | None -> err line "expected off(xN), got '%s'" tok
+  | Some i ->
+      if tok.[String.length tok - 1] <> ')' then
+        err line "expected off(xN), got '%s'" tok;
+      let off_s = String.sub tok 0 i in
+      let reg_s = String.sub tok (i + 1) (String.length tok - i - 2) in
+      let off = if off_s = "" then 0 else imm line off_s in
+      (int_reg line reg_s, off)
+
+(* "(xN)" for movs *)
+let paren_reg line tok =
+  if String.length tok >= 3 && tok.[0] = '(' && tok.[String.length tok - 1] = ')'
+  then int_reg line (String.sub tok 1 (String.length tok - 2))
+  else err line "expected (xN), got '%s'" tok
+
+(* trailing " ?xN" predicate *)
+let split_predicate line args =
+  match List.rev args with
+  | last :: rest
+    when String.length last >= 2 && last.[0] = '?' ->
+      ( List.rev rest,
+        Some (int_reg line (String.sub last 1 (String.length last - 1))) )
+  | _ -> (args, None)
+
+(* ---------- instruction parsing ---------- *)
+
+let binops =
+  [ ("add", Isa.Add); ("sub", Isa.Sub); ("mul", Isa.Mul); ("div", Isa.Div);
+    ("rem", Isa.Rem); ("and", Isa.And); ("or", Isa.Or); ("xor", Isa.Xor);
+    ("sll", Isa.Sll); ("srl", Isa.Srl); ("sra", Isa.Sra); ("slt", Isa.Slt);
+    ("sltu", Isa.Sltu); ("seq", Isa.Seq); ("sne", Isa.Sne); ("sle", Isa.Sle);
+    ("sge", Isa.Sge); ("sgt", Isa.Sgt) ]
+
+let fbinops =
+  [ ("fadd", Isa.Fadd); ("fsub", Isa.Fsub); ("fmul", Isa.Fmul); ("fdiv", Isa.Fdiv) ]
+
+let funops =
+  [ ("fneg", Isa.Fneg); ("fabs", Isa.Fabs); ("fsqrt", Isa.Fsqrt);
+    ("fsin", Isa.Fsin); ("fcos", Isa.Fcos); ("ffloor", Isa.Ffloor) ]
+
+let fcmps =
+  [ ("feq", Isa.Feq); ("fne", Isa.Fne); ("flt", Isa.Flt); ("fle", Isa.Fle) ]
+
+let loads =
+  [ ("lb", (Isa.W1, false)); ("lh", (Isa.W2, false)); ("lw", (Isa.W4, false));
+    ("ld", (Isa.W8, false)); ("lbs", (Isa.W1, true)); ("lhs", (Isa.W2, true));
+    ("lws", (Isa.W4, true)) ]
+
+let stores =
+  [ ("sb", Isa.W1); ("sh", Isa.W2); ("sw", Isa.W4); ("sd", Isa.W8) ]
+
+type labels = { mutable map : (string * Builder.label) list }
+
+let label_of b labels name =
+  match List.assoc_opt name labels.map with
+  | Some l -> l
+  | None ->
+      let l = Builder.fresh_label b in
+      labels.map <- (name, l) :: labels.map;
+      l
+
+let parse_ins b labels line mnemonic args =
+  let check_arity args n =
+    if List.length args <> n then
+      err line "%s expects %d operand(s), got %d" mnemonic n (List.length args)
+  in
+  let arity n = check_arity args n in
+  let ins i = Builder.ins b i in
+  match mnemonic with
+  | "nop" -> arity 0; ins Isa.Nop
+  | "halt" -> arity 0; ins Isa.Halt
+  | "ret" -> arity 0; ins Isa.Ret
+  | "li" ->
+      arity 2;
+      ins (Isa.Li (int_reg line (List.nth args 0), imm line (List.nth args 1)))
+  | "la" ->
+      arity 2;
+      Builder.la b (int_reg line (List.nth args 0)) (List.nth args 1)
+  | "mov" ->
+      arity 2;
+      ins (Isa.Mov (int_reg line (List.nth args 0), int_reg line (List.nth args 1)))
+  | "fli" ->
+      arity 2;
+      ins (Isa.Fli (float_reg line (List.nth args 0), fimm line (List.nth args 1)))
+  | "fmov" ->
+      arity 2;
+      ins (Isa.Fmov (float_reg line (List.nth args 0), float_reg line (List.nth args 1)))
+  | "i2f" ->
+      arity 2;
+      ins (Isa.I2f (float_reg line (List.nth args 0), int_reg line (List.nth args 1)))
+  | "f2i" ->
+      arity 2;
+      ins (Isa.F2i (int_reg line (List.nth args 0), float_reg line (List.nth args 1)))
+  | "jr" -> arity 1; ins (Isa.Jr (int_reg line (List.nth args 0)))
+  | "callr" -> arity 1; ins (Isa.Callr (int_reg line (List.nth args 0)))
+  | "syscall" -> arity 1; ins (Isa.Syscall (imm line (List.nth args 0)))
+  | "prefetch" ->
+      arity 1;
+      let base, off = mem_operand line (List.nth args 0) in
+      ins (Isa.Prefetch { base; off })
+  | "movs" ->
+      arity 3;
+      ins
+        (Isa.Movs
+           {
+             dst = paren_reg line (List.nth args 0);
+             src = paren_reg line (List.nth args 1);
+             len = int_reg line (List.nth args 2);
+           })
+  | "jmp" -> arity 1; Builder.jmp b (label_of b labels (List.nth args 0))
+  | "bz" ->
+      arity 2;
+      Builder.bz b (int_reg line (List.nth args 0))
+        (label_of b labels (List.nth args 1))
+  | "bnz" ->
+      arity 2;
+      Builder.bnz b (int_reg line (List.nth args 0))
+        (label_of b labels (List.nth args 1))
+  | "call" -> arity 1; Builder.call b (List.nth args 0)
+  | _ when List.mem_assoc mnemonic binops ->
+      arity 3;
+      ins
+        (Isa.Bin
+           ( List.assoc mnemonic binops,
+             int_reg line (List.nth args 0),
+             int_reg line (List.nth args 1),
+             operand line (List.nth args 2) ))
+  | _ when List.mem_assoc mnemonic fbinops ->
+      arity 3;
+      ins
+        (Isa.Fbin
+           ( List.assoc mnemonic fbinops,
+             float_reg line (List.nth args 0),
+             float_reg line (List.nth args 1),
+             float_reg line (List.nth args 2) ))
+  | _ when List.mem_assoc mnemonic funops ->
+      arity 2;
+      ins
+        (Isa.Fun
+           ( List.assoc mnemonic funops,
+             float_reg line (List.nth args 0),
+             float_reg line (List.nth args 1) ))
+  | _ when List.mem_assoc mnemonic fcmps ->
+      arity 3;
+      ins
+        (Isa.Fcmp
+           ( List.assoc mnemonic fcmps,
+             int_reg line (List.nth args 0),
+             float_reg line (List.nth args 1),
+             float_reg line (List.nth args 2) ))
+  | _ when List.mem_assoc mnemonic loads ->
+      let args, pred = split_predicate line args in
+      check_arity args 2;
+      let width, signed = List.assoc mnemonic loads in
+      let base, off = mem_operand line (List.nth args 1) in
+      let dst = int_reg line (List.nth args 0) in
+      if signed then begin
+        if pred <> None then err line "sign-extending loads cannot be predicated";
+        ins (Isa.Loads { width; dst; base; off })
+      end
+      else ins (Isa.Load { width; dst; base; off; pred })
+  | _ when List.mem_assoc mnemonic stores ->
+      let args, pred = split_predicate line args in
+      check_arity args 2;
+      let width = List.assoc mnemonic stores in
+      let base, off = mem_operand line (List.nth args 1) in
+      ins (Isa.Store { width; src = int_reg line (List.nth args 0); base; off; pred })
+  | "fld" ->
+      let args, pred = split_predicate line args in
+      check_arity args 2;
+      let base, off = mem_operand line (List.nth args 1) in
+      ins (Isa.Fload { dst = float_reg line (List.nth args 0); base; off; pred })
+  | "fsd" ->
+      let args, pred = split_predicate line args in
+      check_arity args 2;
+      let base, off = mem_operand line (List.nth args 1) in
+      ins (Isa.Fstore { src = float_reg line (List.nth args 0); base; off; pred })
+  | _ -> err line "unknown mnemonic '%s'" mnemonic
+
+(* ---------- file structure ---------- *)
+
+type st = {
+  mutable uname : string;
+  mutable main_image : bool;
+  mutable routines : Link.routine list;
+  mutable data : Link.datum list;
+  mutable current : (string * Builder.t * labels) option;
+}
+
+let finish_func st line =
+  match st.current with
+  | None -> err line ".endfunc without .func"
+  | Some (rname, b, _) ->
+      if Builder.ins_count b = 0 then err line "empty routine '%s'" rname;
+      (* validate label placement now, with a useful location *)
+      (try ignore (Builder.items b)
+       with Invalid_argument msg -> err line "in '%s': %s" rname msg);
+      st.routines <- { Link.rname; body = b } :: st.routines;
+      st.current <- None
+
+let parse text =
+  let st =
+    { uname = "asm"; main_image = true; routines = []; data = []; current = None }
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      match tokenize_line raw with
+      | [] -> ()
+      | ".image" :: rest -> (
+          match rest with
+          | [ name ] -> st.uname <- name
+          | [ name; "library" ] ->
+              st.uname <- name;
+              st.main_image <- false
+          | _ -> err line ".image expects a name (optionally 'library')")
+      | ".data" :: rest -> (
+          if st.current <> None then err line ".data inside .func";
+          match rest with
+          | [ name; size ] ->
+              st.data <-
+                { Link.dname = name; init = Link.Zero (imm line size) } :: st.data
+          | _ -> err line ".data expects: name size")
+      | ".ascii" :: rest -> (
+          if st.current <> None then err line ".ascii inside .func";
+          match rest with
+          | name :: _ ->
+              st.data <-
+                { Link.dname = name; init = Link.Bytes (ascii_payload line raw name) }
+                :: st.data
+          | [] -> err line ".ascii expects: name \"string\"")
+      | [ ".func"; name ] ->
+          if st.current <> None then err line "nested .func";
+          st.current <- Some (name, Builder.create (), { map = [] })
+      | [ ".endfunc" ] | [ ".end" ] -> finish_func st line
+      | [ tok ] when String.length tok > 1 && tok.[String.length tok - 1] = ':'
+        -> (
+          match st.current with
+          | None -> err line "label outside .func"
+          | Some (_, b, labels) ->
+              let name = String.sub tok 0 (String.length tok - 1) in
+              Builder.place b (label_of b labels name))
+      | mnemonic :: args -> (
+          if String.length mnemonic > 0 && mnemonic.[0] = '.' then
+            err line "unknown directive '%s'" mnemonic;
+          match st.current with
+          | None -> err line "instruction outside .func"
+          | Some (_, b, labels) -> parse_ins b labels line mnemonic args))
+    lines;
+  (match st.current with
+  | Some (name, _, _) ->
+      err (List.length lines) "missing .endfunc for '%s'" name
+  | None -> ());
+  {
+    Link.uname = st.uname;
+    main_image = st.main_image;
+    routines = List.rev st.routines;
+    data = List.rev st.data;
+  }

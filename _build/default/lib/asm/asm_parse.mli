@@ -1,0 +1,38 @@
+(** Textual assembler.
+
+    Parses an assembly file into a {!Link.cunit}, accepting the mnemonics the
+    disassembler prints plus symbolic control flow:
+
+    {v
+    ; comment                       # comment
+    .image demo                     ; unit name (default "asm"); add the word
+                                    ; "library" for a non-main image
+    .data buf 64                    ; 64 zero bytes
+    .ascii msg "hi\n"               ; initialised bytes (NUL not implicit)
+
+    .func _start
+      la   x20, buf
+      li   x10, 3
+    loop:
+      bz   x10, done
+      ld   x11, 0(x20)
+      add  x11, x11, 1
+      sd   x11, 0(x20)  ?x12        ; optional predicate register
+      sub  x10, x10, 1
+      jmp  loop
+    done:
+      call helper
+      li   x4, 0
+      syscall 0
+    .endfunc
+    v}
+
+    Loads/stores: [lb lh lw ld] (zero-extending), [lbs lhs lws] (sign-
+    extending), [sb sh sw sd], [fld fsd], [prefetch off(xN)],
+    [movs (xD), (xS), xL].  [la xN, sym] loads a symbol address; [jmp]/[bz]/
+    [bnz] take local labels; [call] takes a routine name. *)
+
+exception Asm_error of { line : int; msg : string }
+
+val parse : string -> Link.cunit
+(** @raise Asm_error on any syntax or operand error. *)

@@ -1,0 +1,87 @@
+type label = int
+
+type raw =
+  | R_ins of Tq_isa.Isa.ins
+  | R_jmp of label
+  | R_bz of Tq_isa.Isa.reg * label
+  | R_bnz of Tq_isa.Isa.reg * label
+  | R_call of string
+  | R_la of Tq_isa.Isa.reg * string
+  | R_label of label
+
+type t = {
+  body : raw Tq_util.Dyn_array.t;
+  mutable next_label : int;
+  mutable count : int; (* instructions, not labels *)
+}
+
+let create () =
+  {
+    body = Tq_util.Dyn_array.create ~dummy:(R_ins Tq_isa.Isa.Nop) ();
+    next_label = 0;
+    count = 0;
+  }
+
+let emit t r =
+  Tq_util.Dyn_array.push t.body r;
+  (match r with R_label _ -> () | _ -> t.count <- t.count + 1)
+
+let ins t i =
+  (match i with
+  | Tq_isa.Isa.Jmp _ | Bz _ | Bnz _ | Call _ ->
+      invalid_arg "Builder.ins: use the symbolic emitters for control flow"
+  | _ -> ());
+  emit t (R_ins i)
+
+let fresh_label t =
+  let l = t.next_label in
+  t.next_label <- l + 1;
+  l
+
+let place t l = emit t (R_label l)
+
+let jmp t l = emit t (R_jmp l)
+let bz t r l = emit t (R_bz (r, l))
+let bnz t r l = emit t (R_bnz (r, l))
+let call t name = emit t (R_call name)
+let la t r name = emit t (R_la (r, name))
+let ins_count t = t.count
+
+type item =
+  | I of Tq_isa.Isa.ins
+  | Jmp_l of int
+  | Bz_l of Tq_isa.Isa.reg * int
+  | Bnz_l of Tq_isa.Isa.reg * int
+  | Call_s of string
+  | La_s of Tq_isa.Isa.reg * string
+
+let items t =
+  let positions = Hashtbl.create 16 in
+  let idx = ref 0 in
+  Tq_util.Dyn_array.iteri
+    (fun _ r ->
+      match r with
+      | R_label l ->
+          if Hashtbl.mem positions l then
+            invalid_arg "Builder.items: label placed twice";
+          Hashtbl.replace positions l !idx
+      | _ -> incr idx)
+    t.body;
+  let resolve l =
+    match Hashtbl.find_opt positions l with
+    | Some i -> i
+    | None -> invalid_arg "Builder.items: label never placed"
+  in
+  let out = Tq_util.Dyn_array.create ~dummy:(I Tq_isa.Isa.Nop) () in
+  Tq_util.Dyn_array.iteri
+    (fun _ r ->
+      match r with
+      | R_label _ -> ()
+      | R_ins i -> Tq_util.Dyn_array.push out (I i)
+      | R_jmp l -> Tq_util.Dyn_array.push out (Jmp_l (resolve l))
+      | R_bz (r, l) -> Tq_util.Dyn_array.push out (Bz_l (r, resolve l))
+      | R_bnz (r, l) -> Tq_util.Dyn_array.push out (Bnz_l (r, resolve l))
+      | R_call s -> Tq_util.Dyn_array.push out (Call_s s)
+      | R_la (r, s) -> Tq_util.Dyn_array.push out (La_s (r, s)))
+    t.body;
+  Tq_util.Dyn_array.to_array out

@@ -1,0 +1,51 @@
+(** Routine-level assembly builder.
+
+    Emits instructions with {e symbolic} control-flow targets (routine-local
+    labels, routine names, data symbols); the linker ({!Link}) later assigns
+    absolute addresses and patches them.  This is the code-generation target
+    of both the MiniC compiler and the hand-written runtime image. *)
+
+type t
+
+type label
+
+val create : unit -> t
+
+val ins : t -> Tq_isa.Isa.ins -> unit
+(** Emit a fully-resolved instruction (no symbolic target). *)
+
+val fresh_label : t -> label
+
+val place : t -> label -> unit
+(** Bind a label to the current position.
+    @raise Invalid_argument if already placed. *)
+
+val jmp : t -> label -> unit
+
+val bz : t -> Tq_isa.Isa.reg -> label -> unit
+
+val bnz : t -> Tq_isa.Isa.reg -> label -> unit
+
+val call : t -> string -> unit
+(** Call a routine by name (resolved at link time, may be cross-image). *)
+
+val la : t -> Tq_isa.Isa.reg -> string -> unit
+(** Load the address of a data symbol or routine into a register. *)
+
+val ins_count : t -> int
+(** Instructions emitted so far (labels excluded) — usable as a jump-table
+    offset base. *)
+
+(** {2 Linker-facing view} *)
+
+type item =
+  | I of Tq_isa.Isa.ins
+  | Jmp_l of int
+  | Bz_l of Tq_isa.Isa.reg * int
+  | Bnz_l of Tq_isa.Isa.reg * int
+  | Call_s of string
+  | La_s of Tq_isa.Isa.reg * string
+
+val items : t -> item array
+(** Flattened body; label indices are resolved to instruction indices within
+    the routine.  @raise Invalid_argument if some label was never placed. *)

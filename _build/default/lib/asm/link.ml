@@ -1,0 +1,101 @@
+type init = Zero of int | Bytes of string
+
+type datum = { dname : string; init : init }
+
+type routine = { rname : string; body : Builder.t }
+
+type cunit = {
+  uname : string;
+  main_image : bool;
+  routines : routine list;
+  data : datum list;
+}
+
+exception Link_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
+
+let align8 n = (n + 7) land lnot 7
+let align_page n = (n + 4095) land lnot 4095
+
+let link_with_symbols ?(entry = "_start") units =
+  let symbols : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let define name addr =
+    if Hashtbl.mem symbols name then fail "duplicate symbol: %s" name;
+    Hashtbl.replace symbols name addr
+  in
+  (* Pass 1: lay out routines and data, assign addresses. *)
+  let bodies = ref [] in
+  let next_ins = ref 0 in
+  let sym_routines = ref [] in
+  let next_data = ref Tq_vm.Layout.data_base in
+  let data_inits = ref [] in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun r ->
+          let items = Builder.items r.body in
+          let n = Array.length items in
+          if n = 0 then fail "empty routine: %s" r.rname;
+          let entry_addr = Tq_vm.Program.addr_of_index !next_ins in
+          define r.rname entry_addr;
+          sym_routines :=
+            {
+              Tq_vm.Symtab.id = 0;
+              name = r.rname;
+              entry = entry_addr;
+              size = n * Tq_isa.Isa.ins_bytes;
+              image = u.uname;
+              is_main_image = u.main_image;
+            }
+            :: !sym_routines;
+          bodies := (!next_ins, items) :: !bodies;
+          next_ins := !next_ins + n)
+        u.routines;
+      List.iter
+        (fun d ->
+          let size =
+            match d.init with Zero n -> n | Bytes s -> String.length s
+          in
+          let addr = !next_data in
+          define d.dname addr;
+          (match d.init with
+          | Zero _ -> ()
+          | Bytes s -> data_inits := (addr, s) :: !data_inits);
+          next_data := align8 (addr + max 1 size))
+        u.data)
+    units;
+  (* Pass 2: patch symbolic references. *)
+  let code = Array.make !next_ins Tq_isa.Isa.Nop in
+  let resolve name =
+    match Hashtbl.find_opt symbols name with
+    | Some a -> a
+    | None -> fail "undefined symbol: %s" name
+  in
+  List.iter
+    (fun (base, items) ->
+      Array.iteri
+        (fun i item ->
+          let local l = Tq_vm.Program.addr_of_index (base + l) in
+          code.(base + i) <-
+            (match item with
+            | Builder.I ins -> ins
+            | Jmp_l l -> Tq_isa.Isa.Jmp (local l)
+            | Bz_l (r, l) -> Tq_isa.Isa.Bz (r, local l)
+            | Bnz_l (r, l) -> Tq_isa.Isa.Bnz (r, local l)
+            | Call_s s -> Tq_isa.Isa.Call (resolve s)
+            | La_s (r, s) -> Tq_isa.Isa.Li (r, resolve s)))
+        items)
+    !bodies;
+  let symtab = Tq_vm.Symtab.build !sym_routines in
+  let entry_addr = resolve entry in
+  ( {
+      Tq_vm.Program.code;
+      entry = entry_addr;
+      data = List.rev !data_inits;
+      data_end = align_page !next_data;
+      symtab;
+    },
+    symbols )
+
+let link ?entry units = fst (link_with_symbols ?entry units)

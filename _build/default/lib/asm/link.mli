@@ -1,0 +1,35 @@
+(** Linker: lays out compilation units (images) into a {!Tq_vm.Program.t}.
+
+    Code from all units is concatenated at {!Tq_vm.Layout.text_base} in unit
+    order; data symbols are placed 8-byte-aligned from
+    {!Tq_vm.Layout.data_base}; symbolic calls, branches and address loads are
+    patched to absolute addresses; a routine symbol table records which image
+    (and main-image flag) every routine belongs to. *)
+
+type init =
+  | Zero of int  (** zero-filled, given byte size *)
+  | Bytes of string  (** initialised bytes *)
+
+type datum = { dname : string; init : init }
+
+type routine = { rname : string; body : Builder.t }
+
+type cunit = {
+  uname : string;  (** image name *)
+  main_image : bool;
+  routines : routine list;
+  data : datum list;
+}
+
+exception Link_error of string
+
+val link_with_symbols :
+  ?entry:string -> cunit list -> Tq_vm.Program.t * (string, int) Hashtbl.t
+(** [link_with_symbols units] resolves all symbols and produces a runnable
+    program plus the symbol map (data symbols and routines to absolute
+    addresses).  [entry] (default ["_start"]) names the routine where
+    execution begins.
+    @raise Link_error on duplicate or undefined symbols. *)
+
+val link : ?entry:string -> cunit list -> Tq_vm.Program.t
+(** [link_with_symbols] without the symbol map. *)

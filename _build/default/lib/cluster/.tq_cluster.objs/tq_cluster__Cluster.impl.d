@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array Buffer Float Hashtbl List Printf String Tq_quad Tq_tquad Tq_vm

@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: Tq_quad Tq_tquad

@@ -1,0 +1,206 @@
+module Symtab = Tq_vm.Symtab
+
+type t = { names : string array; affinity : float array array }
+
+let make ~names ~affinity =
+  let n = Array.length names in
+  if Array.length affinity <> n then
+    invalid_arg "Cluster.make: affinity row count <> names";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Cluster.make: affinity is not square")
+    affinity;
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun name ->
+      if Hashtbl.mem seen name then
+        invalid_arg ("Cluster.make: duplicate kernel " ^ name);
+      Hashtbl.add seen name ())
+    names;
+  let a = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if affinity.(i).(j) < 0. then
+        invalid_arg "Cluster.make: negative affinity";
+      if i <> j then a.(i).(j) <- Float.max affinity.(i).(j) affinity.(j).(i)
+    done
+  done;
+  { names; affinity = a }
+
+let of_quad ?(exclude = []) q =
+  let rows = Tq_quad.Quad.rows q in
+  let names =
+    rows
+    |> List.map (fun (r : Tq_quad.Quad.krow) -> r.routine.Symtab.name)
+    |> List.filter (fun n -> not (List.mem n exclude))
+    |> Array.of_list
+  in
+  let index = Hashtbl.create 32 in
+  Array.iteri (fun i n -> Hashtbl.replace index n i) names;
+  let n = Array.length names in
+  let aff = Array.make_matrix n n 0. in
+  List.iter
+    (fun (b : Tq_quad.Quad.binding) ->
+      match
+        ( Hashtbl.find_opt index b.producer.Symtab.name,
+          Hashtbl.find_opt index b.consumer.Symtab.name )
+      with
+      | Some i, Some j when i <> j ->
+          aff.(i).(j) <- aff.(i).(j) +. float_of_int b.bytes_incl;
+          aff.(j).(i) <- aff.(j).(i) +. float_of_int b.bytes_incl
+      | _ -> ())
+    (Tq_quad.Quad.bindings q);
+  make ~names ~affinity:aff
+
+let of_tquad ?(exclude = []) tq =
+  let kernels =
+    Tq_tquad.Tquad.kernels tq
+    |> List.filter (fun r -> not (List.mem r.Symtab.name exclude))
+  in
+  let names = Array.of_list (List.map (fun r -> r.Symtab.name) kernels) in
+  let slices = Tq_tquad.Tquad.total_slices tq in
+  (* active-slice sets as boolean arrays *)
+  let activity =
+    List.map
+      (fun r ->
+        let br = Tq_tquad.Tquad.bytes_series tq r Tq_tquad.Tquad.Read_incl in
+        let bw = Tq_tquad.Tquad.bytes_series tq r Tq_tquad.Tquad.Write_incl in
+        Array.init slices (fun s -> br.(s) + bw.(s) > 0))
+      kernels
+    |> Array.of_list
+  in
+  let n = Array.length names in
+  let aff = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let inter = ref 0 and union = ref 0 in
+      for s = 0 to slices - 1 do
+        let a = activity.(i).(s) and b = activity.(j).(s) in
+        if a && b then incr inter;
+        if a || b then incr union
+      done;
+      let v = if !union = 0 then 0. else float_of_int !inter /. float_of_int !union in
+      aff.(i).(j) <- v;
+      aff.(j).(i) <- v
+    done
+  done;
+  make ~names ~affinity:aff
+
+let restrict t ~keep =
+  let keep =
+    List.filter (fun n -> Array.exists (( = ) n) t.names) keep |> Array.of_list
+  in
+  let index name =
+    let rec go i = if t.names.(i) = name then i else go (i + 1) in
+    go 0
+  in
+  let idx = Array.map index keep in
+  make ~names:keep
+    ~affinity:
+      (Array.map (fun i -> Array.map (fun j -> t.affinity.(i).(j)) idx) idx)
+
+let max_normalize m =
+  let best = Array.fold_left (Array.fold_left Float.max) 0. m in
+  if best <= 0. then m
+  else Array.map (Array.map (fun x -> x /. best)) m
+
+let combine ?(alpha = 0.5) a b =
+  if
+    Array.length a.names <> Array.length b.names
+    || not
+         (List.sort compare (Array.to_list a.names)
+         = List.sort compare (Array.to_list b.names))
+  then invalid_arg "Cluster.combine: kernel sets differ";
+  (* align b's rows to a's name order *)
+  let n = Array.length a.names in
+  let b_index = Hashtbl.create n in
+  Array.iteri (fun i name -> Hashtbl.replace b_index name i) b.names;
+  let na = max_normalize a.affinity in
+  let nb = max_normalize b.affinity in
+  let aff =
+    Array.init n (fun i ->
+        let bi = Hashtbl.find b_index a.names.(i) in
+        Array.init n (fun j ->
+            let bj = Hashtbl.find b_index a.names.(j) in
+            (alpha *. na.(i).(j)) +. ((1. -. alpha) *. nb.(bi).(bj))))
+  in
+  make ~names:a.names ~affinity:aff
+
+let agglomerate t ~target =
+  let n = Array.length t.names in
+  if n = 0 then []
+  else begin
+    (* clusters as lists of member indices; average linkage *)
+    let clusters = ref (List.init n (fun i -> [ i ])) in
+    let linkage a b =
+      let total = ref 0. in
+      List.iter
+        (fun i -> List.iter (fun j -> total := !total +. t.affinity.(i).(j)) b)
+        a;
+      !total /. float_of_int (List.length a * List.length b)
+    in
+    let continue_ = ref true in
+    while List.length !clusters > max 1 target && !continue_ do
+      (* find the best pair; deterministic: first maximal pair in order *)
+      let best = ref None in
+      let rec pairs = function
+        | [] -> ()
+        | c :: rest ->
+            List.iter
+              (fun d ->
+                let l = linkage c d in
+                match !best with
+                | Some (_, _, bl) when bl >= l -> ()
+                | _ -> if l > 0. then best := Some (c, d, l))
+              rest;
+            pairs rest
+      in
+      pairs !clusters;
+      match !best with
+      | None -> continue_ := false (* only zero-affinity pairs remain *)
+      | Some (c, d, _) ->
+          clusters :=
+            (c @ d) :: List.filter (fun x -> x != c && x != d) !clusters
+    done;
+    !clusters
+    |> List.map (fun members ->
+           members |> List.map (fun i -> t.names.(i)) |> List.sort compare)
+    |> List.sort (fun a b ->
+           match compare (List.length b) (List.length a) with
+           | 0 -> compare a b
+           | c -> c)
+  end
+
+let quality t clusters =
+  let n = Array.length t.names in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i name -> Hashtbl.replace index name i) t.names;
+  let cluster_of = Array.make n (-1) in
+  List.iteri
+    (fun ci members ->
+      List.iter
+        (fun name ->
+          match Hashtbl.find_opt index name with
+          | Some i -> cluster_of.(i) <- ci
+          | None -> invalid_arg ("Cluster.quality: unknown kernel " ^ name))
+        members)
+    clusters;
+  let intra = ref 0. and total = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      total := !total +. t.affinity.(i).(j);
+      if cluster_of.(i) >= 0 && cluster_of.(i) = cluster_of.(j) then
+        intra := !intra +. t.affinity.(i).(j)
+    done
+  done;
+  if !total = 0. then 1. else !intra /. !total
+
+let render clusters =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i members ->
+      Buffer.add_string buf
+        (Printf.sprintf "cluster %d: %s\n" (i + 1) (String.concat ", " members)))
+    clusters;
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** Kernel clustering for task partitioning.
+
+    The paper's stated purpose for the extracted information (Sections I
+    and VI): group related kernels so that "the intra-cluster communication
+    is maximized whereas the inter-cluster communication is minimized", as
+    input to the Delft WorkBench clustering framework for HW/SW
+    partitioning.  This module implements that step on top of the two
+    profilers:
+
+    - QUAD's producer→consumer bindings give a {e communication affinity}
+      (bytes exchanged between kernels);
+    - tQUAD's activity spans give a {e temporal affinity} (kernels active in
+      the same time slices are candidates for the same phase/cluster).
+
+    Clusters are formed by deterministic average-linkage agglomeration over
+    the combined affinity matrix. *)
+
+type t = {
+  names : string array;
+  affinity : float array array;  (** symmetric, non-negative, zero diagonal *)
+}
+
+val make : names:string array -> affinity:float array array -> t
+(** Validates and symmetrizes ([max] of the two directions), zeroing the
+    diagonal.  @raise Invalid_argument on shape mismatch, negative weights,
+    or duplicate names. *)
+
+val of_quad : ?exclude:string list -> Tq_quad.Quad.t -> t
+(** Communication affinity: [aff(a,b) = bytes(a→b) + bytes(b→a)]
+    (stack-inclusive), self-communication ignored.  [exclude] drops helper
+    kernels (e.g. ["main"]). *)
+
+val of_tquad : ?exclude:string list -> Tq_tquad.Tquad.t -> t
+(** Temporal affinity: Jaccard similarity of the two kernels'
+    active-slice sets. *)
+
+val restrict : t -> keep:string list -> t
+(** Sub-matrix over the kernels in [keep] (order of [keep]; names absent
+    from [t] are dropped). *)
+
+val combine : ?alpha:float -> t -> t -> t
+(** [combine a b] with weight [alpha] (default 0.5) on [a]: both matrices
+    are max-normalized to [0,1] first; kernel sets must match (rows are
+    aligned by name).  @raise Invalid_argument if the name sets differ. *)
+
+val agglomerate : t -> target:int -> string list list
+(** Average-linkage agglomerative clustering down to [target] clusters
+    (fewer if there are fewer kernels; zero-affinity groups are never
+    force-merged, so more than [target] clusters can remain).  Output
+    clusters are sorted by size (descending), members alphabetically.
+    Deterministic. *)
+
+val quality : t -> string list list -> float
+(** Fraction of total affinity mass that is intra-cluster, in [0, 1] (1 if
+    total mass is 0).  The objective the paper states: maximize this. *)
+
+val render : string list list -> string

@@ -1,0 +1,1 @@
+lib/dbi/engine.ml: Array Executor Hashtbl List Machine Program Symtab Tq_isa Tq_vm

@@ -1,0 +1,1 @@
+lib/dbi/engine.mli: Tq_isa Tq_vm

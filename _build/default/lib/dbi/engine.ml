@@ -1,0 +1,158 @@
+open Tq_vm
+
+type action = unit -> unit
+
+module Ins_view = struct
+  type view = {
+    v_ins : Tq_isa.Isa.ins;
+    v_addr : int;
+    v_routine : Symtab.routine option;
+  }
+
+  let ins v = v.v_ins
+  let addr v = v.v_addr
+  let routine v = v.v_routine
+
+  let is_routine_entry v =
+    match v.v_routine with Some r -> r.Symtab.entry = v.v_addr | None -> false
+end
+
+type slot = { actions : action array; s_ins : Tq_isa.Isa.ins }
+
+type trace = slot array
+
+type stats = {
+  compiled_traces : int;
+  compiled_instructions : int;
+  lookups : int;
+  misses : int;
+}
+
+type t = {
+  m : Machine.t;
+  use_code_cache : bool;
+  cache : (int, trace) Hashtbl.t;
+  mutable ins_instrumenters : (Ins_view.view -> action list) list; (* reversed *)
+  mutable rtn_instrumenters : (Symtab.routine -> action list) list;
+  mutable running : bool;
+  mutable n_traces : int;
+  mutable n_compiled_ins : int;
+  mutable n_lookups : int;
+  mutable n_misses : int;
+}
+
+let create ?(use_code_cache = true) m =
+  {
+    m;
+    use_code_cache;
+    cache = Hashtbl.create 1024;
+    ins_instrumenters = [];
+    rtn_instrumenters = [];
+    running = false;
+    n_traces = 0;
+    n_compiled_ins = 0;
+    n_lookups = 0;
+    n_misses = 0;
+  }
+
+let machine t = t.m
+
+let add_ins_instrumenter t f =
+  if t.running then invalid_arg "Engine: cannot add instrumenter while running";
+  t.ins_instrumenters <- f :: t.ins_instrumenters
+
+let add_rtn_instrumenter t f =
+  if t.running then invalid_arg "Engine: cannot add instrumenter while running";
+  t.rtn_instrumenters <- f :: t.rtn_instrumenters
+
+let predicated t v a =
+  match Tq_isa.Isa.predicate_of (Ins_view.ins v) with
+  | None -> a
+  | Some p ->
+      let m = t.m in
+      fun () -> if Machine.reg m p <> 0 then a ()
+
+let max_trace_len = 128
+
+let compile t addr0 =
+  let prog = Machine.program t.m in
+  let symtab = prog.Program.symtab in
+  let ins_fns = List.rev t.ins_instrumenters in
+  let rtn_fns = List.rev t.rtn_instrumenters in
+  let slots = ref [] in
+  let n = ref 0 in
+  let addr = ref addr0 in
+  let stop = ref false in
+  while not !stop do
+    let ins = Program.fetch prog !addr in
+    let routine = Symtab.find symtab !addr in
+    let view = { Ins_view.v_ins = ins; v_addr = !addr; v_routine = routine } in
+    let rtn_actions =
+      if Ins_view.is_routine_entry view then
+        match routine with
+        | Some r -> List.concat_map (fun f -> f r) rtn_fns
+        | None -> []
+      else []
+    in
+    let ins_actions = List.concat_map (fun f -> f view) ins_fns in
+    let actions = Array.of_list (rtn_actions @ ins_actions) in
+    slots := { actions; s_ins = ins } :: !slots;
+    incr n;
+    if Tq_isa.Isa.is_control ins || !n >= max_trace_len then stop := true
+    else addr := !addr + Tq_isa.Isa.ins_bytes
+  done;
+  let trace = Array.of_list (List.rev !slots) in
+  t.n_traces <- t.n_traces + 1;
+  t.n_compiled_ins <- t.n_compiled_ins + Array.length trace;
+  trace
+
+let lookup t addr =
+  t.n_lookups <- t.n_lookups + 1;
+  if not t.use_code_cache then begin
+    t.n_misses <- t.n_misses + 1;
+    compile t addr
+  end
+  else
+    match Hashtbl.find_opt t.cache addr with
+    | Some tr -> tr
+    | None ->
+        t.n_misses <- t.n_misses + 1;
+        let tr = compile t addr in
+        Hashtbl.replace t.cache addr tr;
+        tr
+
+let run ?(fuel = 2_000_000_000) t =
+  t.running <- true;
+  let m = t.m in
+  let executed = ref 0 in
+  (try
+     while not (Machine.halted m) do
+       let trace = lookup t (Machine.ip m) in
+       let len = Array.length trace in
+       let i = ref 0 in
+       while !i < len && not (Machine.halted m) do
+         let slot = trace.(!i) in
+         let acts = slot.actions in
+         for k = 0 to Array.length acts - 1 do
+           acts.(k) ()
+         done;
+         Machine.exec m slot.s_ins;
+         incr executed;
+         if !executed > fuel then raise (Executor.Out_of_fuel !executed);
+         incr i
+       done
+     done
+   with e ->
+     t.running <- false;
+     raise e);
+  t.running <- false
+
+let stats t =
+  {
+    compiled_traces = t.n_traces;
+    compiled_instructions = t.n_compiled_ins;
+    lookups = t.n_lookups;
+    misses = t.n_misses;
+  }
+
+let invalidate_cache t = Hashtbl.reset t.cache

@@ -1,0 +1,77 @@
+(** Pin-like dynamic binary instrumentation engine.
+
+    The engine executes a {!Tq_vm.Machine.t} through a JIT-style {e code
+    cache}: the first time control reaches an address, the basic block
+    starting there is "compiled" — each instruction is shown to every
+    registered {e instrumentation} callback, which returns the {e analysis}
+    actions to run before that instruction executes.  The compiled
+    (actions, instruction) sequence is cached, so instrumentation cost is
+    paid once per block while analysis cost is paid on every execution —
+    exactly Pin's cost structure, which the paper's 37x-69x slowdown numbers
+    reflect.
+
+    Mirrors of the Pin API used in the paper (Fig. 3-5):
+    - [add_ins_instrumenter]  ~ [INS_AddInstrumentFunction]
+    - [add_rtn_instrumenter]  ~ [RTN_AddInstrumentFunction] (fires at routine
+      entry)
+    - [predicated]            ~ [INS_InsertPredicatedCall]: the wrapped
+      action runs only if the instruction's guard predicate evaluates true.
+
+    Analysis actions are closures; dynamic argument values (effective
+    address, stack pointer — Pin's IARGs) are read from the machine at
+    analysis time via {!Tq_vm.Machine.read_ea} / [write_ea] / [sp]. *)
+
+type t
+
+type action = unit -> unit
+(** An injected analysis-routine call. *)
+
+module Ins_view : sig
+  (** Static (instrumentation-time) view of one instruction. *)
+
+  type view
+
+  val ins : view -> Tq_isa.Isa.ins
+  val addr : view -> int
+
+  val routine : view -> Tq_vm.Symtab.routine option
+  (** The routine containing this instruction. *)
+
+  val is_routine_entry : view -> bool
+end
+
+val create : ?use_code_cache:bool -> Tq_vm.Machine.t -> t
+(** [use_code_cache] defaults to true; [false] re-instruments every block on
+    every execution (the ablation in [bench/main.exe ablation]). *)
+
+val machine : t -> Tq_vm.Machine.t
+
+val add_ins_instrumenter : t -> (Ins_view.view -> action list) -> unit
+(** Register an instruction-granularity instrumentation callback.  Must be
+    called before [run]; actions are executed in registration order, before
+    the instruction. *)
+
+val add_rtn_instrumenter : t -> (Tq_vm.Symtab.routine -> action list) -> unit
+(** Routine-granularity instrumentation: the returned actions run every time
+    control reaches the routine's entry instruction, before any
+    instruction-level actions for it. *)
+
+val predicated : t -> Ins_view.view -> action -> action
+(** [predicated t v a] is [a] guarded by [v]'s predicate register (no-op
+    wrapper for non-predicated instructions). *)
+
+val run : ?fuel:int -> t -> unit
+(** Execute until halt. @raise Tq_vm.Executor.Out_of_fuel when the budget
+    (default 2e9) is exhausted. *)
+
+type stats = {
+  compiled_traces : int;
+  compiled_instructions : int;
+  lookups : int;  (** code-cache probes (= executed basic blocks) *)
+  misses : int;
+}
+
+val stats : t -> stats
+
+val invalidate_cache : t -> unit
+(** Drop all compiled traces (they will be re-instrumented on next touch). *)

@@ -1,0 +1,90 @@
+let bitrev i bits =
+  let r = ref 0 and x = ref i in
+  for _ = 1 to bits do
+    r := (!r lsl 1) lor (!x land 1);
+    x := !x lsr 1
+  done;
+  !r
+
+let log2_exact n =
+  let rec go k v = if v = 1 then k else go (k + 1) (v / 2) in
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg "Fft: length must be a power of two >= 2";
+  go 0 n
+
+let perm re im =
+  let n = Array.length re in
+  let bits = log2_exact n in
+  for i = 0 to n - 1 do
+    let j = bitrev i bits in
+    if j > i then begin
+      let tr = re.(i) in
+      re.(i) <- re.(j);
+      re.(j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(j);
+      im.(j) <- ti
+    end
+  done
+
+let fft re im ~dir =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
+  ignore (log2_exact n);
+  if dir <> 1 && dir <> -1 then invalid_arg "Fft: dir must be 1 or -1";
+  perm re im;
+  (* Danielson-Lanczos: twiddles recomputed per butterfly, exactly as the
+     straightforward C implementation in the case study does *)
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let ang = -2. *. Float.pi *. float_of_int dir /. float_of_int !len in
+    let i = ref 0 in
+    while !i < n do
+      for j = 0 to half - 1 do
+        let wr = cos (ang *. float_of_int j) in
+        let wi = sin (ang *. float_of_int j) in
+        let a = !i + j in
+        let b = a + half in
+        let ur = re.(a) and ui = im.(a) in
+        let vr = (re.(b) *. wr) -. (im.(b) *. wi) in
+        let vi = (re.(b) *. wi) +. (im.(b) *. wr) in
+        re.(a) <- ur +. vr;
+        im.(a) <- ui +. vi;
+        re.(b) <- ur -. vr;
+        im.(b) <- ui -. vi
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done;
+  if dir = -1 then begin
+    let inv = 1. /. float_of_int n in
+    for i = 0 to n - 1 do
+      re.(i) <- re.(i) *. inv;
+      im.(i) <- im.(i) *. inv
+    done
+  end
+
+let dft_naive re im ~dir =
+  let n = Array.length re in
+  let out_re = Array.make n 0. and out_im = Array.make n 0. in
+  for k = 0 to n - 1 do
+    for t = 0 to n - 1 do
+      let ang =
+        -2. *. Float.pi *. float_of_int dir *. float_of_int (k * t)
+        /. float_of_int n
+      in
+      let wr = cos ang and wi = sin ang in
+      out_re.(k) <- out_re.(k) +. (re.(t) *. wr) -. (im.(t) *. wi);
+      out_im.(k) <- out_im.(k) +. (re.(t) *. wi) +. (im.(t) *. wr)
+    done
+  done;
+  if dir = -1 then begin
+    let inv = 1. /. float_of_int n in
+    for k = 0 to n - 1 do
+      out_re.(k) <- out_re.(k) *. inv;
+      out_im.(k) <- out_im.(k) *. inv
+    done
+  end;
+  (out_re, out_im)

@@ -1,0 +1,50 @@
+let hamming n =
+  Array.init n (fun i ->
+      0.54 -. (0.46 *. cos (2. *. Float.pi *. float_of_int i /. float_of_int (n - 1))))
+
+let windowed_sinc_lowpass ~cutoff ~taps =
+  if taps < 3 || taps mod 2 = 0 then
+    invalid_arg "Fir.windowed_sinc_lowpass: taps must be odd and >= 3";
+  if cutoff <= 0. || cutoff >= 0.5 then
+    invalid_arg "Fir.windowed_sinc_lowpass: cutoff must be in (0, 0.5)";
+  let mid = taps / 2 in
+  let w = hamming taps in
+  let h =
+    Array.init taps (fun i ->
+        let k = float_of_int (i - mid) in
+        let s =
+          if i = mid then 2. *. cutoff
+          else sin (2. *. Float.pi *. cutoff *. k) /. (Float.pi *. k)
+        in
+        s *. w.(i))
+  in
+  let dc = Array.fold_left ( +. ) 0. h in
+  Array.map (fun x -> x /. dc) h
+
+let wfs_prefilter ~taps =
+  if taps < 3 || taps mod 2 = 0 then
+    invalid_arg "Fir.wfs_prefilter: taps must be odd and >= 3";
+  (* sqrt(jk) shaping: blend an identity tap with a first-difference
+     (differentiator) component, windowed.  This tracks the +3 dB/octave
+     target well enough for the case study's purposes. *)
+  let lp = windowed_sinc_lowpass ~cutoff:0.45 ~taps in
+  let mid = taps / 2 in
+  let h = Array.copy lp in
+  (* add the scaled discrete half-derivative approximation *)
+  h.(mid) <- h.(mid) +. 0.5;
+  if mid + 1 < taps then h.(mid + 1) <- h.(mid + 1) -. 0.25;
+  if mid >= 1 then h.(mid - 1) <- h.(mid - 1) -. 0.25;
+  h
+
+let convolve x h =
+  let nx = Array.length x and nh = Array.length h in
+  if nx = 0 || nh = 0 then [||]
+  else begin
+    let out = Array.make (nx + nh - 1) 0. in
+    for i = 0 to nx - 1 do
+      for j = 0 to nh - 1 do
+        out.(i + j) <- out.(i + j) +. (x.(i) *. h.(j))
+      done
+    done;
+    out
+  end

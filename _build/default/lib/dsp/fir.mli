@@ -1,0 +1,19 @@
+(** FIR filter design and direct-form convolution reference. *)
+
+val hamming : int -> float array
+(** Hamming window of the given length. *)
+
+val windowed_sinc_lowpass : cutoff:float -> taps:int -> float array
+(** Classic windowed-sinc lowpass; [cutoff] is the normalized frequency in
+    (0, 0.5), [taps] must be odd.  Coefficients are normalized to unit DC
+    gain.  @raise Invalid_argument on bad parameters. *)
+
+val wfs_prefilter : taps:int -> float array
+(** The case study's wave-field-synthesis pre-emphasis filter: a +3 dB per
+    octave (sqrt of frequency) shaping implemented as a windowed-sinc
+    differentiator blend — the standard WFS sqrt(jk) prefilter
+    approximation. [taps] must be odd. *)
+
+val convolve : float array -> float array -> float array
+(** [convolve x h] is the full linear convolution, length
+    [len x + len h - 1]. *)

@@ -1,0 +1,1 @@
+lib/gprofsim/gprofsim.ml: Array Buffer Hashtbl List Option Printf Tq_dbi Tq_isa Tq_prof Tq_vm

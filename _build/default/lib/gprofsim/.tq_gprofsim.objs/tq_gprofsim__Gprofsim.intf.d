@@ -1,0 +1,1 @@
+lib/gprofsim/gprofsim.mli: Tq_dbi Tq_vm

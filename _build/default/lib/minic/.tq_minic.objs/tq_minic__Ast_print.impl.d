@@ -1,0 +1,1 @@
+lib/minic/ast_print.ml: Ast List Option Printf String

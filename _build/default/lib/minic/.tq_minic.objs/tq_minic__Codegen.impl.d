@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: List Mir Printf Tq_asm Tq_isa

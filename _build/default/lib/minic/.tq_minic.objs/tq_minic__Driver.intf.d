@@ -1,0 +1,1 @@
+lib/minic/driver.mli: Mir Tq_asm

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Bytes Char Hashtbl Int64 List Mir Option Printf Tq_asm Tq_isa

@@ -1,0 +1,1 @@
+lib/minic/mir.ml: Tq_asm Tq_isa

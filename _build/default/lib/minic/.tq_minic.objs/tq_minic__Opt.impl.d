@@ -1,0 +1,1 @@
+lib/minic/opt.ml: Float List Mir Option Tq_isa

@@ -1,0 +1,102 @@
+(** MiniC abstract syntax.
+
+    MiniC is the small C-like language the case-study applications are
+    written in; its compiler produces ordinary {!Tq_vm.Program.t} binaries so
+    the profilers never see anything but machine code, exactly like a
+    Pin tool.  Supported: [int] (64-bit), [short] (16-bit signed),
+    [char] (8-bit unsigned), [float] (64-bit IEEE, C's [double] in spirit),
+    pointers, one-dimensional arrays (global and stack-local), structs
+    (fields, nesting by value, [.]/[->] access, arrays of structs; no
+    by-value passing or whole-struct assignment), the usual statements and
+    operators, string/char literals and calls into the runtime library
+    image. *)
+
+type pos = { line : int; col : int }
+
+type ty =
+  | Tvoid
+  | Tint
+  | Tshort
+  | Tchar
+  | Tfloat
+  | Tptr of ty
+  | Tstruct of string
+
+let rec string_of_ty = function
+  | Tvoid -> "void"
+  | Tint -> "int"
+  | Tshort -> "short"
+  | Tchar -> "char"
+  | Tfloat -> "float"
+  | Tptr t -> string_of_ty t ^ "*"
+  | Tstruct n -> "struct " ^ n
+
+(* Size of a non-struct type; struct layouts live in the type checker
+   (they need the struct environment). *)
+let sizeof = function
+  | Tvoid -> 0
+  | Tint -> 8
+  | Tshort -> 2
+  | Tchar -> 1
+  | Tfloat -> 8
+  | Tptr _ -> 8
+  | Tstruct n -> invalid_arg ("Ast.sizeof: struct " ^ n ^ " needs the environment")
+
+type unop = Neg | Lnot | Bnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Band | Bor | Bxor
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+
+type expr = { e : expr_node; epos : pos }
+
+and expr_node =
+  | Eint of int
+  | Efloat of float
+  | Echar of char
+  | Estr of string
+  | Evar of string
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr
+  | Ederef of expr
+  | Eaddr of expr
+  | Ecast of ty * expr
+  | Efield of expr * string
+      (** field access [e.f]; the arrow form [e->f] parses as a dereference
+          followed by field access *)
+  | Esizeof of ty
+
+type stmt = { s : stmt_node; spos : pos }
+
+and stmt_node =
+  | Sdecl of ty * string * int option * expr option
+      (** [Sdecl (ty, name, array_size, init)] *)
+  | Sassign of expr * expr  (** lvalue = rvalue *)
+  | Sexpr of expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr (** do { ... } while (e); *)
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type func = {
+  fname : string;
+  ret : ty;
+  params : (ty * string) list;
+  body : stmt list;
+  fpos : pos;
+}
+
+type global =
+  | Gvar of { gty : ty; gname : string; array : int option; ginit : expr option; gpos : pos }
+  | Gfunc of func
+  | Gstruct of { sname : string; sfields : (ty * string) list; gspos : pos }
+
+type program = global list

@@ -1,0 +1,164 @@
+open Ast
+
+(* Fully parenthesized expressions: precedence-faithful by construction. *)
+
+let binop_sym = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Shl -> "<<" | Shr -> ">>" | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Land -> "&&" | Lor -> "||"
+
+let unop_sym = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"
+
+let escape_char c =
+  match c with
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | '\000' -> "\\0"
+  | '\\' -> "\\\\"
+  | '\'' -> "\\'"
+  | '"' -> "\\\""
+  | c -> String.make 1 c
+
+let float_lit f =
+  (* must re-parse to the identical double; %.17g plus a forced decimal
+     point keeps the token a FLOAT *)
+  let s = Printf.sprintf "%.17g" f in
+  if
+    String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s
+  then s
+  else s ^ ".0"
+
+let rec expr (e : Ast.expr) =
+  match e.e with
+  | Eint n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Efloat f -> float_lit f
+  | Echar c -> Printf.sprintf "'%s'" (escape_char c)
+  | Estr s ->
+      Printf.sprintf "\"%s\""
+        (String.concat "" (List.map escape_char (List.init (String.length s) (String.get s))))
+  | Evar v -> v
+  | Eunop (op, a) -> Printf.sprintf "(%s%s)" (unop_sym op) (expr a)
+  | Ebinop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr a) (binop_sym op) (expr b)
+  | Ecall (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+  | Eindex (a, i) -> Printf.sprintf "%s[%s]" (expr a) (expr i)
+  | Ederef a -> Printf.sprintf "(*%s)" (expr a)
+  | Eaddr a -> Printf.sprintf "(&%s)" (expr a)
+  | Ecast (ty, a) -> Printf.sprintf "((%s) %s)" (string_of_ty ty) (expr a)
+  | Efield (a, f) -> Printf.sprintf "%s.%s" (expr a) f
+  | Esizeof ty -> Printf.sprintf "sizeof(%s)" (string_of_ty ty)
+
+let rec stmt ?(indent = 0) (s : Ast.stmt) =
+  let pad = String.make (indent * 2) ' ' in
+  let body stmts = block ~indent stmts in
+  match s.s with
+  | Sdecl (ty, name, array, init) ->
+      let arr = match array with None -> "" | Some n -> Printf.sprintf "[%d]" n in
+      let ini = match init with None -> "" | Some e -> " = " ^ expr e in
+      Printf.sprintf "%s%s %s%s%s;\n" pad (string_of_ty ty) name arr ini
+  | Sassign (l, r) -> Printf.sprintf "%s%s = %s;\n" pad (expr l) (expr r)
+  | Sexpr e -> Printf.sprintf "%s%s;\n" pad (expr e)
+  | Sif (c, t, f) ->
+      Printf.sprintf "%sif (%s) %s%s" pad (expr c) (body t)
+        (if f = [] then "" else Printf.sprintf "%selse %s" pad (body f))
+  | Swhile (c, b) -> Printf.sprintf "%swhile (%s) %s" pad (expr c) (body b)
+  | Sdo (b, c) -> Printf.sprintf "%sdo %s%swhile (%s);\n" pad (body b) pad (expr c)
+  | Sfor (init, cond, step, b) ->
+      let simple s =
+        (* a 'simple' statement inside for(): no trailing ;\n *)
+        let text = stmt ~indent:0 s in
+        String.trim (String.concat "" (String.split_on_char '\n' text))
+        |> fun t ->
+        if String.length t > 0 && t.[String.length t - 1] = ';' then
+          String.sub t 0 (String.length t - 1)
+        else t
+      in
+      Printf.sprintf "%sfor (%s; %s; %s) %s" pad
+        (match init with None -> "" | Some s -> simple s)
+        (match cond with None -> "" | Some e -> expr e)
+        (match step with None -> "" | Some s -> simple s)
+        (body b)
+  | Sreturn None -> pad ^ "return;\n"
+  | Sreturn (Some e) -> Printf.sprintf "%sreturn %s;\n" pad (expr e)
+  | Sbreak -> pad ^ "break;\n"
+  | Scontinue -> pad ^ "continue;\n"
+  | Sblock b -> Printf.sprintf "%s%s" pad (body b)
+
+and block ~indent stmts =
+  let pad = String.make (indent * 2) ' ' in
+  Printf.sprintf "{\n%s%s}\n"
+    (String.concat "" (List.map (stmt ~indent:(indent + 1)) stmts))
+    pad
+
+let global = function
+  | Gvar { gty; gname; array; ginit; _ } ->
+      let arr = match array with None -> "" | Some n -> Printf.sprintf "[%d]" n in
+      let ini = match ginit with None -> "" | Some e -> " = " ^ expr e in
+      Printf.sprintf "%s %s%s%s;\n" (string_of_ty gty) gname arr ini
+  | Gfunc f ->
+      Printf.sprintf "%s %s(%s) %s\n" (string_of_ty f.ret) f.fname
+        (String.concat ", "
+           (List.map (fun (t, n) -> string_of_ty t ^ " " ^ n) f.params))
+        (block ~indent:0 f.body)
+  | Gstruct { sname; sfields; _ } ->
+      Printf.sprintf "struct %s {\n%s};\n" sname
+        (String.concat ""
+           (List.map
+              (fun (t, n) -> Printf.sprintf "  %s %s;\n" (string_of_ty t) n)
+              sfields))
+
+let program p = String.concat "\n" (List.map global p)
+
+(* ---------- position stripping for structural comparison ---------- *)
+
+let zero = { line = 0; col = 0 }
+
+let rec strip_expr (e : Ast.expr) =
+  let node =
+    match e.e with
+    | Eint _ | Efloat _ | Echar _ | Estr _ | Evar _ -> e.e
+    | Eunop (op, a) -> Eunop (op, strip_expr a)
+    | Ebinop (op, a, b) -> Ebinop (op, strip_expr a, strip_expr b)
+    | Ecall (f, args) -> Ecall (f, List.map strip_expr args)
+    | Eindex (a, i) -> Eindex (strip_expr a, strip_expr i)
+    | Ederef a -> Ederef (strip_expr a)
+    | Eaddr a -> Eaddr (strip_expr a)
+    | Ecast (ty, a) -> Ecast (ty, strip_expr a)
+    | Efield (a, f) -> Efield (strip_expr a, f)
+    | Esizeof _ -> e.e
+  in
+  { e = node; epos = zero }
+
+let rec strip_stmt (s : Ast.stmt) =
+  let node =
+    match s.s with
+    | Sdecl (ty, n, a, i) -> Sdecl (ty, n, a, Option.map strip_expr i)
+    | Sassign (l, r) -> Sassign (strip_expr l, strip_expr r)
+    | Sexpr e -> Sexpr (strip_expr e)
+    | Sif (c, t, f) -> Sif (strip_expr c, List.map strip_stmt t, List.map strip_stmt f)
+    | Swhile (c, b) -> Swhile (strip_expr c, List.map strip_stmt b)
+    | Sdo (b, c) -> Sdo (List.map strip_stmt b, strip_expr c)
+    | Sfor (i, c, st, b) ->
+        Sfor
+          ( Option.map strip_stmt i,
+            Option.map strip_expr c,
+            Option.map strip_stmt st,
+            List.map strip_stmt b )
+    | Sreturn e -> Sreturn (Option.map strip_expr e)
+    | Sbreak -> Sbreak
+    | Scontinue -> Scontinue
+    | Sblock b -> Sblock (List.map strip_stmt b)
+  in
+  { s = node; spos = zero }
+
+let strip_positions p =
+  List.map
+    (function
+      | Gvar g -> Gvar { g with ginit = Option.map strip_expr g.ginit; gpos = zero }
+      | Gfunc f ->
+          Gfunc { f with body = List.map strip_stmt f.body; fpos = zero }
+      | Gstruct g -> Gstruct { g with gspos = zero })
+    p

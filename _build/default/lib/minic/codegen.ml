@@ -1,0 +1,280 @@
+module Isa = Tq_isa.Isa
+module Builder = Tq_asm.Builder
+module Link = Tq_asm.Link
+
+exception Codegen_error of string
+
+type st = {
+  b : Builder.t;
+  mutable loops : (Builder.label * Builder.label) list;
+      (** (break target, continue target) stack *)
+}
+
+let r i =
+  if i >= Isa.num_temps then raise (Codegen_error "expression too deep (int)");
+  Isa.reg_t0 + i
+
+let f i =
+  if i >= Isa.num_ftemps then raise (Codegen_error "expression too deep (float)");
+  Isa.freg_t0 + i
+
+(* ---------- expressions ----------
+   [eval_i st e ti fi] leaves the integer value of [e] in temp register
+   [r ti]; temps [< ti] (ints) and [< fi] (floats) hold live values and must
+   be preserved.  Likewise [eval_f] for float values into [f fi]. *)
+
+let rec eval_i st e ti fi =
+  match e with
+  | Mir.Const_i n -> Builder.ins st.b (Isa.Li (r ti, n))
+  | Sym_addr s -> Builder.la st.b (r ti) s
+  | Frame_addr off ->
+      Builder.ins st.b (Isa.Bin (Isa.Add, r ti, Isa.reg_fp, Isa.Imm off))
+  | Load_i (w, signed, addr) ->
+      let base, off = eval_addr st addr ti fi in
+      if signed then
+        Builder.ins st.b (Isa.Loads { width = w; dst = r ti; base; off })
+      else
+        Builder.ins st.b (Isa.Load { width = w; dst = r ti; base; off; pred = None })
+  | Iop (op, a, Const_i n) when op <> Isa.Sub || n <> min_int ->
+      eval_i st a ti fi;
+      Builder.ins st.b (Isa.Bin (op, r ti, r ti, Isa.Imm n))
+  | Iop (op, a, b) ->
+      eval_i st a ti fi;
+      eval_i st b (ti + 1) fi;
+      Builder.ins st.b (Isa.Bin (op, r ti, r ti, Isa.Reg (r (ti + 1))))
+  | Fcmp (c, a, b) ->
+      eval_f st a ti fi;
+      eval_f st b ti (fi + 1);
+      Builder.ins st.b (Isa.Fcmp (c, r ti, f fi, f (fi + 1)))
+  | F2i a ->
+      eval_f st a ti fi;
+      Builder.ins st.b (Isa.F2i (r ti, f fi))
+  | Andalso (a, b) ->
+      let out = Builder.fresh_label st.b in
+      eval_i st a ti fi;
+      Builder.bz st.b (r ti) out;
+      eval_i st b ti fi;
+      Builder.place st.b out
+  | Orelse (a, b) ->
+      let out = Builder.fresh_label st.b in
+      eval_i st a ti fi;
+      Builder.bnz st.b (r ti) out;
+      eval_i st b ti fi;
+      Builder.place st.b out
+  | Call (name, args, Some Ci) ->
+      emit_call st name args ti fi;
+      Builder.ins st.b (Isa.Mov (r ti, Isa.reg_rv))
+  | Call (name, _, ret) ->
+      raise
+        (Codegen_error
+           (Printf.sprintf "call to '%s' (%s) used as integer value" name
+              (match ret with
+              | None -> "void"
+              | Some Mir.Cf -> "float"
+              | Some Mir.Ci -> "int")))
+  | Const_f _ | Load_f _ | Fop _ | Funop _ | I2f _ ->
+      raise (Codegen_error "float expression in integer context")
+
+and eval_f st e ti fi =
+  match e with
+  | Mir.Const_f x -> Builder.ins st.b (Isa.Fli (f fi, x))
+  | Load_f addr ->
+      let base, off = eval_addr st addr ti fi in
+      Builder.ins st.b (Isa.Fload { dst = f fi; base; off; pred = None })
+  | Fop (op, a, b) ->
+      eval_f st a ti fi;
+      eval_f st b ti (fi + 1);
+      Builder.ins st.b (Isa.Fbin (op, f fi, f fi, f (fi + 1)))
+  | Funop (op, a) ->
+      eval_f st a ti fi;
+      Builder.ins st.b (Isa.Fun (op, f fi, f fi))
+  | I2f a ->
+      eval_i st a ti fi;
+      Builder.ins st.b (Isa.I2f (f fi, r ti))
+  | Call (name, args, Some Cf) ->
+      emit_call st name args ti fi;
+      Builder.ins st.b (Isa.Fmov (f fi, Isa.freg_rv))
+  | Call (name, _, _) ->
+      raise (Codegen_error (Printf.sprintf "call to '%s' used as float value" name))
+  | Const_i _ | Sym_addr _ | Frame_addr _ | Load_i _ | Iop _ | Fcmp _ | F2i _
+  | Andalso _ | Orelse _ ->
+      raise (Codegen_error "integer expression in float context")
+
+(* Evaluate an address expression, folding a constant offset into the
+   load/store displacement where possible. *)
+and eval_addr st addr ti fi =
+  match addr with
+  | Mir.Frame_addr off -> (Isa.reg_fp, off)
+  | Mir.Iop (Isa.Add, a, Const_i n) ->
+      eval_i st a ti fi;
+      (r ti, n)
+  | _ ->
+      eval_i st addr ti fi;
+      (r ti, 0)
+
+(* Calls: spill every live temporary, lay down the argument area, call,
+   pop arguments, restore temporaries.  Result is in x1/f0 afterwards. *)
+and emit_call st name args ti fi =
+  let b = st.b in
+  let spill_bytes = 8 * (ti + fi) in
+  if spill_bytes > 0 then begin
+    Builder.ins b (Isa.Bin (Isa.Sub, Isa.reg_sp, Isa.reg_sp, Isa.Imm spill_bytes));
+    for k = 0 to ti - 1 do
+      Builder.ins b
+        (Isa.Store
+           { width = Isa.W8; src = r k; base = Isa.reg_sp; off = 8 * k; pred = None })
+    done;
+    for k = 0 to fi - 1 do
+      Builder.ins b
+        (Isa.Fstore { src = f k; base = Isa.reg_sp; off = 8 * (ti + k); pred = None })
+    done
+  end;
+  let nargs = List.length args in
+  if nargs > 0 then
+    Builder.ins b (Isa.Bin (Isa.Sub, Isa.reg_sp, Isa.reg_sp, Isa.Imm (8 * nargs)));
+  List.iteri
+    (fun j (cls, arg) ->
+      match cls with
+      | Mir.Ci ->
+          eval_i st arg 0 0;
+          Builder.ins b
+            (Isa.Store
+               { width = Isa.W8; src = r 0; base = Isa.reg_sp; off = 8 * j; pred = None })
+      | Mir.Cf ->
+          eval_f st arg 0 0;
+          Builder.ins b
+            (Isa.Fstore { src = f 0; base = Isa.reg_sp; off = 8 * j; pred = None }))
+    args;
+  Builder.call b name;
+  if nargs > 0 then
+    Builder.ins b (Isa.Bin (Isa.Add, Isa.reg_sp, Isa.reg_sp, Isa.Imm (8 * nargs)));
+  if spill_bytes > 0 then begin
+    for k = 0 to ti - 1 do
+      Builder.ins b
+        (Isa.Load
+           { width = Isa.W8; dst = r k; base = Isa.reg_sp; off = 8 * k; pred = None })
+    done;
+    for k = 0 to fi - 1 do
+      Builder.ins b
+        (Isa.Fload { dst = f k; base = Isa.reg_sp; off = 8 * (ti + k); pred = None })
+    done;
+    Builder.ins b (Isa.Bin (Isa.Add, Isa.reg_sp, Isa.reg_sp, Isa.Imm spill_bytes))
+  end
+
+(* ---------- statements ---------- *)
+
+let emit_epilogue b =
+  Builder.ins b (Isa.Mov (Isa.reg_sp, Isa.reg_fp));
+  Builder.ins b
+    (Isa.Load
+       { width = Isa.W8; dst = Isa.reg_fp; base = Isa.reg_sp; off = 0; pred = None });
+  Builder.ins b (Isa.Bin (Isa.Add, Isa.reg_sp, Isa.reg_sp, Isa.Imm 8));
+  Builder.ins b Isa.Ret
+
+let rec gen_stmt st stmt =
+  let b = st.b in
+  match stmt with
+  | Mir.Store_i (w, addr, v) ->
+      let base, off = eval_addr st addr 0 0 in
+      (* value must not clobber the address register: evaluate into temp 1 if
+         the address lives in temp 0 *)
+      if base = r 0 then begin
+        eval_i st v 1 0;
+        Builder.ins b (Isa.Store { width = w; src = r 1; base; off; pred = None })
+      end
+      else begin
+        eval_i st v 0 0;
+        Builder.ins b (Isa.Store { width = w; src = r 0; base; off; pred = None })
+      end
+  | Store_f (addr, v) ->
+      let base, off = eval_addr st addr 0 0 in
+      let ti = if base = r 0 then 1 else 0 in
+      eval_f st v ti 0;
+      Builder.ins b (Isa.Fstore { src = f 0; base; off; pred = None })
+  | Expr (None, Call (name, args, None)) -> emit_call st name args 0 0
+  | Expr (Some Ci, e) -> eval_i st e 0 0
+  | Expr (Some Cf, e) -> eval_f st e 0 0
+  | Expr (None, _) -> raise (Codegen_error "void non-call expression")
+  | If (cond, then_, else_) ->
+      let lelse = Builder.fresh_label b in
+      let lend = Builder.fresh_label b in
+      eval_i st cond 0 0;
+      Builder.bz b (r 0) lelse;
+      List.iter (gen_stmt st) then_;
+      Builder.jmp b lend;
+      Builder.place b lelse;
+      List.iter (gen_stmt st) else_;
+      Builder.place b lend
+  | For { cond; step; body } ->
+      let ltop = Builder.fresh_label b in
+      let lstep = Builder.fresh_label b in
+      let lend = Builder.fresh_label b in
+      Builder.place b ltop;
+      (match cond with
+      | None -> ()
+      | Some c ->
+          eval_i st c 0 0;
+          Builder.bz b (r 0) lend);
+      st.loops <- (lend, lstep) :: st.loops;
+      List.iter (gen_stmt st) body;
+      st.loops <- List.tl st.loops;
+      Builder.place b lstep;
+      List.iter (gen_stmt st) step;
+      Builder.jmp b ltop;
+      Builder.place b lend
+  | Dowhile (body, cond) ->
+      let ltop = Builder.fresh_label b in
+      let lcond = Builder.fresh_label b in
+      let lend = Builder.fresh_label b in
+      Builder.place b ltop;
+      st.loops <- (lend, lcond) :: st.loops;
+      List.iter (gen_stmt st) body;
+      st.loops <- List.tl st.loops;
+      Builder.place b lcond;
+      eval_i st cond 0 0;
+      Builder.bnz b (r 0) ltop;
+      Builder.place b lend
+  | Return None ->
+      Builder.ins b (Isa.Li (Isa.reg_rv, 0));
+      emit_epilogue b
+  | Return (Some (Ci, e)) ->
+      eval_i st e 0 0;
+      Builder.ins b (Isa.Mov (Isa.reg_rv, r 0));
+      emit_epilogue b
+  | Return (Some (Cf, e)) ->
+      eval_f st e 0 0;
+      Builder.ins b (Isa.Fmov (Isa.freg_rv, f 0));
+      emit_epilogue b
+  | Break -> (
+      match st.loops with
+      | (lend, _) :: _ -> Builder.jmp b lend
+      | [] -> raise (Codegen_error "break outside loop"))
+  | Continue -> (
+      match st.loops with
+      | (_, lstep) :: _ -> Builder.jmp b lstep
+      | [] -> raise (Codegen_error "continue outside loop"))
+
+let gen_func (fn : Mir.mfunc) =
+  let b = Builder.create () in
+  let st = { b; loops = [] } in
+  (* prologue *)
+  Builder.ins b (Isa.Bin (Isa.Sub, Isa.reg_sp, Isa.reg_sp, Isa.Imm 8));
+  Builder.ins b
+    (Isa.Store
+       { width = Isa.W8; src = Isa.reg_fp; base = Isa.reg_sp; off = 0; pred = None });
+  Builder.ins b (Isa.Mov (Isa.reg_fp, Isa.reg_sp));
+  if fn.frame_size > 0 then
+    Builder.ins b (Isa.Bin (Isa.Sub, Isa.reg_sp, Isa.reg_sp, Isa.Imm fn.frame_size));
+  List.iter (gen_stmt st) fn.body;
+  (* default return for fall-through *)
+  Builder.ins b (Isa.Li (Isa.reg_rv, 0));
+  emit_epilogue b;
+  { Link.rname = fn.name; body = b }
+
+let gen_unit ~image (prog : Mir.program) =
+  {
+    Link.uname = image;
+    main_image = true;
+    routines = List.map gen_func prog.funcs;
+    data = List.map (fun (dname, init) -> { Link.dname; init }) prog.globals;
+  }

@@ -1,0 +1,19 @@
+exception Compile_error of string
+
+let fail_at (pos : Ast.pos) msg =
+  raise (Compile_error (Printf.sprintf "%d:%d: %s" pos.line pos.col msg))
+
+let parse_and_lower source =
+  match Lower.lower (Parser.parse source) with
+  | mir -> mir
+  | exception Lexer.Lex_error { pos; msg } -> fail_at pos ("lexical error: " ^ msg)
+  | exception Parser.Parse_error { pos; msg } -> fail_at pos ("syntax error: " ^ msg)
+  | exception Lower.Type_error { pos; msg } -> fail_at pos ("type error: " ^ msg)
+
+let compile_unit ?(optimize = false) ~image source =
+  let mir = parse_and_lower source in
+  let mir = if optimize then Opt.program mir else mir in
+  match Codegen.gen_unit ~image mir with
+  | u -> u
+  | exception Codegen.Codegen_error msg ->
+      raise (Compile_error ("code generation error: " ^ msg))

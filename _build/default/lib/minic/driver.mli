@@ -1,0 +1,15 @@
+(** One-call MiniC compilation entry points. *)
+
+exception Compile_error of string
+(** Any lexing/parsing/typing/codegen failure, with position formatted into
+    the message. *)
+
+val compile_unit :
+  ?optimize:bool -> image:string -> string -> Tq_asm.Link.cunit
+(** [compile_unit ~image source] compiles a MiniC translation unit into a
+    linkable main-image compilation unit.  [optimize] (default false, i.e.
+    -O0, like the paper's profiling targets) runs the {!Opt} pass.
+    @raise Compile_error on any static error. *)
+
+val parse_and_lower : string -> Mir.program
+(** The front half only (for tests and tooling). @raise Compile_error *)

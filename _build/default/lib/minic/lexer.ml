@@ -1,0 +1,226 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | CHAR of char
+  | STRING of string
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type spanned = { tok : token; pos : Ast.pos }
+
+exception Lex_error of { pos : Ast.pos; msg : string }
+
+let keywords =
+  [ "int"; "short"; "char"; "float"; "void"; "struct"; "if"; "else"; "while";
+    "do"; "for"; "return"; "break"; "continue" ]
+
+let describe = function
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | CHAR c -> Printf.sprintf "char %C" c
+  | STRING s -> Printf.sprintf "string %S" s
+  | IDENT s -> Printf.sprintf "identifier '%s'" s
+  | KW s -> Printf.sprintf "keyword '%s'" s
+  | PUNCT s -> Printf.sprintf "'%s'" s
+  | EOF -> "end of input"
+
+(* Longest-match first. *)
+let puncts =
+  [ "<<="; ">>="; "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-=";
+    "*="; "/="; "%="; "++"; "--"; "->"; "+"; "-"; "*"; "/"; "%"; "="; "<";
+    ">"; "!"; "~"; "&"; "|"; "^"; "("; ")"; "["; "]"; "{"; "}"; ";"; ",";
+    "." ]
+
+type cursor = {
+  src : string;
+  mutable i : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek c k = if c.i + k < String.length c.src then Some c.src.[c.i + k] else None
+
+let advance c =
+  (match peek c 0 with
+  | Some '\n' ->
+      c.line <- c.line + 1;
+      c.col <- 1
+  | Some _ -> c.col <- c.col + 1
+  | None -> ());
+  c.i <- c.i + 1
+
+let pos_of c = { Ast.line = c.line; col = c.col }
+
+let error c msg = raise (Lex_error { pos = pos_of c; msg })
+
+let is_digit ch = ch >= '0' && ch <= '9'
+let is_ident_start ch = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+let is_ident ch = is_ident_start ch || is_digit ch
+
+let rec skip_ws c =
+  match peek c 0 with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance c;
+      skip_ws c
+  | Some '/' when peek c 1 = Some '/' ->
+      while peek c 0 <> None && peek c 0 <> Some '\n' do
+        advance c
+      done;
+      skip_ws c
+  | Some '/' when peek c 1 = Some '*' ->
+      advance c;
+      advance c;
+      let rec go () =
+        match (peek c 0, peek c 1) with
+        | Some '*', Some '/' ->
+            advance c;
+            advance c
+        | None, _ -> error c "unterminated comment"
+        | _ ->
+            advance c;
+            go ()
+      in
+      go ();
+      skip_ws c
+  | _ -> ()
+
+let lex_escape c =
+  match peek c 0 with
+  | Some 'n' -> advance c; '\n'
+  | Some 't' -> advance c; '\t'
+  | Some 'r' -> advance c; '\r'
+  | Some '0' -> advance c; '\000'
+  | Some '\\' -> advance c; '\\'
+  | Some '\'' -> advance c; '\''
+  | Some '"' -> advance c; '"'
+  | Some ch -> error c (Printf.sprintf "unknown escape '\\%c'" ch)
+  | None -> error c "unterminated escape"
+
+let is_hex_digit ch =
+  is_digit ch || (ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F')
+
+let lex_number c =
+  if peek c 0 = Some '0' && (peek c 1 = Some 'x' || peek c 1 = Some 'X') then begin
+    advance c;
+    advance c;
+    let start = c.i in
+    while (match peek c 0 with Some ch -> is_hex_digit ch | None -> false) do
+      advance c
+    done;
+    if c.i = start then error c "expected hex digits after 0x";
+    let text = String.sub c.src start (c.i - start) in
+    match int_of_string_opt ("0x" ^ text) with
+    | Some n -> INT n
+    | None -> error c (Printf.sprintf "hex literal out of range: 0x%s" text)
+  end
+  else
+  let start = c.i in
+  while (match peek c 0 with Some ch -> is_digit ch | None -> false) do
+    advance c
+  done;
+  let is_float = ref false in
+  (if peek c 0 = Some '.'
+   && (match peek c 1 with Some ch -> is_digit ch | None -> false) then begin
+     is_float := true;
+     advance c;
+     while (match peek c 0 with Some ch -> is_digit ch | None -> false) do
+       advance c
+     done
+   end);
+  (match peek c 0 with
+  | Some ('e' | 'E') ->
+      let k =
+        match peek c 1 with Some ('+' | '-') -> 2 | _ -> 1
+      in
+      (match peek c k with
+      | Some ch when is_digit ch ->
+          is_float := true;
+          for _ = 1 to k do advance c done;
+          while (match peek c 0 with Some ch -> is_digit ch | None -> false) do
+            advance c
+          done
+      | _ -> ())
+  | _ -> ());
+  let text = String.sub c.src start (c.i - start) in
+  if !is_float then FLOAT (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some n -> INT n
+    | None -> error c (Printf.sprintf "integer literal out of range: %s" text)
+
+let match_punct c =
+  List.find_opt
+    (fun p ->
+      let n = String.length p in
+      c.i + n <= String.length c.src && String.sub c.src c.i n = p)
+    puncts
+
+let tokenize src =
+  let c = { src; i = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let emit tok pos = out := { tok; pos } :: !out in
+  let rec go () =
+    skip_ws c;
+    let pos = pos_of c in
+    match peek c 0 with
+    | None -> emit EOF pos
+    | Some ch when is_digit ch ->
+        emit (lex_number c) pos;
+        go ()
+    | Some ch when is_ident_start ch ->
+        let start = c.i in
+        while (match peek c 0 with Some ch -> is_ident ch | None -> false) do
+          advance c
+        done;
+        let text = String.sub c.src start (c.i - start) in
+        emit (if List.mem text keywords then KW text else IDENT text) pos;
+        go ()
+    | Some '\'' ->
+        advance c;
+        let ch =
+          match peek c 0 with
+          | Some '\\' ->
+              advance c;
+              lex_escape c
+          | Some ch ->
+              advance c;
+              ch
+          | None -> error c "unterminated char literal"
+        in
+        if peek c 0 <> Some '\'' then error c "expected closing '";
+        advance c;
+        emit (CHAR ch) pos;
+        go ()
+    | Some '"' ->
+        advance c;
+        let buf = Buffer.create 16 in
+        let rec str () =
+          match peek c 0 with
+          | Some '"' -> advance c
+          | Some '\\' ->
+              advance c;
+              Buffer.add_char buf (lex_escape c);
+              str ()
+          | Some ch ->
+              advance c;
+              Buffer.add_char buf ch;
+              str ()
+          | None -> error c "unterminated string literal"
+        in
+        str ();
+        emit (STRING (Buffer.contents buf)) pos;
+        go ()
+    | Some ch -> (
+        match match_punct c with
+        | Some p ->
+            for _ = 1 to String.length p do
+              advance c
+            done;
+            emit (PUNCT p) pos;
+            go ()
+        | None -> error c (Printf.sprintf "unexpected character %C" ch))
+  in
+  go ();
+  List.rev !out

@@ -1,0 +1,24 @@
+(** MiniC lexer. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | CHAR of char
+  | STRING of string
+  | IDENT of string
+  | KW of string  (** int short char float void if else while do for return break continue *)
+  | PUNCT of string
+      (** operators and punctuation, e.g. "+", "<=", "&&", "(", "[", ";" *)
+  | EOF
+
+type spanned = { tok : token; pos : Ast.pos }
+
+exception Lex_error of { pos : Ast.pos; msg : string }
+
+val tokenize : string -> spanned list
+(** Whole-input tokenization; the result always ends with an [EOF] token.
+    [//] and [/* ... */] comments are skipped.
+    @raise Lex_error on malformed input. *)
+
+val describe : token -> string
+(** Human-readable token name for diagnostics. *)

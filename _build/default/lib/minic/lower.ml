@@ -1,0 +1,693 @@
+open Ast
+module Isa = Tq_isa.Isa
+
+exception Type_error of { pos : Ast.pos; msg : string }
+
+let err pos fmt = Printf.ksprintf (fun msg -> raise (Type_error { pos; msg })) fmt
+
+(* ---------- signatures ---------- *)
+
+type signature = { sret : ty; sparams : ty list }
+
+let builtins =
+  [
+    ("open", { sret = Tint; sparams = [ Tptr Tchar; Tint ] });
+    ("close", { sret = Tint; sparams = [ Tint ] });
+    ("read", { sret = Tint; sparams = [ Tint; Tptr Tchar; Tint ] });
+    ("write", { sret = Tint; sparams = [ Tint; Tptr Tchar; Tint ] });
+    ("seek", { sret = Tint; sparams = [ Tint; Tint ] });
+    ("fsize", { sret = Tint; sparams = [ Tint ] });
+    ("malloc", { sret = Tptr Tchar; sparams = [ Tint ] });
+    ("free", { sret = Tvoid; sparams = [ Tptr Tchar ] });
+    ("memcpy", { sret = Tptr Tchar; sparams = [ Tptr Tchar; Tptr Tchar; Tint ] });
+    ("memset", { sret = Tptr Tchar; sparams = [ Tptr Tchar; Tint; Tint ] });
+    ("strlen", { sret = Tint; sparams = [ Tptr Tchar ] });
+    ("print_int", { sret = Tvoid; sparams = [ Tint ] });
+    ("print_float", { sret = Tvoid; sparams = [ Tfloat ] });
+    ("print_str", { sret = Tvoid; sparams = [ Tptr Tchar ] });
+    ("print_char", { sret = Tvoid; sparams = [ Tint ] });
+    ("exit", { sret = Tvoid; sparams = [ Tint ] });
+    ("clock", { sret = Tint; sparams = [] });
+  ]
+
+let intrinsics =
+  [
+    ("sqrt", Isa.Fsqrt);
+    ("sin", Isa.Fsin);
+    ("cos", Isa.Fcos);
+    ("floor", Isa.Ffloor);
+    ("fabs", Isa.Fabs);
+  ]
+
+let builtin_names = List.map fst builtins @ List.map fst intrinsics
+
+(* ---------- struct layouts ---------- *)
+
+type layout = {
+  ssize : int;
+  salign : int;
+  sfield_tbl : (string, int * ty) Hashtbl.t;  (** name -> (offset, type) *)
+}
+
+(* ---------- environment ---------- *)
+
+type shape = Scalar | Array of int
+
+type binding =
+  | Bglobal of string * ty * shape
+  | Bframe of int * ty * shape  (** fp-relative offset *)
+
+type env = {
+  funcs : (string, signature) Hashtbl.t;
+  globals : (string, ty * shape) Hashtbl.t;
+  structs : (string, layout) Hashtbl.t;
+  mutable scopes : (string, binding) Hashtbl.t list;
+  mutable frame : int;  (** bytes of locals allocated so far *)
+  mutable loop_depth : int;
+  ret : ty;
+  strings : (string, string) Hashtbl.t;  (** literal -> symbol *)
+  mutable string_count : int;
+  mutable extra_globals : (string * Tq_asm.Link.init) list;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+
+let lookup env name =
+  let rec go = function
+    | [] ->
+        Hashtbl.find_opt env.globals name
+        |> Option.map (fun (ty, shape) -> Bglobal (name, ty, shape))
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some b -> Some b
+        | None -> go rest)
+  in
+  go env.scopes
+
+let layout_of env pos name =
+  match Hashtbl.find_opt env.structs name with
+  | Some l -> l
+  | None -> err pos "unknown struct '%s'" name
+
+let sizeof_env env pos ty =
+  match ty with
+  | Tstruct name -> (layout_of env pos name).ssize
+  | _ -> sizeof ty
+
+let declare_local env pos ty shape name =
+  let scope = List.hd env.scopes in
+  if Hashtbl.mem scope name then err pos "redeclaration of '%s'" name;
+  let size =
+    match shape with
+    | Scalar -> (sizeof_env env pos ty + 7) land lnot 7
+    | Array n ->
+        if n <= 0 then err pos "array '%s' must have positive size" name;
+        (n * sizeof_env env pos ty + 7) land lnot 7
+  in
+  env.frame <- env.frame + size;
+  let off = -env.frame in
+  Hashtbl.replace scope name (Bframe (off, ty, shape));
+  off
+
+let intern_string env s =
+  match Hashtbl.find_opt env.strings s with
+  | Some sym -> sym
+  | None ->
+      let sym = Printf.sprintf "__str_%d" env.string_count in
+      env.string_count <- env.string_count + 1;
+      Hashtbl.replace env.strings s sym;
+      env.extra_globals <- (sym, Tq_asm.Link.Bytes (s ^ "\000")) :: env.extra_globals;
+      sym
+
+(* ---------- type utilities ---------- *)
+
+let is_int_class = function Tint | Tptr _ -> true | _ -> false
+
+let access_width = function
+  | Tint | Tptr _ -> (Isa.W8, false)
+  | Tshort -> (Isa.W2, true)
+  | Tchar -> (Isa.W1, false)
+  | Tfloat -> (Isa.W8, false)
+  | Tvoid -> invalid_arg "access_width: void"
+  | Tstruct _ -> invalid_arg "access_width: struct"
+
+let cls_of = function
+  | Tfloat -> Mir.Cf
+  | Tint | Tptr _ -> Mir.Ci
+  | t -> invalid_arg ("cls_of: " ^ string_of_ty t)
+
+(* Convert a value of type [have] to type [want] for assignment/args/return.
+   Allowed implicitly: exact match, int->float, any-ptr<->any-ptr (early-C
+   style untyped pointer compatibility), int->short/char (truncating store
+   is handled by the store width). *)
+let convert pos ~want (have, v) =
+  match (want, have) with
+  | (Tint | Tshort | Tchar), Tint -> v
+  | Tfloat, Tfloat -> v
+  | Tfloat, Tint -> Mir.I2f v
+  | Tptr _, Tptr _ -> v
+  | (Tint | Tshort | Tchar), Tfloat | Tfloat, Tptr _ ->
+      err pos "cannot implicitly convert %s to %s (use a cast)"
+        (string_of_ty have) (string_of_ty want)
+  | Tint, Tptr _ | Tptr _, Tint ->
+      err pos "cannot implicitly convert %s to %s (use a cast)"
+        (string_of_ty have) (string_of_ty want)
+  | _ ->
+      err pos "cannot convert %s to %s" (string_of_ty have) (string_of_ty want)
+
+(* normalize a scalar to a 0/1 boolean int *)
+let boolify pos (ty, v) =
+  match ty with
+  | Tint | Tptr _ -> Mir.Iop (Isa.Sne, v, Mir.Const_i 0)
+  | Tfloat -> Mir.Fcmp (Isa.Fne, v, Mir.Const_f 0.)
+  | t -> err pos "expected scalar condition, got %s" (string_of_ty t)
+
+(* ---------- expressions ---------- *)
+
+let rec lower_expr env (e : expr) : ty * Mir.mexpr =
+  let pos = e.epos in
+  match e.e with
+  | Eint n -> (Tint, Mir.Const_i n)
+  | Efloat f -> (Tfloat, Mir.Const_f f)
+  | Echar c -> (Tint, Mir.Const_i (Char.code c))
+  | Estr s -> (Tptr Tchar, Mir.Sym_addr (intern_string env s))
+  | Evar name -> (
+      match lookup env name with
+      | None -> err pos "unknown variable '%s'" name
+      | Some (Bglobal (sym, ty, Array _)) -> (Tptr ty, Mir.Sym_addr sym)
+      | Some (Bframe (off, ty, Array _)) -> (Tptr ty, Mir.Frame_addr off)
+      | Some (Bglobal (_, Tstruct n, Scalar)) | Some (Bframe (_, Tstruct n, Scalar))
+        ->
+          err pos
+            "'%s' is a struct %s value; take a field or its address" name n
+      | Some (Bglobal (sym, ty, Scalar)) -> (promote ty, load ty (Mir.Sym_addr sym))
+      | Some (Bframe (off, ty, Scalar)) -> (promote ty, load ty (Mir.Frame_addr off)))
+  | Eunop (op, inner) -> lower_unop env pos op inner
+  | Ebinop (op, a, b) -> lower_binop env pos op a b
+  | Ecall (name, args) -> (
+      match lower_call env pos name args with
+      | Tvoid, _ -> err pos "void value of '%s' used in expression" name
+      | r -> r)
+  | Eindex _ | Ederef _ | Efield _ -> (
+      let ty, addr = lower_lvalue env e in
+      match ty with
+      | Tstruct n ->
+          err pos "struct %s value used in expression; take a field or its address" n
+      | _ -> (promote ty, load ty addr))
+  | Esizeof ty -> (Tint, Mir.Const_i (sizeof_env env pos ty))
+  | Eaddr inner ->
+      let ty, addr = lower_lvalue env inner in
+      (Tptr ty, addr)
+  | Ecast (want, inner) -> lower_cast env pos want inner
+
+(* loads promote sub-int integer types to int *)
+and promote = function Tshort | Tchar -> Tint | t -> t
+
+and load ty addr =
+  match ty with
+  | Tfloat -> Mir.Load_f addr
+  | _ ->
+      let w, signed = access_width ty in
+      Mir.Load_i (w, signed, addr)
+
+and lower_lvalue env (e : expr) : ty * Mir.mexpr =
+  let pos = e.epos in
+  match e.e with
+  | Evar name -> (
+      match lookup env name with
+      | None -> err pos "unknown variable '%s'" name
+      | Some (Bglobal (_, _, Array _)) | Some (Bframe (_, _, Array _)) ->
+          err pos "array '%s' is not assignable" name
+      | Some (Bglobal (sym, ty, Scalar)) -> (ty, Mir.Sym_addr sym)
+      | Some (Bframe (off, ty, Scalar)) -> (ty, Mir.Frame_addr off))
+  | Eindex (base, idx) -> (
+      let bty, bv = lower_expr env base in
+      let ity, iv = lower_expr env idx in
+      if ity <> Tint then err pos "array index must be int, got %s" (string_of_ty ity);
+      match bty with
+      | Tptr elem ->
+          if elem = Tvoid then err pos "cannot index void*";
+          let scaled =
+            match sizeof_env env pos elem with
+            | 1 -> iv
+            | s -> Mir.Iop (Isa.Mul, iv, Mir.Const_i s)
+          in
+          (elem, Mir.Iop (Isa.Add, bv, scaled))
+      | t -> err pos "cannot index value of type %s" (string_of_ty t))
+  | Ederef inner -> (
+      let ty, v = lower_expr env inner in
+      match ty with
+      | Tptr elem ->
+          if elem = Tvoid then err pos "cannot dereference void*";
+          (elem, v)
+      | t -> err pos "cannot dereference %s" (string_of_ty t))
+  | Efield (base, fname) -> (
+      let bty, addr = lower_lvalue env base in
+      match bty with
+      | Tstruct sname -> (
+          let l = layout_of env pos sname in
+          match Hashtbl.find_opt l.sfield_tbl fname with
+          | None -> err pos "struct %s has no field '%s'" sname fname
+          | Some (off, fty) ->
+              ( fty,
+                if off = 0 then addr
+                else Mir.Iop (Isa.Add, addr, Mir.Const_i off) ))
+      | t ->
+          err pos "field access on non-struct %s (use -> through pointers)"
+            (string_of_ty t))
+  | _ -> err pos "expression is not an lvalue"
+
+and lower_unop env pos op inner =
+  let ty, v = lower_expr env inner in
+  match (op, ty) with
+  | Neg, Tint -> (Tint, Mir.Iop (Isa.Sub, Mir.Const_i 0, v))
+  | Neg, Tfloat -> (Tfloat, Mir.Funop (Isa.Fneg, v))
+  | Lnot, (Tint | Tptr _) -> (Tint, Mir.Iop (Isa.Seq, v, Mir.Const_i 0))
+  | Lnot, Tfloat -> (Tint, Mir.Fcmp (Isa.Feq, v, Mir.Const_f 0.))
+  | Bnot, Tint -> (Tint, Mir.Iop (Isa.Xor, v, Mir.Const_i (-1)))
+  | _, t -> err pos "invalid operand of type %s" (string_of_ty t)
+
+and lower_binop env pos op a b =
+  match op with
+  | Land ->
+      let ba = boolify pos (lower_expr env a) in
+      let bb = boolify pos (lower_expr env b) in
+      (Tint, Mir.Andalso (ba, bb))
+  | Lor ->
+      let ba = boolify pos (lower_expr env a) in
+      let bb = boolify pos (lower_expr env b) in
+      (Tint, Mir.Orelse (ba, bb))
+  | _ -> (
+      let ta, va = lower_expr env a in
+      let tb, vb = lower_expr env b in
+      match (op, ta, tb) with
+      (* pointer arithmetic *)
+      | Add, Tptr elem, Tint -> (Tptr elem, ptr_add env pos elem va vb)
+      | Add, Tint, Tptr elem -> (Tptr elem, ptr_add env pos elem vb va)
+      | Sub, Tptr elem, Tint ->
+          (Tptr elem, Mir.Iop (Isa.Sub, va, scale env pos elem vb))
+      | Sub, Tptr e1, Tptr e2 when e1 = e2 ->
+          let diff = Mir.Iop (Isa.Sub, va, vb) in
+          let s = sizeof_env env pos e1 in
+          (Tint, if s = 1 then diff else Mir.Iop (Isa.Div, diff, Mir.Const_i s))
+      (* comparisons *)
+      | (Lt | Le | Gt | Ge | Eq | Ne), Tfloat, _ | (Lt | Le | Gt | Ge | Eq | Ne), _, Tfloat
+        ->
+          let fa = to_float pos ta va and fb = to_float pos tb vb in
+          (Tint, float_cmp op fa fb)
+      | (Lt | Le | Gt | Ge | Eq | Ne), x, y
+        when is_int_class x && is_int_class y ->
+          (Tint, Mir.Iop (int_cmp op, va, vb))
+      (* float arithmetic *)
+      | (Add | Sub | Mul | Div), x, y when x = Tfloat || y = Tfloat ->
+          let fa = to_float pos x va and fb = to_float pos y vb in
+          let fop =
+            match op with
+            | Add -> Isa.Fadd
+            | Sub -> Isa.Fsub
+            | Mul -> Isa.Fmul
+            | Div -> Isa.Fdiv
+            | _ -> assert false
+          in
+          (Tfloat, Mir.Fop (fop, fa, fb))
+      (* integer arithmetic *)
+      | (Add | Sub | Mul | Div | Mod | Shl | Shr | Band | Bor | Bxor), Tint, Tint
+        ->
+          let iop =
+            match op with
+            | Add -> Isa.Add
+            | Sub -> Isa.Sub
+            | Mul -> Isa.Mul
+            | Div -> Isa.Div
+            | Mod -> Isa.Rem
+            | Shl -> Isa.Sll
+            | Shr -> Isa.Sra
+            | Band -> Isa.And
+            | Bor -> Isa.Or
+            | Bxor -> Isa.Xor
+            | _ -> assert false
+          in
+          (Tint, Mir.Iop (iop, va, vb))
+      | _ ->
+          err pos "invalid operands: %s and %s" (string_of_ty ta)
+            (string_of_ty tb))
+
+and ptr_add env pos elem base idx =
+  Mir.Iop (Isa.Add, base, scale env pos elem idx)
+
+and scale env pos elem idx =
+  match sizeof_env env pos elem with
+  | 0 -> err pos "pointer arithmetic on void*"
+  | 1 -> idx
+  | s -> Mir.Iop (Isa.Mul, idx, Mir.Const_i s)
+
+and to_float pos ty v =
+  match ty with
+  | Tfloat -> v
+  | Tint -> Mir.I2f v
+  | t -> err pos "cannot use %s in float arithmetic" (string_of_ty t)
+
+and float_cmp op a b =
+  match op with
+  | Lt -> Mir.Fcmp (Isa.Flt, a, b)
+  | Le -> Mir.Fcmp (Isa.Fle, a, b)
+  | Gt -> Mir.Fcmp (Isa.Flt, b, a)
+  | Ge -> Mir.Fcmp (Isa.Fle, b, a)
+  | Eq -> Mir.Fcmp (Isa.Feq, a, b)
+  | Ne -> Mir.Fcmp (Isa.Fne, a, b)
+  | _ -> assert false
+
+and int_cmp = function
+  | Lt -> Isa.Slt
+  | Le -> Isa.Sle
+  | Gt -> Isa.Sgt
+  | Ge -> Isa.Sge
+  | Eq -> Isa.Seq
+  | Ne -> Isa.Sne
+  | _ -> assert false
+
+and lower_cast env pos want inner =
+  let have, v = lower_expr env inner in
+  match (want, have) with
+  | Tfloat, Tfloat -> (Tfloat, v)
+  | Tfloat, Tint -> (Tfloat, Mir.I2f v)
+  | Tint, Tfloat -> (Tint, Mir.F2i v)
+  | Tint, (Tint | Tptr _) -> (Tint, v)
+  | Tchar, Tint -> (Tint, Mir.Iop (Isa.And, v, Mir.Const_i 0xff))
+  | Tchar, Tfloat -> (Tint, Mir.Iop (Isa.And, Mir.F2i v, Mir.Const_i 0xff))
+  | Tshort, Tint ->
+      (Tint, Mir.Iop (Isa.Sra, Mir.Iop (Isa.Sll, v, Mir.Const_i 48), Mir.Const_i 48))
+  | Tshort, Tfloat ->
+      ( Tint,
+        Mir.Iop
+          (Isa.Sra, Mir.Iop (Isa.Sll, Mir.F2i v, Mir.Const_i 48), Mir.Const_i 48) )
+  | Tptr elem, (Tptr _ | Tint) -> (Tptr elem, v)
+  | _ ->
+      err pos "invalid cast from %s to %s" (string_of_ty have) (string_of_ty want)
+      (* note: struct types are never value-castable *)
+
+and lower_call env pos name args : ty * Mir.mexpr =
+  match List.assoc_opt name intrinsics with
+  | Some fop -> (
+      match args with
+      | [ arg ] ->
+          let ty, v = lower_expr env arg in
+          (Tfloat, Mir.Funop (fop, to_float pos ty v))
+      | _ -> err pos "'%s' expects exactly one argument" name)
+  | None -> (
+      match Hashtbl.find_opt env.funcs name with
+      | None -> err pos "unknown function '%s'" name
+      | Some { sret; sparams } ->
+          let n_expect = List.length sparams and n_got = List.length args in
+          if n_expect <> n_got then
+            err pos "'%s' expects %d argument(s), got %d" name n_expect n_got;
+          let margs =
+            List.map2
+              (fun want arg ->
+                let have = lower_expr env arg in
+                (cls_of want, convert arg.epos ~want have))
+              sparams args
+          in
+          let rcls = if sret = Tvoid then None else Some (cls_of sret) in
+          (sret, Mir.Call (name, margs, rcls)))
+
+(* ---------- statements ---------- *)
+
+let rec lower_stmt env (s : stmt) : Mir.mstmt list =
+  let pos = s.spos in
+  match s.s with
+  | Sdecl (ty, name, array, init) -> (
+      (match ty with
+      | Tvoid -> err pos "cannot declare void variable '%s'" name
+      | _ -> ());
+      let shape = match array with None -> Scalar | Some n -> Array n in
+      if array <> None && init <> None then
+        err pos "array '%s' cannot have an initializer" name;
+      (match (ty, init) with
+      | Tstruct n, Some _ ->
+          err pos "struct %s variable cannot have a scalar initializer" n
+      | _ -> ());
+      let off = declare_local env pos ty shape name in
+      match init with
+      | None -> []
+      | Some ie ->
+          let have = lower_expr env ie in
+          let v = convert ie.epos ~want:ty have in
+          [ store ty (Mir.Frame_addr off) v ])
+  | Sassign (lhs, rhs) ->
+      let ty, addr = lower_lvalue env lhs in
+      (match ty with
+      | Tstruct n ->
+          err pos "cannot assign whole struct %s (copy fields or use memcpy)" n
+      | _ -> ());
+      let have = lower_expr env rhs in
+      let v = convert rhs.epos ~want:ty have in
+      [ store ty addr v ]
+  | Sexpr e -> (
+      match e.e with
+      | Ecall (name, args) ->
+          let ty, v = lower_call env pos name args in
+          [ Mir.Expr ((if ty = Tvoid then None else Some (cls_of ty)), v) ]
+      | _ ->
+          (* evaluate and discard; keep it for potential side effects inside *)
+          let ty, v = lower_expr env e in
+          [ Mir.Expr (Some (cls_of ty), v) ])
+  | Sif (cond, then_, else_) ->
+      let c = boolish env cond in
+      [ Mir.If (c, lower_block env then_, lower_block env else_) ]
+  | Swhile (cond, body) ->
+      let c = boolish env cond in
+      env.loop_depth <- env.loop_depth + 1;
+      let b = lower_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      [ Mir.For { cond = Some c; step = []; body = b } ]
+  | Sdo (body, cond) ->
+      env.loop_depth <- env.loop_depth + 1;
+      let b = lower_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      let c = boolish env cond in
+      [ Mir.Dowhile (b, c) ]
+  | Sfor (init, cond, step, body) ->
+      push_scope env;
+      let init_stmts = match init with None -> [] | Some s -> lower_stmt env s in
+      let c = Option.map (boolish env) cond in
+      env.loop_depth <- env.loop_depth + 1;
+      let b = lower_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      let st = match step with None -> [] | Some s -> lower_stmt env s in
+      pop_scope env;
+      init_stmts @ [ Mir.For { cond = c; step = st; body = b } ]
+  | Sreturn None ->
+      if env.ret <> Tvoid then err pos "non-void function must return a value";
+      [ Mir.Return None ]
+  | Sreturn (Some e) ->
+      if env.ret = Tvoid then err pos "void function cannot return a value";
+      let have = lower_expr env e in
+      let v = convert e.epos ~want:env.ret have in
+      [ Mir.Return (Some (cls_of env.ret, v)) ]
+  | Sbreak ->
+      if env.loop_depth = 0 then err pos "'break' outside of a loop";
+      [ Mir.Break ]
+  | Scontinue ->
+      if env.loop_depth = 0 then err pos "'continue' outside of a loop";
+      [ Mir.Continue ]
+  | Sblock body -> lower_block env body
+
+and boolish env cond =
+  let pos = cond.epos in
+  boolify pos (lower_expr env cond)
+
+and store ty addr v =
+  match ty with
+  | Tfloat -> Mir.Store_f (addr, v)
+  | _ ->
+      let w, _ = access_width ty in
+      Mir.Store_i (w, addr, v)
+
+and lower_block env body =
+  push_scope env;
+  let out = List.concat_map (lower_stmt env) body in
+  pop_scope env;
+  out
+
+(* ---------- globals and program ---------- *)
+
+let const_init pos ty e =
+  let scalar =
+    match e with
+    | None -> `I 0
+    | Some { e = Eint n; _ } -> `I n
+    | Some { e = Efloat f; _ } -> `F f
+    | Some { e = Echar c; _ } -> `I (Char.code c)
+    | Some { e = Eunop (Neg, { e = Eint n; _ }); _ } -> `I (-n)
+    | Some { e = Eunop (Neg, { e = Efloat f; _ }); _ } -> `F (-.f)
+    | Some _ -> err pos "global initializer must be a constant literal"
+  in
+  let b = Bytes.make (max 1 (sizeof ty)) '\000' in
+  (match (ty, scalar) with
+  | Tfloat, `F f -> Bytes.set_int64_le b 0 (Int64.bits_of_float f)
+  | Tfloat, `I n -> Bytes.set_int64_le b 0 (Int64.bits_of_float (float_of_int n))
+  | Tint, `I n | Tptr _, `I n -> Bytes.set_int64_le b 0 (Int64.of_int n)
+  | Tshort, `I n -> Bytes.set_uint16_le b 0 (n land 0xffff)
+  | Tchar, `I n -> Bytes.set_uint8 b 0 (n land 0xff)
+  | _ -> err pos "initializer type mismatch");
+  Tq_asm.Link.Bytes (Bytes.to_string b)
+
+let align_ty structs pos ty =
+  match ty with
+  | Tchar -> 1
+  | Tshort -> 2
+  | Tint | Tfloat | Tptr _ -> 8
+  | Tstruct n -> (
+      match Hashtbl.find_opt structs n with
+      | Some l -> l.salign
+      | None -> err pos "unknown struct '%s'" n)
+  | Tvoid -> err pos "void has no alignment"
+
+let size_ty structs pos ty =
+  match ty with
+  | Tstruct n -> (
+      match Hashtbl.find_opt structs n with
+      | Some l -> l.ssize
+      | None -> err pos "unknown struct '%s'" n)
+  | Tvoid -> err pos "void has no size"
+  | t -> sizeof t
+
+let build_layout structs pos sname sfields =
+  if Hashtbl.mem structs sname then err pos "duplicate struct '%s'" sname;
+  if sfields = [] then err pos "struct %s has no fields" sname;
+  let tbl = Hashtbl.create 8 in
+  let offset = ref 0 in
+  let align = ref 1 in
+  List.iter
+    (fun (fty, fname) ->
+      if Hashtbl.mem tbl fname then
+        err pos "struct %s: duplicate field '%s'" sname fname;
+      (match fty with
+      | Tvoid -> err pos "struct %s: field '%s' cannot be void" sname fname
+      | Tstruct n when n = sname ->
+          err pos "struct %s contains itself (use a pointer)" sname
+      | _ -> ());
+      let a = align_ty structs pos fty in
+      let sz = size_ty structs pos fty in
+      offset := (!offset + a - 1) / a * a;
+      Hashtbl.replace tbl fname (!offset, fty);
+      offset := !offset + sz;
+      if a > !align then align := a)
+    sfields;
+  let ssize = (!offset + !align - 1) / !align * !align in
+  Hashtbl.replace structs sname { ssize; salign = !align; sfield_tbl = tbl }
+
+let lower (prog : program) : Mir.program =
+  let funcs_sig = Hashtbl.create 16 in
+  List.iter (fun (n, s) -> Hashtbl.replace funcs_sig n s) builtins;
+  let globals_tbl = Hashtbl.create 16 in
+  let structs_tbl = Hashtbl.create 8 in
+  let global_inits = ref [] in
+  (* Pass 1: collect struct layouts, signatures and globals (in order, so
+     struct definitions must precede their by-value uses). *)
+  List.iter
+    (function
+      | Gstruct { sname; sfields; gspos } ->
+          build_layout structs_tbl gspos sname sfields
+      | Gfunc f ->
+          if List.mem f.fname builtin_names then
+            err f.fpos "'%s' redefines a runtime builtin" f.fname;
+          if Hashtbl.mem funcs_sig f.fname then
+            err f.fpos "duplicate function '%s'" f.fname;
+          List.iter
+            (fun (ty, pname) ->
+              match ty with
+              | Tvoid -> err f.fpos "parameter '%s' cannot be void" pname
+              | Tstruct n ->
+                  err f.fpos
+                    "parameter '%s': struct %s cannot be passed by value (use \
+                     a pointer)"
+                    pname n
+              | _ -> ())
+            f.params;
+          (match f.ret with
+          | Tstruct n ->
+              err f.fpos "'%s': struct %s cannot be returned by value" f.fname n
+          | _ -> ());
+          Hashtbl.replace funcs_sig f.fname
+            { sret = f.ret; sparams = List.map fst f.params }
+      | Gvar { gty; gname; array; ginit; gpos } ->
+          if Hashtbl.mem globals_tbl gname then
+            err gpos "duplicate global '%s'" gname;
+          if gty = Tvoid then err gpos "cannot declare void global '%s'" gname;
+          let shape = match array with None -> Scalar | Some n -> Array n in
+          (match (array, ginit) with
+          | Some _, Some _ -> err gpos "global array '%s' cannot have an initializer" gname
+          | _ -> ());
+          (match (gty, ginit) with
+          | Tstruct n, Some _ ->
+              err gpos "struct %s global cannot have a scalar initializer" n
+          | _ -> ());
+          let elem_size = size_ty structs_tbl gpos gty in
+          let init =
+            match array with
+            | Some n ->
+                if n <= 0 then err gpos "array '%s' must have positive size" gname;
+                Tq_asm.Link.Zero (n * elem_size)
+            | None -> (
+                match gty with
+                | Tstruct _ -> Tq_asm.Link.Zero elem_size
+                | _ -> const_init gpos gty ginit)
+          in
+          Hashtbl.replace globals_tbl gname (gty, shape);
+          global_inits := (gname, init) :: !global_inits)
+    prog;
+  (* main must exist: int main(void) *)
+  (match Hashtbl.find_opt funcs_sig "main" with
+  | Some { sret = Tint; sparams = [] } -> ()
+  | Some _ ->
+      err { line = 0; col = 0 } "main must have signature 'int main()'"
+  | None -> err { line = 0; col = 0 } "missing 'int main()'");
+  (* Pass 2: lower function bodies. *)
+  let strings = Hashtbl.create 16 in
+  let shared = ref [] in
+  let string_count = ref 0 in
+  let lowered =
+    List.filter_map
+      (function
+        | Gvar _ | Gstruct _ -> None
+        | Gfunc f ->
+            let env =
+              {
+                funcs = funcs_sig;
+                globals = globals_tbl;
+                structs = structs_tbl;
+                scopes = [];
+                frame = 0;
+                loop_depth = 0;
+                ret = f.ret;
+                strings;
+                string_count = !string_count;
+                extra_globals = !shared;
+              }
+            in
+            push_scope env;
+            (* parameters: fp+16, fp+24, ... (ra at fp+8, saved fp at fp+0) *)
+            List.iteri
+              (fun i (ty, pname) ->
+                let scope = List.hd env.scopes in
+                if Hashtbl.mem scope pname then
+                  err f.fpos "duplicate parameter '%s'" pname;
+                Hashtbl.replace scope pname
+                  (Bframe (16 + (8 * i), ty, Scalar)))
+              f.params;
+            let body = List.concat_map (lower_stmt env) f.body in
+            pop_scope env;
+            string_count := env.string_count;
+            shared := env.extra_globals;
+            Some
+              {
+                Mir.name = f.fname;
+                frame_size = (env.frame + 15) land lnot 15;
+                body;
+              })
+      prog
+  in
+  { Mir.funcs = lowered; globals = List.rev !global_inits @ List.rev !shared }

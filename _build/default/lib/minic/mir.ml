@@ -1,0 +1,53 @@
+(** Lowered IR: the typechecker's output and the code generator's input.
+
+    All variable references have been resolved to explicit addresses (frame
+    offsets or global symbols) and all memory accesses are explicit loads and
+    stores with widths, so the code generator is a simple tree walk.  Values
+    live in two classes: integer/pointer ([Ci]) and 64-bit float ([Cf]). *)
+
+type cls = Ci | Cf
+
+type mexpr =
+  | Const_i of int
+  | Const_f of float
+  | Sym_addr of string  (** address of a global symbol *)
+  | Frame_addr of int  (** fp + offset (negative: locals; positive: params) *)
+  | Load_i of Tq_isa.Isa.width * bool * mexpr
+      (** [Load_i (w, signed, addr)]; short loads sign-extend, char loads do
+          not *)
+  | Load_f of mexpr
+  | Iop of Tq_isa.Isa.binop * mexpr * mexpr
+  | Fop of Tq_isa.Isa.fbinop * mexpr * mexpr
+  | Funop of Tq_isa.Isa.funop * mexpr
+  | Fcmp of Tq_isa.Isa.fcmp * mexpr * mexpr  (** integer 0/1 result *)
+  | I2f of mexpr
+  | F2i of mexpr
+  | Call of string * (cls * mexpr) list * cls option
+      (** callee, classified args, return class ([None] = void) *)
+  | Andalso of mexpr * mexpr  (** short-circuit; operands already 0/1 *)
+  | Orelse of mexpr * mexpr
+
+type mstmt =
+  | Store_i of Tq_isa.Isa.width * mexpr * mexpr  (** width, address, value *)
+  | Store_f of mexpr * mexpr
+  | Expr of cls option * mexpr
+      (** evaluate for side effects; [None] marks a void call *)
+  | If of mexpr * mstmt list * mstmt list
+  | For of { cond : mexpr option; step : mstmt list; body : mstmt list }
+      (** [while] is [For] with an empty step; [continue] jumps to the step *)
+  | Dowhile of mstmt list * mexpr
+  | Return of (cls * mexpr) option
+  | Break
+  | Continue
+
+type mfunc = {
+  name : string;
+  frame_size : int;  (** bytes reserved below the frame pointer for locals *)
+  body : mstmt list;
+}
+
+type program = {
+  funcs : mfunc list;
+  globals : (string * Tq_asm.Link.init) list;
+      (** user globals and synthesized string literals *)
+}

@@ -1,0 +1,485 @@
+open Ast
+
+exception Parse_error of { pos : Ast.pos; msg : string }
+
+type state = { toks : Lexer.spanned array; mutable k : int }
+
+let cur st = st.toks.(st.k)
+let cur_tok st = (cur st).Lexer.tok
+let cur_pos st = (cur st).Lexer.pos
+let bump st = if st.k < Array.length st.toks - 1 then st.k <- st.k + 1
+
+let fail st msg = raise (Parse_error { pos = cur_pos st; msg })
+
+let expect_punct st p =
+  match cur_tok st with
+  | Lexer.PUNCT q when q = p -> bump st
+  | t -> fail st (Printf.sprintf "expected '%s', found %s" p (Lexer.describe t))
+
+let eat_punct st p =
+  match cur_tok st with
+  | Lexer.PUNCT q when q = p ->
+      bump st;
+      true
+  | _ -> false
+
+let expect_ident st =
+  match cur_tok st with
+  | Lexer.IDENT s ->
+      bump st;
+      s
+  | t -> fail st (Printf.sprintf "expected identifier, found %s" (Lexer.describe t))
+
+let base_type_of_kw = function
+  | "int" -> Some Tint
+  | "short" -> Some Tshort
+  | "char" -> Some Tchar
+  | "float" -> Some Tfloat
+  | "void" -> Some Tvoid
+  | _ -> None
+
+let at_type st =
+  match cur_tok st with
+  | Lexer.KW "struct" -> true
+  | Lexer.KW k -> base_type_of_kw k <> None
+  | _ -> false
+
+let parse_type st =
+  match cur_tok st with
+  | Lexer.KW "struct" ->
+      bump st;
+      let name = expect_ident st in
+      let ty = ref (Tstruct name) in
+      while eat_punct st "*" do
+        ty := Tptr !ty
+      done;
+      !ty
+  | Lexer.KW k -> (
+      match base_type_of_kw k with
+      | Some base ->
+          bump st;
+          let ty = ref base in
+          while eat_punct st "*" do
+            ty := Tptr !ty
+          done;
+          !ty
+      | None -> fail st "expected type")
+  | t -> fail st (Printf.sprintf "expected type, found %s" (Lexer.describe t))
+
+(* ---------- expressions ---------- *)
+
+let rec parse_expr st = parse_lor st
+
+and parse_lor st =
+  let lhs = ref (parse_land st) in
+  while
+    match cur_tok st with
+    | Lexer.PUNCT "||" ->
+        let pos = cur_pos st in
+        bump st;
+        let rhs = parse_land st in
+        lhs := { e = Ebinop (Lor, !lhs, rhs); epos = pos };
+        true
+    | _ -> false
+  do
+    ()
+  done;
+  !lhs
+
+and parse_land st =
+  let lhs = ref (parse_bitor st) in
+  while
+    match cur_tok st with
+    | Lexer.PUNCT "&&" ->
+        let pos = cur_pos st in
+        bump st;
+        let rhs = parse_bitor st in
+        lhs := { e = Ebinop (Land, !lhs, rhs); epos = pos };
+        true
+    | _ -> false
+  do
+    ()
+  done;
+  !lhs
+
+and binop_level ops next st =
+  let lhs = ref (next st) in
+  let rec go () =
+    match cur_tok st with
+    | Lexer.PUNCT p when List.mem_assoc p ops ->
+        let pos = cur_pos st in
+        bump st;
+        let rhs = next st in
+        lhs := { e = Ebinop (List.assoc p ops, !lhs, rhs); epos = pos };
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_bitor st = binop_level [ ("|", Bor) ] parse_bitxor st
+and parse_bitxor st = binop_level [ ("^", Bxor) ] parse_bitand st
+and parse_bitand st = binop_level [ ("&", Band) ] parse_equality st
+
+and parse_equality st =
+  binop_level [ ("==", Eq); ("!=", Ne) ] parse_relational st
+
+and parse_relational st =
+  binop_level [ ("<", Lt); ("<=", Le); (">", Gt); (">=", Ge) ] parse_shift st
+
+and parse_shift st = binop_level [ ("<<", Shl); (">>", Shr) ] parse_additive st
+and parse_additive st = binop_level [ ("+", Add); ("-", Sub) ] parse_mult st
+
+and parse_mult st =
+  binop_level [ ("*", Mul); ("/", Div); ("%", Mod) ] parse_unary st
+
+and parse_unary st =
+  let pos = cur_pos st in
+  match cur_tok st with
+  | Lexer.PUNCT "-" ->
+      bump st;
+      { e = Eunop (Neg, parse_unary st); epos = pos }
+  | Lexer.PUNCT "!" ->
+      bump st;
+      { e = Eunop (Lnot, parse_unary st); epos = pos }
+  | Lexer.PUNCT "~" ->
+      bump st;
+      { e = Eunop (Bnot, parse_unary st); epos = pos }
+  | Lexer.PUNCT "*" ->
+      bump st;
+      { e = Ederef (parse_unary st); epos = pos }
+  | Lexer.PUNCT "&" ->
+      bump st;
+      { e = Eaddr (parse_unary st); epos = pos }
+  | Lexer.PUNCT "(" when st.k + 1 < Array.length st.toks
+                         && (match st.toks.(st.k + 1).Lexer.tok with
+                            | Lexer.KW "struct" -> true
+                            | Lexer.KW k -> base_type_of_kw k <> None
+                            | _ -> false) ->
+      bump st;
+      let ty = parse_type st in
+      expect_punct st ")";
+      { e = Ecast (ty, parse_unary st); epos = pos }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let rec go () =
+    match cur_tok st with
+    | Lexer.PUNCT "[" ->
+        let pos = cur_pos st in
+        bump st;
+        let idx = parse_expr st in
+        expect_punct st "]";
+        e := { e = Eindex (!e, idx); epos = pos };
+        go ()
+    | Lexer.PUNCT "." ->
+        let pos = cur_pos st in
+        bump st;
+        let f = expect_ident st in
+        e := { e = Efield (!e, f); epos = pos };
+        go ()
+    | Lexer.PUNCT "->" ->
+        let pos = cur_pos st in
+        bump st;
+        let f = expect_ident st in
+        e := { e = Efield ({ e = Ederef !e; epos = pos }, f); epos = pos };
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !e
+
+and parse_primary st =
+  let pos = cur_pos st in
+  match cur_tok st with
+  | Lexer.INT n ->
+      bump st;
+      { e = Eint n; epos = pos }
+  | Lexer.FLOAT f ->
+      bump st;
+      { e = Efloat f; epos = pos }
+  | Lexer.CHAR c ->
+      bump st;
+      { e = Echar c; epos = pos }
+  | Lexer.STRING s ->
+      bump st;
+      { e = Estr s; epos = pos }
+  | Lexer.IDENT "sizeof" when st.toks.(st.k + 1).Lexer.tok = Lexer.PUNCT "(" ->
+      bump st;
+      bump st;
+      let ty = parse_type st in
+      expect_punct st ")";
+      { e = Esizeof ty; epos = pos }
+  | Lexer.IDENT name ->
+      bump st;
+      if eat_punct st "(" then begin
+        let args = ref [] in
+        if not (eat_punct st ")") then begin
+          args := [ parse_expr st ];
+          while eat_punct st "," do
+            args := parse_expr st :: !args
+          done;
+          expect_punct st ")"
+        end;
+        { e = Ecall (name, List.rev !args); epos = pos }
+      end
+      else { e = Evar name; epos = pos }
+  | Lexer.PUNCT "(" ->
+      bump st;
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | t -> fail st (Printf.sprintf "expected expression, found %s" (Lexer.describe t))
+
+(* ---------- statements ---------- *)
+
+let compound_ops =
+  [ ("+=", Add); ("-=", Sub); ("*=", Mul); ("/=", Div); ("%=", Mod);
+    ("<<=", Shl); (">>=", Shr) ]
+
+(* A "simple" statement: declaration, assignment or expression (no ';'). *)
+let rec parse_simple st =
+  let pos = cur_pos st in
+  if at_type st then begin
+    let ty = parse_type st in
+    let name = expect_ident st in
+    let array =
+      if eat_punct st "[" then begin
+        match cur_tok st with
+        | Lexer.INT n ->
+            bump st;
+            expect_punct st "]";
+            Some n
+        | t ->
+            fail st
+              (Printf.sprintf "array size must be an integer literal, found %s"
+                 (Lexer.describe t))
+      end
+      else None
+    in
+    let init = if eat_punct st "=" then Some (parse_expr st) else None in
+    { s = Sdecl (ty, name, array, init); spos = pos }
+  end
+  else begin
+    let lhs = parse_expr st in
+    match cur_tok st with
+    | Lexer.PUNCT "=" ->
+        bump st;
+        let rhs = parse_expr st in
+        { s = Sassign (lhs, rhs); spos = pos }
+    | Lexer.PUNCT p when List.mem_assoc p compound_ops ->
+        bump st;
+        let rhs = parse_expr st in
+        let op = List.assoc p compound_ops in
+        { s = Sassign (lhs, { e = Ebinop (op, lhs, rhs); epos = pos }); spos = pos }
+    | Lexer.PUNCT "++" ->
+        bump st;
+        {
+          s =
+            Sassign
+              (lhs, { e = Ebinop (Add, lhs, { e = Eint 1; epos = pos }); epos = pos });
+          spos = pos;
+        }
+    | Lexer.PUNCT "--" ->
+        bump st;
+        {
+          s =
+            Sassign
+              (lhs, { e = Ebinop (Sub, lhs, { e = Eint 1; epos = pos }); epos = pos });
+          spos = pos;
+        }
+    | _ -> { s = Sexpr lhs; spos = pos }
+  end
+
+and parse_stmt st =
+  let pos = cur_pos st in
+  match cur_tok st with
+  | Lexer.PUNCT "{" -> { s = Sblock (parse_block st); spos = pos }
+  | Lexer.PUNCT ";" ->
+      bump st;
+      { s = Sblock []; spos = pos }
+  | Lexer.KW "if" ->
+      bump st;
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      let then_ = parse_body st in
+      let else_ =
+        match cur_tok st with
+        | Lexer.KW "else" ->
+            bump st;
+            parse_body st
+        | _ -> []
+      in
+      { s = Sif (cond, then_, else_); spos = pos }
+  | Lexer.KW "while" ->
+      bump st;
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      { s = Swhile (cond, parse_body st); spos = pos }
+  | Lexer.KW "do" ->
+      bump st;
+      let body = parse_body st in
+      (match cur_tok st with
+      | Lexer.KW "while" -> bump st
+      | t -> fail st (Printf.sprintf "expected 'while', found %s" (Lexer.describe t)));
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      { s = Sdo (body, cond); spos = pos }
+  | Lexer.KW "for" ->
+      bump st;
+      expect_punct st "(";
+      let init =
+        if eat_punct st ";" then None
+        else begin
+          let s = parse_simple st in
+          expect_punct st ";";
+          Some s
+        end
+      in
+      let cond = if eat_punct st ";" then None
+        else begin
+          let e = parse_expr st in
+          expect_punct st ";";
+          Some e
+        end
+      in
+      let step =
+        match cur_tok st with
+        | Lexer.PUNCT ")" -> None
+        | _ -> Some (parse_simple st)
+      in
+      expect_punct st ")";
+      { s = Sfor (init, cond, step, parse_body st); spos = pos }
+  | Lexer.KW "return" ->
+      bump st;
+      let v = if eat_punct st ";" then None
+        else begin
+          let e = parse_expr st in
+          expect_punct st ";";
+          Some e
+        end
+      in
+      { s = Sreturn v; spos = pos }
+  | Lexer.KW "break" ->
+      bump st;
+      expect_punct st ";";
+      { s = Sbreak; spos = pos }
+  | Lexer.KW "continue" ->
+      bump st;
+      expect_punct st ";";
+      { s = Scontinue; spos = pos }
+  | _ ->
+      let s = parse_simple st in
+      expect_punct st ";";
+      s
+
+and parse_body st =
+  (* if/while/for bodies: block or single statement *)
+  match cur_tok st with
+  | Lexer.PUNCT "{" -> parse_block st
+  | _ -> [ parse_stmt st ]
+
+and parse_block st =
+  expect_punct st "{";
+  let out = ref [] in
+  let rec go () =
+    match cur_tok st with
+    | Lexer.PUNCT "}" -> bump st
+    | Lexer.EOF -> fail st "unexpected end of input in block"
+    | _ ->
+        out := parse_stmt st :: !out;
+        go ()
+  in
+  go ();
+  List.rev !out
+
+(* ---------- top level ---------- *)
+
+let parse_struct_def st pos =
+  (* "struct" IDENT "{" (type ident ;)* "}" ";" *)
+  bump st (* struct *);
+  let sname = expect_ident st in
+  expect_punct st "{";
+  let fields = ref [] in
+  let rec go () =
+    match cur_tok st with
+    | Lexer.PUNCT "}" -> bump st
+    | _ ->
+        let fty = parse_type st in
+        let fname = expect_ident st in
+        expect_punct st ";";
+        fields := (fty, fname) :: !fields;
+        go ()
+  in
+  go ();
+  expect_punct st ";";
+  Gstruct { sname; sfields = List.rev !fields; gspos = pos }
+
+let parse_global st =
+  let pos = cur_pos st in
+  if
+    cur_tok st = Lexer.KW "struct"
+    && st.k + 2 < Array.length st.toks
+    && st.toks.(st.k + 2).Lexer.tok = Lexer.PUNCT "{"
+  then parse_struct_def st pos
+  else
+  let ty = parse_type st in
+  let name = expect_ident st in
+  if eat_punct st "(" then begin
+    let params = ref [] in
+    (match cur_tok st with
+    | Lexer.KW "void" when st.toks.(st.k + 1).Lexer.tok = Lexer.PUNCT ")" ->
+        bump st
+    | Lexer.PUNCT ")" -> ()
+    | _ ->
+        let param () =
+          let pty = parse_type st in
+          let pname = expect_ident st in
+          (pty, pname)
+        in
+        params := [ param () ];
+        while eat_punct st "," do
+          params := param () :: !params
+        done);
+    expect_punct st ")";
+    let body = parse_block st in
+    Gfunc { fname = name; ret = ty; params = List.rev !params; body; fpos = pos }
+  end
+  else begin
+    let array =
+      if eat_punct st "[" then begin
+        match cur_tok st with
+        | Lexer.INT n ->
+            bump st;
+            expect_punct st "]";
+            Some n
+        | t ->
+            fail st
+              (Printf.sprintf "array size must be an integer literal, found %s"
+                 (Lexer.describe t))
+      end
+      else None
+    in
+    let init = if eat_punct st "=" then Some (parse_expr st) else None in
+    expect_punct st ";";
+    Gvar { gty = ty; gname = name; array; ginit = init; gpos = pos }
+  end
+
+let parse src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; k = 0 } in
+  let out = ref [] in
+  let rec go () =
+    match cur_tok st with
+    | Lexer.EOF -> ()
+    | _ ->
+        out := parse_global st :: !out;
+        go ()
+  in
+  go ();
+  List.rev !out

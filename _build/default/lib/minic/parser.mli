@@ -1,0 +1,14 @@
+(** MiniC recursive-descent parser. *)
+
+exception Parse_error of { pos : Ast.pos; msg : string }
+
+val parse : string -> Ast.program
+(** Parse a full translation unit.
+    @raise Parse_error (or {!Lexer.Lex_error}) on malformed input.
+
+    Notes on the accepted dialect:
+    - compound assignments ([+=] etc.) and postfix [++]/[--] are desugared in
+      the parser; an lvalue with side effects is re-evaluated (documented
+      divergence from C, irrelevant for the case-study sources);
+    - [sizeof(type)] is folded to an integer literal;
+    - array sizes must be integer literals. *)

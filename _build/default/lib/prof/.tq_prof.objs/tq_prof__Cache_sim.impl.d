@@ -1,0 +1,1 @@
+lib/prof/cache_sim.ml: Array Buffer Call_stack List Printf Tq_dbi Tq_isa Tq_vm

@@ -1,0 +1,1 @@
+lib/prof/cache_sim.mli: Call_stack Tq_dbi Tq_vm

@@ -1,0 +1,1 @@
+lib/prof/call_stack.ml: Tq_vm

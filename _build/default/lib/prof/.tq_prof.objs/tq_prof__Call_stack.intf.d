@@ -1,0 +1,1 @@
+lib/prof/call_stack.mli: Tq_vm

@@ -1,0 +1,1 @@
+lib/prof/footprint.ml: Array Buffer Call_stack Hashtbl List Option Printf Tq_dbi Tq_isa Tq_util Tq_vm

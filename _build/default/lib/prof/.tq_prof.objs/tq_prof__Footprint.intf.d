@@ -1,0 +1,1 @@
+lib/prof/footprint.mli: Call_stack Tq_dbi Tq_vm

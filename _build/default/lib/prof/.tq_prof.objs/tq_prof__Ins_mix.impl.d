@@ -1,0 +1,1 @@
+lib/prof/ins_mix.ml: Array Buffer List Printf Tq_dbi Tq_isa Tq_vm

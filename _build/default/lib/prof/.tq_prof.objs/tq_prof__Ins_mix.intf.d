@@ -1,0 +1,1 @@
+lib/prof/ins_mix.mli: Tq_dbi Tq_vm

@@ -1,0 +1,207 @@
+module Isa = Tq_isa.Isa
+module Engine = Tq_dbi.Engine
+module Machine = Tq_vm.Machine
+module Symtab = Tq_vm.Symtab
+
+type config = { size_bytes : int; line_bytes : int; assoc : int }
+
+let default_l1 = { size_bytes = 32 * 1024; line_bytes = 64; assoc = 8 }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let validate c =
+  if not (is_pow2 c.line_bytes) then Error "line_bytes must be a power of two"
+  else if c.assoc <= 0 then Error "assoc must be positive"
+  else if c.size_bytes <= 0 || c.size_bytes mod (c.line_bytes * c.assoc) <> 0
+  then Error "size must be a multiple of line_bytes * assoc"
+  else if not (is_pow2 (c.size_bytes / (c.line_bytes * c.assoc))) then
+    Error "number of sets must be a power of two"
+  else Ok ()
+
+(* One set: parallel arrays of tags (-1 = invalid), dirty flags and ages. *)
+type t = {
+  config : config;
+  sets : int;
+  tags : int array;  (** sets * assoc *)
+  dirty : bool array;
+  age : int array;
+  mutable clock : int;
+  (* per routine id *)
+  k_accesses : int array;
+  k_misses : int array;
+  k_writebacks : int array;
+  symtab : Symtab.t;
+  stack : Call_stack.t;
+}
+
+(* Access one line; returns (missed, caused_writeback). *)
+let touch_line t line_addr ~write ~demand:_ =
+  let set = line_addr land (t.sets - 1) in
+  (* "tags" store the full line address, making comparisons exact *)
+  let tag = line_addr in
+  let base = set * t.config.assoc in
+  t.clock <- t.clock + 1;
+  let found = ref (-1) in
+  for w = 0 to t.config.assoc - 1 do
+    if t.tags.(base + w) = tag then found := w
+  done;
+  if !found >= 0 then begin
+    let w = base + !found in
+    t.age.(w) <- t.clock;
+    if write then t.dirty.(w) <- true;
+    (false, false)
+  end
+  else begin
+    (* miss: evict LRU way *)
+    let victim = ref base in
+    for w = base to base + t.config.assoc - 1 do
+      if t.tags.(w) = -1 then victim := w
+      else if t.tags.(!victim) <> -1 && t.age.(w) < t.age.(!victim) then
+        victim := w
+    done;
+    let wb = t.tags.(!victim) <> -1 && t.dirty.(!victim) in
+    t.tags.(!victim) <- tag;
+    t.dirty.(!victim) <- write;
+    t.age.(!victim) <- t.clock;
+    (true, wb)
+  end
+
+let on_access t kernel_id addr size ~write ~demand =
+  if size > 0 then begin
+    let line = t.config.line_bytes in
+    let first = addr / line and last = (addr + size - 1) / line in
+    for l = first to last do
+      let missed, wb = touch_line t l ~write ~demand in
+      if demand then begin
+        t.k_accesses.(kernel_id) <- t.k_accesses.(kernel_id) + 1;
+        if missed then t.k_misses.(kernel_id) <- t.k_misses.(kernel_id) + 1;
+        if wb then t.k_writebacks.(kernel_id) <- t.k_writebacks.(kernel_id) + 1
+      end
+    done
+  end
+
+let attach ?(config = default_l1) ?(policy = Call_stack.Main_image_only) engine
+    =
+  (match validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cache_sim.attach: " ^ msg));
+  let machine = Engine.machine engine in
+  let symtab = (Machine.program machine).Tq_vm.Program.symtab in
+  let n = Symtab.count symtab in
+  let sets = config.size_bytes / (config.line_bytes * config.assoc) in
+  let ways = sets * config.assoc in
+  let t =
+    {
+      config;
+      sets;
+      tags = Array.make ways (-1);
+      dirty = Array.make ways false;
+      age = Array.make ways 0;
+      clock = 0;
+      k_accesses = Array.make n 0;
+      k_misses = Array.make n 0;
+      k_writebacks = Array.make n 0;
+      symtab;
+      stack = Call_stack.create policy;
+    }
+  in
+  Engine.add_rtn_instrumenter engine (fun r ->
+      [ (fun () -> Call_stack.on_entry t.stack r ~sp:(Machine.sp machine)) ]);
+  Engine.add_ins_instrumenter engine (fun view ->
+      let ins = Engine.Ins_view.ins view in
+      let static = Engine.Ins_view.routine view in
+      let kernel () = Call_stack.attribute t.stack static in
+      let block = Isa.is_block_move ins in
+      let actions = ref [] in
+      (* prefetches warm the cache without counting as demand accesses *)
+      if Isa.is_prefetch ins then
+        actions :=
+          [
+            (fun () ->
+              on_access t 0
+                (Machine.read_ea machine ins)
+                (Isa.mem_read_bytes ins) ~write:false ~demand:false);
+          ]
+      else begin
+        let rd = Isa.mem_read_bytes ins and wr = Isa.mem_write_bytes ins in
+        if rd > 0 || block then begin
+          let a () =
+            match kernel () with
+            | None -> ()
+            | Some r ->
+                let n = if block then Machine.block_len machine ins else rd in
+                on_access t r.Symtab.id
+                  (Machine.read_ea machine ins)
+                  n ~write:false ~demand:true
+          in
+          actions := [ Engine.predicated engine view a ]
+        end;
+        if wr > 0 || block then begin
+          let a () =
+            match kernel () with
+            | None -> ()
+            | Some r ->
+                let n = if block then Machine.block_len machine ins else wr in
+                on_access t r.Symtab.id
+                  (Machine.write_ea machine ins)
+                  n ~write:true ~demand:true
+          in
+          actions := !actions @ [ Engine.predicated engine view a ]
+        end;
+        if Isa.is_ret ins then
+          actions :=
+            !actions
+            @ [ (fun () -> Call_stack.on_ret t.stack ~sp:(Machine.sp machine)) ]
+      end;
+      !actions);
+  t
+
+type krow = {
+  routine : Symtab.routine;
+  accesses : int;
+  misses : int;
+  writebacks : int;
+  mem_bytes : int;
+}
+
+let rows t =
+  let out = ref [] in
+  Array.iteri
+    (fun id accesses ->
+      if accesses > 0 then
+        out :=
+          {
+            routine = Symtab.by_id t.symtab id;
+            accesses;
+            misses = t.k_misses.(id);
+            writebacks = t.k_writebacks.(id);
+            mem_bytes = (t.k_misses.(id) + t.k_writebacks.(id)) * t.config.line_bytes;
+          }
+          :: !out)
+    t.k_accesses;
+  List.sort (fun a b -> compare b.misses a.misses) !out
+
+let totals t =
+  (Array.fold_left ( + ) 0 t.k_accesses, Array.fold_left ( + ) 0 t.k_misses)
+
+let miss_rate t =
+  let acc, miss = totals t in
+  if acc = 0 then 0. else float_of_int miss /. float_of_int acc
+
+let render t =
+  let acc, miss = totals t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "cache %d KiB, %d-way, %dB lines: %d accesses, %d misses (%.2f%%)\n"
+       (t.config.size_bytes / 1024) t.config.assoc t.config.line_bytes acc miss
+       (100. *. miss_rate t));
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s %10d acc %9d miss (%5.2f%%) %8d wb %10d B to mem\n"
+           r.routine.Symtab.name r.accesses r.misses
+           (100. *. float_of_int r.misses /. float_of_int (max 1 r.accesses))
+           r.writebacks r.mem_bytes))
+    (rows t);
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** Set-associative cache simulator (a DBI analysis tool).
+
+    The paper's motivation is the processor/memory bottleneck and it
+    positions tQUAD against hardware-counter suites (vTune, CodeAnalyst)
+    that report cache misses on one concrete machine.  This tool provides
+    that view {e portably}: an LRU write-back/write-allocate cache model
+    driven by the same instrumentation events, reporting per-kernel hit/miss
+    counts and the resulting off-chip traffic (misses and write-backs times
+    the line size) — a machine-specific complement to tQUAD's
+    platform-independent bytes/instruction.
+
+    Prefetch instructions touch the cache (that is their purpose) but are
+    not counted as demand accesses. *)
+
+type config = {
+  size_bytes : int;
+  line_bytes : int;  (** power of two *)
+  assoc : int;  (** ways per set; [size = sets * assoc * line] *)
+}
+
+val default_l1 : config
+(** 32 KiB, 64-byte lines, 8-way (the paper's Q9550 L1D shape). *)
+
+val validate : config -> (unit, string) result
+
+type t
+
+val attach :
+  ?config:config ->
+  ?policy:Call_stack.policy ->
+  Tq_dbi.Engine.t ->
+  t
+(** Register the tool; [policy] defaults to [Main_image_only] attribution
+    like the other profilers. *)
+
+type krow = {
+  routine : Tq_vm.Symtab.routine;
+  accesses : int;  (** demand line-accesses *)
+  misses : int;
+  writebacks : int;  (** dirty evictions caused by this kernel's accesses *)
+  mem_bytes : int;  (** off-chip traffic: (misses + writebacks) * line *)
+}
+
+val rows : t -> krow list
+(** Kernels with any accesses, sorted by misses (descending). *)
+
+val totals : t -> int * int
+(** (accesses, misses) over the whole run. *)
+
+val miss_rate : t -> float
+
+val render : t -> string

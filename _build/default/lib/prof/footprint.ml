@@ -1,0 +1,151 @@
+module Isa = Tq_isa.Isa
+module Engine = Tq_dbi.Engine
+module Machine = Tq_vm.Machine
+module Symtab = Tq_vm.Symtab
+module Layout = Tq_vm.Layout
+module Bitset = Tq_util.Paged_bitset
+
+type region = Data | Heap | Stack
+
+let region_name = function Data -> "data" | Heap -> "heap" | Stack -> "stack"
+
+type t = {
+  machine : Machine.t;
+  symtab : Symtab.t;
+  data_end : int;
+  touched : Bitset.t option array;  (** per routine id *)
+  stack : Call_stack.t;
+}
+
+let touched_of t id =
+  match t.touched.(id) with
+  | Some b -> b
+  | None ->
+      let b = Bitset.create () in
+      t.touched.(id) <- Some b;
+      b
+
+let attach ?(policy = Call_stack.Main_image_only) engine =
+  let machine = Engine.machine engine in
+  let prog = Machine.program machine in
+  let symtab = prog.Tq_vm.Program.symtab in
+  let t =
+    {
+      machine;
+      symtab;
+      data_end = prog.Tq_vm.Program.data_end;
+      touched = Array.make (Symtab.count symtab) None;
+      stack = Call_stack.create policy;
+    }
+  in
+  Engine.add_rtn_instrumenter engine (fun r ->
+      [ (fun () -> Call_stack.on_entry t.stack r ~sp:(Machine.sp machine)) ]);
+  Engine.add_ins_instrumenter engine (fun view ->
+      let ins = Engine.Ins_view.ins view in
+      if Isa.is_prefetch ins then []
+      else begin
+        let static = Engine.Ins_view.routine view in
+        let block = Isa.is_block_move ins in
+        let rd = Isa.mem_read_bytes ins and wr = Isa.mem_write_bytes ins in
+        let mark ea_of size_static =
+          Engine.predicated engine view (fun () ->
+              match Call_stack.attribute t.stack static with
+              | None -> ()
+              | Some r ->
+                  let n =
+                    if block then Machine.block_len machine ins else size_static
+                  in
+                  if n > 0 then
+                    Bitset.add_range (touched_of t r.Symtab.id) (ea_of ()) n)
+        in
+        let actions = ref [] in
+        if rd > 0 || block then
+          actions := [ mark (fun () -> Machine.read_ea machine ins) rd ];
+        if wr > 0 || block then
+          actions := !actions @ [ mark (fun () -> Machine.write_ea machine ins) wr ];
+        if Isa.is_ret ins then
+          actions :=
+            !actions
+            @ [ (fun () -> Call_stack.on_ret t.stack ~sp:(Machine.sp machine)) ];
+        !actions
+      end);
+  t
+
+type region_stats = { unique_bytes : int; pages : int; lo : int; hi : int }
+
+let empty_stats = { unique_bytes = 0; pages = 0; lo = 0; hi = 0 }
+
+(* stack classification here is positional (the stack region of the address
+   space), independent of the momentary stack pointer *)
+let classify t addr =
+  if addr >= Layout.stack_top - 0x1000_0000 && addr < Layout.stack_top then Stack
+  else if addr >= t.data_end then Heap
+  else Data
+
+let region_rollup t id =
+  match t.touched.(id) with
+  | None -> []
+  | Some bits ->
+      let acc = Hashtbl.create 3 in
+      let page_seen = Hashtbl.create 64 in
+      Bitset.iter
+        (fun addr ->
+          let r = classify t addr in
+          let cur =
+            Option.value ~default:empty_stats (Hashtbl.find_opt acc r)
+          in
+          let page = (r, addr lsr 12) in
+          let new_page = not (Hashtbl.mem page_seen page) in
+          if new_page then Hashtbl.replace page_seen page ();
+          Hashtbl.replace acc r
+            {
+              unique_bytes = cur.unique_bytes + 1;
+              pages = (cur.pages + if new_page then 1 else 0);
+              lo = (if cur.unique_bytes = 0 then addr else cur.lo);
+              hi = addr;
+            })
+        bits;
+      [ Data; Heap; Stack ]
+      |> List.filter_map (fun r ->
+             Hashtbl.find_opt acc r |> Option.map (fun s -> (r, s)))
+
+let stats t routine region =
+  match List.assoc_opt region (region_rollup t routine.Symtab.id) with
+  | Some s -> s
+  | None -> empty_stats
+
+let rows t =
+  let out = ref [] in
+  Array.iteri
+    (fun id b ->
+      match b with
+      | None -> ()
+      | Some _ ->
+          let rs = region_rollup t id in
+          if rs <> [] then out := (Symtab.by_id t.symtab id, rs) :: !out)
+    t.touched;
+  List.sort
+    (fun (_, a) (_, b) ->
+      let total rs =
+        List.fold_left (fun acc (_, s) -> acc + s.unique_bytes) 0 rs
+      in
+      compare (total b) (total a))
+    !out
+
+let render t =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "per-kernel memory footprint (unique bytes touched per region):\n";
+  List.iter
+    (fun (r, regions) ->
+      Buffer.add_string buf (Printf.sprintf "  %s\n" r.Symtab.name);
+      List.iter
+        (fun (region, s) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    %-5s %10d B unique, %6d pages, extent 0x%x..0x%x (%d B)\n"
+               (region_name region) s.unique_bytes s.pages s.lo s.hi
+               (s.hi - s.lo + 1)))
+        regions)
+    (rows t);
+  Buffer.contents buf

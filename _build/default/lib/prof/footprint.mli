@@ -1,0 +1,34 @@
+(** Per-kernel memory footprint (buffer-sizing tool).
+
+    The paper's hardware-mapping discussion hinges on buffer sizes: a kernel
+    is a good FPGA candidate "provided that enough space is available for
+    the size of needed memory block" (its UnMA footprint), and it contrasts
+    kernels with KB-sized buffers against wav_store's 65-million-location
+    fetch set.  This tool reports exactly that: for every kernel, the unique
+    bytes it touched in each address-space region (static data, heap,
+    stack), the page count, and the bounding extent — the numbers a buffer-
+    placement decision needs. *)
+
+type region = Data | Heap | Stack
+
+val region_name : region -> string
+
+type t
+
+val attach :
+  ?policy:Call_stack.policy -> Tq_dbi.Engine.t -> t
+
+type region_stats = {
+  unique_bytes : int;  (** distinct addresses touched *)
+  pages : int;  (** distinct 4 KiB pages *)
+  lo : int;  (** lowest touched address (0 if none) *)
+  hi : int;  (** highest touched address *)
+}
+
+val stats : t -> Tq_vm.Symtab.routine -> region -> region_stats
+
+val rows : t -> (Tq_vm.Symtab.routine * (region * region_stats) list) list
+(** Kernels with any traffic, ordered by total unique bytes (descending);
+    only non-empty regions are listed. *)
+
+val render : t -> string

@@ -1,0 +1,104 @@
+module Isa = Tq_isa.Isa
+module Engine = Tq_dbi.Engine
+module Symtab = Tq_vm.Symtab
+
+type category = Load | Store | Block_move | Int_alu | Float_alu | Branch
+              | Call_ret | Syscall | Other
+
+let categories =
+  [ Load; Store; Block_move; Int_alu; Float_alu; Branch; Call_ret; Syscall; Other ]
+
+let category_name = function
+  | Load -> "load"
+  | Store -> "store"
+  | Block_move -> "block-move"
+  | Int_alu -> "int-alu"
+  | Float_alu -> "float-alu"
+  | Branch -> "branch"
+  | Call_ret -> "call/ret"
+  | Syscall -> "syscall"
+  | Other -> "other"
+
+let index c =
+  let rec go i = function
+    | [] -> assert false
+    | x :: rest -> if x = c then i else go (i + 1) rest
+  in
+  go 0 categories
+
+let classify = function
+  | Isa.Load _ | Isa.Loads _ | Isa.Fload _ | Isa.Prefetch _ -> Load
+  | Isa.Store _ | Isa.Fstore _ -> Store
+  | Isa.Movs _ -> Block_move
+  | Isa.Li _ | Isa.Mov _ | Isa.Bin _ -> Int_alu
+  | Isa.Fli _ | Isa.Fmov _ | Isa.Fbin _ | Isa.Fun _ | Isa.Fcmp _ | Isa.I2f _
+  | Isa.F2i _ ->
+      Float_alu
+  | Isa.Jmp _ | Isa.Jr _ | Isa.Bz _ | Isa.Bnz _ -> Branch
+  | Isa.Call _ | Isa.Callr _ | Isa.Ret -> Call_ret
+  | Isa.Syscall _ -> Syscall
+  | Isa.Nop | Isa.Halt -> Other
+
+let n_cat = List.length categories
+
+type t = {
+  symtab : Symtab.t;
+  totals : int array;
+  kernels : int array option array;
+}
+
+let attach engine =
+  let machine = Engine.machine engine in
+  let symtab = (Tq_vm.Machine.program machine).Tq_vm.Program.symtab in
+  let t =
+    {
+      symtab;
+      totals = Array.make n_cat 0;
+      kernels = Array.make (Symtab.count symtab) None;
+    }
+  in
+  Engine.add_ins_instrumenter engine (fun view ->
+      let c = index (classify (Engine.Ins_view.ins view)) in
+      let per =
+        match Engine.Ins_view.routine view with
+        | None -> None
+        | Some r -> (
+            match t.kernels.(r.Symtab.id) with
+            | Some a -> Some a
+            | None ->
+                let a = Array.make n_cat 0 in
+                t.kernels.(r.Symtab.id) <- Some a;
+                Some a)
+      in
+      [
+        (fun () ->
+          t.totals.(c) <- t.totals.(c) + 1;
+          match per with None -> () | Some a -> a.(c) <- a.(c) + 1);
+      ]);
+  t
+
+let total t c = t.totals.(index c)
+
+let per_kernel t =
+  let out = ref [] in
+  Array.iteri
+    (fun id a ->
+      match a with
+      | Some counts -> out := (Symtab.by_id t.symtab id, counts) :: !out
+      | None -> ())
+    t.kernels;
+  List.rev !out
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let grand = Array.fold_left ( + ) 0 t.totals in
+  Buffer.add_string buf (Printf.sprintf "instruction mix (%d retired):\n" grand);
+  List.iteri
+    (fun i c ->
+      if t.totals.(i) > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-10s %10d  %5.1f%%\n" (category_name c)
+             t.totals.(i)
+             (100. *. float_of_int t.totals.(i) /. float_of_int (max 1 grand))))
+    categories;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Instruction-mix profiling tool.
+
+    A small third tool over the DBI engine (the classic first Pin tool):
+    counts retired instructions by category, per kernel and overall.  Used
+    by the CLI's [mix] subcommand and as the minimal example of writing a
+    new analysis tool against {!Tq_dbi.Engine}. *)
+
+type category = Load | Store | Block_move | Int_alu | Float_alu | Branch
+              | Call_ret | Syscall | Other
+
+val category_name : category -> string
+
+val categories : category list
+(** All categories, in display order. *)
+
+type t
+
+val attach : Tq_dbi.Engine.t -> t
+
+val total : t -> category -> int
+
+val per_kernel : t -> (Tq_vm.Symtab.routine * int array) list
+(** Counts indexed in [categories] order, for kernels with any retired
+    instruction, in symbol-table order. *)
+
+val render : t -> string

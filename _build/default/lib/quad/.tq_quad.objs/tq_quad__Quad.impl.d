@@ -1,0 +1,1 @@
+lib/quad/quad.ml: Array Buffer Hashtbl List Printf Shadow Tq_dbi Tq_isa Tq_prof Tq_util Tq_vm

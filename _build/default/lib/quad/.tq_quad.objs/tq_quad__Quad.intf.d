@@ -1,0 +1,1 @@
+lib/quad/quad.mli: Tq_dbi Tq_prof Tq_vm

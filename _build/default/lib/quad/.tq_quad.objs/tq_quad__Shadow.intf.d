@@ -1,0 +1,1 @@
+lib/quad/shadow.mli:

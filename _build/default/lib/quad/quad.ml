@@ -1,0 +1,221 @@
+module Isa = Tq_isa.Isa
+module Engine = Tq_dbi.Engine
+module Machine = Tq_vm.Machine
+module Symtab = Tq_vm.Symtab
+module Layout = Tq_vm.Layout
+module Call_stack = Tq_prof.Call_stack
+module Bitset = Tq_util.Paged_bitset
+
+type edge = {
+  mutable e_bytes_excl : int;
+  mutable e_bytes_incl : int;
+  e_addrs : Bitset.t;
+}
+
+type t = {
+  machine : Machine.t;
+  symtab : Symtab.t;
+  stack : Call_stack.t;
+  shadow : Shadow.t;
+  (* per routine id *)
+  in_excl : int array;
+  in_incl : int array;
+  out_excl : int array;
+  out_incl : int array;
+  read_unma_excl : Bitset.t array;
+  read_unma_incl : Bitset.t array;
+  write_unma_excl : Bitset.t array;
+  write_unma_incl : Bitset.t array;
+  edges : (int, edge) Hashtbl.t;  (** key: producer * 2^20 + consumer *)
+  mutable touched : bool array;  (** routines with any traffic *)
+}
+
+let edge_key p c = (p lsl 20) lor c
+
+let on_read t kernel_id ea size sp =
+  t.touched.(kernel_id) <- true;
+  for i = 0 to size - 1 do
+    let addr = ea + i in
+    let is_stack = Layout.is_stack_addr ~sp addr in
+    t.in_incl.(kernel_id) <- t.in_incl.(kernel_id) + 1;
+    Bitset.add t.read_unma_incl.(kernel_id) addr;
+    if not is_stack then begin
+      t.in_excl.(kernel_id) <- t.in_excl.(kernel_id) + 1;
+      Bitset.add t.read_unma_excl.(kernel_id) addr
+    end;
+    let p = Shadow.get t.shadow addr in
+    if p >= 0 then begin
+      t.out_incl.(p) <- t.out_incl.(p) + 1;
+      if not is_stack then t.out_excl.(p) <- t.out_excl.(p) + 1;
+      let key = edge_key p kernel_id in
+      let e =
+        match Hashtbl.find_opt t.edges key with
+        | Some e -> e
+        | None ->
+            let e =
+              { e_bytes_excl = 0; e_bytes_incl = 0; e_addrs = Bitset.create () }
+            in
+            Hashtbl.add t.edges key e;
+            e
+      in
+      e.e_bytes_incl <- e.e_bytes_incl + 1;
+      if not is_stack then e.e_bytes_excl <- e.e_bytes_excl + 1;
+      Bitset.add e.e_addrs addr
+    end
+  done
+
+let on_write t kernel_id ea size sp =
+  t.touched.(kernel_id) <- true;
+  for i = 0 to size - 1 do
+    let addr = ea + i in
+    Shadow.set t.shadow addr kernel_id;
+    Bitset.add t.write_unma_incl.(kernel_id) addr;
+    if not (Layout.is_stack_addr ~sp addr) then
+      Bitset.add t.write_unma_excl.(kernel_id) addr
+  done
+
+let attach ?(policy = Call_stack.Main_image_only) engine =
+  let machine = Engine.machine engine in
+  let symtab = (Machine.program machine).Tq_vm.Program.symtab in
+  let n = Symtab.count symtab in
+  let t =
+    {
+      machine;
+      symtab;
+      stack = Call_stack.create policy;
+      shadow = Shadow.create ();
+      in_excl = Array.make n 0;
+      in_incl = Array.make n 0;
+      out_excl = Array.make n 0;
+      out_incl = Array.make n 0;
+      read_unma_excl = Array.init n (fun _ -> Bitset.create ());
+      read_unma_incl = Array.init n (fun _ -> Bitset.create ());
+      write_unma_excl = Array.init n (fun _ -> Bitset.create ());
+      write_unma_incl = Array.init n (fun _ -> Bitset.create ());
+      edges = Hashtbl.create 256;
+      touched = Array.make n false;
+    }
+  in
+  Engine.add_rtn_instrumenter engine (fun r ->
+      [ (fun () -> Call_stack.on_entry t.stack r ~sp:(Machine.sp machine)) ]);
+  Engine.add_ins_instrumenter engine (fun view ->
+      let ins = Engine.Ins_view.ins view in
+      if Isa.is_prefetch ins then []
+      else begin
+        let static = Engine.Ins_view.routine view in
+        let kernel () = Call_stack.attribute t.stack static in
+        let actions = ref [] in
+        let block = Isa.is_block_move ins in
+        let rd = Isa.mem_read_bytes ins and wr = Isa.mem_write_bytes ins in
+        if rd > 0 || block then begin
+          let a () =
+            match kernel () with
+            | None -> ()
+            | Some r ->
+                let n = if block then Machine.block_len machine ins else rd in
+                on_read t r.Symtab.id (Machine.read_ea machine ins) n
+                  (Machine.sp machine)
+          in
+          actions := [ Engine.predicated engine view a ]
+        end;
+        if wr > 0 || block then begin
+          let a () =
+            match kernel () with
+            | None -> ()
+            | Some r ->
+                let n = if block then Machine.block_len machine ins else wr in
+                on_write t r.Symtab.id (Machine.write_ea machine ins) n
+                  (Machine.sp machine)
+          in
+          actions := !actions @ [ Engine.predicated engine view a ]
+        end;
+        (* return monitoring keeps the internal call stack consistent; it
+           must run after the ret's own 8-byte stack read was accounted *)
+        if Isa.is_ret ins then
+          actions :=
+            !actions @ [ (fun () -> Call_stack.on_ret t.stack ~sp:(Machine.sp machine)) ];
+        !actions
+      end);
+  t
+
+type krow = {
+  routine : Symtab.routine;
+  in_bytes : int;
+  in_unma : int;
+  out_bytes : int;
+  out_unma : int;
+  in_bytes_incl : int;
+  in_unma_incl : int;
+  out_bytes_incl : int;
+  out_unma_incl : int;
+}
+
+let rows t =
+  let out = ref [] in
+  Array.iteri
+    (fun id touched ->
+      if touched then begin
+        let routine = Symtab.by_id t.symtab id in
+        out :=
+          {
+            routine;
+            in_bytes = t.in_excl.(id);
+            in_unma = Bitset.cardinal t.read_unma_excl.(id);
+            out_bytes = t.out_excl.(id);
+            out_unma = Bitset.cardinal t.write_unma_excl.(id);
+            in_bytes_incl = t.in_incl.(id);
+            in_unma_incl = Bitset.cardinal t.read_unma_incl.(id);
+            out_bytes_incl = t.out_incl.(id);
+            out_unma_incl = Bitset.cardinal t.write_unma_incl.(id);
+          }
+          :: !out
+      end)
+    t.touched;
+  List.sort (fun a b -> compare a.routine.Symtab.name b.routine.Symtab.name) !out
+
+type binding = {
+  producer : Symtab.routine;
+  consumer : Symtab.routine;
+  bytes : int;
+  bytes_incl : int;
+  unma : int;
+}
+
+let bindings t =
+  Hashtbl.fold
+    (fun key e acc ->
+      let p = key lsr 20 and c = key land 0xfffff in
+      {
+        producer = Symtab.by_id t.symtab p;
+        consumer = Symtab.by_id t.symtab c;
+        bytes = e.e_bytes_excl;
+        bytes_incl = e.e_bytes_incl;
+        unma = Bitset.cardinal e.e_addrs;
+      }
+      :: acc)
+    t.edges []
+  |> List.sort (fun a b -> compare b.bytes_incl a.bytes_incl)
+
+let to_dot ?(min_bytes = 1) t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph QDU {\n  rankdir=LR;\n  node [shape=box];\n";
+  let nodes = Hashtbl.create 32 in
+  let want = List.filter (fun b -> b.bytes_incl >= min_bytes) (bindings t) in
+  List.iter
+    (fun b ->
+      Hashtbl.replace nodes b.producer.Symtab.name ();
+      Hashtbl.replace nodes b.consumer.Symtab.name ())
+    want;
+  Hashtbl.iter
+    (fun name () -> Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" name))
+    nodes;
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%d B / %d UnMA\"];\n"
+           b.producer.Symtab.name b.consumer.Symtab.name b.bytes_incl b.unma))
+    want;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let shadow_pages t = Shadow.page_count t.shadow

@@ -1,0 +1,25 @@
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type t = { pages : (int, int array) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 1024 }
+
+let set t addr producer =
+  let idx = addr lsr page_bits in
+  let page =
+    match Hashtbl.find_opt t.pages idx with
+    | Some p -> p
+    | None ->
+        let p = Array.make page_size (-1) in
+        Hashtbl.add t.pages idx p;
+        p
+  in
+  page.(addr land (page_size - 1)) <- producer
+
+let get t addr =
+  match Hashtbl.find_opt t.pages (addr lsr page_bits) with
+  | None -> -1
+  | Some p -> p.(addr land (page_size - 1))
+
+let page_count t = Hashtbl.length t.pages

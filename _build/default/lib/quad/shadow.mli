@@ -1,0 +1,19 @@
+(** Byte-granular last-writer shadow memory.
+
+    QUAD's central data structure: for every byte of the simulated address
+    space it records which routine last wrote it, so that a later read can be
+    attributed as a producer→consumer data communication.  4 KiB pages are
+    allocated on first write, keeping the footprint proportional to the
+    application's working set. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> int -> int -> unit
+(** [set t addr producer_id] records the last writer of one byte. *)
+
+val get : t -> int -> int
+(** [-1] if the byte has never been written. *)
+
+val page_count : t -> int

@@ -1,0 +1,1 @@
+lib/report/report.ml: Array Buffer List Printf Tq_gprofsim Tq_quad Tq_tquad Tq_util Tq_vm

@@ -1,0 +1,1 @@
+lib/report/report.mli: Tq_gprofsim Tq_quad Tq_tquad Tq_vm

@@ -1,0 +1,1 @@
+lib/rt/rt.ml: List Tq_asm Tq_isa Tq_vm

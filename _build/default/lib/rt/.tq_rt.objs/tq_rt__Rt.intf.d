@@ -1,0 +1,1 @@
+lib/rt/rt.mli: Hashtbl Tq_asm Tq_vm

@@ -1,0 +1,1 @@
+lib/tquad/multi.ml: List Tq_vm Tquad

@@ -1,0 +1,1 @@
+lib/tquad/multi.mli: Tquad

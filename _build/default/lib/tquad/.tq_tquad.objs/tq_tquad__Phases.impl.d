@@ -1,0 +1,1 @@
+lib/tquad/phases.ml: Array Buffer Int List Printf Set Tq_vm Tquad

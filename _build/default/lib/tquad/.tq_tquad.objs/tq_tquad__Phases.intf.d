@@ -1,0 +1,1 @@
+lib/tquad/phases.mli: Tq_vm Tquad

@@ -1,0 +1,1 @@
+lib/tquad/tquad.ml: Array List Tq_dbi Tq_isa Tq_prof Tq_util Tq_vm

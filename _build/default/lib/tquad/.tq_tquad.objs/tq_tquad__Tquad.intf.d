@@ -1,0 +1,1 @@
+lib/tquad/tquad.mli: Tq_dbi Tq_prof Tq_vm

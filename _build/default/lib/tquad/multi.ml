@@ -1,0 +1,29 @@
+let passes ~run ~slices ~kernel ~metric =
+  List.filter_map
+    (fun slice_interval ->
+      if slice_interval <= 0 then
+        invalid_arg "Multi: slice intervals must be positive";
+      let t = run ~slice_interval in
+      match
+        List.find_opt
+          (fun r -> r.Tq_vm.Symtab.name = kernel)
+          (Tquad.kernels t)
+      with
+      | None -> None
+      | Some r ->
+          let v = Tquad.avg_bpi t r metric in
+          if v > 0. then Some v else None)
+    slices
+
+let avg_bpi ~run ~slices ~kernel ~metric =
+  match passes ~run ~slices ~kernel ~metric with
+  | [] -> None
+  | vs ->
+      Some (List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs))
+
+let spread ~run ~slices ~kernel ~metric =
+  match passes ~run ~slices ~kernel ~metric with
+  | [] -> None
+  | v :: vs ->
+      Some
+        (List.fold_left (fun (lo, hi) x -> (min lo x, max hi x)) (v, v) vs)

@@ -1,0 +1,28 @@
+(** Multi-pass bandwidth averaging.
+
+    Table IV's note: "the average memory bandwidth usage is calculated over
+    several passes with different time slices" — slice boundaries introduce
+    quantization effects (a kernel active for a sliver of a slice is charged
+    a whole active slice), so the paper averages across runs at different
+    granularities.  [avg_bpi] does exactly that: run the workload once per
+    interval, compute the per-run average bytes/instruction over the
+    kernel's active slices, and average the runs. *)
+
+val avg_bpi :
+  run:(slice_interval:int -> Tquad.t) ->
+  slices:int list ->
+  kernel:string ->
+  metric:Tquad.metric ->
+  float option
+(** [None] if the kernel shows no traffic in any pass, or [slices] is empty.
+    Passes where the kernel is silent are excluded from the mean.
+    @raise Invalid_argument on a non-positive slice interval. *)
+
+val spread :
+  run:(slice_interval:int -> Tquad.t) ->
+  slices:int list ->
+  kernel:string ->
+  metric:Tquad.metric ->
+  (float * float) option
+(** (min, max) of the per-pass averages — the measurement inconsistency the
+    paper marks with "<" upper bounds in Table IV. *)

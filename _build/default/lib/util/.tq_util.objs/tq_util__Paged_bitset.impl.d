@@ -1,0 +1,1 @@
+lib/util/paged_bitset.ml: Array Hashtbl List

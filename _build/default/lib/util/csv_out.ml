@@ -1,0 +1,23 @@
+let needs_quote s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quote s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row cells = String.concat "," (List.map escape cells)
+
+let to_string rows =
+  String.concat "" (List.map (fun r -> row r ^ "\n") rows)
+
+let write oc rows = output_string oc (to_string rows)

@@ -1,0 +1,72 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 8) ~dummy () =
+  let capacity = max 1 capacity in
+  { data = Array.make capacity dummy; len = 0; dummy }
+
+let length t = t.len
+
+let grow_to t n =
+  if n > Array.length t.data then begin
+    let cap = ref (max 8 (Array.length t.data)) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let data = Array.make !cap t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t x =
+  grow_to t (t.len + 1);
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let check t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Dyn_array: index %d out of bounds [0,%d)" i t.len)
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let ensure t n =
+  if n > t.len then begin
+    grow_to t n;
+    Array.fill t.data t.len (n - t.len) t.dummy;
+    t.len <- n
+  end
+
+let get_or t i default = if i >= 0 && i < t.len then t.data.(i) else default
+
+let add_at f t i x =
+  ensure t (i + 1);
+  t.data.(i) <- f t.data.(i) x
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+let to_array t = Array.sub t.data 0 t.len
+
+let clear t = t.len <- 0
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)

@@ -1,0 +1,71 @@
+(* Pages of 2^15 bits stored as 1024 words of 32 bits (OCaml ints are 63-bit,
+   so 64-bit words would overflow on [1 lsl 63]). *)
+
+let page_bits = 15
+let page_size = 1 lsl page_bits (* bits per page *)
+let words_per_page = page_size / 32
+
+type t = {
+  pages : (int, int array) Hashtbl.t;
+  mutable count : int;
+}
+
+let create () = { pages = Hashtbl.create 64; count = 0 }
+
+let page_of t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some p -> p
+  | None ->
+      let p = Array.make words_per_page 0 in
+      Hashtbl.add t.pages idx p;
+      p
+
+let add t x =
+  if x < 0 then invalid_arg "Paged_bitset.add: negative";
+  let page = page_of t (x lsr page_bits) in
+  let off = x land (page_size - 1) in
+  let w = off lsr 5 and b = off land 31 in
+  let old = page.(w) in
+  let nw = old lor (1 lsl b) in
+  if nw <> old then begin
+    page.(w) <- nw;
+    t.count <- t.count + 1
+  end
+
+let add_range t x n =
+  for i = x to x + n - 1 do
+    add t i
+  done
+
+let mem t x =
+  if x < 0 then false
+  else
+    match Hashtbl.find_opt t.pages (x lsr page_bits) with
+    | None -> false
+    | Some page ->
+        let off = x land (page_size - 1) in
+        page.(off lsr 5) land (1 lsl (off land 31)) <> 0
+
+let cardinal t = t.count
+
+let iter f t =
+  let idxs = Hashtbl.fold (fun k _ acc -> k :: acc) t.pages [] in
+  let idxs = List.sort compare idxs in
+  List.iter
+    (fun idx ->
+      let page = Hashtbl.find t.pages idx in
+      let base = idx lsl page_bits in
+      for w = 0 to words_per_page - 1 do
+        let word = page.(w) in
+        if word <> 0 then
+          for b = 0 to 31 do
+            if word land (1 lsl b) <> 0 then f (base + (w * 32) + b)
+          done
+      done)
+    idxs
+
+let page_count t = Hashtbl.length t.pages
+
+let clear t =
+  Hashtbl.reset t.pages;
+  t.count <- 0

@@ -1,0 +1,87 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  header : string list;
+  arity : int;
+  mutable aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~header =
+  let arity = List.length header in
+  { header; arity; aligns = Array.make arity Left; rows = [] }
+
+let set_aligns t aligns =
+  if List.length aligns <> t.arity then
+    invalid_arg "Text_table.set_aligns: arity mismatch";
+  t.aligns <- Array.of_list aligns
+
+let add_row t cells =
+  if List.length cells <> t.arity then
+    invalid_arg
+      (Printf.sprintf "Text_table.add_row: expected %d cells, got %d" t.arity
+         (List.length cells));
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.make t.arity 0 in
+  let measure cells =
+    List.iteri
+      (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  measure t.header;
+  List.iter (function Cells c -> measure c | Sep -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad i c =
+    let w = widths.(i) in
+    let n = w - String.length c in
+    match t.aligns.(i) with
+    | Left -> c ^ String.make n ' '
+    | Right -> String.make n ' ' ^ c
+  in
+  let emit_cells cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let emit_rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_rule ();
+  emit_cells t.header;
+  emit_rule ();
+  List.iter (function Cells c -> emit_cells c | Sep -> emit_rule ()) rows;
+  emit_rule ();
+  Buffer.contents buf
+
+let int_cell n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_cell ?(dp = 4) x = Printf.sprintf "%.*f" dp x
+
+let pct_cell x = Printf.sprintf "%.2f" x

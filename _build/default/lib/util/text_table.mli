@@ -1,0 +1,34 @@
+(** Aligned plain-text table rendering for the reproduction reports.
+
+    Produces the fixed-width tables printed by [bin/tquad_cli] and
+    [bench/main.exe] when regenerating the paper's Tables I-IV. *)
+
+type align = Left | Right
+
+type t
+
+val create : header:string list -> t
+(** A table whose first row is [header]; every subsequent row must have the
+    same arity. *)
+
+val set_aligns : t -> align list -> unit
+(** Per-column alignment; default is [Left] for every column.
+    @raise Invalid_argument on arity mismatch. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on arity mismatch with the header. *)
+
+val add_sep : t -> unit
+(** Insert a horizontal rule at the current position. *)
+
+val render : t -> string
+(** Render with single-space-padded pipes and a rule under the header. *)
+
+val int_cell : int -> string
+(** Thousands-separated decimal rendering, e.g. [1270684] -> "1,270,684". *)
+
+val float_cell : ?dp:int -> float -> string
+(** Fixed-point with [dp] decimals (default 4). *)
+
+val pct_cell : float -> string
+(** Two-decimal percentage without the % sign (gprof style). *)

@@ -1,0 +1,1 @@
+lib/vm/executor.ml: Machine

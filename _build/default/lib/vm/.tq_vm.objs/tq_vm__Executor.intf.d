@@ -1,0 +1,1 @@
+lib/vm/executor.mli: Machine

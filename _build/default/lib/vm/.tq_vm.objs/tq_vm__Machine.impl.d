@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Buffer Bytes Char Float Isa Layout List Memory Printf Program Sysno Tq_isa Vfs

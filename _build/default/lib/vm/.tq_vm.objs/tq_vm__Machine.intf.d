@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Memory Program Tq_isa Vfs

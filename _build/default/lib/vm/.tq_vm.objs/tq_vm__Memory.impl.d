@@ -1,0 +1,1 @@
+lib/vm/memory.ml: Buffer Bytes Char Hashtbl Int32 Int64 Sys Tq_isa

@@ -1,0 +1,1 @@
+lib/vm/objfile.ml: Array Buffer Char Int64 List Printf Program String Symtab Sys Tq_isa

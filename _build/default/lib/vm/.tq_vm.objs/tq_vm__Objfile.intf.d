@@ -1,0 +1,1 @@
+lib/vm/objfile.mli: Buffer Program

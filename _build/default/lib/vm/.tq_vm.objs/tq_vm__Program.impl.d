@@ -1,0 +1,1 @@
+lib/vm/program.ml: Array Buffer Layout Printf Symtab Tq_isa

@@ -1,0 +1,1 @@
+lib/vm/program.mli: Symtab Tq_isa

@@ -1,0 +1,1 @@
+lib/vm/symtab.ml: Array Hashtbl List Option Printf

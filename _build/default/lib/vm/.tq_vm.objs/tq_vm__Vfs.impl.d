@@ -1,0 +1,1 @@
+lib/vm/vfs.ml: Bytes Hashtbl List Option Printf String

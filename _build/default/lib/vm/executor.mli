@@ -1,0 +1,14 @@
+(** Plain (uninstrumented) execution loop — the "native run" baseline that
+    the paper's 37.2x-68.95x instrumentation-slowdown comparison is measured
+    against. *)
+
+exception Out_of_fuel of int
+(** Raised when the fuel budget is exhausted; carries the executed count. *)
+
+val run : ?fuel:int -> Machine.t -> unit
+(** Step until the machine halts.  [fuel] (default 2_000_000_000) bounds the
+    number of instructions to catch runaway programs. *)
+
+val run_steps : Machine.t -> int -> int
+(** [run_steps m n] executes at most [n] instructions, returning how many
+    actually retired (less than [n] only if the machine halted). *)

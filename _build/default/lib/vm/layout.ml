@@ -1,0 +1,6 @@
+let text_base = 0x0040_0000
+let data_base = 0x1000_0000
+let stack_top = 0x7f00_0000_0000
+let stack_red_zone = 64
+
+let is_stack_addr ~sp addr = addr >= sp - stack_red_zone && addr < stack_top

@@ -1,0 +1,17 @@
+(** Process address-space layout constants (shared by loader, runtime and
+    profilers). *)
+
+val text_base : int (** 0x0040_0000 — code addresses start here *)
+
+val data_base : int (** 0x1000_0000 — globals and initial heap *)
+
+val stack_top : int (** 0x7f00_0000_0000 — initial stack pointer *)
+
+val stack_red_zone : int
+(** Bytes below the live stack pointer still classified as stack area (the
+    return-address slot a [call] writes sits below the pre-call SP). *)
+
+val is_stack_addr : sp:int -> int -> bool
+(** The classification used by QUAD/tQUAD when separating "local stack area"
+    accesses from global memory traffic: an address is stack-area when it
+    lies in [\[sp - red_zone, stack_top)]. *)

@@ -1,0 +1,330 @@
+open Tq_isa
+
+exception Trap of { ip : int; reason : string }
+
+type t = {
+  prog : Program.t;
+  regs : int array;
+  fregs : float array;
+  memory : Memory.t;
+  filesystem : Vfs.t;
+  mutable pc : int;
+  mutable count : int;
+  mutable is_halted : bool;
+  mutable exit_status : int option;
+  mutable brk : int;
+  fds : Vfs.fd option array;
+  console : Buffer.t;
+}
+
+let trap t reason = raise (Trap { ip = t.pc; reason })
+
+let create ?vfs prog =
+  let t =
+    {
+      prog;
+      regs = Array.make Isa.num_regs 0;
+      fregs = Array.make Isa.num_regs 0.;
+      memory = Memory.create ();
+      filesystem = (match vfs with Some v -> v | None -> Vfs.create ());
+      pc = prog.Program.entry;
+      count = 0;
+      is_halted = false;
+      exit_status = None;
+      brk = prog.Program.data_end;
+      fds = Array.make 64 None;
+      console = Buffer.create 256;
+    }
+  in
+  t.regs.(Isa.reg_sp) <- Layout.stack_top;
+  List.iter
+    (fun (addr, bytes) -> Memory.write_bytes t.memory addr (Bytes.of_string bytes))
+    prog.Program.data;
+  t
+
+let program t = t.prog
+let vfs t = t.filesystem
+let ip t = t.pc
+let reg t r = if r = Isa.reg_zero then 0 else t.regs.(r)
+
+let set_reg t r v = if r <> Isa.reg_zero then t.regs.(r) <- v
+
+let freg t r = t.fregs.(r)
+let set_freg t r v = t.fregs.(r) <- v
+let sp t = t.regs.(Isa.reg_sp)
+let instr_count t = t.count
+let halted t = t.is_halted
+let exit_code t = t.exit_status
+let mem t = t.memory
+let stdout_contents t = Buffer.contents t.console
+
+let read_ea t ins =
+  match ins with
+  | Isa.Load { base; off; _ } | Isa.Loads { base; off; _ }
+  | Isa.Fload { base; off; _ } | Isa.Prefetch { base; off } ->
+      reg t base + off
+  | Isa.Ret -> sp t
+  | Isa.Movs { src; _ } -> reg t src
+  | _ -> 0
+
+let write_ea t ins =
+  match ins with
+  | Isa.Store { base; off; _ } | Isa.Fstore { base; off; _ } -> reg t base + off
+  | Isa.Call _ | Isa.Callr _ -> sp t - 8
+  | Isa.Movs { dst; _ } -> reg t dst
+  | _ -> 0
+
+(* Dynamic byte count of a block-move; 0 for other instructions. *)
+let block_len t ins =
+  match ins with Isa.Movs { len; _ } -> max 0 (reg t len) | _ -> 0
+
+let predicate_true t ins =
+  match Isa.predicate_of ins with None -> true | Some p -> reg t p <> 0
+
+let fetch t =
+  match Program.fetch t.prog t.pc with
+  | ins -> ins
+  | exception Invalid_argument msg -> trap t msg
+
+(* Unsigned comparison over the full native-int range. *)
+let ucmp_lt a b = a lxor min_int < b lxor min_int
+
+let eval_binop t op a b =
+  match op with
+  | Isa.Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then trap t "integer division by zero" else a / b
+  | Rem -> if b = 0 then trap t "integer remainder by zero" else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Sll -> a lsl (b land 63)
+  | Srl -> a lsr (b land 63)
+  | Sra -> a asr (b land 63)
+  | Slt -> if a < b then 1 else 0
+  | Sltu -> if ucmp_lt a b then 1 else 0
+  | Seq -> if a = b then 1 else 0
+  | Sne -> if a <> b then 1 else 0
+  | Sle -> if a <= b then 1 else 0
+  | Sge -> if a >= b then 1 else 0
+  | Sgt -> if a > b then 1 else 0
+
+let eval_fbinop op a b =
+  match op with
+  | Isa.Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+
+let eval_funop op a =
+  match op with
+  | Isa.Fneg -> -.a
+  | Fabs -> Float.abs a
+  | Fsqrt -> Float.sqrt a
+  | Fsin -> sin a
+  | Fcos -> cos a
+  | Ffloor -> Float.floor a
+
+let eval_fcmp c a b =
+  match c with
+  | Isa.Feq -> a = b
+  | Fne -> a <> b
+  | Flt -> a < b
+  | Fle -> a <= b
+
+(* ---------- syscalls ---------- *)
+
+let sys_exit = Sysno.exit
+let sys_open = Sysno.open_
+let sys_close = Sysno.close
+let sys_read = Sysno.read
+let sys_write = Sysno.write
+let sys_brk = Sysno.brk
+let sys_putint = Sysno.putint
+let sys_putfloat = Sysno.putfloat
+let sys_putstr = Sysno.putstr
+let sys_putchar = Sysno.putchar
+let sys_seek = Sysno.seek
+let sys_fsize = Sysno.fsize
+let sys_clock = Sysno.clock
+
+let alloc_fd t =
+  let rec go i =
+    if i >= Array.length t.fds then trap t "out of file descriptors"
+    else if t.fds.(i) = None then i
+    else go (i + 1)
+  in
+  go 3
+
+let get_fd t n =
+  if n < 0 || n >= Array.length t.fds then trap t "bad file descriptor"
+  else
+    match t.fds.(n) with
+    | None -> trap t (Printf.sprintf "file descriptor %d not open" n)
+    | Some fd -> fd
+
+let do_syscall t n =
+  let a0 = reg t Isa.reg_a0
+  and a1 = reg t (Isa.reg_a0 + 1)
+  and a2 = reg t (Isa.reg_a0 + 2) in
+  let ret v = set_reg t Isa.reg_rv v in
+  if n = sys_exit then begin
+    t.is_halted <- true;
+    t.exit_status <- Some a0
+  end
+  else if n = sys_open then begin
+    let path = Memory.read_cstring t.memory a0 in
+    match Vfs.openf t.filesystem path ~writable:(a1 <> 0) with
+    | Error _ -> ret (-1)
+    | Ok fd ->
+        let n = alloc_fd t in
+        t.fds.(n) <- Some fd;
+        ret n
+  end
+  else if n = sys_close then begin
+    (match t.fds.(a0) with
+    | Some fd -> Vfs.close t.filesystem fd
+    | None -> ());
+    if a0 >= 0 && a0 < Array.length t.fds then t.fds.(a0) <- None;
+    ret 0
+  end
+  else if n = sys_read then begin
+    let fd = get_fd t a0 in
+    let buf = Bytes.create (max 0 a2) in
+    let n = Vfs.read fd buf (max 0 a2) in
+    Memory.write_bytes t.memory a1 (Bytes.sub buf 0 n);
+    ret n
+  end
+  else if n = sys_write then begin
+    let fd = get_fd t a0 in
+    let buf = Memory.read_bytes t.memory a1 (max 0 a2) in
+    ret (Vfs.write fd buf (max 0 a2))
+  end
+  else if n = sys_brk then begin
+    if a0 > t.brk then t.brk <- a0;
+    ret t.brk
+  end
+  else if n = sys_putint then begin
+    Buffer.add_string t.console (string_of_int a0);
+    ret 0
+  end
+  else if n = sys_putfloat then begin
+    (* Float syscall argument travels in f4 (see {!Sysno}). *)
+    Buffer.add_string t.console (Printf.sprintf "%.6g" (freg t 4));
+    ret 0
+  end
+  else if n = sys_putstr then begin
+    Buffer.add_bytes t.console (Memory.read_bytes t.memory a0 a1);
+    ret 0
+  end
+  else if n = sys_putchar then begin
+    Buffer.add_char t.console (Char.chr (a0 land 0xff));
+    ret 0
+  end
+  else if n = sys_seek then begin
+    Vfs.seek (get_fd t a0) a1;
+    ret 0
+  end
+  else if n = sys_fsize then ret (Vfs.fd_size (get_fd t a0))
+  else if n = sys_clock then ret t.count
+  else trap t (Printf.sprintf "unknown syscall %d" n)
+
+(* ---------- execution ---------- *)
+
+let exec t ins =
+  let next = t.pc + Isa.ins_bytes in
+  t.count <- t.count + 1;
+  (match ins with
+  | Isa.Nop -> t.pc <- next
+  | Li (r, i) ->
+      set_reg t r i;
+      t.pc <- next
+  | Mov (d, s) ->
+      set_reg t d (reg t s);
+      t.pc <- next
+  | Bin (op, d, s, o) ->
+      let b = match o with Isa.Reg r -> reg t r | Imm i -> i in
+      set_reg t d (eval_binop t op (reg t s) b);
+      t.pc <- next
+  | Fli (r, f) ->
+      t.fregs.(r) <- f;
+      t.pc <- next
+  | Fmov (d, s) ->
+      t.fregs.(d) <- t.fregs.(s);
+      t.pc <- next
+  | Fbin (op, d, a, b) ->
+      t.fregs.(d) <- eval_fbinop op t.fregs.(a) t.fregs.(b);
+      t.pc <- next
+  | Fun (op, d, s) ->
+      t.fregs.(d) <- eval_funop op t.fregs.(s);
+      t.pc <- next
+  | Fcmp (c, d, a, b) ->
+      set_reg t d (if eval_fcmp c t.fregs.(a) t.fregs.(b) then 1 else 0);
+      t.pc <- next
+  | I2f (d, s) ->
+      t.fregs.(d) <- float_of_int (reg t s);
+      t.pc <- next
+  | F2i (d, s) ->
+      set_reg t d (int_of_float t.fregs.(s));
+      t.pc <- next
+  | Load { width; dst; base; off; pred } ->
+      (match pred with
+      | Some p when reg t p = 0 -> ()
+      | _ -> set_reg t dst (Memory.load t.memory ~width (reg t base + off)));
+      t.pc <- next
+  | Loads { width; dst; base; off } ->
+      set_reg t dst (Memory.loads t.memory ~width (reg t base + off));
+      t.pc <- next
+  | Store { width; src; base; off; pred } ->
+      (match pred with
+      | Some p when reg t p = 0 -> ()
+      | _ -> Memory.store t.memory ~width (reg t base + off) (reg t src));
+      t.pc <- next
+  | Fload { dst; base; off; pred } ->
+      (match pred with
+      | Some p when reg t p = 0 -> ()
+      | _ -> t.fregs.(dst) <- Memory.load_f64 t.memory (reg t base + off));
+      t.pc <- next
+  | Fstore { src; base; off; pred } ->
+      (match pred with
+      | Some p when reg t p = 0 -> ()
+      | _ -> Memory.store_f64 t.memory (reg t base + off) t.fregs.(src));
+      t.pc <- next
+  | Prefetch _ ->
+      (* Hint only: references memory from the profiler's point of view but
+         has no architectural effect. *)
+      t.pc <- next
+  | Movs { dst; src; len } ->
+      let n = reg t len in
+      if n > 0 then begin
+        let data = Memory.read_bytes t.memory (reg t src) n in
+        Memory.write_bytes t.memory (reg t dst) data
+      end;
+      t.pc <- next
+  | Jmp a -> t.pc <- a
+  | Jr r -> t.pc <- reg t r
+  | Bz (r, a) -> t.pc <- (if reg t r = 0 then a else next)
+  | Bnz (r, a) -> t.pc <- (if reg t r <> 0 then a else next)
+  | Call a ->
+      let nsp = sp t - 8 in
+      Memory.store t.memory ~width:Isa.W8 nsp next;
+      t.regs.(Isa.reg_sp) <- nsp;
+      t.pc <- a
+  | Callr r ->
+      let target = reg t r in
+      let nsp = sp t - 8 in
+      Memory.store t.memory ~width:Isa.W8 nsp next;
+      t.regs.(Isa.reg_sp) <- nsp;
+      t.pc <- target
+  | Ret ->
+      let ra = Memory.load t.memory ~width:Isa.W8 (sp t) in
+      t.regs.(Isa.reg_sp) <- sp t + 8;
+      t.pc <- ra
+  | Syscall n ->
+      do_syscall t n;
+      t.pc <- next
+  | Halt ->
+      t.is_halted <- true;
+      if t.exit_status = None then t.exit_status <- Some 0);
+  ()

@@ -1,0 +1,67 @@
+(** Architectural state and instruction semantics.
+
+    A [Machine.t] is one simulated process: registers, sparse memory, program
+    break, file descriptors and a retired-instruction counter.  The counter
+    is the {e clock} every profiler in this repository uses, mirroring the
+    paper's platform-independent instruction-count timing.
+
+    [exec] executes a single already-fetched instruction; it is shared by the
+    plain executor and by the DBI engine (which interleaves analysis-routine
+    calls with [exec]).  Faults raise [Trap]. *)
+
+exception Trap of { ip : int; reason : string }
+
+type t
+
+val create : ?vfs:Vfs.t -> Program.t -> t
+(** Fresh process: [ip] at the program entry, [sp] at [Layout.stack_top],
+    all registers zero, data segments copied in, brk at [data_end]. *)
+
+val program : t -> Program.t
+val vfs : t -> Vfs.t
+
+(** {2 State accessors} *)
+
+val ip : t -> int
+val reg : t -> Tq_isa.Isa.reg -> int
+val set_reg : t -> Tq_isa.Isa.reg -> int -> unit
+val freg : t -> Tq_isa.Isa.freg -> float
+val set_freg : t -> Tq_isa.Isa.freg -> float -> unit
+val sp : t -> int
+val instr_count : t -> int
+val halted : t -> bool
+val exit_code : t -> int option
+val mem : t -> Memory.t
+val stdout_contents : t -> string
+(** Console output accumulated through the put* syscalls. *)
+
+(** {2 Effective addresses}
+
+    Computed from the current register state {e before} executing the
+    instruction — this is what the DBI engine passes to analysis routines as
+    the Pin [IARG_MEMORY*_EA] analogues. *)
+
+val read_ea : t -> Tq_isa.Isa.ins -> int
+(** Effective address of the memory read; meaningless (0) if the instruction
+    does not read memory. [Ret] reads at [sp]. *)
+
+val write_ea : t -> Tq_isa.Isa.ins -> int
+(** Effective address of the memory write; [Call] writes at [sp-8]. *)
+
+val block_len : t -> Tq_isa.Isa.ins -> int
+(** Dynamic byte count of a [Movs] block move (0 for anything else) — the
+    value analysis routines must use in place of the static widths. *)
+
+val predicate_true : t -> Tq_isa.Isa.ins -> bool
+(** Whether a predicated access will actually execute (true for
+    non-predicated instructions). *)
+
+(** {2 Execution} *)
+
+val fetch : t -> Tq_isa.Isa.ins
+(** Instruction at the current [ip]. @raise Trap on a wild [ip]. *)
+
+val exec : t -> Tq_isa.Isa.ins -> unit
+(** Execute one instruction (must be the one at [ip]): updates registers,
+    memory, [ip] and the retired-instruction counter.  Syscalls are handled
+    inline; [exit] sets the halted flag. *)

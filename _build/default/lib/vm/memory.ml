@@ -1,0 +1,184 @@
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+(* A one-entry page cache exploits the strong locality of compiled code
+   (stack frames, sequential buffers): most accesses hit the same page as
+   the previous one and skip the hash lookup. *)
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable last_idx : int;
+  mutable last_page : Bytes.t;
+}
+
+let no_page = Bytes.create 0
+
+let create () =
+  { pages = Hashtbl.create 256; last_idx = -1; last_page = no_page }
+
+let page_of t idx =
+  if idx = t.last_idx then t.last_page
+  else begin
+    let p =
+      match Hashtbl.find_opt t.pages idx with
+      | Some p -> p
+      | None ->
+          let p = Bytes.make page_size '\000' in
+          Hashtbl.add t.pages idx p;
+          p
+    in
+    t.last_idx <- idx;
+    t.last_page <- p;
+    p
+  end
+
+let find_page t idx =
+  if idx = t.last_idx then Some t.last_page
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+        t.last_idx <- idx;
+        t.last_page <- p;
+        Some p
+    | None -> None
+
+let check addr =
+  if addr < 0 then invalid_arg "Memory: negative address"
+
+let get_u8 t addr =
+  check addr;
+  match find_page t (addr lsr page_bits) with
+  | None -> 0
+  | Some p -> Bytes.get_uint8 p (addr land (page_size - 1))
+
+let set_u8 t addr v =
+  check addr;
+  let p = page_of t (addr lsr page_bits) in
+  Bytes.set_uint8 p (addr land (page_size - 1)) (v land 0xff)
+
+(* Fast within-page paths; byte-wise fallback across pages. *)
+
+let load t ~width addr =
+  check addr;
+  let off = addr land (page_size - 1) in
+  let n = Tq_isa.Isa.width_bytes width in
+  if off + n <= page_size then begin
+    match find_page t (addr lsr page_bits) with
+    | None -> 0
+    | Some p -> (
+        match width with
+        | Tq_isa.Isa.W1 -> Bytes.get_uint8 p off
+        | W2 -> Bytes.get_uint16_le p off
+        | W4 -> Int32.to_int (Bytes.get_int32_le p off) land 0xffffffff
+        | W8 ->
+            (* Stored as 64 bits; OCaml ints are 63-bit so the top bit folds
+               into the sign, which is the behaviour native code sees. *)
+            Int64.to_int (Bytes.get_int64_le p off))
+  end
+  else begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      v := (!v lsl 8) lor get_u8 t (addr + i)
+    done;
+    !v
+  end
+
+let sign_extend v bits =
+  let shift = Sys.int_size - bits in
+  (v lsl shift) asr shift
+
+let loads t ~width addr =
+  let v = load t ~width addr in
+  match width with
+  | Tq_isa.Isa.W1 -> sign_extend v 8
+  | W2 -> sign_extend v 16
+  | W4 -> sign_extend v 32
+  | W8 -> v
+
+let store t ~width addr v =
+  check addr;
+  let off = addr land (page_size - 1) in
+  let n = Tq_isa.Isa.width_bytes width in
+  if off + n <= page_size then begin
+    let p = page_of t (addr lsr page_bits) in
+    match width with
+    | Tq_isa.Isa.W1 -> Bytes.set_uint8 p off (v land 0xff)
+    | W2 -> Bytes.set_uint16_le p off (v land 0xffff)
+    | W4 -> Bytes.set_int32_le p off (Int32.of_int v)
+    | W8 -> Bytes.set_int64_le p off (Int64.of_int v)
+  end
+  else
+    for i = 0 to n - 1 do
+      set_u8 t (addr + i) ((v lsr (8 * i)) land 0xff)
+    done
+
+let load_f64 t addr =
+  let off = addr land (page_size - 1) in
+  if off + 8 <= page_size then
+    match find_page t (addr lsr page_bits) with
+    | None -> 0.
+    | Some p -> Int64.float_of_bits (Bytes.get_int64_le p off)
+  else begin
+    let bits = ref 0L in
+    for i = 7 downto 0 do
+      bits := Int64.logor (Int64.shift_left !bits 8)
+                (Int64.of_int (get_u8 t (addr + i)))
+    done;
+    Int64.float_of_bits !bits
+  end
+
+let store_f64 t addr v =
+  let off = addr land (page_size - 1) in
+  if off + 8 <= page_size then begin
+    let p = page_of t (addr lsr page_bits) in
+    Bytes.set_int64_le p off (Int64.bits_of_float v)
+  end
+  else begin
+    let bits = Int64.bits_of_float v in
+    for i = 0 to 7 do
+      set_u8 t (addr + i)
+        (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+    done
+  end
+
+let read_bytes t addr len =
+  let out = Bytes.make len '\000' in
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let off = a land (page_size - 1) in
+    let chunk = min (len - !i) (page_size - off) in
+    (match find_page t (a lsr page_bits) with
+    | None -> ()
+    | Some p -> Bytes.blit p off out !i chunk);
+    i := !i + chunk
+  done;
+  out
+
+let write_bytes t addr b =
+  let len = Bytes.length b in
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let off = a land (page_size - 1) in
+    let chunk = min (len - !i) (page_size - off) in
+    let p = page_of t (a lsr page_bits) in
+    Bytes.blit b !i p off chunk;
+    i := !i + chunk
+  done
+
+let read_cstring t ?(max = 4096) addr =
+  let buf = Buffer.create 32 in
+  let rec go i =
+    if i >= max then invalid_arg "Memory.read_cstring: unterminated"
+    else begin
+      let c = get_u8 t (addr + i) in
+      if c = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr c);
+        go (i + 1)
+      end
+    end
+  in
+  go 0
+
+let page_count t = Hashtbl.length t.pages

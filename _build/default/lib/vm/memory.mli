@@ -1,0 +1,35 @@
+(** Sparse byte-addressable memory.
+
+    Backed by 4 KiB pages allocated on first touch, so a process can place
+    its stack near the top of a 47-bit address space while globals sit at low
+    addresses, without reserving the range in between.  All multi-byte
+    accesses are little-endian and may straddle page boundaries. *)
+
+type t
+
+val create : unit -> t
+
+val load : t -> width:Tq_isa.Isa.width -> int -> int
+(** Zero-extended load. @raise Invalid_argument on negative address. *)
+
+val loads : t -> width:Tq_isa.Isa.width -> int -> int
+(** Sign-extended load. *)
+
+val store : t -> width:Tq_isa.Isa.width -> int -> int -> unit
+(** [store t ~width addr v] truncates [v] to [width] bytes. *)
+
+val load_f64 : t -> int -> float
+
+val store_f64 : t -> int -> float -> unit
+
+val read_bytes : t -> int -> int -> bytes
+(** [read_bytes t addr len] copies out a range (zero where untouched). *)
+
+val write_bytes : t -> int -> bytes -> unit
+
+val read_cstring : t -> ?max:int -> int -> string
+(** Read a NUL-terminated string starting at the address (max default 4096).
+    @raise Invalid_argument if no NUL within [max] bytes. *)
+
+val page_count : t -> int
+(** Allocated pages, for footprint accounting. *)

@@ -1,0 +1,36 @@
+type t = {
+  code : Tq_isa.Isa.ins array;
+  entry : int;
+  data : (int * string) list;
+  data_end : int;
+  symtab : Symtab.t;
+}
+
+let addr_of_index i = Layout.text_base + (i * Tq_isa.Isa.ins_bytes)
+
+let index_of_addr t addr =
+  let off = addr - Layout.text_base in
+  if off < 0 || off mod Tq_isa.Isa.ins_bytes <> 0 then
+    invalid_arg (Printf.sprintf "Program: bad code address 0x%x" addr);
+  let i = off / Tq_isa.Isa.ins_bytes in
+  if i >= Array.length t.code then
+    invalid_arg (Printf.sprintf "Program: code address 0x%x out of range" addr);
+  i
+
+let fetch t addr = t.code.(index_of_addr t addr)
+
+let disassemble t =
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun i ins ->
+      let addr = addr_of_index i in
+      (match Symtab.find t.symtab addr with
+      | Some r when r.entry = addr ->
+          Buffer.add_string buf
+            (Printf.sprintf "\n<%s> (%s%s):\n" r.name r.image
+               (if r.is_main_image then "" else ", library"))
+      | _ -> ());
+      Buffer.add_string buf
+        (Printf.sprintf "  0x%06x: %s\n" addr (Tq_isa.Isa.to_string ins)))
+    t.code;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** A fully linked program: flat code array, initial data image, entry point
+    and symbol table.  Produced by the assembler/linker ([Tq_asm.Link]) and
+    consumed by the loader ([Machine.create]) and the DBI engine. *)
+
+type t = {
+  code : Tq_isa.Isa.ins array;
+  entry : int;  (** code address where execution starts *)
+  data : (int * string) list;  (** (address, bytes) initial data segments *)
+  data_end : int;  (** first address past static data = initial brk *)
+  symtab : Symtab.t;
+}
+
+val addr_of_index : int -> int
+(** Code address of instruction [i] ([Layout.text_base + 4*i]). *)
+
+val index_of_addr : t -> int -> int
+(** Inverse of [addr_of_index].
+    @raise Invalid_argument if out of the code range or misaligned. *)
+
+val fetch : t -> int -> Tq_isa.Isa.ins
+(** [fetch t addr]. @raise Invalid_argument on a bad address. *)
+
+val disassemble : t -> string
+(** Full listing with routine headers, for debugging and the CLI's
+    [disasm] subcommand. *)

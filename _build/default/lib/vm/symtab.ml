@@ -1,0 +1,52 @@
+type routine = {
+  id : int;
+  name : string;
+  entry : int;
+  size : int;
+  image : string;
+  is_main_image : bool;
+}
+
+type t = { routines : routine array; names : (string, int) Hashtbl.t }
+
+let build rs =
+  let arr =
+    rs
+    |> List.sort (fun a b -> compare a.entry b.entry)
+    |> List.mapi (fun id r -> { r with id })
+    |> Array.of_list
+  in
+  Array.iteri
+    (fun i r ->
+      if i > 0 then begin
+        let prev = arr.(i - 1) in
+        if prev.entry + prev.size > r.entry then
+          invalid_arg
+            (Printf.sprintf "Symtab.build: %s overlaps %s" prev.name r.name)
+      end)
+    arr;
+  let names = Hashtbl.create (Array.length arr) in
+  Array.iteri (fun i r -> Hashtbl.replace names r.name i) arr;
+  { routines = arr; names }
+
+let find t addr =
+  let lo = ref 0 and hi = ref (Array.length t.routines - 1) in
+  let result = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = t.routines.(mid) in
+    if addr < r.entry then hi := mid - 1
+    else if addr >= r.entry + r.size then lo := mid + 1
+    else begin
+      result := Some r;
+      lo := !hi + 1
+    end
+  done;
+  !result
+
+let by_name t name =
+  Hashtbl.find_opt t.names name |> Option.map (fun i -> t.routines.(i))
+
+let by_id t id = t.routines.(id)
+let count t = Array.length t.routines
+let iter f t = Array.iter f t.routines

@@ -1,0 +1,33 @@
+(** Routine symbol table of a loaded process.
+
+    This is what a DBA tool sees of program structure: routine names, entry
+    addresses, sizes, and which image (main executable vs library) each
+    routine came from.  Everything else — the call graph, the call stack —
+    must be reconstructed dynamically by the tool, as the paper stresses. *)
+
+type routine = {
+  id : int;  (** dense index, assigned in entry-address order *)
+  name : string;
+  entry : int;  (** code address of the first instruction *)
+  size : int;  (** size in bytes *)
+  image : string;  (** image name, e.g. "wfs" or "librt" *)
+  is_main_image : bool;
+}
+
+type t
+
+val build : routine list -> t
+(** Routines must not overlap; ids are re-assigned densely in address order.
+    @raise Invalid_argument on overlap. *)
+
+val find : t -> int -> routine option
+(** [find t addr] is the routine whose [entry <= addr < entry + size]. *)
+
+val by_name : t -> string -> routine option
+
+val by_id : t -> int -> routine
+
+val count : t -> int
+
+val iter : (routine -> unit) -> t -> unit
+(** In address order. *)

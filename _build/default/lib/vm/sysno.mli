@@ -1,0 +1,24 @@
+(** Syscall numbers shared between the machine, the runtime image and the
+    code generator.
+
+    Calling convention: integer arguments in [x4..x6], float argument in
+    [f4]; integer result in [x1]. *)
+
+val exit : int
+val open_ : int (** a0 = NUL-terminated path, a1 = 0 read / 1 write-trunc *)
+
+val close : int
+val read : int (** a0 = fd, a1 = buffer address, a2 = length; returns count *)
+
+val write : int
+val brk : int (** a0 = requested break (0 = query); returns current break *)
+
+val putint : int
+val putfloat : int (** prints [f4] *)
+
+val putstr : int (** a0 = address, a1 = length *)
+
+val putchar : int
+val seek : int
+val fsize : int
+val clock : int (** returns the retired-instruction count *)

@@ -1,0 +1,64 @@
+type file = { mutable data : Bytes.t; mutable size : int }
+
+type t = { files : (string, file) Hashtbl.t }
+
+type fd = { file : file; mutable pos : int; writable : bool; path : string }
+
+let create () = { files = Hashtbl.create 16 }
+
+let install t path contents =
+  Hashtbl.replace t.files path
+    { data = Bytes.of_string contents; size = String.length contents }
+
+let contents t path =
+  Hashtbl.find_opt t.files path
+  |> Option.map (fun f -> Bytes.sub_string f.data 0 f.size)
+
+let exists t path = Hashtbl.mem t.files path
+let size t path = Hashtbl.find_opt t.files path |> Option.map (fun f -> f.size)
+let remove t path = Hashtbl.remove t.files path
+
+let list t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.files [] |> List.sort compare
+
+let openf t path ~writable =
+  if writable then begin
+    let file = { data = Bytes.create 256; size = 0 } in
+    Hashtbl.replace t.files path file;
+    Ok { file; pos = 0; writable; path }
+  end
+  else
+    match Hashtbl.find_opt t.files path with
+    | None -> Error (Printf.sprintf "no such file: %s" path)
+    | Some file -> Ok { file; pos = 0; writable; path }
+
+let read fd buf len =
+  let n = max 0 (min len (fd.file.size - fd.pos)) in
+  Bytes.blit fd.file.data fd.pos buf 0 n;
+  fd.pos <- fd.pos + n;
+  n
+
+let ensure_capacity file n =
+  if n > Bytes.length file.data then begin
+    let cap = ref (max 256 (Bytes.length file.data)) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let data = Bytes.make !cap '\000' in
+    Bytes.blit file.data 0 data 0 file.size;
+    file.data <- data
+  end
+
+let write fd buf len =
+  if not fd.writable then 0
+  else begin
+    ensure_capacity fd.file (fd.pos + len);
+    Bytes.blit buf 0 fd.file.data fd.pos len;
+    fd.pos <- fd.pos + len;
+    if fd.pos > fd.file.size then fd.file.size <- fd.pos;
+    len
+  end
+
+let seek fd pos = fd.pos <- max 0 pos
+let fd_size fd = fd.file.size
+let close _t _fd = ()

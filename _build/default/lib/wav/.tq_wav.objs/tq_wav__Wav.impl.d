@@ -1,0 +1,1 @@
+lib/wav/wav.ml: Array Buffer Char Float Printf String

@@ -1,0 +1,1 @@
+lib/wav/wav.mli:

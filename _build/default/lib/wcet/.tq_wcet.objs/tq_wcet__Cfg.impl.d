@@ -1,0 +1,1 @@
+lib/wcet/cfg.ml: Array Buffer Hashtbl List Printf String Tq_isa Tq_vm

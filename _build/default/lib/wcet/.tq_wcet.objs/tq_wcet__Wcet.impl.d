@@ -1,0 +1,1 @@
+lib/wcet/wcet.ml: Array Cfg Fun Hashtbl Int List Printf Set String Tq_vm

@@ -1,0 +1,1 @@
+lib/wcet/wcet.mli: Tq_vm

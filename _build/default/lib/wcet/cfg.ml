@@ -1,0 +1,133 @@
+module Isa = Tq_isa.Isa
+module Program = Tq_vm.Program
+module Symtab = Tq_vm.Symtab
+
+type block = {
+  id : int;
+  first : int;
+  last : int;
+  n_ins : int;
+  succs : int list;
+  calls : string list;
+}
+
+type t = { routine : Symtab.routine; blocks : block array }
+
+exception Unsupported of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let build prog (routine : Symtab.routine) =
+  let lo = routine.Symtab.entry in
+  let hi = lo + routine.Symtab.size in
+  let inside a = a >= lo && a < hi in
+  let fetch a = Program.fetch prog a in
+  let step = Isa.ins_bytes in
+  (* pass 1: leaders *)
+  let leaders = Hashtbl.create 16 in
+  Hashtbl.replace leaders lo ();
+  let a = ref lo in
+  while !a < hi do
+    (match fetch !a with
+    | Isa.Jmp t ->
+        if not (inside t) then
+          fail "%s: jmp outside routine at 0x%x" routine.Symtab.name !a;
+        Hashtbl.replace leaders t ();
+        if !a + step < hi then Hashtbl.replace leaders (!a + step) ()
+    | Isa.Bz (_, t) | Isa.Bnz (_, t) ->
+        if not (inside t) then
+          fail "%s: branch outside routine at 0x%x" routine.Symtab.name !a;
+        Hashtbl.replace leaders t ();
+        if !a + step < hi then Hashtbl.replace leaders (!a + step) ()
+    | Isa.Ret | Isa.Halt ->
+        if !a + step < hi then Hashtbl.replace leaders (!a + step) ()
+    | Isa.Call _ | Isa.Syscall _ ->
+        (* calls return to the next instruction; keep them inside a block *)
+        ()
+    | Isa.Jr _ -> fail "%s: dynamic jump (jr) at 0x%x" routine.Symtab.name !a
+    | Isa.Callr _ ->
+        fail "%s: dynamic call (callr) at 0x%x" routine.Symtab.name !a
+    | _ -> ());
+    a := !a + step
+  done;
+  let leader_addrs =
+    Hashtbl.fold (fun k () acc -> k :: acc) leaders [] |> List.sort compare
+  in
+  let id_of = Hashtbl.create 16 in
+  List.iteri (fun i a -> Hashtbl.replace id_of a i) leader_addrs;
+  let n = List.length leader_addrs in
+  let starts = Array.of_list leader_addrs in
+  let block_end i = if i + 1 < n then starts.(i + 1) - step else hi - step in
+  (* pass 2: build blocks *)
+  let symtab = prog.Program.symtab in
+  let blocks =
+    Array.init n (fun i ->
+        let first = starts.(i) in
+        let last = block_end i in
+        let calls = ref [] in
+        let a = ref first in
+        while !a <= last do
+          (match fetch !a with
+          | Isa.Call t -> (
+              match Symtab.find symtab t with
+              | Some callee when callee.Symtab.entry = t ->
+                  calls := callee.Symtab.name :: !calls
+              | _ -> fail "%s: call to unknown target 0x%x" routine.Symtab.name t)
+          | _ -> ());
+          a := !a + step
+        done;
+        let succ_of_addr t =
+          match Hashtbl.find_opt id_of t with
+          | Some j -> j
+          | None ->
+              fail "%s: branch target 0x%x is not a leader" routine.Symtab.name t
+        in
+        let succs =
+          match fetch last with
+          | Isa.Jmp t -> [ succ_of_addr t ]
+          | Isa.Bz (_, t) | Isa.Bnz (_, t) ->
+              let fall =
+                if last + step < hi then [ succ_of_addr (last + step) ] else []
+              in
+              succ_of_addr t :: fall
+          | Isa.Ret | Isa.Halt -> []
+          | _ ->
+              if last + step < hi then [ succ_of_addr (last + step) ]
+              else [] (* falls off the end: treated as exit *)
+        in
+        {
+          id = i;
+          first;
+          last;
+          n_ins = ((last - first) / step) + 1;
+          succs = List.sort_uniq compare succs;
+          calls = List.rev !calls;
+        })
+  in
+  { routine; blocks }
+
+let n_blocks t = Array.length t.blocks
+
+let preds t =
+  let p = Array.make (n_blocks t) [] in
+  Array.iter
+    (fun b -> List.iter (fun s -> p.(s) <- b.id :: p.(s)) b.succs)
+    t.blocks;
+  Array.map List.rev p
+
+let render t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "cfg of %s (%d blocks):\n" t.routine.Symtab.name
+       (n_blocks t));
+  Array.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "  B%d [0x%x..0x%x] %d ins -> {%s}%s\n" b.id b.first
+           b.last b.n_ins
+           (String.concat "," (List.map string_of_int b.succs))
+           (match b.calls with
+           | [] -> ""
+           | cs -> " calls " ^ String.concat "," cs)))
+    t.blocks;
+  Buffer.contents buf

@@ -1,0 +1,36 @@
+(** Control-flow graphs recovered from binaries.
+
+    The paper's related-work section describes how static WCET tools
+    operate: "usually WCET tools work on binary executables... First, the
+    Control-Flow Graph is constructed", then paths are bounded over a
+    machine model.  This module is that first step for our ISA: basic
+    blocks, successor edges and statically-resolved call sites for one
+    routine of a linked program. *)
+
+type block = {
+  id : int;
+  first : int;  (** code address of the first instruction *)
+  last : int;  (** code address of the last instruction *)
+  n_ins : int;
+  succs : int list;  (** block ids within the routine; empty = routine exit *)
+  calls : string list;  (** statically-resolved callees, in order *)
+}
+
+type t = {
+  routine : Tq_vm.Symtab.routine;
+  blocks : block array;  (** block 0 is the entry *)
+}
+
+exception Unsupported of string
+(** Raised on dynamic control flow ([jr]/[callr]) or jumps that leave the
+    routine other than by return — none of which the MiniC compiler emits. *)
+
+val build : Tq_vm.Program.t -> Tq_vm.Symtab.routine -> t
+
+val n_blocks : t -> int
+
+val preds : t -> int list array
+(** Predecessor lists, derived from [succs]. *)
+
+val render : t -> string
+(** Compact textual dump for debugging and the CLI. *)

@@ -1,0 +1,282 @@
+module Symtab = Tq_vm.Symtab
+module Program = Tq_vm.Program
+module IS = Set.Make (Int)
+
+exception Analysis_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Analysis_error s)) fmt
+
+type loop_info = { header_addr : int; body_blocks : int; depth : int }
+
+(* ---------- dominators (iterative dataflow over small CFGs) ---------- *)
+
+let dominators (cfg : Cfg.t) =
+  let n = Cfg.n_blocks cfg in
+  let preds = Cfg.preds cfg in
+  let all = List.init n Fun.id |> IS.of_list in
+  let dom = Array.make n all in
+  dom.(0) <- IS.singleton 0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let inter =
+        match preds.(i) with
+        | [] -> IS.empty (* unreachable: keep only itself *)
+        | p :: rest ->
+            List.fold_left (fun acc q -> IS.inter acc dom.(q)) dom.(p) rest
+      in
+      let nd = IS.add i inter in
+      if not (IS.equal nd dom.(i)) then begin
+        dom.(i) <- nd;
+        changed := true
+      end
+    done
+  done;
+  dom
+
+(* ---------- natural loops ---------- *)
+
+type loop = { header : int; body : IS.t }
+
+let natural_loops (cfg : Cfg.t) =
+  let dom = dominators cfg in
+  let preds = Cfg.preds cfg in
+  (* back edges u -> h with h dominating u *)
+  let back = ref [] in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iter (fun s -> if IS.mem s dom.(b.id) then back := (b.id, s) :: !back)
+        b.succs)
+    cfg.Cfg.blocks;
+  (* check reducibility: every cycle must enter through its dominator
+     header; a retreating edge to a non-dominator is irreducible *)
+  (* (retreating edges that are not back edges would be caught later as a
+     residual cycle in the longest-path DAG) *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (u, h) ->
+      (* natural loop: h plus all nodes reaching u without passing h *)
+      let body = ref (IS.add h (IS.singleton u)) in
+      let rec grow v =
+        List.iter
+          (fun p ->
+            if not (IS.mem p !body) then begin
+              body := IS.add p !body;
+              grow p
+            end)
+          preds.(v)
+      in
+      if u <> h then grow u;
+      let cur =
+        match Hashtbl.find_opt by_header h with
+        | Some s -> s
+        | None -> IS.empty
+      in
+      Hashtbl.replace by_header h (IS.union cur !body))
+    !back;
+  Hashtbl.fold (fun header body acc -> { header; body } :: acc) by_header []
+  |> List.sort (fun a b -> compare a.header b.header)
+
+let loop_depth loops_list l =
+  1
+  + List.length
+      (List.filter
+         (fun o -> o.header <> l.header && IS.mem l.header o.body)
+         loops_list)
+
+let loops prog name =
+  let routine =
+    match Symtab.by_name prog.Program.symtab name with
+    | Some r -> r
+    | None -> fail "unknown routine %s" name
+  in
+  let cfg =
+    try Cfg.build prog routine with Cfg.Unsupported msg -> fail "%s" msg
+  in
+  let ls = natural_loops cfg in
+  List.map
+    (fun l ->
+      {
+        header_addr = cfg.Cfg.blocks.(l.header).Cfg.first;
+        body_blocks = IS.cardinal l.body;
+        depth = loop_depth ls l;
+      })
+    ls
+
+(* ---------- structural longest path over the loop nest ---------- *)
+
+(* Longest path in a DAG given node costs and an edge function; raises on a
+   residual cycle (irreducible flow). *)
+let dag_longest ~n ~nodes ~cost ~succs ~entry ~ctx =
+  let memo = Array.make n None in
+  let visiting = Array.make n false in
+  let rec go v =
+    match memo.(v) with
+    | Some c -> c
+    | None ->
+        if visiting.(v) then fail "irreducible control flow in %s" ctx;
+        visiting.(v) <- true;
+        let best_succ =
+          List.fold_left
+            (fun acc s -> if IS.mem s nodes then max acc (go s) else acc)
+            0 (succs v)
+        in
+        visiting.(v) <- false;
+        let c = cost v + best_succ in
+        memo.(v) <- Some c;
+        c
+  in
+  if IS.mem entry nodes then go entry else 0
+
+let analyze prog ~bounds entry_name =
+  let symtab = prog.Program.symtab in
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec routine_wcet name =
+    match Hashtbl.find_opt memo name with
+    | Some c -> c
+    | None ->
+        if Hashtbl.mem in_progress name then
+          fail "recursion through %s is not supported (no recursion bound)" name;
+        Hashtbl.replace in_progress name ();
+        let r =
+          match Symtab.by_name symtab name with
+          | Some r -> r
+          | None -> fail "unknown routine %s" name
+        in
+        let cfg =
+          try Cfg.build prog r with Cfg.Unsupported msg -> fail "%s" msg
+        in
+        let ls = natural_loops cfg in
+        (* consume this routine's bound list in header-address order *)
+        let blist = bounds name in
+        if List.length blist < List.length ls then
+          fail "%s: %d loop bound(s) supplied, %d loop(s) found (headers: %s)"
+            name (List.length blist) (List.length ls)
+            (String.concat ", "
+               (List.map
+                  (fun l -> Printf.sprintf "0x%x" cfg.Cfg.blocks.(l.header).Cfg.first)
+                  ls));
+        let bound_of =
+          let tbl = Hashtbl.create 8 in
+          List.iteri
+            (fun i l ->
+              let b = List.nth blist i in
+              if b < 0 then fail "%s: negative loop bound" name;
+              Hashtbl.replace tbl l.header b)
+            ls;
+          fun h -> Hashtbl.find tbl h
+        in
+        (* base block costs: instructions + callee bounds *)
+        let n = Cfg.n_blocks cfg in
+        let base_cost =
+          Array.map
+            (fun (b : Cfg.block) ->
+              List.fold_left
+                (fun acc callee -> acc + routine_wcet callee)
+                b.Cfg.n_ins b.Cfg.calls)
+            cfg.Cfg.blocks
+        in
+        (* loop forest: parent = smallest strictly-enclosing loop *)
+        let encl l =
+          ls
+          |> List.filter (fun o -> o.header <> l.header && IS.mem l.header o.body)
+          |> List.fold_left
+               (fun acc o ->
+                 match acc with
+                 | None -> Some o
+                 | Some best ->
+                     if IS.cardinal o.body < IS.cardinal best.body then Some o
+                     else acc)
+               None
+        in
+        let children_of region_header =
+          ls
+          |> List.filter (fun l ->
+                 match region_header with
+                 | None -> encl l = None
+                 | Some h -> (
+                     match encl l with
+                     | Some p -> p.header = h
+                     | None -> false))
+        in
+        (* representative of a node at a given region level: the header of
+           the child loop containing it, or itself *)
+        let loop_cost_memo = Hashtbl.create 8 in
+        let rec loop_cost (l : loop) =
+          match Hashtbl.find_opt loop_cost_memo l.header with
+          | Some c -> c
+          | None ->
+              let kids = children_of (Some l.header) in
+              let rep v =
+                match
+                  List.find_opt (fun k -> IS.mem v k.body) kids
+                with
+                | Some k -> k.header
+                | None -> v
+              in
+              let nodes = IS.map rep l.body in
+              let node_cost v =
+                match List.find_opt (fun k -> k.header = v) kids with
+                | Some k -> loop_cost k
+                | None -> base_cost.(v)
+              in
+              (* successors through representatives, excluding back edges to
+                 the loop header and edges leaving the loop *)
+              let succs v =
+                (* v is a representative: expand to original nodes it covers *)
+                let originals =
+                  match List.find_opt (fun k -> k.header = v) kids with
+                  | Some k -> IS.elements k.body
+                  | None -> [ v ]
+                in
+                originals
+                |> List.concat_map (fun o -> cfg.Cfg.blocks.(o).Cfg.succs)
+                |> List.filter (fun s -> IS.mem s l.body)
+                |> List.map rep
+                |> List.filter (fun s -> s <> l.header && s <> v)
+                |> List.sort_uniq compare
+              in
+              let iter_cost =
+                dag_longest ~n ~nodes ~cost:node_cost ~succs ~entry:l.header
+                  ~ctx:(Printf.sprintf "%s loop@B%d" name l.header)
+              in
+              let c = bound_of l.header * iter_cost in
+              Hashtbl.replace loop_cost_memo l.header c;
+              c
+        in
+        (* top level region: whole routine with top loops contracted *)
+        let tops = children_of None in
+        let rep v =
+          match List.find_opt (fun k -> IS.mem v k.body) tops with
+          | Some k -> k.header
+          | None -> v
+        in
+        let all_nodes = IS.map rep (IS.of_list (List.init n Fun.id)) in
+        let node_cost v =
+          match List.find_opt (fun k -> k.header = v) tops with
+          | Some k -> loop_cost k
+          | None -> base_cost.(v)
+        in
+        let succs v =
+          let originals =
+            match List.find_opt (fun k -> k.header = v) tops with
+            | Some k -> IS.elements k.body
+            | None -> [ v ]
+          in
+          originals
+          |> List.concat_map (fun o -> cfg.Cfg.blocks.(o).Cfg.succs)
+          |> List.map rep
+          |> List.filter (fun s -> s <> v)
+          |> List.sort_uniq compare
+        in
+        let total =
+          dag_longest ~n ~nodes:all_nodes ~cost:node_cost ~succs ~entry:(rep 0)
+            ~ctx:name
+        in
+        Hashtbl.remove in_progress name;
+        Hashtbl.replace memo name total;
+        total
+  in
+  routine_wcet entry_name

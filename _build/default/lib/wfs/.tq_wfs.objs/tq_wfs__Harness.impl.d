@@ -1,0 +1,1 @@
+lib/wfs/harness.ml: Char Printf Scenario Source String Tq_minic Tq_rt Tq_vm Tq_wav

@@ -1,0 +1,1 @@
+lib/wfs/harness.mli: Scenario Tq_vm

@@ -1,0 +1,1 @@
+lib/wfs/reference.ml: Array Bytes Float Scenario Tq_dsp Tq_wav

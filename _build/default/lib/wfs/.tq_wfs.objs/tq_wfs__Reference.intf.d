@@ -1,0 +1,1 @@
+lib/wfs/reference.mli: Scenario Tq_wav

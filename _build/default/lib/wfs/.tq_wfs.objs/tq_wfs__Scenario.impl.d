@@ -1,0 +1,1 @@
+lib/wfs/scenario.ml: Array Float Printf Tq_wav

@@ -1,0 +1,1 @@
+lib/wfs/scenario.mli: Tq_wav

@@ -1,0 +1,1 @@
+lib/wfs/source.ml: Buffer Float List Printf Scenario String

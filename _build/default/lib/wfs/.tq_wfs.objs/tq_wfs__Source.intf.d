@@ -1,0 +1,1 @@
+lib/wfs/source.mli: Scenario

@@ -1,0 +1,39 @@
+module Vfs = Tq_vm.Vfs
+module Machine = Tq_vm.Machine
+
+let compile ?optimize scen =
+  Tq_rt.Rt.link
+    [ Tq_minic.Driver.compile_unit ?optimize ~image:"wfs" (Source.generate scen) ]
+
+let le64 v =
+  String.init 8 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
+
+let make_vfs (scen : Scenario.t) =
+  let vfs = Vfs.create () in
+  Vfs.install vfs "input.wav" (Tq_wav.Wav.encode (Scenario.input scen));
+  Vfs.install vfs "config.bin" (le64 scen.sample_rate ^ le64 scen.chunks);
+  vfs
+
+let machine scen = Machine.create ~vfs:(make_vfs scen) (compile scen)
+
+let fuel (scen : Scenario.t) =
+  (* empirical per-chunk cost plus wav_store, with a wide margin *)
+  let per_chunk = 2000 * (scen.fft_n * 8 / 10 + scen.speakers * scen.frame / 2) in
+  max 50_000_000 (scen.chunks * per_chunk)
+
+let run_plain scen =
+  let m = machine scen in
+  Tq_vm.Executor.run ~fuel:(fuel scen) m;
+  (match Machine.exit_code m with
+  | Some 0 -> ()
+  | Some c ->
+      failwith
+        (Printf.sprintf "wfs exited with %d; console: %s" c
+           (Machine.stdout_contents m))
+  | None -> failwith "wfs did not exit");
+  m
+
+let output_bytes m =
+  match Vfs.contents (Machine.vfs m) "output.wav" with
+  | Some s -> s
+  | None -> failwith "wfs produced no output.wav"

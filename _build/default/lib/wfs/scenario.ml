@@ -1,0 +1,80 @@
+type t = {
+  fft_n : int;
+  frame : int;
+  speakers : int;
+  chunks : int;
+  taps : int;
+  sample_rate : int;
+  delay_len : int;
+}
+
+let default =
+  {
+    fft_n = 256;
+    frame = 128;
+    speakers = 32;
+    chunks = 40;
+    taps = 129;
+    sample_rate = 8000;
+    delay_len = 1024;
+  }
+
+(* closer to the paper's dimensions; ~8x the default run time *)
+let large =
+  {
+    fft_n = 512;
+    frame = 256;
+    speakers = 32;
+    chunks = 120;
+    taps = 257;
+    sample_rate = 16000;
+    delay_len = 2048;
+  }
+
+let tiny =
+  {
+    fft_n = 128;
+    frame = 64;
+    speakers = 8;
+    chunks = 8;
+    taps = 65;
+    sample_rate = 8000;
+    delay_len = 512;
+  }
+
+let is_pow2 n = n > 1 && n land (n - 1) = 0
+
+let validate t =
+  if not (is_pow2 t.fft_n) then Error "fft_n must be a power of two"
+  else if not (is_pow2 t.delay_len) then Error "delay_len must be a power of two"
+  else if t.frame <= 0 || t.frame >= t.fft_n then
+    Error "frame must be in (0, fft_n)"
+  else if t.taps < 3 || t.taps mod 2 = 0 then Error "taps must be odd and >= 3"
+  else if t.taps > t.fft_n - t.frame + 1 then
+    Error "taps too long for overlap-add (need taps <= fft_n - frame + 1)"
+  else if t.speakers <= 0 || t.speakers > 64 then
+    Error "speakers must be in 1..64"
+  else if t.chunks <= 0 then Error "chunks must be positive"
+  else if t.delay_len < t.frame * 2 then Error "delay_len too small"
+  else Ok ()
+
+let input_samples t = t.chunks * t.frame
+
+let input t =
+  let n = input_samples t in
+  let rate = float_of_int t.sample_rate in
+  let data =
+    Array.init n (fun i ->
+        let ti = float_of_int i /. rate in
+        let env = exp (-1.2 *. ti) in
+        let sweep = 180. +. (420. *. float_of_int i /. float_of_int n) in
+        env
+        *. ((0.55 *. sin (2. *. Float.pi *. sweep *. ti))
+           +. (0.25 *. sin (2. *. Float.pi *. 97. *. ti))))
+  in
+  { Tq_wav.Wav.sample_rate = t.sample_rate; channels = [| data |] }
+
+let describe t =
+  Printf.sprintf
+    "wfs scenario: fft=%d frame=%d speakers=%d chunks=%d taps=%d rate=%dHz"
+    t.fft_n t.frame t.speakers t.chunks t.taps t.sample_rate

@@ -1,0 +1,40 @@
+(** Workload configuration for the hArtes-wfs-analogue case study.
+
+    The paper's run (1 primary source, 32 speakers, FFT 2048, 493 chunks,
+    6.4e9 instructions) is scaled down so it executes in seconds on the
+    simulated machine; all structural parameters keep their roles, and
+    EXPERIMENTS.md records scaled-vs-paper values side by side. *)
+
+type t = {
+  fft_n : int;  (** FFT size; power of two (paper: 2048) *)
+  frame : int;  (** samples per chunk/hop (must satisfy [taps <= fft_n - frame + 1]) *)
+  speakers : int;  (** secondary sources (paper: 32) *)
+  chunks : int;  (** processing chunks (paper: 493) *)
+  taps : int;  (** prefilter length, odd *)
+  sample_rate : int;
+  delay_len : int;  (** delay-line ring size; power of two > max delay + frame *)
+}
+
+val default : t
+(** The benchmark scenario: FFT 256, frame 128, 32 speakers, 40 chunks,
+    8 kHz. *)
+
+val large : t
+(** Closer to the paper's dimensions (FFT 512, 120 chunks, 16 kHz); roughly
+    8x the default run — for users reproducing at larger scale
+    ([bench] uses [default]). *)
+
+val tiny : t
+(** A fast scenario for unit tests: FFT 128, frame 64, 8 speakers,
+    8 chunks. *)
+
+val validate : t -> (unit, string) result
+
+val input_samples : t -> int
+(** Number of input samples the scenario consumes ([chunks * frame]). *)
+
+val input : t -> Tq_wav.Wav.t
+(** Deterministic synthesized primary-source signal (an exponentially
+    decaying two-tone sweep), mono, [input_samples] long. *)
+
+val describe : t -> string

@@ -1,0 +1,20 @@
+(** Generator for the wfs application's MiniC source.
+
+    The application mirrors the hArtes wfs structure and kernel names from
+    the paper's Table I: wav_load / wav_store (a real RIFF WAV codec),
+    fft1d (in-place Danielson-Lanczos) with perm and per-element bitrev,
+    cadd / cmult spectral ops, zeroRealVec / zeroCplxVec, r2c / c2r, ffw
+    filter-weight construction, a MIMO delay line
+    (DelayLine_processChunk), wave-propagation gain/delay computation
+    (PrimarySource_deriveTP, calculateGainPQ, vsmult2d), and audio frame
+    (de)interleaving (AudioIo_getFrames, AudioIo_setFrames).
+
+    Scenario constants are baked into the generated source (MiniC array
+    sizes are literals), so each scenario compiles to its own binary — as a
+    real build would. *)
+
+val generate : Scenario.t -> string
+(** @raise Invalid_argument if the scenario fails {!Scenario.validate}. *)
+
+val log2i : int -> int
+(** Integer log2 of a power of two. *)

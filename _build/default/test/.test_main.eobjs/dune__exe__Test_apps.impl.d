@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Astring_contains Executor List Machine Printf Symtab Tq_apps Tq_dbi Tq_prof Tq_tquad Tq_vm

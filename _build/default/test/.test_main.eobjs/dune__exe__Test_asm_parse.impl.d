@@ -1,0 +1,1 @@
+test/test_asm_parse.ml: Alcotest Asm_parse Astring_contains Char Executor Layout Link Machine Memory Printf Tq_asm Tq_vm

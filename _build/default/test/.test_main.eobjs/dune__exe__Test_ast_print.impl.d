@@ -1,0 +1,1 @@
+test/test_ast_print.ml: Alcotest Ast Ast_print Driver List Parser Printf QCheck QCheck_alcotest Tq_minic Tq_rt Tq_vm Tq_wfs

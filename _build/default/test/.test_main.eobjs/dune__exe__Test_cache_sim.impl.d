@@ -1,0 +1,1 @@
+test/test_cache_sim.ml: Alcotest Astring_contains Builder Engine Link List Machine Printf Symtab Tq_asm Tq_dbi Tq_isa Tq_minic Tq_prof Tq_rt Tq_vm

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Astring_contains Cluster Gen List Option Printf QCheck QCheck_alcotest Tq_cluster Tq_dbi Tq_minic Tq_quad Tq_rt Tq_tquad Tq_vm

@@ -1,0 +1,1 @@
+test/test_dbi.ml: Alcotest Builder Engine Executor Hashtbl Isa Layout Link List Machine Option Symtab Sysno Tq_asm Tq_dbi Tq_isa Tq_vm

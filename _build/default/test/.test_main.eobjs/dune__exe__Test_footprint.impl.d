@@ -1,0 +1,1 @@
+test/test_footprint.ml: Alcotest Astring_contains Engine List Machine Symtab Tq_dbi Tq_minic Tq_prof Tq_rt Tq_vm Tq_wfs

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Bytes Char List QCheck QCheck_alcotest String Tq_asm Tq_minic Tq_vm Tq_wav

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Astring_contains Driver Executor Machine Printf Tq_minic Tq_rt Tq_vm Vfs

@@ -1,0 +1,1 @@
+test/test_minic_edge.ml: Alcotest Astring_contains Builder Driver Executor Link List Machine Printf String Tq_asm Tq_isa Tq_minic Tq_rt Tq_vm

@@ -1,0 +1,1 @@
+test/test_objfile.ml: Alcotest Buffer Bytes Char Executor Filename Fun Layout Machine Objfile Program QCheck QCheck_alcotest String Symtab Sys Tq_isa Tq_vm Tq_wfs Vfs

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Driver Executor List Machine Mir Opt Printf QCheck QCheck_alcotest Tq_isa Tq_minic Tq_rt Tq_vm

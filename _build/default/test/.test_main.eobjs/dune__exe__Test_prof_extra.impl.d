@@ -1,0 +1,1 @@
+test/test_prof_extra.ml: Alcotest Array Astring_contains Engine List Machine Option Symtab Tq_dbi Tq_gprofsim Tq_minic Tq_prof Tq_rt Tq_vm

@@ -1,0 +1,1 @@
+test/test_profilers.ml: Alcotest Array Astring_contains Builder Driver Engine Float Isa Link List Machine Symtab Tq_asm Tq_dbi Tq_gprofsim Tq_isa Tq_minic Tq_prof Tq_quad Tq_rt Tq_tquad Tq_vm

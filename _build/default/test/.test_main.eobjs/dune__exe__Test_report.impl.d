@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Astring_contains Engine List Machine String Symtab Tq_dbi Tq_gprofsim Tq_minic Tq_quad Tq_report Tq_rt Tq_tquad Tq_vm

@@ -1,0 +1,1 @@
+test/test_structs.ml: Alcotest Ast_print Astring_contains Driver Executor List Machine Parser Printf Symtab Tq_dbi Tq_minic Tq_quad Tq_rt Tq_vm

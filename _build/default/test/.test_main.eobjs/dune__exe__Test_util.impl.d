@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_chart Astring_contains Csv_out Dyn_array Float Gen Int List Paged_bitset QCheck QCheck_alcotest Set Stats Text_table Tq_util

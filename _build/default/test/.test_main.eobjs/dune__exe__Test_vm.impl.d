@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Astring_contains Builder Bytes Char Executor Hashtbl Int64 Isa Layout Link Machine Memory Option Program QCheck QCheck_alcotest Symtab Sys Sysno Tq_asm Tq_isa Tq_vm Vfs

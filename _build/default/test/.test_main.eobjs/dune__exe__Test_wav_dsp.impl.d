@@ -1,0 +1,1 @@
+test/test_wav_dsp.ml: Alcotest Array Bytes Float Gen Printf QCheck QCheck_alcotest String Tq_dsp Tq_wav

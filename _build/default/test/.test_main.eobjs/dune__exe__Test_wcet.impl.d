@@ -1,0 +1,1 @@
+test/test_wcet.ml: Alcotest Array Astring_contains Builder Executor Link List Machine Option Printf Program Symtab Tq_asm Tq_isa Tq_minic Tq_rt Tq_vm Tq_wcet Tq_wfs Wcet

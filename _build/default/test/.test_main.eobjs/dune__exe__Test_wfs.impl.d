@@ -1,0 +1,1 @@
+test/test_wfs.ml: Alcotest Array Astring_contains Float Harness List Printf Reference Scenario Source String Tq_dbi Tq_tquad Tq_vm Tq_wav Tq_wfs

@@ -1,0 +1,13 @@
+(* Tiny substring helper shared by the test suites (no extra deps). *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  if nl = 0 then true
+  else begin
+    let rec go i =
+      if i + nl > hl then false
+      else if String.sub haystack i nl = needle then true
+      else go (i + 1)
+    in
+    go 0
+  end

@@ -1,0 +1,168 @@
+open Tq_vm
+open Tq_asm
+
+(* hand-written assembly provides its own _start; no runtime image needed *)
+let run ?vfs src =
+  let prog = Link.link [ Asm_parse.parse src ] in
+  let m = Machine.create ?vfs prog in
+  Executor.run ~fuel:1_000_000 m;
+  m
+
+let exit_of src =
+  match Machine.exit_code (run src) with
+  | Some c -> c
+  | None -> Alcotest.fail "did not exit"
+
+let check_asm_error name fragment src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Asm_parse.parse src with
+      | _ -> Alcotest.fail ("expected Asm_error mentioning " ^ fragment)
+      | exception Asm_parse.Asm_error { msg; _ } ->
+          if not (Astring_contains.contains msg fragment) then
+            Alcotest.fail (Printf.sprintf "error %S lacks %S" msg fragment))
+
+let test_loop_program () =
+  let src =
+    {|
+; sum 1..5 through memory
+.image demo
+.data acc 8
+
+.func _start
+  la   x20, acc
+  li   x10, 5
+loop:
+  bz   x10, done
+  ld   x11, 0(x20)
+  add  x11, x11, x10
+  sd   x11, 0(x20)
+  sub  x10, x10, 1
+  jmp  loop
+done:
+  ld   x4, 0(x20)
+  syscall 0
+.endfunc
+|}
+  in
+  Alcotest.(check int) "sum" 15 (exit_of src)
+
+let test_calls_and_strings () =
+  let src =
+    {|
+.ascii greeting "hi\n"
+
+.func _start
+  call say
+  li x4, 7
+  syscall 0
+.endfunc
+
+.func say
+  la x4, greeting
+  li x5, 3
+  syscall 8      # putstr
+  ret
+.endfunc
+|}
+  in
+  let m = run src in
+  Alcotest.(check (option int)) "exit" (Some 7) (Machine.exit_code m);
+  Alcotest.(check string) "console" "hi\n" (Machine.stdout_contents m)
+
+let test_float_and_predicates () =
+  let src =
+    {|
+.data out 32
+
+.func _start
+  la   x20, out
+  fli  f10, 1.5
+  fli  f11, 2.5
+  fadd f12, f10, f11
+  fsd  f12, 0(x20)
+  f2i  x10, f12
+  li   x11, 0
+  li   x12, 1
+  sd   x10, 8(x20)  ?x11
+  sd   x10, 16(x20) ?x12
+  ld   x4, 16(x20)
+  syscall 0
+.endfunc
+|}
+  in
+  let m = run src in
+  Alcotest.(check (option int)) "predicated result" (Some 4) (Machine.exit_code m);
+  Alcotest.(check (float 0.)) "float stored" 4.
+    (Memory.load_f64 (Machine.mem m) Layout.data_base)
+
+let test_movs_and_calls_rt () =
+  let src =
+    {|
+.ascii src_d "abcdef"
+.data dst_d 8
+
+.func _start
+  la   x10, dst_d
+  la   x11, src_d
+  li   x12, 6
+  movs (x10), (x11), x12
+  lb   x4, 2(x10)
+  syscall 0
+.endfunc
+|}
+  in
+  Alcotest.(check int) "copied byte" (Char.code 'c') (exit_of src)
+
+let test_library_image_flag () =
+  let u = Asm_parse.parse ".image mylib library\n.func f\n  ret\n.endfunc\n" in
+  Alcotest.(check string) "name" "mylib" u.Link.uname;
+  Alcotest.(check bool) "library" false u.Link.main_image
+
+let test_sign_extending_load () =
+  let src =
+    {|
+.data b 8
+.func _start
+  la  x20, b
+  li  x10, 255
+  sb  x10, 0(x20)
+  lbs x4, 0(x20)
+  add x4, x4, 256
+  syscall 0
+.endfunc
+|}
+  in
+  Alcotest.(check int) "sign extended" 255 (exit_of src)
+
+let error_cases =
+  [
+    check_asm_error "unknown mnemonic" "unknown mnemonic" ".func f\n  frob x1\n.endfunc";
+    check_asm_error "bad register" "expected integer register"
+      ".func f\n  li y1, 2\n.endfunc";
+    check_asm_error "bad arity" "expects 2 operand(s)" ".func f\n  li x1\n.endfunc";
+    check_asm_error "unplaced label" "never placed"
+      ".func f\n  jmp nowhere\n.endfunc";
+    check_asm_error "instruction outside func" "outside .func" "  li x1, 2\n";
+    check_asm_error "missing endfunc" "missing .endfunc" ".func f\n  ret\n";
+    check_asm_error "nested func" "nested .func" ".func f\n.func g\n";
+    check_asm_error "empty routine" "empty routine" ".func f\n.endfunc\n";
+    check_asm_error "bad mem operand" "expected off(xN)"
+      ".func f\n  ld x1, x2\n.endfunc";
+    check_asm_error "data in func" ".data inside .func"
+      ".func f\n.data x 8\n.endfunc";
+  ]
+
+let suites =
+  [
+    ( "asm.parse",
+      [
+        Alcotest.test_case "loop program" `Quick test_loop_program;
+        Alcotest.test_case "calls and strings" `Quick test_calls_and_strings;
+        Alcotest.test_case "floats and predicates" `Quick
+          test_float_and_predicates;
+        Alcotest.test_case "movs" `Quick test_movs_and_calls_rt;
+        Alcotest.test_case "library image" `Quick test_library_image_flag;
+        Alcotest.test_case "sign-extending load" `Quick test_sign_extending_load;
+      ]
+      @ error_cases );
+  ]

@@ -1,0 +1,121 @@
+open Tq_minic
+
+(* parse -> print -> parse must reproduce the same AST (modulo positions) *)
+let roundtrip name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let ast1 = Parser.parse src in
+      let printed = Ast_print.program ast1 in
+      let ast2 =
+        try Parser.parse printed
+        with Parser.Parse_error { pos; msg } ->
+          Alcotest.fail
+            (Printf.sprintf "reparse failed at %d:%d (%s) in:\n%s" pos.Ast.line
+               pos.Ast.col msg printed)
+      in
+      if Ast_print.strip_positions ast1 <> Ast_print.strip_positions ast2 then
+        Alcotest.fail ("AST changed across roundtrip:\n" ^ printed))
+
+let corpus =
+  [
+    ("arith", "int main() { return 1 + 2 * 3 - 4 / 2 % 3; }");
+    ("precedence mix", "int main() { return 1 << 2 + 3 & 4 | 5 ^ 6; }");
+    ("logic", "int main() { return 1 && 0 || !2 && ~3 == -4; }");
+    ( "control",
+      "int main() { int s; s = 0; for (int i = 0; i < 10; i++) { if (i % 2) \
+       s += i; else s -= 1; } while (s > 100) s--; do s++; while (s < 3); \
+       return s; }" );
+    ( "for variants",
+      "int main() { int i; i = 0; for (;;) { i++; if (i > 3) break; } \
+       for (; i < 10;) i++; for (i = 0; ; i++) if (i == 2) break; return i; }" );
+    ( "pointers and arrays",
+      "float g[8]; int main() { float* p; p = g + 2; *p = 1.5; \
+       p[1] = *(p) * 2.0; return (int) g[3]; }" );
+    ( "casts and types",
+      "short s; char c; int main() { s = (short) 70000; c = (char) 300; \
+       float f; f = (float) s; return (int) f + c + sizeof(int*); }" );
+    ( "strings and chars",
+      "int main() { char* s; s = \"a\\tb\\\"c\\\\d\\n\"; return s[0] == 'a' \
+       && s[1] == '\\t'; }" );
+    ( "calls",
+      "int add(int a, int b) { return a + b; } void nop() { } \
+       int main() { nop(); return add(add(1, 2), 3); }" );
+    ( "globals",
+      "int a = -5; float b = 2.5; char ch = 'x'; short sh = -3; int arr[7]; \
+       int main() { return a + (int) b + ch + sh + arr[0]; }" );
+    ("floats", "int main() { float x; x = 1.5e-3 + 2.25 - 0.5; return (int)(x * 1000.0); }");
+    ("nested blocks", "int main() { { int x; x = 1; { int y; y = x; return y; } } }");
+    ("address of", "int main() { int x; x = 3; int* p; p = &x; return *p; }");
+    ("empty statements", "int main() { ;; if (1) ; else ; return 0; }");
+  ]
+
+let test_wfs_source_roundtrip () =
+  let src = Tq_wfs.Source.generate Tq_wfs.Scenario.tiny in
+  let ast1 = Parser.parse src in
+  let printed = Ast_print.program ast1 in
+  let ast2 = Parser.parse printed in
+  Alcotest.(check bool) "wfs source roundtrips" true
+    (Ast_print.strip_positions ast1 = Ast_print.strip_positions ast2)
+
+let test_printed_wfs_still_runs () =
+  (* the pretty-printed case study must compile and produce the same output *)
+  let scen = Tq_wfs.Scenario.tiny in
+  let src = Tq_wfs.Source.generate scen in
+  let printed = Ast_print.program (Parser.parse src) in
+  let prog = Tq_rt.Rt.link [ Driver.compile_unit ~image:"wfs" printed ] in
+  let m = Tq_vm.Machine.create ~vfs:(Tq_wfs.Harness.make_vfs scen) prog in
+  Tq_vm.Executor.run ~fuel:(Tq_wfs.Harness.fuel scen) m;
+  Alcotest.(check (option int)) "exit 0" (Some 0) (Tq_vm.Machine.exit_code m);
+  let reference, _ = Tq_wfs.Reference.render scen in
+  Alcotest.(check bool) "identical output.wav" true
+    (Tq_vm.Vfs.contents (Tq_vm.Machine.vfs m) "output.wav" = Some reference)
+
+let qcheck_expr_roundtrip =
+  (* random expression strings: parse -> print -> parse fixpoint *)
+  let gen =
+    QCheck.Gen.(
+      let rec e n =
+        if n = 0 then
+          oneof
+            [ map string_of_int (int_range 0 9); return "x"; return "1.5" ]
+        else
+          let s = e (n - 1) in
+          oneof
+            [
+              map2 (Printf.sprintf "%s + %s") s s;
+              map2 (Printf.sprintf "%s * %s") s s;
+              map2 (Printf.sprintf "%s < %s") s s;
+              map2 (Printf.sprintf "%s && %s") s s;
+              map (Printf.sprintf "!%s") s;
+              map (Printf.sprintf "-%s") s;
+              map (Printf.sprintf "(%s)") s;
+              map (Printf.sprintf "f(%s)") s;
+            ]
+      in
+      e 4)
+  in
+  QCheck.Test.make ~name:"random expression roundtrip" ~count:100
+    (QCheck.make gen) (fun etext ->
+      let src =
+        Printf.sprintf
+          "int x; float y; int f(int a) { return a; } int main() { int r; r = (%s) != 0; return r; }"
+          etext
+      in
+      match Parser.parse src with
+      | exception _ -> QCheck.assume_fail () (* e.g. float into int ctx later *)
+      | ast1 ->
+          let printed = Ast_print.program ast1 in
+          let ast2 = Parser.parse printed in
+          Ast_print.strip_positions ast1 = Ast_print.strip_positions ast2)
+
+let suites =
+  [
+    ( "minic.ast_print",
+      List.map (fun (n, s) -> roundtrip n s) corpus
+      @ [
+          Alcotest.test_case "wfs source roundtrip" `Quick
+            test_wfs_source_roundtrip;
+          Alcotest.test_case "printed wfs runs identically" `Quick
+            test_printed_wfs_still_runs;
+          QCheck_alcotest.to_alcotest qcheck_expr_roundtrip;
+        ] );
+  ]

@@ -1,0 +1,174 @@
+open Tq_cluster
+
+(* two obvious communities: {0,1,2} tight, {3,4} tight, weak bridge *)
+let two_communities =
+  let a = Array.make_matrix 5 5 0. in
+  let set i j v =
+    a.(i).(j) <- v;
+    a.(j).(i) <- v
+  in
+  set 0 1 10.;
+  set 0 2 8.;
+  set 1 2 9.;
+  set 3 4 12.;
+  set 2 3 0.5;
+  a
+
+let names5 = [| "a"; "b"; "c"; "d"; "e" |]
+
+let test_make_validation () =
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Cluster.make: affinity is not square") (fun () ->
+      ignore (Cluster.make ~names:[| "a"; "b" |] ~affinity:[| [| 0. |]; [| 0.; 0. |] |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Cluster.make: negative affinity") (fun () ->
+      ignore
+        (Cluster.make ~names:[| "a"; "b" |]
+           ~affinity:[| [| 0.; -1. |]; [| 0.; 0. |] |]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Cluster.make: duplicate kernel a") (fun () ->
+      ignore
+        (Cluster.make ~names:[| "a"; "a" |]
+           ~affinity:[| [| 0.; 1. |]; [| 1.; 0. |] |]));
+  (* asymmetric input is symmetrized by max *)
+  let t =
+    Cluster.make ~names:[| "a"; "b" |] ~affinity:[| [| 0.; 5. |]; [| 2.; 0. |] |]
+  in
+  Alcotest.(check (float 0.)) "symmetrized" 5. t.Cluster.affinity.(1).(0);
+  Alcotest.(check (float 0.)) "diagonal zeroed" 0. t.Cluster.affinity.(0).(0)
+
+let test_agglomerate_two_communities () =
+  let t = Cluster.make ~names:names5 ~affinity:two_communities in
+  let clusters = Cluster.agglomerate t ~target:2 in
+  Alcotest.(check int) "two clusters" 2 (List.length clusters);
+  Alcotest.(check (list (list string))) "expected grouping"
+    [ [ "a"; "b"; "c" ]; [ "d"; "e" ] ]
+    clusters;
+  let q = Cluster.quality t clusters in
+  (* only the 0.5 bridge is inter-cluster *)
+  Alcotest.(check (float 1e-9)) "quality" (39. /. 39.5) q
+
+let test_agglomerate_full_merge () =
+  let t = Cluster.make ~names:names5 ~affinity:two_communities in
+  let clusters = Cluster.agglomerate t ~target:1 in
+  Alcotest.(check int) "one cluster" 1 (List.length clusters);
+  Alcotest.(check (float 0.)) "quality 1" 1. (Cluster.quality t clusters)
+
+let test_agglomerate_zero_affinity_not_merged () =
+  let t = Cluster.make ~names:[| "x"; "y"; "z" |] ~affinity:(Array.make_matrix 3 3 0.) in
+  let clusters = Cluster.agglomerate t ~target:1 in
+  Alcotest.(check int) "stay singletons" 3 (List.length clusters)
+
+let test_quality_empty_total () =
+  let t = Cluster.make ~names:[| "x" |] ~affinity:[| [| 0. |] |] in
+  Alcotest.(check (float 0.)) "empty total" 1. (Cluster.quality t [ [ "x" ] ])
+
+let test_combine () =
+  let a =
+    Cluster.make ~names:[| "p"; "q" |] ~affinity:[| [| 0.; 10. |]; [| 10.; 0. |] |]
+  in
+  let b =
+    Cluster.make ~names:[| "q"; "p" |] ~affinity:[| [| 0.; 2. |]; [| 2.; 0. |] |]
+  in
+  let c = Cluster.combine ~alpha:0.25 a b in
+  (* both normalize to 1.0 at their max; 0.25*1 + 0.75*1 = 1 *)
+  Alcotest.(check (float 1e-9)) "combined" 1. c.Cluster.affinity.(0).(1);
+  let b_bad =
+    Cluster.make ~names:[| "p"; "r" |] ~affinity:[| [| 0.; 1. |]; [| 1.; 0. |] |]
+  in
+  Alcotest.check_raises "kernel sets differ"
+    (Invalid_argument "Cluster.combine: kernel sets differ") (fun () ->
+      ignore (Cluster.combine a b_bad))
+
+let qcheck_quality_bounds =
+  QCheck.Test.make ~name:"quality is within [0,1] and 1 for one cluster"
+    ~count:100
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 6)
+        (list_of_size (Gen.return 6) (float_bound_inclusive 10.)))
+    (fun rows ->
+      let n = 6 in
+      let aff = Array.make_matrix n n 0. in
+      List.iteri
+        (fun i row ->
+          if i < n then
+            List.iteri (fun j v -> if j < n && i <> j then aff.(i).(j) <- v) row)
+        rows;
+      let names = Array.init n (fun i -> Printf.sprintf "k%d" i) in
+      let t = Cluster.make ~names ~affinity:aff in
+      let all = [ Array.to_list names ] in
+      let q_all = Cluster.quality t all in
+      let parts = Cluster.agglomerate t ~target:3 in
+      let q = Cluster.quality t parts in
+      q >= 0. && q <= 1. && q_all = 1.)
+
+(* end-to-end: cluster a program with two communicating kernel groups *)
+let test_cluster_from_quad () =
+  let src =
+    "int x[64]; int y[64]; int m[64]; int n[64];\n\
+     void px() { for (int i = 0; i < 64; i++) x[i] = i; }\n\
+     void cx() { for (int i = 0; i < 64; i++) y[i] = x[i] + 1; }\n\
+     void cy() { int s; s = 0; for (int i = 0; i < 64; i++) s += y[i]; m[0] = s; }\n\
+     void pm() { for (int i = 0; i < 64; i++) m[i] = i * 2; }\n\
+     void cm() { for (int i = 0; i < 64; i++) n[i] = m[i] * 3; }\n\
+     int main() { px(); cx(); cy(); pm(); cm(); return 0; }"
+  in
+  let prog = Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"app" src ] in
+  let m = Tq_vm.Machine.create prog in
+  let eng = Tq_dbi.Engine.create m in
+  let q = Tq_quad.Quad.attach eng in
+  Tq_dbi.Engine.run eng;
+  let t = Cluster.of_quad ~exclude:[ "main" ] q in
+  let clusters = Cluster.agglomerate t ~target:2 in
+  Alcotest.(check int) "two clusters" 2 (List.length clusters);
+  let find name =
+    List.find_opt (fun c -> List.mem name c) clusters |> Option.get
+  in
+  Alcotest.(check bool) "px with cx" true (find "px" == find "cx");
+  Alcotest.(check bool) "pm with cm" true (find "pm" == find "cm");
+  Alcotest.(check bool) "groups separate" true (find "px" != find "pm");
+  Alcotest.(check bool) "render mentions cluster 1" true
+    (Astring_contains.contains (Cluster.render clusters) "cluster 1:")
+
+let test_cluster_from_tquad () =
+  let src =
+    "int a[512]; int b[512];\n\
+     void a1() { for (int r = 0; r < 30; r++) for (int i = 0; i < 512; i++) a[i] += 1; }\n\
+     void a2() { for (int r = 0; r < 30; r++) for (int i = 0; i < 512; i++) a[i] += 2; }\n\
+     void b1() { for (int r = 0; r < 30; r++) for (int i = 0; i < 512; i++) b[i] += 3; }\n\
+     void b2() { for (int r = 0; r < 30; r++) for (int i = 0; i < 512; i++) b[i] += 4; }\n\
+     int main() { for (int k = 0; k < 4; k++) { a1(); a2(); } \n\
+     for (int k = 0; k < 4; k++) { b1(); b2(); } return 0; }"
+  in
+  let prog = Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"app" src ] in
+  let m = Tq_vm.Machine.create prog in
+  let eng = Tq_dbi.Engine.create m in
+  let tq = Tq_tquad.Tquad.attach ~slice_interval:20_000 eng in
+  Tq_dbi.Engine.run eng;
+  let t = Cluster.of_tquad ~exclude:[ "main" ] tq in
+  let clusters = Cluster.agglomerate t ~target:2 in
+  let find name =
+    List.find_opt (fun c -> List.mem name c) clusters |> Option.get
+  in
+  (* a1/a2 alternate within the same window; so do b1/b2 *)
+  Alcotest.(check bool) "a-kernels together" true (find "a1" == find "a2");
+  Alcotest.(check bool) "b-kernels together" true (find "b1" == find "b2")
+
+let suites =
+  [
+    ( "cluster",
+      [
+        Alcotest.test_case "validation" `Quick test_make_validation;
+        Alcotest.test_case "two communities" `Quick
+          test_agglomerate_two_communities;
+        Alcotest.test_case "full merge" `Quick test_agglomerate_full_merge;
+        Alcotest.test_case "zero affinity" `Quick
+          test_agglomerate_zero_affinity_not_merged;
+        Alcotest.test_case "quality empty" `Quick test_quality_empty_total;
+        Alcotest.test_case "combine" `Quick test_combine;
+        QCheck_alcotest.to_alcotest qcheck_quality_bounds;
+        Alcotest.test_case "from quad" `Quick test_cluster_from_quad;
+        Alcotest.test_case "from tquad" `Quick test_cluster_from_tquad;
+      ] );
+  ]

@@ -1,0 +1,113 @@
+open Tq_vm
+open Tq_dbi
+module F = Tq_prof.Footprint
+
+let setup src =
+  let prog = Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"app" src ] in
+  Engine.create (Machine.create prog)
+
+let test_regions () =
+  let eng =
+    setup
+      "int g[128];\n\
+       int main() { int local[16];\n\
+       for (int i = 0; i < 128; i++) g[i] = i;          // data: 1024 B\n\
+       for (int i = 0; i < 16; i++) local[i] = i;       // stack\n\
+       int* h; h = (int*) malloc(64 * sizeof(int));\n\
+       for (int i = 0; i < 64; i++) h[i] = i;           // heap: 512 B\n\
+       return g[0] + local[0] + h[0]; }"
+  in
+  let f = F.attach eng in
+  Engine.run eng;
+  let main =
+    List.find
+      (fun r -> r.Symtab.name = "main")
+      (List.map fst (F.rows f))
+  in
+  let data = F.stats f main F.Data in
+  let heap = F.stats f main F.Heap in
+  let stack = F.stats f main F.Stack in
+  (* 1024 B of g[] plus the allocator's 8-byte __rt_heap cell, which
+     malloc (library code) touches on behalf of main *)
+  Alcotest.(check int) "data footprint = g[] + allocator cell" 1032
+    data.F.unique_bytes;
+  Alcotest.(check int) "heap footprint = malloc'd block" 512 heap.F.unique_bytes;
+  Alcotest.(check bool) "stack footprint covers locals" true
+    (stack.F.unique_bytes >= 16 * 8);
+  Alcotest.(check bool) "extent covers g[] and the rt cell" true
+    (data.F.hi - data.F.lo + 1 >= 1024);
+  Alcotest.(check bool) "page counts sane" true
+    (data.F.pages >= 1 && data.F.pages <= 2)
+
+let test_block_moves_counted () =
+  let eng =
+    setup
+      "char a[4096]; char b[4096];\n\
+       int main() { for (int i = 0; i < 4096; i++) a[i] = i & 255;\n\
+       memcpy((char*) b, (char*) a, 4096); return 0; }"
+  in
+  let f = F.attach eng in
+  Engine.run eng;
+  let main =
+    List.find (fun r -> r.Symtab.name = "main") (List.map fst (F.rows f))
+  in
+  let data = F.stats f main F.Data in
+  (* both arrays fully touched (8 KiB), through the block move for b *)
+  Alcotest.(check int) "both arrays in footprint" 8192 data.F.unique_bytes;
+  Alcotest.(check int) "two pages" 2 data.F.pages
+
+let test_kernel_separation () =
+  let eng =
+    setup
+      "int big[2048]; int small[8];\n\
+       void heavy() { for (int i = 0; i < 2048; i++) big[i] = i; }\n\
+       void light() { for (int i = 0; i < 8; i++) small[i] = i; }\n\
+       int main() { heavy(); light(); return 0; }"
+  in
+  let f = F.attach eng in
+  Engine.run eng;
+  let rows = F.rows f in
+  (* heavy must rank first by unique bytes *)
+  (match rows with
+  | (r, _) :: _ -> Alcotest.(check string) "heavy first" "heavy" r.Symtab.name
+  | [] -> Alcotest.fail "no rows");
+  let find name = List.find (fun (r, _) -> r.Symtab.name = name) rows in
+  let _, heavy_regions = find "heavy" and _, light_regions = find "light" in
+  Alcotest.(check int) "heavy data bytes" (2048 * 8)
+    (List.assoc F.Data heavy_regions).F.unique_bytes;
+  Alcotest.(check int) "light data bytes" 64
+    (List.assoc F.Data light_regions).F.unique_bytes;
+  Alcotest.(check bool) "render mentions regions" true
+    (Astring_contains.contains (F.render f) "data")
+
+(* the paper's buffer-sizing story on the case study *)
+let test_wfs_buffer_sizing () =
+  let scen = Tq_wfs.Scenario.tiny in
+  let m =
+    Machine.create ~vfs:(Tq_wfs.Harness.make_vfs scen) (Tq_wfs.Harness.compile scen)
+  in
+  let eng = Engine.create m in
+  let f = F.attach eng in
+  Engine.run ~fuel:(Tq_wfs.Harness.fuel scen) eng;
+  let find name =
+    List.find (fun (r, _) -> r.Symtab.name = name) (F.rows f)
+  in
+  let _, fft = find "fft1d" in
+  let _, store = find "wav_store" in
+  let data r = (List.assoc F.Data r).F.unique_bytes in
+  (* fft1d works on small on-chip-mappable buffers; wav_store touches the
+     whole output stream (the paper's contrast) *)
+  Alcotest.(check bool) "fft1d buffer is KB-scale" true (data fft < 8 * 1024);
+  Alcotest.(check bool) "wav_store footprint is the output stream" true
+    (data store > 4 * data fft)
+
+let suites =
+  [
+    ( "footprint",
+      [
+        Alcotest.test_case "regions" `Quick test_regions;
+        Alcotest.test_case "block moves" `Quick test_block_moves_counted;
+        Alcotest.test_case "kernel separation" `Quick test_kernel_separation;
+        Alcotest.test_case "wfs buffer sizing" `Quick test_wfs_buffer_sizing;
+      ] );
+  ]

@@ -1,0 +1,104 @@
+(* Robustness fuzzing: malformed inputs must produce the documented errors,
+   never crashes or unexpected exceptions. *)
+
+let qcheck_parser_total =
+  QCheck.Test.make ~name:"parser is total over junk input" ~count:300
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 200) QCheck.Gen.printable)
+    (fun src ->
+      match Tq_minic.Parser.parse src with
+      | _ -> true
+      | exception Tq_minic.Parser.Parse_error _ -> true
+      | exception Tq_minic.Lexer.Lex_error _ -> true)
+
+let qcheck_parser_total_structured =
+  (* junk assembled from plausible C tokens exercises deeper parser paths *)
+  let token =
+    QCheck.Gen.oneofl
+      [ "int"; "float"; "struct"; "if"; "else"; "while"; "for"; "return";
+        "x"; "y"; "f"; "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "+"; "*";
+        "->"; "."; "="; "=="; "&&"; "1"; "2.5"; "'c'"; "\"s\""; "&"; "!" ]
+  in
+  QCheck.Test.make ~name:"parser is total over token soup" ~count:300
+    (QCheck.make
+       QCheck.Gen.(map (String.concat " ") (list_size (int_range 0 40) token)))
+    (fun src ->
+      match Tq_minic.Parser.parse src with
+      | _ -> true
+      | exception Tq_minic.Parser.Parse_error _ -> true
+      | exception Tq_minic.Lexer.Lex_error _ -> true)
+
+let qcheck_compiler_total =
+  (* full pipeline: any outcome but a crash *)
+  QCheck.Test.make ~name:"compiler pipeline is total over junk" ~count:150
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 120) QCheck.Gen.printable)
+    (fun src ->
+      match Tq_minic.Driver.compile_unit ~image:"fuzz" src with
+      | _ -> true
+      | exception Tq_minic.Driver.Compile_error _ -> true)
+
+let qcheck_wav_decode_total =
+  QCheck.Test.make ~name:"wav decode never raises" ~count:300
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 256) QCheck.Gen.char)
+    (fun s ->
+      match Tq_wav.Wav.decode s with Ok _ | Error _ -> true)
+
+let qcheck_wav_decode_mutated =
+  (* bit-flipped valid files must decode, error out, or change content —
+     never crash *)
+  QCheck.Test.make ~name:"wav decode survives mutations" ~count:200
+    QCheck.(pair (int_bound 200) (int_bound 255))
+    (fun (pos, byte) ->
+      let good =
+        Tq_wav.Wav.encode
+          { Tq_wav.Wav.sample_rate = 8000;
+            channels = [| Array.init 64 (fun i -> sin (float_of_int i)) |] }
+      in
+      let b = Bytes.of_string good in
+      if pos < Bytes.length b then Bytes.set b pos (Char.chr byte);
+      match Tq_wav.Wav.decode (Bytes.to_string b) with
+      | Ok _ | Error _ -> true)
+
+let qcheck_objfile_decode_total =
+  QCheck.Test.make ~name:"object file decode never crashes on junk" ~count:200
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 256) QCheck.Gen.char)
+    (fun s ->
+      (* with or without a valid magic prefix *)
+      let candidates = [ s; Tq_vm.Objfile.magic ^ s ] in
+      List.for_all
+        (fun input ->
+          match Tq_vm.Objfile.decode input with
+          | _ -> true
+          | exception Tq_vm.Objfile.Format_error _ -> true)
+        candidates)
+
+let qcheck_asm_parse_total =
+  let token =
+    QCheck.Gen.oneofl
+      [ ".func"; ".endfunc"; ".data"; ".ascii"; ".image"; "li"; "ld"; "sd";
+        "add"; "jmp"; "bz"; "call"; "ret"; "x1"; "x99"; "f2"; "5"; "0(x2)";
+        "loop:"; "\"s\""; "?x3"; "(x1)" ]
+  in
+  QCheck.Test.make ~name:"assembler is total over token soup" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun lines -> String.concat "\n" (List.map (String.concat " ") lines))
+           (list_size (int_range 0 10) (list_size (int_range 0 5) token))))
+    (fun src ->
+      match Tq_asm.Asm_parse.parse src with
+      | _ -> true
+      | exception Tq_asm.Asm_parse.Asm_error _ -> true)
+
+let suites =
+  [
+    ( "fuzz",
+      [
+        QCheck_alcotest.to_alcotest qcheck_parser_total;
+        QCheck_alcotest.to_alcotest qcheck_parser_total_structured;
+        QCheck_alcotest.to_alcotest qcheck_compiler_total;
+        QCheck_alcotest.to_alcotest qcheck_wav_decode_total;
+        QCheck_alcotest.to_alcotest qcheck_wav_decode_mutated;
+        QCheck_alcotest.to_alcotest qcheck_objfile_decode_total;
+        QCheck_alcotest.to_alcotest qcheck_asm_parse_total;
+      ] );
+  ]

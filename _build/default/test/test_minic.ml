@@ -1,0 +1,336 @@
+open Tq_vm
+open Tq_minic
+
+(* ---------- helpers ---------- *)
+
+let run ?vfs src =
+  let prog = Tq_rt.Rt.link [ Driver.compile_unit ~image:"app" src ] in
+  let m = Machine.create ?vfs prog in
+  Executor.run ~fuel:50_000_000 m;
+  m
+
+let exit_of ?vfs src =
+  match Machine.exit_code (run ?vfs src) with
+  | Some c -> c
+  | None -> Alcotest.fail "program did not exit"
+
+let out_of ?vfs src = Machine.stdout_contents (run ?vfs src)
+
+let check_exit name expected src =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check int) name expected (exit_of src))
+
+let check_out name expected src =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected (out_of src))
+
+let check_compile_error name fragment src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Driver.compile_unit ~image:"app" src with
+      | _ -> Alcotest.fail ("expected Compile_error containing: " ^ fragment)
+      | exception Driver.Compile_error msg ->
+          if not (Astring_contains.contains msg fragment) then
+            Alcotest.fail
+              (Printf.sprintf "error %S does not mention %S" msg fragment))
+
+(* ---------- basic expressions and control flow ---------- *)
+
+let expression_cases =
+  [
+    check_exit "arith precedence" 14 "int main() { return 2 + 3 * 4; }";
+    check_exit "parens" 20 "int main() { return (2 + 3) * 4; }";
+    check_exit "division" 3 "int main() { return 10 / 3; }";
+    check_exit "modulo" 1 "int main() { return 10 % 3; }";
+    check_exit "negative" 249 "int main() { return -7 + 256; }";
+    check_exit "unary not" 1 "int main() { return !0; }";
+    check_exit "unary not nonzero" 0 "int main() { return !42; }";
+    (* C precedence: & over ^ over |, so (5&3) | (8^1) = 1 | 9 = 9 *)
+    check_exit "bitwise" 9 "int main() { return 5 & 3 | 8 ^ 1; }";
+    check_exit "bitnot" 254 "int main() { return ~1 & 255; }";
+    check_exit "shifts" 40 "int main() { return (5 << 3) & 0xFF | (1 >> 4); }";
+    check_exit "comparison chain" 1 "int main() { return (3 < 5) == (10 >= 10); }";
+    (* 0 && side() must NOT call side *)
+    check_exit "logical and short-circuit" 0
+      "int g; int side() { g = 7; return 1; } \
+       int main() { int x; x = 0 && side(); return g + x; }";
+    check_exit "logical or short-circuit" 1
+      "int g; int side() { g = 7; return 1; } \
+       int main() { int x; x = 1 || side(); return g + x; }";
+    check_exit "logical values normalized" 1 "int main() { return 5 && 9; }";
+    check_exit "char literal" 65 "int main() { return 'A'; }";
+    check_exit "escape literal" 10 "int main() { return '\\n'; }";
+    check_exit "sizeof" 8 "int main() { return sizeof(int); }";
+    check_exit "sizeof short" 2 "int main() { return sizeof(short); }";
+    check_exit "sizeof ptr" 8 "int main() { return sizeof(float*); }";
+    check_exit "hex literal" 255 "int main() { return 0xFF; }";
+    check_exit "hex literal mixed case" 48879 "int main() { return 0xbeEF; }";
+  ]
+
+let control_cases =
+  [
+    check_exit "if else" 1 "int main() { if (3 > 2) return 1; else return 2; }";
+    check_exit "if no else" 2 "int main() { if (3 < 2) return 1; return 2; }";
+    check_exit "nested if" 3
+      "int main() { int x; x = 5; if (x > 0) { if (x > 4) return 3; return 2; } \
+       return 1; }";
+    check_exit "while sum" 55
+      "int main() { int s; int i; s = 0; i = 1; while (i <= 10) { s += i; i++; } \
+       return s; }";
+    check_exit "for sum" 55
+      "int main() { int s; s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }";
+    check_exit "for no init" 10
+      "int main() { int i; i = 0; for (; i < 10;) i++; return i; }";
+    check_exit "do while" 1
+      "int main() { int i; i = 0; do { i++; } while (i < 1); return i; }";
+    check_exit "do while runs once" 1
+      "int main() { int i; i = 0; do { i++; } while (0); return i; }";
+    check_exit "break" 5
+      "int main() { int i; for (i = 0; i < 100; i++) if (i == 5) break; return i; }";
+    check_exit "continue" 25
+      "int main() { int s; s = 0; for (int i = 0; i < 10; i++) { if (i % 2 == 0) \
+       continue; s += i; } return s; }";
+    check_exit "nested loops with break" 9
+      "int main() { int c; c = 0; for (int i = 0; i < 3; i++) { for (int j = 0; \
+       j < 10; j++) { if (j == 2) break; c++; } c++; } return c; }";
+    check_exit "empty statement" 0 "int main() { ;;; return 0; }";
+    check_exit "block scoping" 5
+      "int main() { int x; x = 5; { int x; x = 9; } return x; }";
+  ]
+
+(* ---------- functions ---------- *)
+
+let function_cases =
+  [
+    check_exit "call with args" 7 "int add(int a, int b) { return a + b; } \
+                                   int main() { return add(3, 4); }";
+    check_exit "recursion fib" 55
+      "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } \
+       int main() { return fib(10); }";
+    (* two-pass signature collection: declaration order does not matter *)
+    check_exit "mutual recursion" 1
+      "int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); } \
+       int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); } \
+       int main() { return is_even(10); }";
+    check_exit "void function" 9
+      "int g; void bump(int d) { g += d; } \
+       int main() { g = 4; bump(5); return g; }";
+    check_exit "many args" 36
+      "int s8(int a, int b, int c, int d, int e, int f, int g, int h) \
+       { return a+b+c+d+e+f+g+h; } \
+       int main() { return s8(1,2,3,4,5,6,7,8); }";
+    check_exit "call in expression spills temps" 23
+      "int two() { return 2; } \
+       int main() { return 1 + two() * (3 + two() * two()) + two() * 4; }";
+    check_exit "nested calls" 11
+      "int add(int a, int b) { return a + b; } \
+       int main() { return add(add(1, 2), add(3, 5)); }";
+    check_exit "fall through returns 0" 0 "int main() { int x; x = 3; }";
+    check_exit "early return" 4
+      "int f() { return 4; return 9; } int main() { return f(); }";
+  ]
+
+(* ---------- arrays, pointers, globals ---------- *)
+
+let memory_cases =
+  [
+    check_exit "local array" 48
+      "int main() { int a[10]; for (int i = 0; i < 10; i++) a[i] = i; \
+       int s; s = 0; for (int i = 0; i < 10; i++) if (i % 3 == 0) s += a[i] * 2; \
+       int t; t = 0; for (int i = 0; i < 10; i++) t += a[i]; return s + t - 33; }";
+    check_exit "global array" 285
+      "int a[10]; int main() { for (int i = 0; i < 10; i++) a[i] = i * i; \
+       int s; s = 0; for (int i = 0; i < 10; i++) s += a[i]; return s; }";
+    check_exit "global scalar init" 42 "int g = 40; int main() { return g + 2; }";
+    check_exit "global negative init" 2 "int g = -40; int main() { return g + 42; }";
+    check_exit "pointer deref" 5
+      "int main() { int x; int* p; x = 4; p = &x; *p = *p + 1; return x; }";
+    check_exit "pointer arithmetic" 7
+      "int main() { int a[4]; a[0]=1; a[1]=2; a[2]=4; a[3]=8; int* p; p = a; \
+       p = p + 1; return *p + *(p + 1) + 1; }";
+    check_exit "pointer difference" 3
+      "int main() { int a[8]; int* p; int* q; p = a; q = &a[3]; return q - p; }";
+    check_exit "array as arg" 10
+      "int sum(int* a, int n) { int s; s = 0; for (int i = 0; i < n; i++) \
+       s += a[i]; return s; } \
+       int main() { int a[4]; a[0]=1; a[1]=2; a[2]=3; a[3]=4; return sum(a, 4); }";
+    check_exit "write through pointer arg" 9
+      "void set(int* p, int v) { *p = v; } \
+       int main() { int x; x = 0; set(&x, 9); return x; }";
+    check_exit "short truncation" 1
+      "int main() { short s; s = 65537; return s; }";
+    check_exit "short negative" 216
+      "int main() { short s; s = -40; return s + 256; }";
+    check_exit "char unsigned" 200
+      "int main() { char c; c = 200; return c; }";
+    check_exit "char wraps" 44
+      "int main() { char c; c = 300; return c; }";
+    check_exit "short array bytes" 6
+      "short a[3]; int main() { a[0] = 1; a[1] = 2; a[2] = 3; \
+       return a[0] + a[1] + a[2]; }";
+    check_exit "char array string" 104
+      "int main() { char* s; s = \"hi\"; return s[0]; }";
+    check_exit "strlen builtin" 5 "int main() { return strlen(\"hello\"); }";
+    check_exit "casts" 3
+      "int main() { float f; f = 3.9; return (int) f; }";
+    check_exit "cast int to float and back" 8
+      "int main() { float f; f = (float) 5; return (int)(f + 3.2); }";
+    check_exit "char cast masks" 44 "int main() { return (char) 300; }";
+    check_exit "short cast sign extends" 510
+      "int main() { return (short) 65534 + 256 + 256; }";
+    check_exit "malloc" 9
+      "int main() { int* p; p = (int*) malloc(10 * sizeof(int)); \
+       for (int i = 0; i < 10; i++) p[i] = i; \
+       int s; s = 0; for (int i = 0; i < 10; i++) if (i % 3 != 0) s += p[i]; \
+       free((char*) p); return s - 18; }";
+    check_exit "malloc distinct blocks" 1
+      "int main() { char* a; char* b; a = malloc(16); b = malloc(16); \
+       return b - a >= 16; }";
+    check_exit "memset memcpy" 55
+      "int main() { char a[10]; char b[10]; memset((char*) a, 5, 10); \
+       memcpy((char*) b, (char*) a, 10); int s; s = 0; \
+       for (int i = 0; i < 10; i++) s += b[i]; return s + 5; }";
+  ]
+
+(* ---------- floats ---------- *)
+
+let float_cases =
+  [
+    check_exit "float arith" 7
+      "int main() { float x; x = 2.5; float y; y = 0.3; \
+       return (int)((x + y) * 2.5); }";
+    check_exit "float compare" 1
+      "int main() { float x; x = 0.1; float y; y = 0.2; return x < y; }";
+    check_exit "float division" 2 "int main() { return (int)(5.0 / 2.0); }";
+    check_exit "float neg" 5 "int main() { float x; x = -2.5; return (int)(x * -2.0); }";
+    check_exit "sqrt intrinsic" 4 "int main() { return (int) sqrt(16.0); }";
+    check_exit "sin cos identity" 1
+      "int main() { float t; t = 0.7; float v; \
+       v = sin(t) * sin(t) + cos(t) * cos(t); \
+       return v > 0.999 && v < 1.001; }";
+    check_exit "floor" 3 "int main() { return (int) floor(3.9); }";
+    check_exit "fabs" 5 "int main() { return (int) fabs(-5.2); }";
+    check_exit "implicit int to float" 6
+      "float half(float x) { return x / 2.0; } \
+       int main() { return (int) half(12); }";
+    check_exit "float return" 9
+      "float three() { return 3.0; } \
+       int main() { return (int)(three() * three()); }";
+    check_exit "float array" 10
+      "int main() { float a[4]; for (int i = 0; i < 4; i++) a[i] = i + 1.0; \
+       float s; s = 0.0; for (int i = 0; i < 4; i++) s += a[i]; return (int) s; }";
+    check_exit "float global" 6
+      "float g = 1.5; int main() { return (int)(g * 4.0); }";
+    check_exit "scientific literal" 2500
+      "int main() { return (int)(2.5e3); }";
+    check_exit "mixed arith promotes" 5
+      "int main() { return (int)(1 + 4.5 - 0.5); }";
+  ]
+
+(* ---------- I/O ---------- *)
+
+let io_cases =
+  [
+    check_out "print_int" "42" "int main() { print_int(42); return 0; }";
+    check_out "print_str" "hello world"
+      "int main() { print_str(\"hello world\"); return 0; }";
+    check_out "print_char" "A\n"
+      "int main() { print_char('A'); print_char('\\n'); return 0; }";
+    check_out "print_float" "2.5"
+      "int main() { float x; x = 2.5; print_float(x); return 0; }";
+    check_out "clock monotone" "1"
+      "int main() { int a; int b; a = clock(); b = clock(); print_int(b > a); \
+       return 0; }";
+    Alcotest.test_case "file roundtrip" `Quick (fun () ->
+        let vfs = Vfs.create () in
+        Vfs.install vfs "in.bin" "abc";
+        let m =
+          run ~vfs
+            "int main() { char buf[8]; int fd; fd = open(\"in.bin\", 0); \
+             int n; n = read(fd, (char*) buf, 8); close(fd); \
+             for (int i = 0; i < n; i++) buf[i] = buf[i] + 1; \
+             int out; out = open(\"out.bin\", 1); write(out, (char*) buf, n); \
+             close(out); return n; }"
+        in
+        Alcotest.(check (option int)) "read 3 bytes" (Some 3) (Machine.exit_code m);
+        Alcotest.(check (option string)) "transformed" (Some "bcd")
+          (Vfs.contents vfs "out.bin"));
+    Alcotest.test_case "fsize and seek" `Quick (fun () ->
+        let vfs = Vfs.create () in
+        Vfs.install vfs "f" "0123456789";
+        let m =
+          run ~vfs
+            "int main() { int fd; fd = open(\"f\", 0); int sz; sz = fsize(fd); \
+             seek(fd, 5); char b[8]; int n; n = read(fd, (char*) b, 8); \
+             close(fd); return sz * 10 + n; }"
+        in
+        Alcotest.(check (option int)) "size 10, read 5" (Some 105)
+          (Machine.exit_code m))
+  ]
+
+(* ---------- static errors ---------- *)
+
+let error_cases =
+  [
+    check_compile_error "unknown variable" "unknown variable 'y'"
+      "int main() { return y; }";
+    check_compile_error "unknown function" "unknown function 'nope'"
+      "int main() { return nope(); }";
+    check_compile_error "arity" "expects 2 argument(s), got 1"
+      "int add(int a, int b) { return a + b; } int main() { return add(1); }";
+    check_compile_error "float to int assign" "use a cast"
+      "int main() { int x; x = 2.5; return x; }";
+    check_compile_error "void variable" "cannot declare void"
+      "int main() { void v; return 0; }";
+    check_compile_error "break outside loop" "'break' outside"
+      "int main() { break; return 0; }";
+    check_compile_error "continue outside loop" "'continue' outside"
+      "int main() { continue; return 0; }";
+    check_compile_error "missing main" "missing 'int main()'" "int f() { return 0; }";
+    check_compile_error "bad main signature" "main must have signature"
+      "int main(int x) { return 0; }";
+    check_compile_error "duplicate function" "duplicate function 'f'"
+      "int f() { return 0; } int f() { return 1; } int main() { return 0; }";
+    check_compile_error "redefines builtin" "redefines a runtime builtin"
+      "int strlen(char* s) { return 0; } int main() { return 0; }";
+    check_compile_error "duplicate local" "redeclaration of 'x'"
+      "int main() { int x; int x; return 0; }";
+    check_compile_error "array not assignable" "not assignable"
+      "int main() { int a[3]; int b[3]; a = b; return 0; }";
+    check_compile_error "index non-pointer" "cannot index"
+      "int main() { int x; x = 1; return x[0]; }";
+    check_compile_error "deref non-pointer" "cannot dereference"
+      "int main() { int x; x = 1; return *x; }";
+    check_compile_error "void in expression" "void value"
+      "void f() { } int main() { return f(); }";
+    check_compile_error "return value from void" "void function cannot return"
+      "void f() { return 1; } int main() { return 0; }";
+    check_compile_error "missing return value" "must return a value"
+      "int main() { return; }";
+    check_compile_error "syntax error" "syntax error"
+      "int main() { return 1 + ; }";
+    check_compile_error "lex error" "lexical error"
+      "int main() { return 1 @ 2; }";
+    check_compile_error "unterminated comment" "unterminated comment"
+      "/* int main() { return 0; }";
+    check_compile_error "array initializer" "cannot have an initializer"
+      "int main() { int a[3] = 5; return 0; }";
+    check_compile_error "non-literal array size" "integer literal"
+      "int main() { int n; n = 3; int a[n]; return 0; }";
+    check_compile_error "global initializer" "constant literal"
+      "int g = 1 + 2; int main() { return g; }";
+    check_compile_error "float modulo" "invalid operands"
+      "int main() { float x; x = 1.0; float y; y = (float)(x % 2.0); return 0; }";
+    check_compile_error "return in global position" "expected type"
+      "return 1;";
+  ]
+
+let suites =
+  [
+    ("minic.expr", expression_cases);
+    ("minic.control", control_cases);
+    ("minic.functions", function_cases);
+    ("minic.memory", memory_cases);
+    ("minic.float", float_cases);
+    ("minic.io", io_cases);
+    ("minic.errors", error_cases);
+  ]

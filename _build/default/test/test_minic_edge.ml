@@ -1,0 +1,155 @@
+open Tq_vm
+open Tq_minic
+
+let run ?vfs src =
+  let prog = Tq_rt.Rt.link [ Driver.compile_unit ~image:"app" src ] in
+  let m = Machine.create ?vfs prog in
+  Executor.run ~fuel:50_000_000 m;
+  m
+
+let exit_of src =
+  match Machine.exit_code (run src) with
+  | Some c -> c
+  | None -> Alcotest.fail "no exit"
+
+let check_exit name expected src =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check int) name expected (exit_of src))
+
+(* deep RIGHT-nesting grows the temp stack; must fail cleanly, not corrupt *)
+let test_expression_too_deep () =
+  let rec nest n = if n = 0 then "1" else Printf.sprintf "(1 + %s)" (nest (n - 1)) in
+  let src = Printf.sprintf "int main() { return %s; }" (nest 40) in
+  match Driver.compile_unit ~image:"app" src with
+  | _ -> Alcotest.fail "expected depth error"
+  | exception Driver.Compile_error msg ->
+      Alcotest.(check bool) "mentions depth" true
+        (Astring_contains.contains msg "expression too deep")
+
+let test_left_nesting_is_fine () =
+  (* left-nesting reuses one temp: arbitrarily long chains compile *)
+  let sum = String.concat " + " (List.init 200 (fun i -> string_of_int (i mod 7))) in
+  let src = Printf.sprintf "int main() { return (%s) & 255; }" sum in
+  let expected = (List.init 200 (fun i -> i mod 7) |> List.fold_left ( + ) 0) land 255 in
+  Alcotest.(check int) "long chain" expected (exit_of src)
+
+let test_spill_correctness_under_deep_calls () =
+  (* every temp must survive a call in a sibling subtree *)
+  let src =
+    "int f(int x) { return x + 1; }\n\
+     int main() { return (1 + f(2)) * (3 + f(4)) + f(5) * (f(6) - f(7)); }"
+  in
+  (* (1+3)*(3+5) + 6*(7-8) = 32 - 6 = 26 *)
+  Alcotest.(check int) "spills preserve temps" 26 (exit_of src)
+
+let precedence_cases =
+  [
+    (* C precedence goldens, hand-computed *)
+    check_exit "shift vs add" 32 "int main() { return 1 << 2 + 3; }";
+    check_exit "cmp vs bitand" 1 "int main() { return 3 & 2 == 2; }";
+    (* == binds tighter than &: 3 & (2==2) = 3 & 1 = 1 *)
+    check_exit "unary minus binds tight" 1 "int main() { return -2 + 3; }";
+    check_exit "double negation" 5 "int main() { return - -5; }";
+    check_exit "not not" 1 "int main() { return !!7; }";
+    check_exit "mod negative truncates" (-1 + 256)
+      "int main() { return -7 % 3 + 256; }";
+    check_exit "div negative truncates" (-2 + 256)
+      "int main() { return -7 / 3 + 256; }";
+    check_exit "cast precedence" 4 "int main() { return (int) 2.2 * 2; }";
+    check_exit "address and index" 30
+      "int main() { int a[3]; a[0]=10; a[1]=20; int* p; p = &a[0]; \
+       return p[0] + *(&a[1]); }";
+  ]
+
+let misc_cases =
+  [
+    check_exit "comments everywhere" 7
+      "// leading\nint main() { /* mid */ int x; x = 7; // trail\n return x; /* tail */ }";
+    check_exit "comment with stars" 3
+      "int main() { /* ** not nested ** */ return 3; }";
+    check_exit "string escapes" 4
+      "int main() { char* s; s = \"a\\tb\\n\"; return strlen(s); }";
+    check_exit "nul in string" 1
+      "int main() { char* s; s = \"a\\0b\"; return strlen(s); }";
+    check_exit "global pointer" 5
+      "int g; int* p; int main() { g = 5; p = &g; return *p; }";
+    check_exit "short in condition" 1
+      "int main() { short s; s = -1; if (s < 0) return 1; return 0; }";
+    check_exit "char comparison" 1
+      "int main() { char c; c = 'z'; return c > 'a'; }";
+    check_exit "call in condition" 2
+      "int two() { return 2; } int main() { if (two() == 2) return 2; return 1; }";
+    check_exit "deep recursion" 2584
+      "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n\
+       int main() { return fib(18); }";
+    check_exit "shadowing in for" 3
+      "int main() { int i; i = 3; for (int i = 0; i < 10; i++) ; return i; }";
+    check_exit "float equality" 1
+      "int main() { float a; a = 0.5; float b; b = 0.25 + 0.25; return a == b; }";
+    check_exit "float not equal" 1
+      "int main() { float a; a = 0.1; return a != 0.2; }";
+    check_exit "compound shift assign" 4
+      "int main() { int x; x = 1; x <<= 2; return x; }";
+    check_exit "chained index expressions" 9
+      "int a[4]; int main() { a[0] = 1; a[1] = 2; a[a[0]] = 3; \
+       a[a[a[0]]] = 9; return a[3]; }";
+  ]
+
+(* ---------- VM robustness ---------- *)
+
+let test_wild_jump_traps () =
+  let open Tq_asm in
+  let b = Builder.create () in
+  Builder.ins b (Tq_isa.Isa.Li (10, 0x12345));
+  Builder.ins b (Tq_isa.Isa.Jr 10);
+  let prog =
+    Link.link
+      [ { Link.uname = "t"; main_image = true;
+          routines = [ { Link.rname = "_start"; body = b } ]; data = [] } ]
+  in
+  let m = Machine.create prog in
+  Alcotest.(check bool) "wild jump traps" true
+    (try
+       Executor.run ~fuel:100 m;
+       false
+     with Machine.Trap _ -> true)
+
+let test_fuel_on_infinite_minic_loop () =
+  let prog =
+    Tq_rt.Rt.link
+      [ Driver.compile_unit ~image:"app" "int main() { while (1) ; return 0; }" ]
+  in
+  let m = Machine.create prog in
+  Alcotest.(check bool) "fuel stops runaway" true
+    (try
+       Executor.run ~fuel:10_000 m;
+       false
+     with Executor.Out_of_fuel _ -> true)
+
+let test_stack_growth_deep_frames () =
+  (* each frame has a 1 KiB local array: 60 frames of deep recursion *)
+  let src =
+    "int deep(int n) { char pad[1024]; pad[0] = n & 255; \
+     if (n == 0) return pad[0]; return deep(n - 1) + (pad[0] & 1); }\n\
+     int main() { return deep(60) & 255; }"
+  in
+  Alcotest.(check bool) "deep frames execute" true (exit_of src >= 0)
+
+let suites =
+  [
+    ( "minic.edge",
+      [
+        Alcotest.test_case "expression too deep" `Quick test_expression_too_deep;
+        Alcotest.test_case "left nesting fine" `Quick test_left_nesting_is_fine;
+        Alcotest.test_case "spill under calls" `Quick
+          test_spill_correctness_under_deep_calls;
+      ]
+      @ precedence_cases @ misc_cases );
+    ( "vm.robustness",
+      [
+        Alcotest.test_case "wild jump" `Quick test_wild_jump_traps;
+        Alcotest.test_case "fuel on minic loop" `Quick
+          test_fuel_on_infinite_minic_loop;
+        Alcotest.test_case "deep frames" `Quick test_stack_growth_deep_frames;
+      ] );
+  ]

@@ -1,0 +1,425 @@
+open Tq_vm
+open Tq_dbi
+open Tq_minic
+
+(* ---------- helpers ---------- *)
+
+let setup ?vfs src =
+  let prog = Tq_rt.Rt.link [ Driver.compile_unit ~image:"app" src ] in
+  let m = Machine.create ?vfs prog in
+  Engine.create m
+
+let by_name rows name f =
+  match List.find_opt (fun r -> f r = name) rows with
+  | Some r -> r
+  | None -> Alcotest.fail ("no row for kernel " ^ name)
+
+(* A producer/consumer program with exactly known global traffic:
+   producer writes 16*8 bytes into src, consumer reads them and writes 8
+   bytes into dst. *)
+let pc_src =
+  "int src[16]; int dst[16];\n\
+   void producer() { for (int i = 0; i < 16; i++) src[i] = i; }\n\
+   void consumer() { int s; s = 0; for (int i = 0; i < 16; i++) s += src[i];\n\
+  \                  dst[0] = s; }\n\
+   int main() { producer(); consumer(); return 0; }"
+
+(* ---------- QUAD ---------- *)
+
+let quad_run ?policy src =
+  let eng = setup src in
+  let q = Tq_quad.Quad.attach ?policy eng in
+  Engine.run eng;
+  q
+
+let test_quad_producer_consumer () =
+  let q = quad_run pc_src in
+  let rows = Tq_quad.Quad.rows q in
+  let row name = by_name rows name (fun r -> r.Tq_quad.Quad.routine.Symtab.name) in
+  let p = row "producer" and c = row "consumer" in
+  (* stack-excluded figures are exact *)
+  Alcotest.(check int) "producer writes 128 global bytes (OUT UnMA)" 128
+    p.Tq_quad.Quad.out_unma;
+  Alcotest.(check int) "producer reads no global bytes" 0 p.Tq_quad.Quad.in_bytes;
+  Alcotest.(check int) "producer OUT consumed = 128" 128 p.Tq_quad.Quad.out_bytes;
+  Alcotest.(check int) "consumer IN = 128" 128 c.Tq_quad.Quad.in_bytes;
+  Alcotest.(check int) "consumer IN UnMA = 128" 128 c.Tq_quad.Quad.in_unma;
+  Alcotest.(check int) "consumer OUT UnMA = 8" 8 c.Tq_quad.Quad.out_unma;
+  (* stack-included figures must dominate the excluded ones *)
+  Alcotest.(check bool) "incl >= excl (IN)" true
+    (c.Tq_quad.Quad.in_bytes_incl >= c.Tq_quad.Quad.in_bytes);
+  Alcotest.(check bool) "producer has stack traffic" true
+    (p.Tq_quad.Quad.in_bytes_incl > 0)
+
+let test_quad_binding () =
+  let q = quad_run pc_src in
+  let bindings = Tq_quad.Quad.bindings q in
+  let b =
+    match
+      List.find_opt
+        (fun b ->
+          b.Tq_quad.Quad.producer.Symtab.name = "producer"
+          && b.Tq_quad.Quad.consumer.Symtab.name = "consumer")
+        bindings
+    with
+    | Some b -> b
+    | None -> Alcotest.fail "missing producer->consumer binding"
+  in
+  Alcotest.(check int) "binding bytes (excl)" 128 b.Tq_quad.Quad.bytes;
+  Alcotest.(check int) "binding UnMA" 128 b.Tq_quad.Quad.unma
+
+let test_quad_self_binding () =
+  (* a kernel reading back what it wrote binds to itself *)
+  let q =
+    quad_run
+      "int buf[8];\n\
+       int main() { for (int i = 0; i < 8; i++) buf[i] = i;\n\
+      \             int s; s = 0; for (int i = 0; i < 8; i++) s += buf[i];\n\
+      \             return s; }"
+  in
+  let b =
+    List.find_opt
+      (fun b ->
+        b.Tq_quad.Quad.producer.Symtab.name = "main"
+        && b.Tq_quad.Quad.consumer.Symtab.name = "main")
+      (Tq_quad.Quad.bindings q)
+  in
+  match b with
+  | Some b -> Alcotest.(check int) "self binding bytes" 64 b.Tq_quad.Quad.bytes
+  | None -> Alcotest.fail "missing self binding"
+
+let memcpy_src =
+  "char a[64]; char b[64];\n\
+   int main() { for (int i = 0; i < 64; i++) a[i] = i;\n\
+  \             memcpy((char*) b, (char*) a, 64); return 0; }"
+
+let test_quad_library_attribution () =
+  (* Main_image_only: memcpy's 64 global reads+writes belong to main *)
+  let q = quad_run memcpy_src in
+  let rows = Tq_quad.Quad.rows q in
+  Alcotest.(check bool) "memcpy not listed" true
+    (not (List.exists (fun r -> r.Tq_quad.Quad.routine.Symtab.name = "memcpy") rows));
+  let m = by_name rows "main" (fun r -> r.Tq_quad.Quad.routine.Symtab.name) in
+  Alcotest.(check int) "main reads a[] through memcpy" 64 m.Tq_quad.Quad.in_bytes;
+  Alcotest.(check int) "main wrote a and b" 128 m.Tq_quad.Quad.out_unma
+
+let test_quad_track_all () =
+  let q = quad_run ~policy:Tq_prof.Call_stack.Track_all memcpy_src in
+  let rows = Tq_quad.Quad.rows q in
+  let mc = by_name rows "memcpy" (fun r -> r.Tq_quad.Quad.routine.Symtab.name) in
+  Alcotest.(check int) "memcpy reads 64 global bytes" 64 mc.Tq_quad.Quad.in_bytes;
+  (* the binding main -> memcpy carries the copied data *)
+  let b =
+    List.find_opt
+      (fun b ->
+        b.Tq_quad.Quad.producer.Symtab.name = "main"
+        && b.Tq_quad.Quad.consumer.Symtab.name = "memcpy")
+      (Tq_quad.Quad.bindings q)
+  in
+  Alcotest.(check bool) "main->memcpy binding exists" true (b <> None)
+
+let test_quad_dot () =
+  let q = quad_run pc_src in
+  let dot = Tq_quad.Quad.to_dot q in
+  Alcotest.(check bool) "dot has digraph" true
+    (Astring_contains.contains dot "digraph QDU");
+  Alcotest.(check bool) "dot has edge" true
+    (Astring_contains.contains dot "\"producer\" -> \"consumer\"");
+  Alcotest.(check bool) "shadow pages allocated" true (Tq_quad.Quad.shadow_pages q > 0)
+
+(* ---------- gprofsim ---------- *)
+
+let gprof_src =
+  "int buf[64];\n\
+   void busy() { for (int r = 0; r < 200; r++) for (int i = 0; i < 64; i++)\n\
+  \   buf[i] = buf[i] + r; }\n\
+   void light() { buf[0] = 1; }\n\
+   int main() { light(); busy(); light(); busy(); light(); return 0; }"
+
+let gprof_run ?period src =
+  let eng = setup src in
+  let g = Tq_gprofsim.Gprofsim.attach ?period eng in
+  Engine.run eng;
+  g
+
+let test_gprof_flat_profile () =
+  let g = gprof_run ~period:100 gprof_src in
+  let rows = Tq_gprofsim.Gprofsim.flat_profile g in
+  (match rows with
+  | top :: _ ->
+      Alcotest.(check string) "busy ranks first" "busy"
+        top.Tq_gprofsim.Gprofsim.routine.Symtab.name;
+      Alcotest.(check bool) "busy dominates" true
+        (top.Tq_gprofsim.Gprofsim.pct_time > 50.)
+  | [] -> Alcotest.fail "empty profile");
+  let row name =
+    by_name rows name (fun r -> r.Tq_gprofsim.Gprofsim.routine.Symtab.name)
+  in
+  Alcotest.(check int) "busy called twice" 2 (row "busy").Tq_gprofsim.Gprofsim.calls;
+  Alcotest.(check int) "light called thrice" 3 (row "light").Tq_gprofsim.Gprofsim.calls;
+  Alcotest.(check int) "main called once" 1 (row "main").Tq_gprofsim.Gprofsim.calls;
+  (* main's total includes its children: total/call must exceed self/call *)
+  let m = row "main" in
+  Alcotest.(check bool) "main total > self" true
+    (m.Tq_gprofsim.Gprofsim.total_ms_per_call
+    > m.Tq_gprofsim.Gprofsim.self_ms_per_call);
+  (* library routines are hidden by default but visible on demand *)
+  let all = Tq_gprofsim.Gprofsim.flat_profile ~main_image_only:false g in
+  Alcotest.(check bool) "librt _start visible in full profile" true
+    (List.exists
+       (fun r -> r.Tq_gprofsim.Gprofsim.routine.Symtab.name = "_start")
+       all)
+
+let test_gprof_arcs () =
+  let g = gprof_run ~period:1000 gprof_src in
+  let arcs = Tq_gprofsim.Gprofsim.arcs g in
+  let count a b =
+    List.fold_left
+      (fun acc (x, y, n) ->
+        if x.Symtab.name = a && y.Symtab.name = b then acc + n else acc)
+      0 arcs
+  in
+  Alcotest.(check int) "main->busy arcs" 2 (count "main" "busy");
+  Alcotest.(check int) "main->light arcs" 3 (count "main" "light");
+  Alcotest.(check int) "_start->main arc" 1 (count "_start" "main")
+
+let test_gprof_recursion () =
+  let g =
+    gprof_run ~period:50
+      "int work(int n) { int a[16]; for (int i = 0; i < 16; i++) a[i] = n;\n\
+      \  if (n <= 1) return a[0]; return work(n - 1) + a[1]; }\n\
+       int main() { return work(200); }"
+  in
+  let rows = Tq_gprofsim.Gprofsim.flat_profile g in
+  let w =
+    by_name rows "work" (fun r -> r.Tq_gprofsim.Gprofsim.routine.Symtab.name)
+  in
+  Alcotest.(check int) "recursive calls counted" 200 w.Tq_gprofsim.Gprofsim.calls;
+  (* cycle handling: total must be finite and >= self *)
+  Alcotest.(check bool) "total finite" true
+    (Float.is_finite w.Tq_gprofsim.Gprofsim.total_ms_per_call);
+  Alcotest.(check bool) "samples recorded" true
+    (Tq_gprofsim.Gprofsim.total_samples g > 0);
+  Alcotest.(check bool) "seconds positive" true
+    (Tq_gprofsim.Gprofsim.total_seconds g > 0.)
+
+(* ---------- tQUAD ---------- *)
+
+let tquad_run ?slice_interval ?policy src =
+  let eng = setup src in
+  let t = Tq_tquad.Tquad.attach ?slice_interval ?policy eng in
+  Engine.run eng;
+  t
+
+let find_kernel t name =
+  match
+    List.find_opt (fun r -> r.Symtab.name = name) (Tq_tquad.Tquad.kernels t)
+  with
+  | Some r -> r
+  | None -> Alcotest.fail ("kernel not observed: " ^ name)
+
+let test_tquad_totals_match_quad () =
+  (* same program through both tools: global byte counts must agree *)
+  let t = tquad_run ~slice_interval:100 pc_src in
+  let q = quad_run pc_src in
+  let qrow name =
+    by_name (Tq_quad.Quad.rows q) name (fun r ->
+        r.Tq_quad.Quad.routine.Symtab.name)
+  in
+  List.iter
+    (fun name ->
+      let k = find_kernel t name in
+      let tot = Tq_tquad.Tquad.totals t k in
+      let qr = qrow name in
+      Alcotest.(check int)
+        (name ^ ": tquad read_excl = quad IN excl")
+        qr.Tq_quad.Quad.in_bytes tot.Tq_tquad.Tquad.read_excl;
+      Alcotest.(check int)
+        (name ^ ": tquad write_unma-ish: write_excl >= out_unma")
+        qr.Tq_quad.Quad.out_unma
+        (min tot.Tq_tquad.Tquad.write_excl qr.Tq_quad.Quad.out_unma))
+    [ "producer"; "consumer"; "main" ]
+
+let test_tquad_series_sum () =
+  let t = tquad_run ~slice_interval:50 pc_src in
+  let k = find_kernel t "producer" in
+  let tot = Tq_tquad.Tquad.totals t k in
+  let sum m =
+    Array.fold_left ( + ) 0 (Tq_tquad.Tquad.bytes_series t k m)
+  in
+  Alcotest.(check int) "series sums to total (read incl)"
+    tot.Tq_tquad.Tquad.read_incl (sum Tq_tquad.Tquad.Read_incl);
+  Alcotest.(check int) "series sums to total (write excl)"
+    tot.Tq_tquad.Tquad.write_excl (sum Tq_tquad.Tquad.Write_excl);
+  let bpi = Tq_tquad.Tquad.series t k Tq_tquad.Tquad.Write_excl in
+  let raw = Tq_tquad.Tquad.bytes_series t k Tq_tquad.Tquad.Write_excl in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-9))
+        "bpi = bytes/interval"
+        (float_of_int raw.(i) /. 50.)
+        v)
+    bpi
+
+let test_tquad_interval_invariance () =
+  let t1 = tquad_run ~slice_interval:50 pc_src in
+  let t2 = tquad_run ~slice_interval:1000 pc_src in
+  let total t name =
+    (Tq_tquad.Tquad.totals t (find_kernel t name)).Tq_tquad.Tquad.read_incl
+  in
+  Alcotest.(check int) "totals independent of slice interval"
+    (total t1 "consumer") (total t2 "consumer");
+  Alcotest.(check bool) "finer interval gives more slices" true
+    (Tq_tquad.Tquad.total_slices t1 > Tq_tquad.Tquad.total_slices t2)
+
+let two_phase_src =
+  "int a[256]; int b[256];\n\
+   void phase_a() { for (int r = 0; r < 60; r++) for (int i = 0; i < 256; i++)\n\
+  \  a[i] = a[i] + 1; }\n\
+   void phase_b() { for (int r = 0; r < 60; r++) for (int i = 0; i < 256; i++)\n\
+  \  b[i] = b[i] + 2; }\n\
+   int main() { phase_a(); phase_b(); return 0; }"
+
+let test_tquad_activity_spans () =
+  let t = tquad_run ~slice_interval:500 two_phase_src in
+  let ka = find_kernel t "phase_a" and kb = find_kernel t "phase_b" in
+  let ta = Tq_tquad.Tquad.totals t ka and tb = Tq_tquad.Tquad.totals t kb in
+  Alcotest.(check bool) "phase_a starts first" true
+    (ta.Tq_tquad.Tquad.first_slice < tb.Tq_tquad.Tquad.first_slice);
+  Alcotest.(check bool) "phase_a ends before phase_b ends" true
+    (ta.Tq_tquad.Tquad.last_slice < tb.Tq_tquad.Tquad.last_slice);
+  Alcotest.(check bool) "disjoint activity" true
+    (ta.Tq_tquad.Tquad.last_slice <= tb.Tq_tquad.Tquad.first_slice);
+  Alcotest.(check bool) "avg bpi positive" true
+    (Tq_tquad.Tquad.avg_bpi t ka Tq_tquad.Tquad.Write_incl > 0.);
+  Alcotest.(check bool) "max >= avg" true
+    (Tq_tquad.Tquad.max_rw_bpi t ka ~incl:true
+    >= Tq_tquad.Tquad.avg_bpi t ka Tq_tquad.Tquad.Write_incl)
+
+let test_tquad_phase_detection () =
+  let t = tquad_run ~slice_interval:200 two_phase_src in
+  let phases = Tq_tquad.Phases.detect ~threshold:0.2 ~window:4 ~min_len:3 t in
+  Alcotest.(check bool) "at least 2 phases" true (List.length phases >= 2);
+  let has_kernel p name =
+    List.exists
+      (fun k -> k.Tq_tquad.Phases.routine.Symtab.name = name)
+      p.Tq_tquad.Phases.kernels
+  in
+  let pa =
+    List.find_opt
+      (fun p -> has_kernel p "phase_a" && not (has_kernel p "phase_b"))
+      phases
+  in
+  let pb =
+    List.find_opt
+      (fun p -> has_kernel p "phase_b" && not (has_kernel p "phase_a"))
+      phases
+  in
+  Alcotest.(check bool) "a-only phase found" true (pa <> None);
+  Alcotest.(check bool) "b-only phase found" true (pb <> None);
+  let total_pct =
+    List.fold_left (fun acc p -> acc +. p.Tq_tquad.Phases.span_pct) 0. phases
+  in
+  Alcotest.(check (float 0.5)) "phases cover the run" 100. total_pct;
+  (* contiguity *)
+  let rec contiguous = function
+    | a :: (b :: _ as rest) ->
+        a.Tq_tquad.Phases.end_slice + 1 = b.Tq_tquad.Phases.start_slice
+        && contiguous rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "phases contiguous" true (contiguous phases);
+  Alcotest.(check bool) "render mentions phase 1" true
+    (Astring_contains.contains (Tq_tquad.Phases.render phases) "phase 1:")
+
+let test_tquad_library_policy () =
+  let t = tquad_run ~slice_interval:100 memcpy_src in
+  (* memcpy traffic lands on main *)
+  let m = find_kernel t "main" in
+  let tot = Tq_tquad.Tquad.totals t m in
+  Alcotest.(check bool) "main gets memcpy reads" true
+    (tot.Tq_tquad.Tquad.read_excl >= 64);
+  Alcotest.(check bool) "memcpy not a kernel" true
+    (not
+       (List.exists
+          (fun r -> r.Symtab.name = "memcpy")
+          (Tq_tquad.Tquad.kernels t)));
+  let t2 =
+    tquad_run ~slice_interval:100 ~policy:Tq_prof.Call_stack.Track_all memcpy_src
+  in
+  Alcotest.(check bool) "Track_all exposes memcpy" true
+    (List.exists
+       (fun r -> r.Symtab.name = "memcpy")
+       (Tq_tquad.Tquad.kernels t2))
+
+(* prefetch and predication via a hand-assembled program *)
+let test_tquad_prefetch_predication () =
+  let open Tq_isa in
+  let open Tq_asm in
+  let b = Builder.create () in
+  Builder.la b 20 "buf";
+  Builder.ins b (Isa.Prefetch { base = 20; off = 0 });
+  Builder.ins b (Isa.Li (10, 7));
+  Builder.ins b (Isa.Li (11, 0));
+  Builder.ins b (Isa.Li (12, 1));
+  (* false predicate: not executed, must not be counted *)
+  Builder.ins b
+    (Isa.Store { width = Isa.W8; src = 10; base = 20; off = 0; pred = Some 11 });
+  (* true predicate: counted *)
+  Builder.ins b
+    (Isa.Store { width = Isa.W8; src = 10; base = 20; off = 8; pred = Some 12 });
+  Builder.ins b (Isa.Li (Isa.reg_a0, 0));
+  Builder.ins b (Isa.Syscall Tq_vm.Sysno.exit);
+  let prog =
+    Link.link
+      [
+        {
+          Link.uname = "app";
+          main_image = true;
+          routines = [ { Link.rname = "_start"; body = b } ];
+          data = [ { Link.dname = "buf"; init = Link.Zero 64 } ];
+        };
+      ]
+  in
+  let m = Machine.create prog in
+  let eng = Engine.create m in
+  let t = Tq_tquad.Tquad.attach ~slice_interval:10 eng in
+  Engine.run eng;
+  let k = find_kernel t "_start" in
+  let tot = Tq_tquad.Tquad.totals t k in
+  Alcotest.(check int) "prefetch not counted as read" 0
+    tot.Tq_tquad.Tquad.read_incl;
+  Alcotest.(check int) "only the true-predicate store counted" 8
+    tot.Tq_tquad.Tquad.write_incl
+
+let suites =
+  [
+    ( "quad",
+      [
+        Alcotest.test_case "producer/consumer" `Quick test_quad_producer_consumer;
+        Alcotest.test_case "binding" `Quick test_quad_binding;
+        Alcotest.test_case "self binding" `Quick test_quad_self_binding;
+        Alcotest.test_case "library attribution" `Quick
+          test_quad_library_attribution;
+        Alcotest.test_case "track all" `Quick test_quad_track_all;
+        Alcotest.test_case "dot output" `Quick test_quad_dot;
+      ] );
+    ( "gprofsim",
+      [
+        Alcotest.test_case "flat profile" `Quick test_gprof_flat_profile;
+        Alcotest.test_case "arcs" `Quick test_gprof_arcs;
+        Alcotest.test_case "recursion" `Quick test_gprof_recursion;
+      ] );
+    ( "tquad",
+      [
+        Alcotest.test_case "totals match quad" `Quick test_tquad_totals_match_quad;
+        Alcotest.test_case "series sum" `Quick test_tquad_series_sum;
+        Alcotest.test_case "interval invariance" `Quick
+          test_tquad_interval_invariance;
+        Alcotest.test_case "activity spans" `Quick test_tquad_activity_spans;
+        Alcotest.test_case "phase detection" `Quick test_tquad_phase_detection;
+        Alcotest.test_case "library policy" `Quick test_tquad_library_policy;
+        Alcotest.test_case "prefetch+predication" `Quick
+          test_tquad_prefetch_predication;
+      ] );
+  ]

@@ -1,0 +1,171 @@
+open Tq_vm
+open Tq_dbi
+module R = Tq_report.Report
+module Tq = Tq_tquad.Tquad
+
+let pc_src =
+  "int src[16]; int dst[16];\n\
+   void producer() { for (int i = 0; i < 16; i++) src[i] = i; }\n\
+   void consumer() { int s; s = 0; for (int i = 0; i < 16; i++) s += src[i];\n\
+  \                  dst[0] = s; }\n\
+   int main() { producer(); consumer(); return 0; }"
+
+let engine () =
+  let prog = Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"app" pc_src ] in
+  Engine.create (Machine.create prog)
+
+let tquad_run () =
+  let eng = engine () in
+  let t = Tq.attach ~slice_interval:100 eng in
+  Engine.run eng;
+  t
+
+let test_flat_profile_render () =
+  let eng = engine () in
+  let g = Tq_gprofsim.Gprofsim.attach ~period:100 eng in
+  Engine.run eng;
+  let s = R.flat_profile (Tq_gprofsim.Gprofsim.flat_profile g) in
+  Alcotest.(check bool) "has header" true
+    (Astring_contains.contains s "self ms/call");
+  Alcotest.(check bool) "has producer row" true
+    (Astring_contains.contains s "producer")
+
+let test_quad_table_render () =
+  let eng = engine () in
+  let q = Tq_quad.Quad.attach eng in
+  Engine.run eng;
+  let s = R.quad_table (Tq_quad.Quad.rows q) in
+  Alcotest.(check bool) "has UnMA columns" true
+    (Astring_contains.contains s "OUT UnMA (incl)");
+  Alcotest.(check bool) "thousands separated" true
+    (Astring_contains.contains s "128")
+
+let test_instrumented_profile_trends () =
+  let fake name pct self calls =
+    {
+      Tq_gprofsim.Gprofsim.routine =
+        { Symtab.id = 0; name; entry = 0; size = 4; image = "x"; is_main_image = true };
+      pct_time = pct;
+      self_seconds = self;
+      calls;
+      self_ms_per_call = 0.;
+      total_ms_per_call = 0.;
+      samples = 0;
+    }
+  in
+  let base = [ fake "a" 50. 0.5 1; fake "b" 30. 0.3 1; fake "c" 20. 0.2 1 ] in
+  (* c explodes under instrumentation; a collapses *)
+  let adjusted = [ ("a", 0.1); ("b", 0.3); ("c", 0.9) ] in
+  let s = R.instrumented_profile ~base ~adjusted in
+  (* row order follows base; ranks recomputed *)
+  Alcotest.(check bool) "c promoted with ^" true
+    (Astring_contains.contains s "| c")
+  ;
+  (* c moved rank 3 -> 1: ^^ ; a moved 1 -> 3: v or vv *)
+  Alcotest.(check bool) "has upward arrow" true (Astring_contains.contains s "^");
+  Alcotest.(check bool) "has downward arrow" true (Astring_contains.contains s "v")
+
+let test_phase_table_groups () =
+  let t = tquad_run () in
+  let s =
+    R.phase_table t
+      [ ("produce", [ "producer" ]); ("consume", [ "consumer" ]);
+        ("ghost", [ "does_not_exist" ]) ]
+  in
+  Alcotest.(check bool) "producer section" true
+    (Astring_contains.contains s "produce");
+  Alcotest.(check bool) "consumer section" true
+    (Astring_contains.contains s "consume");
+  Alcotest.(check bool) "ghost skipped" true
+    (not (Astring_contains.contains s "ghost"))
+
+let test_figure_and_csv () =
+  let t = tquad_run () in
+  let kernels = Tq.kernels t in
+  let fig = R.figure t ~metric:Tq.Read_incl ~kernels ~title:"reads" () in
+  Alcotest.(check bool) "figure title" true (Astring_contains.contains fig "reads");
+  let csv = R.figure_csv t ~metric:Tq.Read_incl ~kernels in
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check bool) "csv header has kernels" true
+    (Astring_contains.contains (List.hd lines) "producer");
+  (* data rows = total slices + header + trailing newline *)
+  Alcotest.(check int) "csv rows" (Tq.total_slices t + 2) (List.length lines)
+
+let test_chrome_trace () =
+  let t = tquad_run () in
+  let json = R.chrome_trace t in
+  Alcotest.(check bool) "array brackets" true
+    (String.length json > 2 && json.[0] = '[');
+  Alcotest.(check bool) "has complete events" true
+    (Astring_contains.contains json "\"ph\":\"X\"");
+  Alcotest.(check bool) "has producer track" true
+    (Astring_contains.contains json "\"name\":\"producer\"");
+  Alcotest.(check bool) "has bpi args" true
+    (Astring_contains.contains json "\"bpi\":");
+  (* crude structural check: balanced braces *)
+  let opens = String.fold_left (fun a c -> if c = '{' then a + 1 else a) 0 json in
+  let closes = String.fold_left (fun a c -> if c = '}' then a + 1 else a) 0 json in
+  Alcotest.(check int) "balanced JSON objects" opens closes
+
+let test_determinism () =
+  (* two identical instrumented runs must produce identical reports *)
+  let s1 = R.chrome_trace (tquad_run ()) in
+  let s2 = R.chrome_trace (tquad_run ()) in
+  Alcotest.(check bool) "deterministic profiling" true (s1 = s2)
+
+let test_profile_diff () =
+  (* "revise" the program: hoist an invariant computation out of the loop *)
+  let before_src =
+    "int a[256];\n\
+     void work() { for (int r = 0; r < 40; r++) for (int i = 0; i < 256; i++)\n\
+     a[i] = a[i] + (r * r * 7) % 13; }\n\
+     int main() { work(); return 0; }"
+  in
+  let after_src =
+    "int a[256];\n\
+     void work() { for (int r = 0; r < 40; r++) { int k; k = (r * r * 7) % 13;\n\
+     for (int i = 0; i < 256; i++) a[i] = a[i] + k; } }\n\
+     int main() { work(); return 0; }"
+  in
+  let profile src =
+    let prog = Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"app" src ] in
+    let eng = Engine.create (Machine.create prog) in
+    let g = Tq_gprofsim.Gprofsim.attach ~period:200 eng in
+    Engine.run eng;
+    Tq_gprofsim.Gprofsim.flat_profile g
+  in
+  let before = profile before_src and after = profile after_src in
+  let s = R.profile_diff ~before ~after in
+  Alcotest.(check bool) "has work row" true (Astring_contains.contains s "work");
+  Alcotest.(check bool) "has delta column" true
+    (Astring_contains.contains s "delta");
+  (* the revision must show a negative delta for work *)
+  let self rows =
+    (List.find
+       (fun (r : Tq_gprofsim.Gprofsim.row) -> r.routine.Symtab.name = "work")
+       rows)
+      .Tq_gprofsim.Gprofsim.self_seconds
+  in
+  Alcotest.(check bool) "revision faster" true (self after < self before);
+  (* gone/new markers *)
+  let only_before =
+    R.profile_diff ~before ~after:(List.filter (fun _ -> false) after)
+  in
+  Alcotest.(check bool) "gone marker" true
+    (Astring_contains.contains only_before "gone")
+
+let suites =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "flat profile render" `Quick test_flat_profile_render;
+        Alcotest.test_case "quad table render" `Quick test_quad_table_render;
+        Alcotest.test_case "trend arrows" `Quick test_instrumented_profile_trends;
+        Alcotest.test_case "phase table groups" `Quick test_phase_table_groups;
+        Alcotest.test_case "figure + csv" `Quick test_figure_and_csv;
+        Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "profile diff" `Quick test_profile_diff;
+      ] );
+  ]
+

@@ -1,0 +1,177 @@
+open Tq_vm
+open Tq_minic
+
+let run src =
+  let prog = Tq_rt.Rt.link [ Driver.compile_unit ~image:"app" src ] in
+  let m = Machine.create prog in
+  Executor.run ~fuel:50_000_000 m;
+  m
+
+let exit_of src =
+  match Machine.exit_code (run src) with
+  | Some c -> c
+  | None -> Alcotest.fail "no exit"
+
+let check_exit name expected src =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check int) name expected (exit_of src))
+
+let check_error name fragment src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Driver.compile_unit ~image:"app" src with
+      | _ -> Alcotest.fail ("expected error mentioning " ^ fragment)
+      | exception Driver.Compile_error msg ->
+          if not (Astring_contains.contains msg fragment) then
+            Alcotest.fail (Printf.sprintf "error %S lacks %S" msg fragment))
+
+let ok_cases =
+  [
+    check_exit "basic fields" 30
+      "struct point { int x; int y; };\n\
+       struct point p;\n\
+       int main() { p.x = 10; p.y = 20; return p.x + p.y; }";
+    check_exit "local struct" 7
+      "struct pair { int a; int b; };\n\
+       int main() { struct pair q; q.a = 3; q.b = 4; return q.a + q.b; }";
+    check_exit "mixed field types" 12
+      "struct rec { char tag; short cnt; float w; int id; };\n\
+       int main() { struct rec r; r.tag = 'x'; r.cnt = -3; r.w = 2.5;\n\
+       r.id = 9; return (int)(r.w * 2.0) + r.cnt + r.id + (r.tag == 'x'); }";
+    check_exit "sizeof struct with padding" 24
+      "struct s { char c; int i; float f; };\n\
+       int main() { return sizeof(struct s); }";
+    check_exit "sizeof packs naturally" 16
+      "struct s { char a; char b; short c; int d; };\n\
+       int main() { return sizeof(struct s); }";
+    check_exit "pointer to struct, arrow" 11
+      "struct node { int v; struct node* next; };\n\
+       struct node a; struct node b;\n\
+       int main() { a.v = 5; b.v = 6; a.next = &b; b.next = &a;\n\
+       return a.v + a.next->v; }";
+    check_exit "linked list traversal" 15
+      "struct node { int v; struct node* next; };\n\
+       struct node n1; struct node n2; struct node n3;\n\
+       int main() { n1.v = 1; n2.v = 4; n3.v = 10;\n\
+       n1.next = &n2; n2.next = &n3; n3.next = (struct node*) 0;\n\
+       int s; s = 0; struct node* p; p = &n1;\n\
+       while (p != (struct node*) 0) { s += p->v; p = p->next; }\n\
+       return s; }";
+    check_exit "array of structs" 80
+      "struct item { int k; int w; };\n\
+       struct item items[5];\n\
+       int main() { for (int i = 0; i < 5; i++) { items[i].k = i;\n\
+       items[i].w = i * i; } int s; s = 0;\n\
+       for (int i = 0; i < 5; i++) s += items[i].k + items[i].w;\n\
+       return s * 2; }";
+    check_exit "local array of structs" 9
+      "struct p { int x; int y; };\n\
+       int main() { struct p a[3]; a[2].x = 4; a[2].y = 5;\n\
+       return a[2].x + a[2].y; }";
+    check_exit "nested struct by value" 21
+      "struct inner { int a; int b; };\n\
+       struct outer { struct inner i; int c; };\n\
+       struct outer o;\n\
+       int main() { o.i.a = 6; o.i.b = 7; o.c = 8; return o.i.a + o.i.b + o.c; }";
+    check_exit "struct through function pointer arg" 42
+      "struct acc { int sum; int n; };\n\
+       void add(struct acc* a, int v) { a->sum += v; a->n++; }\n\
+       int main() { struct acc a; a.sum = 0; a.n = 0;\n\
+       for (int i = 0; i < 6; i++) add(&a, i + 10);\n\
+       return a.sum - 39 + a.n; }";
+    check_exit "malloc'd struct" 99
+      "struct box { int v; float w; };\n\
+       int main() { struct box* b; b = (struct box*) malloc(sizeof(struct box));\n\
+       b->v = 90; b->w = 9.0; return b->v + (int) b->w; }";
+    check_exit "pointer arithmetic over structs" 5
+      "struct p { int x; int y; };\n\
+       struct p a[4];\n\
+       int main() { struct p* q; q = a; q = q + 2;\n\
+       q->x = 5; return a[2].x + (q - a) - 2; }";
+    check_exit "address of field" 13
+      "struct p { int x; int y; };\n\
+       struct p g;\n\
+       int main() { int* px; px = &g.y; *px = 13; return g.y; }";
+  ]
+
+let error_cases =
+  [
+    check_error "unknown struct" "unknown struct 'nope'"
+      "int main() { struct nope n; return 0; }";
+    check_error "unknown field" "has no field 'z'"
+      "struct p { int x; }; int main() { struct p v; v.z = 1; return 0; }";
+    check_error "duplicate struct" "duplicate struct 'p'"
+      "struct p { int x; }; struct p { int y; }; int main() { return 0; }";
+    check_error "duplicate field" "duplicate field 'x'"
+      "struct p { int x; int x; }; int main() { return 0; }";
+    check_error "self-containing" "contains itself"
+      "struct p { int x; struct p inner; }; int main() { return 0; }";
+    check_error "empty struct" "has no fields"
+      "struct p { }; int main() { return 0; }";
+    check_error "by-value param" "cannot be passed by value"
+      "struct p { int x; }; void f(struct p v) { } int main() { return 0; }";
+    check_error "by-value return" "cannot be returned by value"
+      "struct p { int x; }; struct p f() { struct p v; return v; }\n\
+       int main() { return 0; }";
+    check_error "whole-struct assignment" "cannot assign whole struct"
+      "struct p { int x; }; int main() { struct p a; struct p b; a.x = 1;\n\
+       b = a; return b.x; }";
+    check_error "struct as value" "take a field or its address"
+      "struct p { int x; }; struct p g; int main() { return g; }";
+    check_error "field of non-struct" "field access on non-struct"
+      "int main() { int x; x = 1; return x.y; }";
+    check_error "struct initializer" "cannot have a scalar initializer"
+      "struct p { int x; }; int main() { struct p v = 3; return 0; }";
+  ]
+
+(* struct programs must roundtrip through the pretty-printer too *)
+let test_struct_roundtrip () =
+  let src =
+    "struct node { int v; struct node* next; };\n\
+     struct node g;\n\
+     int main() { g.v = 3; struct node* p; p = &g; return p->v + sizeof(struct node); }"
+  in
+  let ast1 = Parser.parse src in
+  let printed = Ast_print.program ast1 in
+  let ast2 = Parser.parse printed in
+  Alcotest.(check bool) "roundtrip" true
+    (Ast_print.strip_positions ast1 = Ast_print.strip_positions ast2);
+  (* and compile+run identically *)
+  Alcotest.(check int) "same result" (exit_of src) (exit_of printed)
+
+(* profilers see struct field traffic like any other memory traffic *)
+let test_struct_traffic_profiled () =
+  let src =
+    "struct p { int x; int y; };\n\
+     struct p arr[32];\n\
+     void fill() { for (int i = 0; i < 32; i++) { arr[i].x = i; arr[i].y = 2 * i; } }\n\
+     int drain() { int s; s = 0; for (int i = 0; i < 32; i++) s += arr[i].x + arr[i].y;\n\
+     return s; }\n\
+     int main() { fill(); return drain() & 255; }"
+  in
+  let prog = Tq_rt.Rt.link [ Driver.compile_unit ~image:"app" src ] in
+  let eng = Tq_dbi.Engine.create (Machine.create prog) in
+  let q = Tq_quad.Quad.attach eng in
+  Tq_dbi.Engine.run eng;
+  let b =
+    List.find_opt
+      (fun (b : Tq_quad.Quad.binding) ->
+        b.producer.Symtab.name = "fill" && b.consumer.Symtab.name = "drain")
+      (Tq_quad.Quad.bindings q)
+  in
+  match b with
+  | Some b ->
+      Alcotest.(check int) "fill->drain carries both fields" (32 * 16)
+        b.Tq_quad.Quad.bytes
+  | None -> Alcotest.fail "missing fill->drain binding"
+
+let suites =
+  [
+    ( "minic.structs",
+      ok_cases @ error_cases
+      @ [
+          Alcotest.test_case "pretty-print roundtrip" `Quick
+            test_struct_roundtrip;
+          Alcotest.test_case "profiled traffic" `Quick
+            test_struct_traffic_profiled;
+        ] );
+  ]

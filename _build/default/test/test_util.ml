@@ -1,0 +1,230 @@
+open Tq_util
+
+let test_dyn_array_basic () =
+  let a = Dyn_array.create ~dummy:0 () in
+  Alcotest.(check int) "empty length" 0 (Dyn_array.length a);
+  for i = 0 to 99 do
+    Dyn_array.push a (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Dyn_array.length a);
+  Alcotest.(check int) "get 7" 49 (Dyn_array.get a 7);
+  Dyn_array.set a 7 (-1);
+  Alcotest.(check int) "set/get" (-1) (Dyn_array.get a 7);
+  Alcotest.(check int) "get_or in" 81 (Dyn_array.get_or a 9 123);
+  Alcotest.(check int) "get_or out" 123 (Dyn_array.get_or a 100 123);
+  Alcotest.check Alcotest.(option int) "last" (Some (99 * 99)) (Dyn_array.last a)
+
+let test_dyn_array_bounds () =
+  let a = Dyn_array.create ~dummy:0 () in
+  Dyn_array.push a 1;
+  Alcotest.check_raises "get oob"
+    (Invalid_argument "Dyn_array: index 1 out of bounds [0,1)") (fun () ->
+      ignore (Dyn_array.get a 1));
+  Alcotest.check_raises "get negative"
+    (Invalid_argument "Dyn_array: index -1 out of bounds [0,1)") (fun () ->
+      ignore (Dyn_array.get a (-1)))
+
+let test_dyn_array_ensure_add_at () =
+  let a = Dyn_array.create ~dummy:0 () in
+  Dyn_array.ensure a 5;
+  Alcotest.(check int) "ensure length" 5 (Dyn_array.length a);
+  Alcotest.(check int) "dummy filled" 0 (Dyn_array.get a 4);
+  Dyn_array.add_at ( + ) a 10 7;
+  Alcotest.(check int) "add_at extends" 11 (Dyn_array.length a);
+  Alcotest.(check int) "add_at value" 7 (Dyn_array.get a 10);
+  Dyn_array.add_at ( + ) a 10 3;
+  Alcotest.(check int) "add_at accumulates" 10 (Dyn_array.get a 10)
+
+let test_dyn_array_fold_iter () =
+  let a = Dyn_array.create ~dummy:0 () in
+  List.iter (Dyn_array.push a) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "fold sum" 10 (Dyn_array.fold ( + ) 0 a);
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3; 4 ] (Dyn_array.to_list a);
+  let seen = ref [] in
+  Dyn_array.iteri (fun i x -> seen := (i, x) :: !seen) a;
+  Alcotest.(check int) "iteri count" 4 (List.length !seen);
+  Dyn_array.clear a;
+  Alcotest.(check int) "clear" 0 (Dyn_array.length a)
+
+let qcheck_dyn_array_matches_list =
+  QCheck.Test.make ~name:"dyn_array push/get agrees with list"
+    ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let a = Dyn_array.create ~dummy:min_int () in
+      List.iter (Dyn_array.push a) xs;
+      Dyn_array.to_list a = xs && Dyn_array.length a = List.length xs)
+
+let test_bitset_basic () =
+  let s = Paged_bitset.create () in
+  Alcotest.(check int) "empty" 0 (Paged_bitset.cardinal s);
+  Paged_bitset.add s 0;
+  Paged_bitset.add s 63;
+  Paged_bitset.add s 64;
+  Paged_bitset.add s 1_000_000_007;
+  Paged_bitset.add s 63 (* duplicate *);
+  Alcotest.(check int) "cardinal" 4 (Paged_bitset.cardinal s);
+  Alcotest.(check bool) "mem 63" true (Paged_bitset.mem s 63);
+  Alcotest.(check bool) "mem big" true (Paged_bitset.mem s 1_000_000_007);
+  Alcotest.(check bool) "not mem" false (Paged_bitset.mem s 62);
+  Alcotest.(check bool) "negative not mem" false (Paged_bitset.mem s (-5))
+
+let test_bitset_range_iter () =
+  let s = Paged_bitset.create () in
+  Paged_bitset.add_range s 100 50;
+  Alcotest.(check int) "range cardinal" 50 (Paged_bitset.cardinal s);
+  let acc = ref [] in
+  Paged_bitset.iter (fun x -> acc := x :: !acc) s;
+  let xs = List.rev !acc in
+  Alcotest.(check int) "iter count" 50 (List.length xs);
+  Alcotest.(check (list int)) "sorted ascending" (List.init 50 (fun i -> 100 + i)) xs
+
+let test_bitset_sparse_pages () =
+  let s = Paged_bitset.create () in
+  (* Stack-like high addresses and low data addresses must not blow up. *)
+  Paged_bitset.add s 0x7f00_0000_0000;
+  Paged_bitset.add s 0x1000_0000;
+  Alcotest.(check int) "two pages" 2 (Paged_bitset.page_count s);
+  Paged_bitset.clear s;
+  Alcotest.(check int) "cleared" 0 (Paged_bitset.cardinal s);
+  Alcotest.(check bool) "cleared mem" false (Paged_bitset.mem s 0x1000_0000)
+
+let qcheck_bitset_matches_set =
+  QCheck.Test.make ~name:"paged_bitset agrees with Set on adds and mems"
+    ~count:200
+    QCheck.(list (int_bound 200_000))
+    (fun xs ->
+      let s = Paged_bitset.create () in
+      let module IS = Set.Make (Int) in
+      let ref_set = List.fold_left (fun acc x -> IS.add x acc) IS.empty xs in
+      List.iter (Paged_bitset.add s) xs;
+      Paged_bitset.cardinal s = IS.cardinal ref_set
+      && List.for_all (fun x -> Paged_bitset.mem s x) xs
+      && (not (Paged_bitset.mem s 200_001)))
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_basic () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  Alcotest.check feq "mean" 2.5 (Stats.mean xs);
+  Alcotest.check feq "variance" 1.25 (Stats.variance xs);
+  Alcotest.check feq "sum" 10. (Stats.sum xs);
+  let lo, hi = Stats.min_max xs in
+  Alcotest.check feq "min" 1. lo;
+  Alcotest.check feq "max" 4. hi;
+  Alcotest.check feq "mean empty" 0. (Stats.mean [||])
+
+let test_stats_percentile () =
+  let xs = [| 10.; 20.; 30.; 40.; 50. |] in
+  Alcotest.check feq "p0" 10. (Stats.percentile xs 0.);
+  Alcotest.check feq "p50" 30. (Stats.percentile xs 50.);
+  Alcotest.check feq "p100" 50. (Stats.percentile xs 100.);
+  Alcotest.check feq "p25" 20. (Stats.percentile xs 25.)
+
+let test_stats_running () =
+  let r = Stats.running_create () in
+  List.iter (Stats.running_add r) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.check feq "running mean" 5. (Stats.running_mean r);
+  Alcotest.check feq "running stddev" 2. (Stats.running_stddev r);
+  Alcotest.(check int) "running count" 8 (Stats.running_count r);
+  Alcotest.check feq "running min" 2. (Stats.running_min r);
+  Alcotest.check feq "running max" 9. (Stats.running_max r)
+
+let qcheck_running_matches_batch =
+  QCheck.Test.make ~name:"running stats match batch stats" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let r = Stats.running_create () in
+      Array.iter (Stats.running_add r) arr;
+      let close a b = Float.abs (a -. b) < 1e-6 *. (1. +. Float.abs a) in
+      close (Stats.running_mean r) (Stats.mean arr)
+      && close (Stats.running_stddev r) (Stats.stddev arr))
+
+let test_text_table () =
+  let t = Text_table.create ~header:[ "kernel"; "%time" ] in
+  Text_table.set_aligns t [ Text_table.Left; Text_table.Right ];
+  Text_table.add_row t [ "wav_store"; "31.91" ];
+  Text_table.add_row t [ "fft1d"; "28.23" ];
+  let s = Text_table.render t in
+  Alcotest.(check bool) "contains kernel" true
+    (Astring_contains.contains s "wav_store");
+  Alcotest.(check bool) "right aligned" true
+    (Astring_contains.contains s "| 31.91 |")
+
+let test_text_table_arity () =
+  let t = Text_table.create ~header:[ "a"; "b" ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Text_table.add_row: expected 2 cells, got 1") (fun () ->
+      Text_table.add_row t [ "x" ])
+
+let test_cells () =
+  Alcotest.(check string) "int_cell" "1,270,684" (Text_table.int_cell 1270684);
+  Alcotest.(check string) "int_cell small" "42" (Text_table.int_cell 42);
+  Alcotest.(check string) "int_cell neg" "-1,000" (Text_table.int_cell (-1000));
+  Alcotest.(check string) "float_cell" "2.7244" (Text_table.float_cell 2.7244);
+  Alcotest.(check string) "pct_cell" "31.91" (Text_table.pct_cell 31.911)
+
+let test_csv () =
+  Alcotest.(check string) "plain" "a,b" (Csv_out.row [ "a"; "b" ]);
+  Alcotest.(check string) "quoted comma" "\"a,b\",c"
+    (Csv_out.row [ "a,b"; "c" ]);
+  Alcotest.(check string) "quoted quote" "\"a\"\"b\"" (Csv_out.row [ "a\"b" ]);
+  Alcotest.(check string) "to_string" "x,y\n1,2\n"
+    (Csv_out.to_string [ [ "x"; "y" ]; [ "1"; "2" ] ])
+
+let test_ascii_chart () =
+  let s =
+    Ascii_chart.strip_chart ~width:10 ~title:"t" ~unit_label:"B/ins"
+      [ ("fft1d", [| 0.; 1.; 2.; 0. |]); ("wav_store", [| 0.; 0.; 0.; 9. |]) ]
+  in
+  Alcotest.(check bool) "has series name" true
+    (Astring_contains.contains s "fft1d");
+  Alcotest.(check bool) "has peak" true
+    (Astring_contains.contains s "peak 9.0000");
+  Alcotest.check_raises "length mismatch rejected"
+    (Invalid_argument
+       "Ascii_chart.strip_chart: series bad has length 2, expected 4")
+    (fun () ->
+      ignore
+        (Ascii_chart.strip_chart ~title:"t" ~unit_label:"u"
+           [ ("ok", [| 0.; 0.; 0.; 0. |]); ("bad", [| 1.; 2. |]) ]))
+
+let test_ascii_bar () =
+  let s = Ascii_chart.bar_chart ~title:"phases" [ ("a", 1.); ("b", 2.) ] in
+  Alcotest.(check bool) "bar has label" true (Astring_contains.contains s "a")
+
+let suites =
+  [
+    ( "util.dyn_array",
+      [
+        Alcotest.test_case "basic" `Quick test_dyn_array_basic;
+        Alcotest.test_case "bounds" `Quick test_dyn_array_bounds;
+        Alcotest.test_case "ensure/add_at" `Quick test_dyn_array_ensure_add_at;
+        Alcotest.test_case "fold/iter" `Quick test_dyn_array_fold_iter;
+        QCheck_alcotest.to_alcotest qcheck_dyn_array_matches_list;
+      ] );
+    ( "util.paged_bitset",
+      [
+        Alcotest.test_case "basic" `Quick test_bitset_basic;
+        Alcotest.test_case "range/iter" `Quick test_bitset_range_iter;
+        Alcotest.test_case "sparse pages" `Quick test_bitset_sparse_pages;
+        QCheck_alcotest.to_alcotest qcheck_bitset_matches_set;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "basic" `Quick test_stats_basic;
+        Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "running" `Quick test_stats_running;
+        QCheck_alcotest.to_alcotest qcheck_running_matches_batch;
+      ] );
+    ( "util.render",
+      [
+        Alcotest.test_case "text_table" `Quick test_text_table;
+        Alcotest.test_case "table arity" `Quick test_text_table_arity;
+        Alcotest.test_case "cells" `Quick test_cells;
+        Alcotest.test_case "csv" `Quick test_csv;
+        Alcotest.test_case "strip chart" `Quick test_ascii_chart;
+        Alcotest.test_case "bar chart" `Quick test_ascii_bar;
+      ] );
+  ]

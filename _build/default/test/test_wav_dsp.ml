@@ -1,0 +1,240 @@
+module Wav = Tq_wav.Wav
+module Fft = Tq_dsp.Fft
+module Fir = Tq_dsp.Fir
+
+(* ---------- wav ---------- *)
+
+let test_wav_roundtrip () =
+  let t =
+    {
+      Wav.sample_rate = 8000;
+      channels = [| [| 0.; 0.5; -0.5; 1.; -1. |]; [| 0.1; 0.2; 0.3; 0.4; 0.5 |] |];
+    }
+  in
+  match Wav.decode (Wav.encode t) with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      Alcotest.(check int) "rate" 8000 d.Wav.sample_rate;
+      Alcotest.(check int) "channels" 2 (Array.length d.Wav.channels);
+      Alcotest.(check int) "frames" 5 (Wav.num_frames d);
+      Alcotest.(check bool) "within quantization error" true
+        (Wav.max_abs_diff t d < 1. /. 32767.)
+
+let test_wav_clamps () =
+  let t = { Wav.sample_rate = 44100; channels = [| [| 2.0; -2.0 |] |] } in
+  match Wav.decode (Wav.encode t) with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      Alcotest.(check (float 1e-6)) "clamped high" 1. d.Wav.channels.(0).(0);
+      Alcotest.(check (float 1e-6)) "clamped low" (-1.) d.Wav.channels.(0).(1)
+
+let test_wav_errors () =
+  let check_err name input expected =
+    match Wav.decode input with
+    | Ok _ -> Alcotest.fail (name ^ ": expected error")
+    | Error e -> Alcotest.(check string) name expected e
+  in
+  check_err "short" "RIFF" "too short";
+  check_err "bad magic" (String.make 64 'x') "not a RIFF/WAVE file";
+  let good =
+    Wav.encode { Wav.sample_rate = 8000; channels = [| [| 0.1; 0.2 |] |] }
+  in
+  (* corrupt the fmt code to non-PCM *)
+  let bad = Bytes.of_string good in
+  Bytes.set_uint16_le bad 20 3;
+  check_err "non pcm" (Bytes.to_string bad) "unsupported format (fmt=3 bits=16)"
+
+let test_wav_empty_rejected () =
+  Alcotest.check_raises "no channels"
+    (Invalid_argument "Wav.encode: no channels") (fun () ->
+      ignore (Wav.encode { Wav.sample_rate = 1; channels = [||] }));
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Wav.encode: ragged channels") (fun () ->
+      ignore
+        (Wav.encode
+           { Wav.sample_rate = 1; channels = [| [| 0. |]; [| 0.; 1. |] |] }))
+
+let qcheck_wav_roundtrip =
+  QCheck.Test.make ~name:"wav roundtrip within 1 LSB" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 64) (float_range (-1.) 1.))
+    (fun xs ->
+      let t =
+        { Wav.sample_rate = 8000; channels = [| Array.of_list xs |] }
+      in
+      match Wav.decode (Wav.encode t) with
+      | Error _ -> false
+      | Ok d -> Wav.max_abs_diff t d <= 1. /. 32767.)
+
+(* ---------- fft ---------- *)
+
+let test_bitrev () =
+  Alcotest.(check int) "bitrev 1,3" 4 (Fft.bitrev 1 3);
+  Alcotest.(check int) "bitrev 3,3" 6 (Fft.bitrev 3 3);
+  Alcotest.(check int) "bitrev 0" 0 (Fft.bitrev 0 8);
+  Alcotest.(check int) "involution" 13 (Fft.bitrev (Fft.bitrev 13 6) 6)
+
+let qcheck_bitrev_involution =
+  QCheck.Test.make ~name:"bitrev is an involution" ~count:200
+    QCheck.(pair (int_bound 1023) (int_range 10 10))
+    (fun (i, bits) -> Fft.bitrev (Fft.bitrev i bits) bits = i)
+
+let test_perm_involution () =
+  let n = 16 in
+  let re = Array.init n float_of_int and im = Array.init n (fun i -> float_of_int (-i)) in
+  let re0 = Array.copy re and im0 = Array.copy im in
+  Fft.perm re im;
+  Fft.perm re im;
+  Alcotest.(check bool) "perm twice = id" true (re = re0 && im = im0)
+
+let test_fft_vs_naive () =
+  let n = 32 in
+  let re = Array.init n (fun i -> sin (0.37 *. float_of_int i) +. 0.2) in
+  let im = Array.init n (fun i -> cos (0.11 *. float_of_int i)) in
+  let er, ei = Fft.dft_naive re im ~dir:1 in
+  let fr = Array.copy re and fi = Array.copy im in
+  Fft.fft fr fi ~dir:1;
+  for k = 0 to n - 1 do
+    Alcotest.(check (float 1e-9)) (Printf.sprintf "re[%d]" k) er.(k) fr.(k);
+    Alcotest.(check (float 1e-9)) (Printf.sprintf "im[%d]" k) ei.(k) fi.(k)
+  done
+
+let test_fft_roundtrip () =
+  let n = 64 in
+  let re = Array.init n (fun i -> sin (0.71 *. float_of_int i)) in
+  let im = Array.make n 0. in
+  let r = Array.copy re and i_ = Array.copy im in
+  Fft.fft r i_ ~dir:1;
+  Fft.fft r i_ ~dir:(-1);
+  for k = 0 to n - 1 do
+    Alcotest.(check (float 1e-10)) "roundtrip re" re.(k) r.(k);
+    Alcotest.(check (float 1e-10)) "roundtrip im" 0. i_.(k)
+  done
+
+let qcheck_fft_parseval =
+  QCheck.Test.make ~name:"fft preserves energy (Parseval)" ~count:50
+    QCheck.(list_of_size (Gen.return 32) (float_range (-1.) 1.))
+    (fun xs ->
+      let re = Array.of_list xs in
+      let n = Array.length re in
+      let im = Array.make n 0. in
+      let time_e = Array.fold_left (fun a x -> a +. (x *. x)) 0. re in
+      let fr = Array.copy re and fi = Array.copy im in
+      Fft.fft fr fi ~dir:1;
+      let freq_e = ref 0. in
+      for k = 0 to n - 1 do
+        freq_e := !freq_e +. (fr.(k) *. fr.(k)) +. (fi.(k) *. fi.(k))
+      done;
+      Float.abs ((!freq_e /. float_of_int n) -. time_e) < 1e-9 *. (1. +. time_e))
+
+let test_fft_bad_args () =
+  Alcotest.(check bool) "non power of two rejected" true
+    (try
+       Fft.fft (Array.make 12 0.) (Array.make 12 0.) ~dir:1;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "mismatched lengths rejected" true
+    (try
+       Fft.fft (Array.make 8 0.) (Array.make 4 0.) ~dir:1;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad dir rejected" true
+    (try
+       Fft.fft (Array.make 8 0.) (Array.make 8 0.) ~dir:2;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- fir ---------- *)
+
+let test_lowpass_dc_gain () =
+  let h = Fir.windowed_sinc_lowpass ~cutoff:0.2 ~taps:31 in
+  Alcotest.(check (float 1e-12)) "unit DC gain" 1. (Array.fold_left ( +. ) 0. h);
+  Alcotest.(check int) "length" 31 (Array.length h)
+
+let test_lowpass_attenuates_high_freq () =
+  let h = Fir.windowed_sinc_lowpass ~cutoff:0.1 ~taps:63 in
+  let n = 256 in
+  (* response at normalized frequency f = |H(e^{2πif})| *)
+  let mag f =
+    let re = ref 0. and im = ref 0. in
+    Array.iteri
+      (fun k c ->
+        re := !re +. (c *. cos (2. *. Float.pi *. f *. float_of_int k));
+        im := !im -. (c *. sin (2. *. Float.pi *. f *. float_of_int k)))
+      h;
+    sqrt ((!re *. !re) +. (!im *. !im))
+  in
+  ignore n;
+  Alcotest.(check bool) "passband ~1" true (Float.abs (mag 0.01 -. 1.) < 0.05);
+  Alcotest.(check bool) "stopband small" true (mag 0.4 < 0.01)
+
+let test_convolve () =
+  let y = Fir.convolve [| 1.; 2.; 3. |] [| 1.; 1. |] in
+  Alcotest.(check int) "length" 4 (Array.length y);
+  Alcotest.(check (float 1e-12)) "y0" 1. y.(0);
+  Alcotest.(check (float 1e-12)) "y1" 3. y.(1);
+  Alcotest.(check (float 1e-12)) "y2" 5. y.(2);
+  Alcotest.(check (float 1e-12)) "y3" 3. y.(3);
+  Alcotest.(check int) "empty" 0 (Array.length (Fir.convolve [||] [| 1. |]))
+
+let test_fir_args () =
+  Alcotest.(check bool) "even taps rejected" true
+    (try
+       ignore (Fir.windowed_sinc_lowpass ~cutoff:0.2 ~taps:10);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad cutoff rejected" true
+    (try
+       ignore (Fir.windowed_sinc_lowpass ~cutoff:0.7 ~taps:11);
+       false
+     with Invalid_argument _ -> true)
+
+let test_prefilter_boosts_highs () =
+  let h = Fir.wfs_prefilter ~taps:65 in
+  let mag f =
+    let re = ref 0. and im = ref 0. in
+    Array.iteri
+      (fun k c ->
+        re := !re +. (c *. cos (2. *. Float.pi *. f *. float_of_int k));
+        im := !im -. (c *. sin (2. *. Float.pi *. f *. float_of_int k)))
+      h;
+    sqrt ((!re *. !re) +. (!im *. !im))
+  in
+  Alcotest.(check bool) "rising response" true (mag 0.3 > mag 0.02)
+
+let test_hamming () =
+  let w = Fir.hamming 11 in
+  Alcotest.(check (float 1e-12)) "symmetric" w.(2) w.(8);
+  Alcotest.(check (float 1e-12)) "edges" 0.08 w.(0);
+  Alcotest.(check (float 1e-12)) "peak" 1.0 w.(5)
+
+let suites =
+  [
+    ( "wav",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_wav_roundtrip;
+        Alcotest.test_case "clamps" `Quick test_wav_clamps;
+        Alcotest.test_case "decode errors" `Quick test_wav_errors;
+        Alcotest.test_case "encode errors" `Quick test_wav_empty_rejected;
+        QCheck_alcotest.to_alcotest qcheck_wav_roundtrip;
+      ] );
+    ( "dsp.fft",
+      [
+        Alcotest.test_case "bitrev" `Quick test_bitrev;
+        QCheck_alcotest.to_alcotest qcheck_bitrev_involution;
+        Alcotest.test_case "perm involution" `Quick test_perm_involution;
+        Alcotest.test_case "fft vs naive dft" `Quick test_fft_vs_naive;
+        Alcotest.test_case "fft roundtrip" `Quick test_fft_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_fft_parseval;
+        Alcotest.test_case "bad args" `Quick test_fft_bad_args;
+      ] );
+    ( "dsp.fir",
+      [
+        Alcotest.test_case "dc gain" `Quick test_lowpass_dc_gain;
+        Alcotest.test_case "frequency response" `Quick
+          test_lowpass_attenuates_high_freq;
+        Alcotest.test_case "convolve" `Quick test_convolve;
+        Alcotest.test_case "arg validation" `Quick test_fir_args;
+        Alcotest.test_case "wfs prefilter" `Quick test_prefilter_boosts_highs;
+        Alcotest.test_case "hamming" `Quick test_hamming;
+      ] );
+  ]

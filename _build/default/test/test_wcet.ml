@@ -1,0 +1,208 @@
+open Tq_vm
+open Tq_wcet
+
+let compile src = Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"app" src ]
+
+let run prog =
+  let m = Machine.create prog in
+  Executor.run ~fuel:50_000_000 m;
+  m
+
+let no_bounds = fun _ -> []
+
+(* straight-line code: the bound is exact *)
+let test_straight_line_exact () =
+  let prog = compile "int main() { int x; x = 1 + 2 * 3; int y; y = x - 4; return y; }" in
+  let m = run prog in
+  let bound = Wcet.analyze prog ~bounds:no_bounds "_start" in
+  Alcotest.(check int) "bound = measured exactly" (Machine.instr_count m) bound
+
+let test_branch_takes_max () =
+  (* the two arms differ in cost; WCET must charge the expensive one *)
+  let src_cheap = "int main() { if (1) return 1; return 2 * 3 * 4 * 5; }" in
+  let src_dear = "int main() { if (0) return 1; return 2 * 3 * 4 * 5; }" in
+  let p1 = compile src_cheap and p2 = compile src_dear in
+  let m1 = run p1 and m2 = run p2 in
+  let b1 = Wcet.analyze p1 ~bounds:no_bounds "_start" in
+  let b2 = Wcet.analyze p2 ~bounds:no_bounds "_start" in
+  Alcotest.(check bool) "sound on cheap path" true (b1 >= Machine.instr_count m1);
+  Alcotest.(check bool) "sound on dear path" true (b2 >= Machine.instr_count m2);
+  (* both programs have the same shape, so the same bound *)
+  Alcotest.(check int) "same static bound" b1 b2
+
+let loop_src =
+  "int main() { int s; s = 0; for (int i = 0; i < 10; i++) s += i; return s; }"
+
+let test_single_loop () =
+  let prog = compile loop_src in
+  let m = run prog in
+  let ls = Wcet.loops prog "main" in
+  Alcotest.(check int) "one loop" 1 (List.length ls);
+  Alcotest.(check int) "depth 1" 1 (List.hd ls).Wcet.depth;
+  (* header executes 11 times (10 iterations + failing check) *)
+  let bounds = function "main" -> [ 11 ] | _ -> [] in
+  let bound = Wcet.analyze prog ~bounds "_start" in
+  let actual = Machine.instr_count m in
+  Alcotest.(check bool)
+    (Printf.sprintf "sound: bound %d >= actual %d" bound actual)
+    true (bound >= actual);
+  Alcotest.(check bool)
+    (Printf.sprintf "tight-ish: bound %d <= 1.5x actual %d" bound actual)
+    true
+    (float_of_int bound <= 1.5 *. float_of_int actual)
+
+let test_nested_loops () =
+  let prog =
+    compile
+      "int main() { int s; s = 0; for (int i = 0; i < 6; i++) \
+       for (int j = 0; j < 8; j++) s += i * j; return s; }"
+  in
+  let m = run prog in
+  let ls = Wcet.loops prog "main" in
+  Alcotest.(check int) "two loops" 2 (List.length ls);
+  Alcotest.(check (list int)) "depths" [ 1; 2 ]
+    (List.map (fun l -> l.Wcet.depth) ls);
+  (* header-address order = source order: outer first *)
+  let bounds = function "main" -> [ 7; 9 ] | _ -> [] in
+  let bound = Wcet.analyze prog ~bounds "_start" in
+  let actual = Machine.instr_count m in
+  Alcotest.(check bool)
+    (Printf.sprintf "sound: %d >= %d" bound actual)
+    true (bound >= actual);
+  Alcotest.(check bool) "within 2x" true
+    (float_of_int bound <= 2. *. float_of_int actual)
+
+let test_call_composition () =
+  let prog =
+    compile
+      "int work(int n) { int s; s = 0; for (int i = 0; i < 20; i++) s += n; \
+       return s; }\n\
+       int main() { return work(1) + work(2) + work(3); }"
+  in
+  let m = run prog in
+  let bounds = function "work" -> [ 21 ] | _ -> [] in
+  let bound = Wcet.analyze prog ~bounds "_start" in
+  Alcotest.(check bool) "interprocedural soundness" true
+    (bound >= Machine.instr_count m)
+
+let test_library_calls_need_bounds () =
+  (* memset has a data-dependent loop; the analysis must demand a bound *)
+  let prog =
+    compile "int main() { char b[64]; memset((char*) b, 0, 64); return 0; }"
+  in
+  (match Wcet.analyze prog ~bounds:no_bounds "_start" with
+  | _ -> Alcotest.fail "expected missing-bound error"
+  | exception Wcet.Analysis_error msg ->
+      Alcotest.(check bool) "names memset" true
+        (Astring_contains.contains msg "memset"));
+  (* with the bound supplied (64 bytes + final check) it composes *)
+  let bounds = function "memset" -> [ 65 ] | _ -> [] in
+  let m = run prog in
+  let bound = Wcet.analyze prog ~bounds "_start" in
+  Alcotest.(check bool) "sound with library bound" true
+    (bound >= Machine.instr_count m)
+
+let test_recursion_rejected () =
+  let prog =
+    compile
+      "int f(int n) { if (n <= 0) return 0; return f(n - 1) + 1; }\n\
+       int main() { return f(5); }"
+  in
+  match Wcet.analyze prog ~bounds:no_bounds "main" with
+  | _ -> Alcotest.fail "expected recursion error"
+  | exception Wcet.Analysis_error msg ->
+      Alcotest.(check bool) "mentions recursion" true
+        (Astring_contains.contains msg "recursion")
+
+let test_missing_bound_message () =
+  let prog = compile loop_src in
+  match Wcet.analyze prog ~bounds:no_bounds "main" with
+  | _ -> Alcotest.fail "expected bound error"
+  | exception Wcet.Analysis_error msg ->
+      Alcotest.(check bool) "explains count" true
+        (Astring_contains.contains msg "0 loop bound(s) supplied, 1 loop(s)")
+
+let test_dynamic_flow_rejected () =
+  let open Tq_asm in
+  let b = Builder.create () in
+  Builder.ins b (Tq_isa.Isa.Li (10, 0x400000));
+  Builder.ins b (Tq_isa.Isa.Jr 10);
+  let prog =
+    Link.link
+      [ { Link.uname = "t"; main_image = true;
+          routines = [ { Link.rname = "_start"; body = b } ]; data = [] } ]
+  in
+  match Wcet.analyze prog ~bounds:no_bounds "_start" with
+  | _ -> Alcotest.fail "expected dynamic-flow error"
+  | exception Wcet.Analysis_error msg ->
+      Alcotest.(check bool) "mentions jr" true
+        (Astring_contains.contains msg "dynamic jump")
+
+let test_cfg_shape () =
+  let prog = compile loop_src in
+  let r = Symtab.by_name prog.Program.symtab "main" |> Option.get in
+  let cfg = Tq_wcet.Cfg.build prog r in
+  Alcotest.(check bool) "several blocks" true (Tq_wcet.Cfg.n_blocks cfg >= 4);
+  (* entry block is block 0 and starts at the routine entry *)
+  Alcotest.(check int) "entry addr" r.Symtab.entry
+    cfg.Tq_wcet.Cfg.blocks.(0).Tq_wcet.Cfg.first;
+  (* every successor id is valid, and preds invert succs *)
+  let preds = Tq_wcet.Cfg.preds cfg in
+  Array.iter
+    (fun (b : Tq_wcet.Cfg.block) ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "succ in range" true
+            (s >= 0 && s < Tq_wcet.Cfg.n_blocks cfg);
+          Alcotest.(check bool) "pred edge recorded" true
+            (List.mem b.Tq_wcet.Cfg.id preds.(s)))
+        b.Tq_wcet.Cfg.succs)
+    cfg.Tq_wcet.Cfg.blocks;
+  Alcotest.(check bool) "render works" true
+    (Astring_contains.contains (Tq_wcet.Cfg.render cfg) "cfg of main")
+
+(* the wfs application end-to-end: bound every loop, check soundness *)
+let test_wfs_soundness () =
+  let scen = Tq_wfs.Scenario.tiny in
+  let prog = Tq_wfs.Harness.compile scen in
+  let m = Machine.create ~vfs:(Tq_wfs.Harness.make_vfs scen) prog in
+  Executor.run ~fuel:(Tq_wfs.Harness.fuel scen) m;
+  let actual = Machine.instr_count m in
+  (* generous uniform bound: every loop header in any wfs routine executes at
+     most max(total output samples, input samples, fft size) + 2 times per
+     loop entry; soundness only needs an upper bound *)
+  let generic =
+    max
+      (scen.Tq_wfs.Scenario.chunks * scen.Tq_wfs.Scenario.frame
+      * scen.Tq_wfs.Scenario.speakers)
+      (max (Tq_wfs.Scenario.input_samples scen) scen.Tq_wfs.Scenario.fft_n)
+    + 2
+  in
+  let bounds name = List.map (fun _ -> generic) (Wcet.loops prog name) in
+  match Wcet.analyze prog ~bounds "_start" with
+  | bound ->
+      Alcotest.(check bool)
+        (Printf.sprintf "wfs bound %d >= actual %d" bound actual)
+        true (bound >= actual)
+  | exception Wcet.Analysis_error msg ->
+      Alcotest.fail ("analysis failed: " ^ msg)
+
+let suites =
+  [
+    ( "wcet",
+      [
+        Alcotest.test_case "straight line exact" `Quick test_straight_line_exact;
+        Alcotest.test_case "branch max" `Quick test_branch_takes_max;
+        Alcotest.test_case "single loop" `Quick test_single_loop;
+        Alcotest.test_case "nested loops" `Quick test_nested_loops;
+        Alcotest.test_case "call composition" `Quick test_call_composition;
+        Alcotest.test_case "library bounds" `Quick test_library_calls_need_bounds;
+        Alcotest.test_case "recursion rejected" `Quick test_recursion_rejected;
+        Alcotest.test_case "missing bound message" `Quick
+          test_missing_bound_message;
+        Alcotest.test_case "dynamic flow rejected" `Quick
+          test_dynamic_flow_rejected;
+        Alcotest.test_case "cfg shape" `Quick test_cfg_shape;
+        Alcotest.test_case "wfs soundness" `Quick test_wfs_soundness;
+      ] );
+  ]
