@@ -64,7 +64,7 @@ let vfs_of_dir dir =
         (Sys.readdir d));
   vfs
 
-let write_back dir vfs before =
+let write_back ?(console = stdout) dir vfs before =
   match dir with
   | None -> ()
   | Some d ->
@@ -74,18 +74,89 @@ let write_back dir vfs before =
             let oc = open_out_bin (Filename.concat d name) in
             output_string oc (Option.get (Vfs.contents vfs name));
             close_out oc;
-            Printf.printf "wrote %s\n" (Filename.concat d name)
+            Printf.fprintf console "wrote %s\n" (Filename.concat d name)
           end)
         (Vfs.list vfs)
 
-let finish m =
-  print_string (Machine.stdout_contents m);
-  match Machine.exit_code m with
+let finish ?(console = stdout) m =
+  output_string console (Machine.stdout_contents m);
+  (match Machine.exit_code m with
   | Some 0 -> ()
-  | Some c -> Printf.printf "[exit code %d]\n" c
-  | None -> Printf.printf "[did not exit]\n"
+  | Some c -> Printf.fprintf console "[exit code %d]\n" c
+  | None -> Printf.fprintf console "[did not exit]\n");
+  flush console
 
-let run_under file dir attach =
+(* ---------- tool report renderers ----------
+
+   Shared by the live subcommands and the trace-replay path, so a replayed
+   analysis prints byte-identical report sections. *)
+
+let render_gprof g =
+  Tq_report.Report.flat_profile (Tq_gprofsim.Gprofsim.flat_profile g)
+
+let render_quad q =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Tq_report.Report.quad_table (Tq_quad.Quad.rows q));
+  Buffer.add_string buf "\nbindings (heaviest first):\n";
+  List.iteri
+    (fun i (b : Tq_quad.Quad.binding) ->
+      if i < 20 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-24s -> %-24s %12d B (incl), %10d UnMA\n"
+             b.producer.Symtab.name b.consumer.Symtab.name b.bytes_incl b.unma))
+    (Tq_quad.Quad.bindings q);
+  Buffer.contents buf
+
+let render_tquad ~slice t =
+  let buf = Buffer.create 4096 in
+  let kernels = Tq_tquad.Tquad.kernels t in
+  Buffer.add_string buf
+    (Printf.sprintf "%d time slices of %d instructions; %d kernels\n"
+       (Tq_tquad.Tquad.total_slices t) slice (List.length kernels));
+  List.iter
+    (fun r ->
+      let tot = Tq_tquad.Tquad.totals t r in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %-24s slices %6d-%-6d act %6d  R %9d/%9d  W %9d/%9d  max RW \
+            %8.4f B/ins\n"
+           r.Symtab.name tot.Tq_tquad.Tquad.first_slice tot.last_slice
+           tot.activity_span tot.read_incl tot.read_excl tot.write_incl
+           tot.write_excl
+           (Tq_tquad.Tquad.max_rw_bpi t r ~incl:true)))
+    kernels;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Tq_report.Report.figure t ~metric:Tq_tquad.Tquad.Read_incl ~kernels
+       ~title:"read bandwidth (stack incl.)" ());
+  Buffer.contents buf
+
+let render_mix mix =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Tq_prof.Ins_mix.render mix);
+  Buffer.add_string buf "\nper kernel:\n";
+  List.iter
+    (fun (r, counts) ->
+      let total = Array.fold_left ( + ) 0 counts in
+      if total > 0 then begin
+        Buffer.add_string buf (Printf.sprintf "  %-24s %9d:" r.Symtab.name total);
+        List.iteri
+          (fun i c ->
+            if counts.(i) > 0 then
+              Buffer.add_string buf
+                (Printf.sprintf " %s %d" (Tq_prof.Ins_mix.category_name c)
+                   counts.(i)))
+          Tq_prof.Ins_mix.categories;
+        Buffer.add_char buf '\n'
+      end)
+    (Tq_prof.Ins_mix.per_kernel mix);
+  Buffer.contents buf
+
+(* The instrumented tool subcommands route the program's own console output
+   (and write-back notices) to stderr so their stdout is exactly the analysis
+   report — byte-identical to what [replay --tool=...] prints for the same
+   trace.  [run] passes [~console:stdout] to keep plain execution unchanged. *)
+let run_under ?(console = stderr) file dir attach =
   let prog = compile_file file in
   let vfs = vfs_of_dir dir in
   let before = Vfs.list vfs in
@@ -99,8 +170,8 @@ let run_under file dir attach =
   | Tq_vm.Executor.Out_of_fuel n ->
       Printf.eprintf "out of fuel after %d instructions\n" n;
       exit 1);
-  finish m;
-  write_back dir vfs before;
+  finish ~console m;
+  write_back ~console dir vfs before;
   (tool, m)
 
 (* ---------- common args ---------- *)
@@ -150,7 +221,7 @@ let disasm_cmd =
 
 let run_cmd =
   let run file dir =
-    let _, _ = run_under file dir (fun _ -> ()) in
+    let _, _ = run_under ~console:stdout file dir (fun _ -> ()) in
     ()
   in
   Cmd.v
@@ -167,7 +238,7 @@ let gprof_cmd =
     let g, _ =
       run_under file dir (fun eng -> Tq_gprofsim.Gprofsim.attach ~period eng)
     in
-    print_string (Tq_report.Report.flat_profile (Tq_gprofsim.Gprofsim.flat_profile g))
+    print_string (render_gprof g)
   in
   Cmd.v
     (Cmd.info "gprof" ~doc:"Profile a MiniC program with the sampling profiler")
@@ -194,14 +265,7 @@ let quad_cmd =
       else Tq_prof.Call_stack.Main_image_only
     in
     let q, _ = run_under file dir (fun eng -> Tq_quad.Quad.attach ~policy eng) in
-    print_string (Tq_report.Report.quad_table (Tq_quad.Quad.rows q));
-    Printf.printf "\nbindings (heaviest first):\n";
-    List.iteri
-      (fun i (b : Tq_quad.Quad.binding) ->
-        if i < 20 then
-          Printf.printf "  %-24s -> %-24s %12d B (incl), %10d UnMA\n"
-            b.producer.Symtab.name b.consumer.Symtab.name b.bytes_incl b.unma)
-      (Tq_quad.Quad.bindings q);
+    print_string (render_quad q);
     match dot with
     | None -> ()
     | Some path ->
@@ -249,24 +313,7 @@ let tquad_cmd =
           Tq_tquad.Tquad.attach ~slice_interval:slice ~policy eng)
     in
     let kernels = Tq_tquad.Tquad.kernels t in
-    Printf.printf "%d time slices of %d instructions; %d kernels\n"
-      (Tq_tquad.Tquad.total_slices t) slice (List.length kernels);
-    (* per-kernel summary *)
-    List.iter
-      (fun r ->
-        let tot = Tq_tquad.Tquad.totals t r in
-        Printf.printf
-          "  %-24s slices %6d-%-6d act %6d  R %9d/%9d  W %9d/%9d  max RW \
-           %8.4f B/ins\n"
-          r.Symtab.name tot.Tq_tquad.Tquad.first_slice tot.last_slice
-          tot.activity_span tot.read_incl tot.read_excl tot.write_incl
-          tot.write_excl
-          (Tq_tquad.Tquad.max_rw_bpi t r ~incl:true))
-      kernels;
-    print_newline ();
-    print_string
-      (Tq_report.Report.figure t ~metric:Tq_tquad.Tquad.Read_incl ~kernels
-         ~title:"read bandwidth (stack incl.)" ());
+    print_string (render_tquad ~slice t);
     if phases then begin
       let total = Tq_tquad.Tquad.total_slices t in
       let window = max 8 (total / 40) and min_len = max 16 (total / 20) in
@@ -304,22 +351,7 @@ let mix_cmd =
   let run file dir =
     let mix, m = run_under file dir (fun eng -> Tq_prof.Ins_mix.attach eng) in
     ignore m;
-    print_string (Tq_prof.Ins_mix.render mix);
-    Printf.printf "\nper kernel:\n";
-    List.iter
-      (fun (r, counts) ->
-        let total = Array.fold_left ( + ) 0 counts in
-        if total > 0 then begin
-          Printf.printf "  %-24s %9d:" r.Symtab.name total;
-          List.iteri
-            (fun i c ->
-              if counts.(i) > 0 then
-                Printf.printf " %s %d" (Tq_prof.Ins_mix.category_name c)
-                  counts.(i))
-            Tq_prof.Ins_mix.categories;
-          print_newline ()
-        end)
-      (Tq_prof.Ins_mix.per_kernel mix)
+    print_string (render_mix mix)
   in
   Cmd.v
     (Cmd.info "mix" ~doc:"Instruction-mix profile (loads/stores/ALU/branches)")
@@ -447,16 +479,198 @@ let wcet_cmd =
     (Cmd.info "wcet" ~doc:"Static worst-case execution time bound")
     Term.(const run $ file_arg $ bound_arg $ routine_arg)
 
+let scenario_enum =
+  [ ("tiny", Tq_wfs.Scenario.tiny);
+    ("default", Tq_wfs.Scenario.default);
+    ("large", Tq_wfs.Scenario.large) ]
+
+(* ---------- record / replay ---------- *)
+
+(* Either a MiniC/asm/object file (optional positional) or a built-in wfs
+   scenario; record and replay must agree on the program image, since the
+   trace stores routine ids and code addresses, not the image itself. *)
+let wfs_arg =
+  Arg.(
+    value
+    & opt (some (enum scenario_enum)) None
+    & info [ "wfs" ] ~docv:"SCENARIO"
+        ~doc:"Use the built-in wfs case study (tiny, default or large) as the \
+              program instead of a file.")
+
+let record_cmd =
+  let file_opt_arg =
+    Arg.(value & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.mc")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output trace file.")
+  in
+  let run file wfs dir out =
+    let prog, vfs, fuel =
+      match (file, wfs) with
+      | Some f, None -> (compile_file f, vfs_of_dir dir, None)
+      | None, Some scen ->
+          ( Tq_wfs.Harness.compile scen,
+            Tq_wfs.Harness.make_vfs scen,
+            Some (Tq_wfs.Harness.fuel scen) )
+      | _ ->
+          Printf.eprintf "record: give exactly one of FILE.mc or --wfs\n";
+          exit 2
+    in
+    let m = Machine.create ~vfs prog in
+    let eng = Engine.create m in
+    let events =
+      try Tq_trace.Probe.record ?fuel eng ~path:out with
+      | Sys_error msg ->
+          Printf.eprintf "record: %s\n" msg;
+          exit 1
+      | Machine.Trap { ip; reason } ->
+          Printf.eprintf "trap at 0x%x: %s\n" ip reason;
+          exit 1
+      | Tq_vm.Executor.Out_of_fuel n ->
+          Printf.eprintf "out of fuel after %d instructions\n" n;
+          exit 1
+    in
+    finish m;
+    let r = Tq_trace.Reader.load out in
+    Printf.printf "wrote %s: %d events, %d chunks, %d bytes (%d instructions)\n"
+      out events
+      (Tq_trace.Reader.n_chunks r)
+      (Tq_trace.Reader.byte_size r)
+      (Tq_trace.Reader.last_icount r)
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Execute once under the event recorder and stream the trace to disk; \
+          any analysis tool can then replay it without re-running the program")
+    Term.(const run $ file_opt_arg $ wfs_arg $ dir_arg $ out_arg)
+
+let all_tool_names = [ "tquad"; "quad"; "gprof"; "mix"; "cache"; "footprint" ]
+
+let replay_job prog ~slice ~period name =
+  let symtab = prog.Tq_vm.Program.symtab in
+  match name with
+  | "tquad" ->
+      Tq_trace.Replay.job ~wants:Tq_tquad.Tquad.interest "tquad" (fun () ->
+          let t = Tq_tquad.Tquad.create ~slice_interval:slice symtab in
+          (Tq_tquad.Tquad.consume t, fun () -> render_tquad ~slice t))
+  | "quad" ->
+      Tq_trace.Replay.job ~wants:Tq_quad.Quad.interest "quad" (fun () ->
+          let q = Tq_quad.Quad.create symtab in
+          (Tq_quad.Quad.consume q, fun () -> render_quad q))
+  | "gprof" ->
+      Tq_trace.Replay.job ~wants:Tq_gprofsim.Gprofsim.interest "gprof"
+        (fun () ->
+          let g = Tq_gprofsim.Gprofsim.create ~period symtab in
+          (Tq_gprofsim.Gprofsim.consume g, fun () -> render_gprof g))
+  | "mix" ->
+      Tq_trace.Replay.job ~wants:Tq_prof.Ins_mix.interest "mix" (fun () ->
+          let mix = Tq_prof.Ins_mix.create prog in
+          (Tq_prof.Ins_mix.consume mix, fun () -> render_mix mix))
+  | "cache" ->
+      Tq_trace.Replay.job ~wants:Tq_prof.Cache_sim.interest "cache" (fun () ->
+          let c = Tq_prof.Cache_sim.create symtab in
+          (Tq_prof.Cache_sim.consume c, fun () -> Tq_prof.Cache_sim.render c))
+  | "footprint" ->
+      Tq_trace.Replay.job ~wants:Tq_prof.Footprint.interest "footprint"
+        (fun () ->
+          let f = Tq_prof.Footprint.create prog in
+          (Tq_prof.Footprint.consume f, fun () -> Tq_prof.Footprint.render f))
+  | other ->
+      Printf.eprintf "replay: unknown tool %s (have: %s)\n" other
+        (String.concat ", " all_tool_names);
+      exit 2
+
+let replay_cmd =
+  let trace_pos_arg =
+    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"TRACE")
+  in
+  let file_pos_arg =
+    Arg.(value & pos 1 (some non_dir_file) None & info [] ~docv:"FILE.mc")
+  in
+  let tool_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tool" ] ~docv:"TOOL"
+          ~doc:"Tool to replay the trace through: tquad, quad, gprof, mix, \
+                cache or footprint.")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Replay the trace through every tool, fanned out over domains.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Domains for --all (0 = one per core, capped at the tool \
+                count; 1 = sequential).")
+  in
+  let slice_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "slice" ] ~docv:"N"
+        ~doc:"tquad time-slice interval in instructions.")
+  in
+  let run trace file wfs tool all domains slice period =
+    let prog =
+      match (file, wfs) with
+      | Some f, None -> compile_file f
+      | None, Some scen -> Tq_wfs.Harness.compile scen
+      | _ ->
+          Printf.eprintf "replay: give exactly one of FILE.mc or --wfs\n";
+          exit 2
+    in
+    let reader =
+      try Tq_trace.Reader.load trace
+      with Tq_trace.Reader.Format_error msg ->
+        Printf.eprintf "%s: %s\n" trace msg;
+        exit 1
+    in
+    match (tool, all) with
+    | Some name, false ->
+        let results =
+          Tq_trace.Replay.sequential reader
+            [ replay_job prog ~slice ~period name ]
+        in
+        List.iter (fun (_, report) -> print_string report) results
+    | None, true ->
+        let jobs = List.map (replay_job prog ~slice ~period) all_tool_names in
+        let results =
+          if domains = 1 then Tq_trace.Replay.sequential reader jobs
+          else
+            Tq_trace.Replay.parallel
+              ?domains:(if domains > 1 then Some domains else None)
+              reader jobs
+        in
+        List.iter
+          (fun (name, report) -> Printf.printf "=== %s ===\n%s" name report)
+          results
+    | _ ->
+        Printf.eprintf "replay: give exactly one of --tool or --all\n";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a recorded trace through one analysis tool (--tool) or all \
+          of them in parallel (--all); reports are byte-identical to a \
+          live-instrumented run")
+    Term.(
+      const run $ trace_pos_arg $ file_pos_arg $ wfs_arg $ tool_arg $ all_arg
+      $ domains_arg $ slice_arg $ period_arg)
+
 let wfs_cmd =
   let scenario_arg =
     Arg.(
       value
-      & opt
-          (enum
-             [ ("tiny", Tq_wfs.Scenario.tiny);
-               ("default", Tq_wfs.Scenario.default);
-               ("large", Tq_wfs.Scenario.large) ])
-          Tq_wfs.Scenario.tiny
+      & opt (enum scenario_enum) Tq_wfs.Scenario.tiny
       & info [ "scenario" ] ~docv:"NAME" ~doc:"Workload size: tiny, default or large.")
   in
   let tool_arg =
@@ -512,6 +726,6 @@ let main_cmd =
           (reproduction of tQUAD, ICPP 2010)")
     [ build_cmd; disasm_cmd; run_cmd; gprof_cmd; callgraph_cmd; quad_cmd;
       tquad_cmd; mix_cmd; cache_cmd; footprint_cmd; wcet_cmd; diff_cmd;
-      wfs_cmd ]
+      record_cmd; replay_cmd; wfs_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

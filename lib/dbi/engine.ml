@@ -34,6 +34,7 @@ type t = {
   cache : (int, trace) Hashtbl.t;
   mutable ins_instrumenters : (Ins_view.view -> action list) list; (* reversed *)
   mutable rtn_instrumenters : (Symtab.routine -> action list) list;
+  mutable trace_instrumenters : (addr:int -> n:int -> action list) list;
   mutable running : bool;
   mutable n_traces : int;
   mutable n_compiled_ins : int;
@@ -48,6 +49,7 @@ let create ?(use_code_cache = true) m =
     cache = Hashtbl.create 1024;
     ins_instrumenters = [];
     rtn_instrumenters = [];
+    trace_instrumenters = [];
     running = false;
     n_traces = 0;
     n_compiled_ins = 0;
@@ -64,6 +66,10 @@ let add_ins_instrumenter t f =
 let add_rtn_instrumenter t f =
   if t.running then invalid_arg "Engine: cannot add instrumenter while running";
   t.rtn_instrumenters <- f :: t.rtn_instrumenters
+
+let add_trace_instrumenter t f =
+  if t.running then invalid_arg "Engine: cannot add instrumenter while running";
+  t.trace_instrumenters <- f :: t.trace_instrumenters
 
 let predicated t v a =
   match Tq_isa.Isa.predicate_of (Ins_view.ins v) with
@@ -102,6 +108,18 @@ let compile t addr0 =
     else addr := !addr + Tq_isa.Isa.ins_bytes
   done;
   let trace = Array.of_list (List.rev !slots) in
+  (match List.rev t.trace_instrumenters with
+  | [] -> ()
+  | trace_fns ->
+      let n = Array.length trace in
+      let block_actions =
+        List.concat_map (fun f -> f ~addr:addr0 ~n) trace_fns
+      in
+      if block_actions <> [] then begin
+        let s0 = trace.(0) in
+        trace.(0) <-
+          { s0 with actions = Array.append (Array.of_list block_actions) s0.actions }
+      end);
   t.n_traces <- t.n_traces + 1;
   t.n_compiled_ins <- t.n_compiled_ins + Array.length trace;
   trace

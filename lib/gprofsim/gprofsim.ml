@@ -3,9 +3,9 @@ module Engine = Tq_dbi.Engine
 module Machine = Tq_vm.Machine
 module Symtab = Tq_vm.Symtab
 module Call_stack = Tq_prof.Call_stack
+module Event = Tq_trace.Event
 
 type t = {
-  machine : Machine.t;
   symtab : Symtab.t;
   period : int;
   clock_hz : float;
@@ -19,58 +19,69 @@ type t = {
 
 let arc_key a b = (a lsl 20) lor b
 
-let attach ?(period = 10_000) ?(clock_hz = 1e9) engine =
-  if period <= 0 then invalid_arg "Gprofsim.attach: period must be positive";
+let create ?(period = 10_000) ?(clock_hz = 1e9) symtab =
+  if period <= 0 then invalid_arg "Gprofsim.create: period must be positive";
+  let n = Symtab.count symtab in
+  {
+    symtab;
+    period;
+    clock_hz;
+    samples = Array.make n 0;
+    calls = Array.make n 0;
+    arc_counts = Hashtbl.create 64;
+    stack = Call_stack.create Call_stack.Track_all;
+    next_sample = period;
+    n_samples = 0;
+  }
+
+(* PC sampling (timer-interrupt analogue): a sample fires on the first
+   instruction whose retired count reaches [next_sample].  The sampled
+   routine is the one statically containing the pc, exactly as the engine's
+   [Ins_view.routine] (both are [Symtab.find]).  Sampling only reads
+   per-instruction static state and call accounting never reads the sample
+   counters, so processing a whole block's samples at its [Block_exec]
+   event yields the same counters as the live interleaving. *)
+let sample_block t ~icount ~addr ~n =
+  if icount + n > t.next_sample then
+    for j = 0 to n - 1 do
+      let now = icount + j in
+      if now >= t.next_sample then begin
+        (match Symtab.find t.symtab (addr + (j * Isa.ins_bytes)) with
+        | Some r -> t.samples.(r.Symtab.id) <- t.samples.(r.Symtab.id) + 1
+        | None -> ());
+        t.n_samples <- t.n_samples + 1;
+        while t.next_sample <= now do
+          t.next_sample <- t.next_sample + t.period
+        done
+      end
+    done
+
+let consume t (ev : Event.t) =
+  match ev with
+  | Event.Block_exec { icount; addr; n } -> sample_block t ~icount ~addr ~n
+  | Event.Rtn_entry { routine; sp; _ } ->
+      (* call accounting at routine granularity *)
+      let r = Symtab.by_id t.symtab routine in
+      t.calls.(routine) <- t.calls.(routine) + 1;
+      (match Call_stack.top t.stack with
+      | Some caller ->
+          let key = arc_key caller.Symtab.id routine in
+          Hashtbl.replace t.arc_counts key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt t.arc_counts key))
+      | None -> ());
+      Call_stack.on_entry t.stack r ~sp
+  | Event.Ret { sp; _ } -> Call_stack.on_ret t.stack ~sp
+  | Event.Load _ | Event.Store _ | Event.Block_copy _ | Event.Prefetch _
+  | Event.End _ ->
+      ()
+
+let interest = Event.[ KRtn_entry; KRet; KBlock_exec ]
+
+let attach ?period ?clock_hz engine =
   let machine = Engine.machine engine in
   let symtab = (Machine.program machine).Tq_vm.Program.symtab in
-  let n = Symtab.count symtab in
-  let t =
-    {
-      machine;
-      symtab;
-      period;
-      clock_hz;
-      samples = Array.make n 0;
-      calls = Array.make n 0;
-      arc_counts = Hashtbl.create 64;
-      stack = Call_stack.create Call_stack.Track_all;
-      next_sample = period;
-      n_samples = 0;
-    }
-  in
-  (* call accounting at routine granularity *)
-  Engine.add_rtn_instrumenter engine (fun r ->
-      let id = r.Symtab.id in
-      [
-        (fun () ->
-          t.calls.(id) <- t.calls.(id) + 1;
-          (match Call_stack.top t.stack with
-          | Some caller ->
-              let key = arc_key caller.Symtab.id id in
-              Hashtbl.replace t.arc_counts key
-                (1 + Option.value ~default:0 (Hashtbl.find_opt t.arc_counts key))
-          | None -> ());
-          Call_stack.on_entry t.stack r ~sp:(Machine.sp machine));
-      ]);
-  (* PC sampling (timer-interrupt analogue) + return monitoring *)
-  Engine.add_ins_instrumenter engine (fun view ->
-      let static = Engine.Ins_view.routine view in
-      let sample =
-        fun () ->
-          let now = Machine.instr_count machine in
-          if now >= t.next_sample then begin
-            (match static with
-            | Some r -> t.samples.(r.Symtab.id) <- t.samples.(r.Symtab.id) + 1
-            | None -> ());
-            t.n_samples <- t.n_samples + 1;
-            while t.next_sample <= now do
-              t.next_sample <- t.next_sample + t.period
-            done
-          end
-      in
-      if Isa.is_ret (Engine.Ins_view.ins view) then
-        [ sample; (fun () -> Call_stack.on_ret t.stack ~sp:(Machine.sp machine)) ]
-      else [ sample ]);
+  let t = create ?period ?clock_hz symtab in
+  Tq_trace.Probe.attach engine (consume t);
   t
 
 (* ---------- flat profile with gprof time propagation ---------- *)

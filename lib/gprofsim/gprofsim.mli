@@ -21,10 +21,24 @@
 
 type t
 
+val create : ?period:int -> ?clock_hz:float -> Tq_vm.Symtab.t -> t
+(** Build an unattached profiler; feed it events with {!consume}, live or
+    replayed.  [period] instructions between samples (default 10_000 — the
+    analogue of gprof's 10 ms tick); [clock_hz] simulated instructions per
+    second (default 1e9). *)
+
+val interest : Tq_trace.Event.kind list
+(** Event kinds {!consume} does work on — pass as [?wants] to
+    {!Tq_trace.Replay.job} so replay skips the rest. *)
+
+val consume : t -> Tq_trace.Event.t -> unit
+(** Process one event.  Samples are derived from [Block_exec] events (the
+    recorded block's address and instruction count reconstruct each pc),
+    calls and arcs from [Rtn_entry]/[Ret]; live and replayed runs produce
+    bit-identical profiles. *)
+
 val attach : ?period:int -> ?clock_hz:float -> Tq_dbi.Engine.t -> t
-(** [period] instructions between samples (default 10_000 — the analogue of
-    gprof's 10 ms tick); [clock_hz] simulated instructions per second
-    (default 1e9). *)
+(** [create] + {!Tq_trace.Probe.attach}. *)
 
 type row = {
   routine : Tq_vm.Symtab.routine;

@@ -2,6 +2,7 @@ module Isa = Tq_isa.Isa
 module Engine = Tq_dbi.Engine
 module Machine = Tq_vm.Machine
 module Symtab = Tq_vm.Symtab
+module Event = Tq_trace.Event
 
 type config = { size_bytes : int; line_bytes : int; assoc : int }
 
@@ -22,6 +23,7 @@ let validate c =
 type t = {
   config : config;
   sets : int;
+  line_shift : int;  (** log2 line_bytes; [validate] guarantees a power of 2 *)
   tags : int array;  (** sets * assoc *)
   dirty : bool array;
   age : int array;
@@ -34,22 +36,42 @@ type t = {
   stack : Call_stack.t;
 }
 
-(* Access one line; returns (missed, caused_writeback). *)
+(* Access one line; returns a bitmask (bit 0 = missed, bit 1 = caused a
+   writeback) rather than a tuple — this runs per line of every access, and
+   the tuple allocation is measurable. *)
 let touch_line t line_addr ~write ~demand:_ =
   let set = line_addr land (t.sets - 1) in
   (* "tags" store the full line address, making comparisons exact *)
   let tag = line_addr in
   let base = set * t.config.assoc in
   t.clock <- t.clock + 1;
-  let found = ref (-1) in
-  for w = 0 to t.config.assoc - 1 do
-    if t.tags.(base + w) = tag then found := w
-  done;
-  if !found >= 0 then begin
-    let w = base + !found in
+  (* a tag appears at most once per set, so stop at the first hit;
+     move-to-front (below) makes way 0 the overwhelmingly common hit, so
+     probe it before entering the scan *)
+  let rec find w stop = if w >= stop then -1 else if t.tags.(w) = tag then w else find (w + 1) stop in
+  let found =
+    if t.tags.(base) = tag then base
+    else find (base + 1) (base + t.config.assoc)
+  in
+  if found >= 0 then begin
+    (* move-to-front: a set is an unordered (tag, dirty, age) collection —
+       ages drive LRU, not slot order — so swapping entries changes nothing
+       observable, and temporal locality then hits way 0 on the next probe *)
+    let w =
+      if found = base then found
+      else begin
+        let swap (a : int array) i j = let v = a.(i) in a.(i) <- a.(j); a.(j) <- v in
+        swap t.tags found base;
+        swap t.age found base;
+        let d = t.dirty.(found) in
+        t.dirty.(found) <- t.dirty.(base);
+        t.dirty.(base) <- d;
+        base
+      end
+    in
     t.age.(w) <- t.clock;
     if write then t.dirty.(w) <- true;
-    (false, false)
+    0
   end
   else begin
     (* miss: evict LRU way *)
@@ -63,97 +85,81 @@ let touch_line t line_addr ~write ~demand:_ =
     t.tags.(!victim) <- tag;
     t.dirty.(!victim) <- write;
     t.age.(!victim) <- t.clock;
-    (true, wb)
+    if wb then 3 else 1
   end
 
 let on_access t kernel_id addr size ~write ~demand =
   if size > 0 then begin
-    let line = t.config.line_bytes in
-    let first = addr / line and last = (addr + size - 1) / line in
+    let first = addr lsr t.line_shift
+    and last = (addr + size - 1) lsr t.line_shift in
     for l = first to last do
-      let missed, wb = touch_line t l ~write ~demand in
+      let r = touch_line t l ~write ~demand in
       if demand then begin
         t.k_accesses.(kernel_id) <- t.k_accesses.(kernel_id) + 1;
-        if missed then t.k_misses.(kernel_id) <- t.k_misses.(kernel_id) + 1;
-        if wb then t.k_writebacks.(kernel_id) <- t.k_writebacks.(kernel_id) + 1
+        if r land 1 <> 0 then t.k_misses.(kernel_id) <- t.k_misses.(kernel_id) + 1;
+        if r land 2 <> 0 then
+          t.k_writebacks.(kernel_id) <- t.k_writebacks.(kernel_id) + 1
       end
     done
   end
 
-let attach ?(config = default_l1) ?(policy = Call_stack.Main_image_only) engine
-    =
+let create ?(config = default_l1) ?(policy = Call_stack.Main_image_only)
+    symtab =
   (match validate config with
   | Ok () -> ()
-  | Error msg -> invalid_arg ("Cache_sim.attach: " ^ msg));
-  let machine = Engine.machine engine in
-  let symtab = (Machine.program machine).Tq_vm.Program.symtab in
+  | Error msg -> invalid_arg ("Cache_sim.create: " ^ msg));
   let n = Symtab.count symtab in
   let sets = config.size_bytes / (config.line_bytes * config.assoc) in
   let ways = sets * config.assoc in
-  let t =
-    {
-      config;
-      sets;
-      tags = Array.make ways (-1);
-      dirty = Array.make ways false;
-      age = Array.make ways 0;
-      clock = 0;
-      k_accesses = Array.make n 0;
-      k_misses = Array.make n 0;
-      k_writebacks = Array.make n 0;
-      symtab;
-      stack = Call_stack.create policy;
-    }
+  let line_shift =
+    let rec go i n = if n <= 1 then i else go (i + 1) (n lsr 1) in
+    go 0 config.line_bytes
   in
-  Engine.add_rtn_instrumenter engine (fun r ->
-      [ (fun () -> Call_stack.on_entry t.stack r ~sp:(Machine.sp machine)) ]);
-  Engine.add_ins_instrumenter engine (fun view ->
-      let ins = Engine.Ins_view.ins view in
-      let static = Engine.Ins_view.routine view in
-      let kernel () = Call_stack.attribute t.stack static in
-      let block = Isa.is_block_move ins in
-      let actions = ref [] in
+  {
+    config;
+    sets;
+    line_shift;
+    tags = Array.make ways (-1);
+    dirty = Array.make ways false;
+    age = Array.make ways 0;
+    clock = 0;
+    k_accesses = Array.make n 0;
+    k_misses = Array.make n 0;
+    k_writebacks = Array.make n 0;
+    symtab;
+    stack = Call_stack.create policy;
+  }
+
+let consume t (ev : Event.t) =
+  match ev with
+  | Event.Load { static; ea; size; _ } ->
+      let id = Call_stack.attribute_id t.stack t.symtab static in
+      if id >= 0 then on_access t id ea size ~write:false ~demand:true
+  | Event.Store { static; ea; size; _ } ->
+      let id = Call_stack.attribute_id t.stack t.symtab static in
+      if id >= 0 then on_access t id ea size ~write:true ~demand:true
+  | Event.Rtn_entry { routine; sp; _ } ->
+      Call_stack.on_entry t.stack (Symtab.by_id t.symtab routine) ~sp
+  | Event.Ret { sp; _ } -> Call_stack.on_ret t.stack ~sp
+  | Event.Prefetch { ea; size; _ } ->
       (* prefetches warm the cache without counting as demand accesses *)
-      if Isa.is_prefetch ins then
-        actions :=
-          [
-            (fun () ->
-              on_access t 0
-                (Machine.read_ea machine ins)
-                (Isa.mem_read_bytes ins) ~write:false ~demand:false);
-          ]
-      else begin
-        let rd = Isa.mem_read_bytes ins and wr = Isa.mem_write_bytes ins in
-        if rd > 0 || block then begin
-          let a () =
-            match kernel () with
-            | None -> ()
-            | Some r ->
-                let n = if block then Machine.block_len machine ins else rd in
-                on_access t r.Symtab.id
-                  (Machine.read_ea machine ins)
-                  n ~write:false ~demand:true
-          in
-          actions := [ Engine.predicated engine view a ]
-        end;
-        if wr > 0 || block then begin
-          let a () =
-            match kernel () with
-            | None -> ()
-            | Some r ->
-                let n = if block then Machine.block_len machine ins else wr in
-                on_access t r.Symtab.id
-                  (Machine.write_ea machine ins)
-                  n ~write:true ~demand:true
-          in
-          actions := !actions @ [ Engine.predicated engine view a ]
-        end;
-        if Isa.is_ret ins then
-          actions :=
-            !actions
-            @ [ (fun () -> Call_stack.on_ret t.stack ~sp:(Machine.sp machine)) ]
-      end;
-      !actions);
+      on_access t 0 ea size ~write:false ~demand:false
+  | Event.Block_copy { static; src; dst; len; _ } ->
+      let id = Call_stack.attribute_id t.stack t.symtab static in
+      if id >= 0 then begin
+        on_access t id src len ~write:false ~demand:true;
+        on_access t id dst len ~write:true ~demand:true
+      end
+  | Event.Block_exec _ | Event.End _ -> ()
+
+let interest =
+  Event.[ KRtn_entry; KRet; KLoad; KStore; KBlock_copy; KPrefetch ]
+
+let attach ?config ?policy engine =
+  let machine = Engine.machine engine in
+  let symtab = (Machine.program machine).Tq_vm.Program.symtab in
+  let t = create ?config ?policy symtab in
+  Tq_trace.Probe.attach engine (consume t);
   t
 
 type krow = {

@@ -25,13 +25,26 @@ val validate : config -> (unit, string) result
 
 type t
 
+val create :
+  ?config:config -> ?policy:Call_stack.policy -> Tq_vm.Symtab.t -> t
+(** Build an unattached simulator; feed it events with {!consume}, live or
+    replayed.  [policy] defaults to [Main_image_only] attribution like the
+    other profilers. *)
+
+val consume : t -> Tq_trace.Event.t -> unit
+(** Process one event; live and replayed runs produce bit-identical
+    results (the cache-state sequence only depends on event order). *)
+
+val interest : Tq_trace.Event.kind list
+(** Event kinds {!consume} does work on — pass as [?wants] to
+    {!Tq_trace.Replay.job} so replay skips the rest. *)
+
 val attach :
   ?config:config ->
   ?policy:Call_stack.policy ->
   Tq_dbi.Engine.t ->
   t
-(** Register the tool; [policy] defaults to [Main_image_only] attribution
-    like the other profilers. *)
+(** Register the tool: [create] + {!Tq_trace.Probe.attach}. *)
 
 type krow = {
   routine : Tq_vm.Symtab.routine;

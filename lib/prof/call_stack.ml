@@ -41,3 +41,16 @@ let attribute t static =
       match static with
       | Some r when r.Tq_vm.Symtab.is_main_image -> static
       | _ -> top t)
+
+(* Allocation-free variant of [attribute] over routine ids (-1 = none) for
+   per-access hot paths: same policy semantics, no option boxing. *)
+let attribute_id t symtab static =
+  match t.policy with
+  | Track_all -> static
+  | Main_image_only ->
+      if static >= 0 && (Tq_vm.Symtab.by_id symtab static).is_main_image then
+        static
+      else (
+        match t.frames with
+        | [] -> -1
+        | f :: _ -> f.routine.Tq_vm.Symtab.id)

@@ -41,3 +41,8 @@ val attribute :
     under [Track_all] it is the routine statically containing the
     instruction; under [Main_image_only], library-code events are charged to
     the innermost main-image frame. *)
+
+val attribute_id : t -> Tq_vm.Symtab.t -> int -> int
+(** [attribute_id t symtab static] is [attribute] over routine ids with
+    [-1] meaning "no routine" — an allocation-free variant for per-access
+    hot paths. *)

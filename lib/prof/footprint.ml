@@ -3,6 +3,7 @@ module Engine = Tq_dbi.Engine
 module Machine = Tq_vm.Machine
 module Symtab = Tq_vm.Symtab
 module Layout = Tq_vm.Layout
+module Event = Tq_trace.Event
 module Bitset = Tq_util.Paged_bitset
 
 type region = Data | Heap | Stack
@@ -10,65 +11,47 @@ type region = Data | Heap | Stack
 let region_name = function Data -> "data" | Heap -> "heap" | Stack -> "stack"
 
 type t = {
-  machine : Machine.t;
   symtab : Symtab.t;
   data_end : int;
-  touched : Bitset.t option array;  (** per routine id *)
+  touched : Bitset.t array;  (** per routine id *)
   stack : Call_stack.t;
 }
 
-let touched_of t id =
-  match t.touched.(id) with
-  | Some b -> b
-  | None ->
-      let b = Bitset.create () in
-      t.touched.(id) <- Some b;
-      b
+let create ?(policy = Call_stack.Main_image_only) (prog : Tq_vm.Program.t) =
+  {
+    symtab = prog.Tq_vm.Program.symtab;
+    data_end = prog.Tq_vm.Program.data_end;
+    touched =
+      Array.init (Symtab.count prog.Tq_vm.Program.symtab) (fun _ ->
+          Bitset.create ());
+    stack = Call_stack.create policy;
+  }
 
-let attach ?(policy = Call_stack.Main_image_only) engine =
+let mark t static ea n =
+  if n > 0 then begin
+    let id = Call_stack.attribute_id t.stack t.symtab static in
+    if id >= 0 then Bitset.add_range t.touched.(id) ea n
+  end
+
+let consume t (ev : Event.t) =
+  match ev with
+  | Event.Rtn_entry { routine; sp; _ } ->
+      Call_stack.on_entry t.stack (Symtab.by_id t.symtab routine) ~sp
+  | Event.Ret { sp; _ } -> Call_stack.on_ret t.stack ~sp
+  | Event.Load { static; ea; size; _ } -> mark t static ea size
+  | Event.Store { static; ea; size; _ } -> mark t static ea size
+  | Event.Block_copy { static; src; dst; len; _ } ->
+      mark t static src len;
+      mark t static dst len
+  | Event.Prefetch _ | Event.Block_exec _ | Event.End _ -> ()
+
+let interest =
+  Event.[ KRtn_entry; KRet; KLoad; KStore; KBlock_copy ]
+
+let attach ?policy engine =
   let machine = Engine.machine engine in
-  let prog = Machine.program machine in
-  let symtab = prog.Tq_vm.Program.symtab in
-  let t =
-    {
-      machine;
-      symtab;
-      data_end = prog.Tq_vm.Program.data_end;
-      touched = Array.make (Symtab.count symtab) None;
-      stack = Call_stack.create policy;
-    }
-  in
-  Engine.add_rtn_instrumenter engine (fun r ->
-      [ (fun () -> Call_stack.on_entry t.stack r ~sp:(Machine.sp machine)) ]);
-  Engine.add_ins_instrumenter engine (fun view ->
-      let ins = Engine.Ins_view.ins view in
-      if Isa.is_prefetch ins then []
-      else begin
-        let static = Engine.Ins_view.routine view in
-        let block = Isa.is_block_move ins in
-        let rd = Isa.mem_read_bytes ins and wr = Isa.mem_write_bytes ins in
-        let mark ea_of size_static =
-          Engine.predicated engine view (fun () ->
-              match Call_stack.attribute t.stack static with
-              | None -> ()
-              | Some r ->
-                  let n =
-                    if block then Machine.block_len machine ins else size_static
-                  in
-                  if n > 0 then
-                    Bitset.add_range (touched_of t r.Symtab.id) (ea_of ()) n)
-        in
-        let actions = ref [] in
-        if rd > 0 || block then
-          actions := [ mark (fun () -> Machine.read_ea machine ins) rd ];
-        if wr > 0 || block then
-          actions := !actions @ [ mark (fun () -> Machine.write_ea machine ins) wr ];
-        if Isa.is_ret ins then
-          actions :=
-            !actions
-            @ [ (fun () -> Call_stack.on_ret t.stack ~sp:(Machine.sp machine)) ];
-        !actions
-      end);
+  let t = create ?policy (Machine.program machine) in
+  Tq_trace.Probe.attach engine (consume t);
   t
 
 type region_stats = { unique_bytes : int; pages : int; lo : int; hi : int }
@@ -83,31 +66,30 @@ let classify t addr =
   else Data
 
 let region_rollup t id =
-  match t.touched.(id) with
-  | None -> []
-  | Some bits ->
-      let acc = Hashtbl.create 3 in
-      let page_seen = Hashtbl.create 64 in
-      Bitset.iter
-        (fun addr ->
-          let r = classify t addr in
-          let cur =
-            Option.value ~default:empty_stats (Hashtbl.find_opt acc r)
-          in
-          let page = (r, addr lsr 12) in
-          let new_page = not (Hashtbl.mem page_seen page) in
-          if new_page then Hashtbl.replace page_seen page ();
-          Hashtbl.replace acc r
-            {
-              unique_bytes = cur.unique_bytes + 1;
-              pages = (cur.pages + if new_page then 1 else 0);
-              lo = (if cur.unique_bytes = 0 then addr else cur.lo);
-              hi = addr;
-            })
-        bits;
-      [ Data; Heap; Stack ]
-      |> List.filter_map (fun r ->
-             Hashtbl.find_opt acc r |> Option.map (fun s -> (r, s)))
+  let bits = t.touched.(id) in
+  if Bitset.cardinal bits = 0 then []
+  else begin
+    let acc = Hashtbl.create 3 in
+    let page_seen = Hashtbl.create 64 in
+    Bitset.iter
+      (fun addr ->
+        let r = classify t addr in
+        let cur = Option.value ~default:empty_stats (Hashtbl.find_opt acc r) in
+        let page = (r, addr lsr 12) in
+        let new_page = not (Hashtbl.mem page_seen page) in
+        if new_page then Hashtbl.replace page_seen page ();
+        Hashtbl.replace acc r
+          {
+            unique_bytes = cur.unique_bytes + 1;
+            pages = (cur.pages + if new_page then 1 else 0);
+            lo = (if cur.unique_bytes = 0 then addr else cur.lo);
+            hi = addr;
+          })
+      bits;
+    [ Data; Heap; Stack ]
+    |> List.filter_map (fun r ->
+           Hashtbl.find_opt acc r |> Option.map (fun s -> (r, s)))
+  end
 
 let stats t routine region =
   match List.assoc_opt region (region_rollup t routine.Symtab.id) with
@@ -117,12 +99,9 @@ let stats t routine region =
 let rows t =
   let out = ref [] in
   Array.iteri
-    (fun id b ->
-      match b with
-      | None -> ()
-      | Some _ ->
-          let rs = region_rollup t id in
-          if rs <> [] then out := (Symtab.by_id t.symtab id, rs) :: !out)
+    (fun id _ ->
+      let rs = region_rollup t id in
+      if rs <> [] then out := (Symtab.by_id t.symtab id, rs) :: !out)
     t.touched;
   List.sort
     (fun (_, a) (_, b) ->

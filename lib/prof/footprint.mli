@@ -15,6 +15,16 @@ val region_name : region -> string
 
 type t
 
+val create : ?policy:Call_stack.policy -> Tq_vm.Program.t -> t
+(** Build an unattached tool; feed it events with {!consume}, live or
+    replayed. *)
+
+val consume : t -> Tq_trace.Event.t -> unit
+
+val interest : Tq_trace.Event.kind list
+(** Event kinds {!consume} does work on — pass as [?wants] to
+    {!Tq_trace.Replay.job} so replay skips the rest. *)
+
 val attach :
   ?policy:Call_stack.policy -> Tq_dbi.Engine.t -> t
 

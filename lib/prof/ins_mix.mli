@@ -15,6 +15,17 @@ val categories : category list
 
 type t
 
+val create : Tq_vm.Program.t -> t
+(** Build an unattached profiler; feed it events with {!consume}, live or
+    replayed.  Needs the program image to refetch and classify the
+    instructions named by [Block_exec] events. *)
+
+val consume : t -> Tq_trace.Event.t -> unit
+
+val interest : Tq_trace.Event.kind list
+(** Event kinds {!consume} does work on — pass as [?wants] to
+    {!Tq_trace.Replay.job} so replay skips the rest. *)
+
 val attach : Tq_dbi.Engine.t -> t
 
 val total : t -> category -> int

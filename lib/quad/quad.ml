@@ -4,6 +4,7 @@ module Machine = Tq_vm.Machine
 module Symtab = Tq_vm.Symtab
 module Layout = Tq_vm.Layout
 module Call_stack = Tq_prof.Call_stack
+module Event = Tq_trace.Event
 module Bitset = Tq_util.Paged_bitset
 
 type edge = {
@@ -13,7 +14,6 @@ type edge = {
 }
 
 type t = {
-  machine : Machine.t;
   symtab : Symtab.t;
   stack : Call_stack.t;
   shadow : Shadow.t;
@@ -28,114 +28,144 @@ type t = {
   write_unma_incl : Bitset.t array;
   edges : (int, edge) Hashtbl.t;  (** key: producer * 2^20 + consumer *)
   mutable touched : bool array;  (** routines with any traffic *)
+  (* last edge charged: a multi-byte access usually has one producer, so
+     this skips the hash lookup almost always *)
+  mutable last_edge_key : int;
+  mutable last_edge : edge;
 }
 
 let edge_key p c = (p lsl 20) lor c
 
+let no_edge = { e_bytes_excl = 0; e_bytes_incl = 0; e_addrs = Bitset.create () }
+
+let edge_of t key =
+  if key = t.last_edge_key then t.last_edge
+  else begin
+    let e =
+      match Hashtbl.find_opt t.edges key with
+      | Some e -> e
+      | None ->
+          let e =
+            { e_bytes_excl = 0; e_bytes_incl = 0; e_addrs = Bitset.create () }
+          in
+          Hashtbl.add t.edges key e;
+          e
+    in
+    t.last_edge_key <- key;
+    t.last_edge <- e;
+    e
+  end
+
+(* The per-byte loops below only keep per-byte work that genuinely varies
+   per byte (shadow producers; stack classification when the access
+   straddles the stack boundary).  Everything uniform over the access is
+   charged as one range/counter update — byte-for-byte equivalent. *)
+
 let on_read t kernel_id ea size sp =
   t.touched.(kernel_id) <- true;
-  for i = 0 to size - 1 do
-    let addr = ea + i in
-    let is_stack = Layout.is_stack_addr ~sp addr in
-    t.in_incl.(kernel_id) <- t.in_incl.(kernel_id) + 1;
-    Bitset.add t.read_unma_incl.(kernel_id) addr;
-    if not is_stack then begin
-      t.in_excl.(kernel_id) <- t.in_excl.(kernel_id) + 1;
-      Bitset.add t.read_unma_excl.(kernel_id) addr
+  if size > 0 then begin
+    let lo_stack = Layout.is_stack_addr ~sp ea in
+    let uniform = lo_stack = Layout.is_stack_addr ~sp (ea + size - 1) in
+    t.in_incl.(kernel_id) <- t.in_incl.(kernel_id) + size;
+    Bitset.add_range t.read_unma_incl.(kernel_id) ea size;
+    if uniform && not lo_stack then begin
+      t.in_excl.(kernel_id) <- t.in_excl.(kernel_id) + size;
+      Bitset.add_range t.read_unma_excl.(kernel_id) ea size
     end;
-    let p = Shadow.get t.shadow addr in
-    if p >= 0 then begin
-      t.out_incl.(p) <- t.out_incl.(p) + 1;
-      if not is_stack then t.out_excl.(p) <- t.out_excl.(p) + 1;
-      let key = edge_key p kernel_id in
-      let e =
-        match Hashtbl.find_opt t.edges key with
-        | Some e -> e
-        | None ->
-            let e =
-              { e_bytes_excl = 0; e_bytes_incl = 0; e_addrs = Bitset.create () }
-            in
-            Hashtbl.add t.edges key e;
-            e
+    for i = 0 to size - 1 do
+      let addr = ea + i in
+      let is_stack =
+        if uniform then lo_stack else Layout.is_stack_addr ~sp addr
       in
-      e.e_bytes_incl <- e.e_bytes_incl + 1;
-      if not is_stack then e.e_bytes_excl <- e.e_bytes_excl + 1;
-      Bitset.add e.e_addrs addr
-    end
-  done
+      if (not uniform) && not is_stack then begin
+        t.in_excl.(kernel_id) <- t.in_excl.(kernel_id) + 1;
+        Bitset.add t.read_unma_excl.(kernel_id) addr
+      end;
+      let p = Shadow.get t.shadow addr in
+      if p >= 0 then begin
+        t.out_incl.(p) <- t.out_incl.(p) + 1;
+        if not is_stack then t.out_excl.(p) <- t.out_excl.(p) + 1;
+        let e = edge_of t (edge_key p kernel_id) in
+        e.e_bytes_incl <- e.e_bytes_incl + 1;
+        if not is_stack then e.e_bytes_excl <- e.e_bytes_excl + 1;
+        Bitset.add e.e_addrs addr
+      end
+    done
+  end
 
 let on_write t kernel_id ea size sp =
   t.touched.(kernel_id) <- true;
-  for i = 0 to size - 1 do
-    let addr = ea + i in
-    Shadow.set t.shadow addr kernel_id;
-    Bitset.add t.write_unma_incl.(kernel_id) addr;
-    if not (Layout.is_stack_addr ~sp addr) then
-      Bitset.add t.write_unma_excl.(kernel_id) addr
-  done
+  if size > 0 then begin
+    let lo_stack = Layout.is_stack_addr ~sp ea in
+    let uniform = lo_stack = Layout.is_stack_addr ~sp (ea + size - 1) in
+    Bitset.add_range t.write_unma_incl.(kernel_id) ea size;
+    if uniform then begin
+      if not lo_stack then
+        Bitset.add_range t.write_unma_excl.(kernel_id) ea size
+    end
+    else
+      for i = 0 to size - 1 do
+        if not (Layout.is_stack_addr ~sp (ea + i)) then
+          Bitset.add t.write_unma_excl.(kernel_id) (ea + i)
+      done;
+    for i = 0 to size - 1 do
+      Shadow.set t.shadow (ea + i) kernel_id
+    done
+  end
 
-let attach ?(policy = Call_stack.Main_image_only) engine =
+let create ?(policy = Call_stack.Main_image_only) symtab =
+  let n = Symtab.count symtab in
+  {
+    symtab;
+    stack = Call_stack.create policy;
+    shadow = Shadow.create ();
+    in_excl = Array.make n 0;
+    in_incl = Array.make n 0;
+    out_excl = Array.make n 0;
+    out_incl = Array.make n 0;
+    read_unma_excl = Array.init n (fun _ -> Bitset.create ());
+    read_unma_incl = Array.init n (fun _ -> Bitset.create ());
+    write_unma_excl = Array.init n (fun _ -> Bitset.create ());
+    write_unma_incl = Array.init n (fun _ -> Bitset.create ());
+    edges = Hashtbl.create 256;
+    touched = Array.make n false;
+    last_edge_key = -1;
+    last_edge = no_edge;
+  }
+
+(* A zero-length block copy still marks the kernel as touched (on_read /
+   on_write run with size 0), matching the original instrumentation where
+   the action fired regardless of the dynamic length. *)
+let consume t (ev : Event.t) =
+  match ev with
+  | Event.Load { static; ea; size; sp; _ } ->
+      let id = Call_stack.attribute_id t.stack t.symtab static in
+      if id >= 0 then on_read t id ea size sp
+  | Event.Store { static; ea; size; sp; _ } ->
+      let id = Call_stack.attribute_id t.stack t.symtab static in
+      if id >= 0 then on_write t id ea size sp
+  | Event.Rtn_entry { routine; sp; _ } ->
+      Call_stack.on_entry t.stack (Symtab.by_id t.symtab routine) ~sp
+  | Event.Ret { sp; _ } ->
+      (* return monitoring keeps the internal call stack consistent; the
+         event is emitted after the ret's own 8-byte stack read *)
+      Call_stack.on_ret t.stack ~sp
+  | Event.Block_copy { static; src; dst; len; sp; _ } ->
+      let id = Call_stack.attribute_id t.stack t.symtab static in
+      if id >= 0 then begin
+        on_read t id src len sp;
+        on_write t id dst len sp
+      end
+  | Event.Prefetch _ | Event.Block_exec _ | Event.End _ -> ()
+
+let interest =
+  Event.[ KRtn_entry; KRet; KLoad; KStore; KBlock_copy ]
+
+let attach ?policy engine =
   let machine = Engine.machine engine in
   let symtab = (Machine.program machine).Tq_vm.Program.symtab in
-  let n = Symtab.count symtab in
-  let t =
-    {
-      machine;
-      symtab;
-      stack = Call_stack.create policy;
-      shadow = Shadow.create ();
-      in_excl = Array.make n 0;
-      in_incl = Array.make n 0;
-      out_excl = Array.make n 0;
-      out_incl = Array.make n 0;
-      read_unma_excl = Array.init n (fun _ -> Bitset.create ());
-      read_unma_incl = Array.init n (fun _ -> Bitset.create ());
-      write_unma_excl = Array.init n (fun _ -> Bitset.create ());
-      write_unma_incl = Array.init n (fun _ -> Bitset.create ());
-      edges = Hashtbl.create 256;
-      touched = Array.make n false;
-    }
-  in
-  Engine.add_rtn_instrumenter engine (fun r ->
-      [ (fun () -> Call_stack.on_entry t.stack r ~sp:(Machine.sp machine)) ]);
-  Engine.add_ins_instrumenter engine (fun view ->
-      let ins = Engine.Ins_view.ins view in
-      if Isa.is_prefetch ins then []
-      else begin
-        let static = Engine.Ins_view.routine view in
-        let kernel () = Call_stack.attribute t.stack static in
-        let actions = ref [] in
-        let block = Isa.is_block_move ins in
-        let rd = Isa.mem_read_bytes ins and wr = Isa.mem_write_bytes ins in
-        if rd > 0 || block then begin
-          let a () =
-            match kernel () with
-            | None -> ()
-            | Some r ->
-                let n = if block then Machine.block_len machine ins else rd in
-                on_read t r.Symtab.id (Machine.read_ea machine ins) n
-                  (Machine.sp machine)
-          in
-          actions := [ Engine.predicated engine view a ]
-        end;
-        if wr > 0 || block then begin
-          let a () =
-            match kernel () with
-            | None -> ()
-            | Some r ->
-                let n = if block then Machine.block_len machine ins else wr in
-                on_write t r.Symtab.id (Machine.write_ea machine ins) n
-                  (Machine.sp machine)
-          in
-          actions := !actions @ [ Engine.predicated engine view a ]
-        end;
-        (* return monitoring keeps the internal call stack consistent; it
-           must run after the ret's own 8-byte stack read was accounted *)
-        if Isa.is_ret ins then
-          actions :=
-            !actions @ [ (fun () -> Call_stack.on_ret t.stack ~sp:(Machine.sp machine)) ];
-        !actions
-      end);
+  let t = create ?policy symtab in
+  Tq_trace.Probe.attach engine (consume t);
   t
 
 type krow = {

@@ -17,11 +17,24 @@
 
 type t
 
+val create : ?policy:Tq_prof.Call_stack.policy -> Tq_vm.Symtab.t -> t
+(** Build an unattached analyser over [symtab]; feed it events with
+    {!consume}, live or replayed.  [policy] defaults to [Main_image_only]:
+    traffic performed by library/OS routines is attributed to the innermost
+    main-image caller. *)
+
+val consume : t -> Tq_trace.Event.t -> unit
+(** Process one event.  Live instrumentation and trace replay share this
+    entry point, so both produce bit-identical results. *)
+
+val interest : Tq_trace.Event.kind list
+(** Event kinds {!consume} does work on — pass as [?wants] to
+    {!Tq_trace.Replay.job} so replay skips the rest. *)
+
 val attach :
   ?policy:Tq_prof.Call_stack.policy -> Tq_dbi.Engine.t -> t
 (** Register QUAD's instrumentation on the engine (must happen before the
-    engine runs).  [policy] defaults to [Main_image_only]: traffic performed
-    by library/OS routines is attributed to the innermost main-image caller. *)
+    engine runs): [create] + {!Tq_trace.Probe.attach}. *)
 
 type krow = {
   routine : Tq_vm.Symtab.routine;

@@ -1,25 +1,45 @@
 let page_bits = 12
 let page_size = 1 lsl page_bits
 
-type t = { pages : (int, int array) Hashtbl.t }
+type t = {
+  pages : (int, int array) Hashtbl.t;
+  (* last page touched: shadow traffic is strongly page-local (per-byte
+     loops over one access), so this skips the hash lookup almost always *)
+  mutable last_idx : int;
+  mutable last_page : int array;
+}
 
-let create () = { pages = Hashtbl.create 1024 }
+let create () =
+  { pages = Hashtbl.create 1024; last_idx = min_int; last_page = [||] }
+
+let page_of t idx =
+  if idx = t.last_idx then t.last_page
+  else begin
+    let p =
+      match Hashtbl.find_opt t.pages idx with
+      | Some p -> p
+      | None ->
+          let p = Array.make page_size (-1) in
+          Hashtbl.add t.pages idx p;
+          p
+    in
+    t.last_idx <- idx;
+    t.last_page <- p;
+    p
+  end
 
 let set t addr producer =
-  let idx = addr lsr page_bits in
-  let page =
-    match Hashtbl.find_opt t.pages idx with
-    | Some p -> p
-    | None ->
-        let p = Array.make page_size (-1) in
-        Hashtbl.add t.pages idx p;
-        p
-  in
-  page.(addr land (page_size - 1)) <- producer
+  (page_of t (addr lsr page_bits)).(addr land (page_size - 1)) <- producer
 
 let get t addr =
-  match Hashtbl.find_opt t.pages (addr lsr page_bits) with
-  | None -> -1
-  | Some p -> p.(addr land (page_size - 1))
+  let idx = addr lsr page_bits in
+  if idx = t.last_idx then t.last_page.(addr land (page_size - 1))
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | None -> -1
+    | Some p ->
+        t.last_idx <- idx;
+        t.last_page <- p;
+        p.(addr land (page_size - 1))
 
 let page_count t = Hashtbl.length t.pages

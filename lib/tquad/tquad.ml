@@ -4,6 +4,7 @@ module Machine = Tq_vm.Machine
 module Symtab = Tq_vm.Symtab
 module Layout = Tq_vm.Layout
 module Call_stack = Tq_prof.Call_stack
+module Event = Tq_trace.Event
 module Dyn = Tq_util.Dyn_array
 
 (* Per-kernel per-slice counters, grown on demand.  Four interleaved streams
@@ -16,7 +17,6 @@ type kdata = {
 }
 
 type t = {
-  machine : Machine.t;
   symtab : Symtab.t;
   interval : int;
   stack : Call_stack.t;
@@ -54,12 +54,11 @@ let split_bytes ~sp ea size =
     (!stack, size - !stack)
   end
 
-let record t id ~read ea size =
-  let slice = Machine.instr_count t.machine / t.interval in
+let record t id ~read ~icount ~sp ea size =
+  let slice = icount / t.interval in
   if slice > t.max_slice then t.max_slice <- slice;
   t.any <- true;
   let k = kdata_get t id in
-  let sp = Machine.sp t.machine in
   let stack_bytes, global_bytes = split_bytes ~sp ea size in
   ignore stack_bytes;
   if read then begin
@@ -71,65 +70,54 @@ let record t id ~read ea size =
     if global_bytes > 0 then Dyn.add_at ( + ) k.kw_excl slice global_bytes
   end
 
-let attach ?(slice_interval = 10_000) ?(policy = Call_stack.Main_image_only)
-    engine =
+let create ?(slice_interval = 10_000) ?(policy = Call_stack.Main_image_only)
+    symtab =
   if slice_interval <= 0 then
-    invalid_arg "Tquad.attach: slice_interval must be positive";
+    invalid_arg "Tquad.create: slice_interval must be positive";
+  {
+    symtab;
+    interval = slice_interval;
+    stack = Call_stack.create policy;
+    data = Array.make (Symtab.count symtab) None;
+    max_slice = -1;
+    any = false;
+  }
+
+(* EnterFC analogue on [Rtn_entry]; IncreaseRead/IncreaseWrite return
+    immediately on prefetches, so [Prefetch] events are discarded. *)
+let consume t (ev : Event.t) =
+  match ev with
+  | Event.Load { icount; static; ea; size; sp } ->
+      if size > 0 then begin
+        let id = Call_stack.attribute_id t.stack t.symtab static in
+        if id >= 0 then record t id ~read:true ~icount ~sp ea size
+      end
+  | Event.Store { icount; static; ea; size; sp } ->
+      if size > 0 then begin
+        let id = Call_stack.attribute_id t.stack t.symtab static in
+        if id >= 0 then record t id ~read:false ~icount ~sp ea size
+      end
+  | Event.Rtn_entry { routine; sp; _ } ->
+      Call_stack.on_entry t.stack (Symtab.by_id t.symtab routine) ~sp
+  | Event.Ret { sp; _ } -> Call_stack.on_ret t.stack ~sp
+  | Event.Block_copy { icount; static; src; dst; len; sp } ->
+      if len > 0 then begin
+        let id = Call_stack.attribute_id t.stack t.symtab static in
+        if id >= 0 then begin
+          record t id ~read:true ~icount ~sp src len;
+          record t id ~read:false ~icount ~sp dst len
+        end
+      end
+  | Event.Prefetch _ | Event.Block_exec _ | Event.End _ -> ()
+
+let interest =
+  Event.[ KRtn_entry; KRet; KLoad; KStore; KBlock_copy ]
+
+let attach ?slice_interval ?policy engine =
   let machine = Engine.machine engine in
   let symtab = (Machine.program machine).Tq_vm.Program.symtab in
-  let t =
-    {
-      machine;
-      symtab;
-      interval = slice_interval;
-      stack = Call_stack.create policy;
-      data = Array.make (Symtab.count symtab) None;
-      max_slice = -1;
-      any = false;
-    }
-  in
-  (* EnterFC analogue: routine-granularity instrumentation updates the
-     internal call stack *)
-  Engine.add_rtn_instrumenter engine (fun r ->
-      [ (fun () -> Call_stack.on_entry t.stack r ~sp:(Machine.sp machine)) ]);
-  Engine.add_ins_instrumenter engine (fun view ->
-      let ins = Engine.Ins_view.ins view in
-      if Isa.is_prefetch ins then
-        (* IncreaseRead/IncreaseWrite return immediately on prefetches; we
-           skip the injection entirely *)
-        []
-      else begin
-        let static = Engine.Ins_view.routine view in
-        let actions = ref [] in
-        let block = Isa.is_block_move ins in
-        let rd = Isa.mem_read_bytes ins and wr = Isa.mem_write_bytes ins in
-        if rd > 0 || block then begin
-          let a () =
-            match Call_stack.attribute t.stack static with
-            | None -> ()
-            | Some r ->
-                let n = if block then Machine.block_len machine ins else rd in
-                if n > 0 then
-                  record t r.Symtab.id ~read:true (Machine.read_ea machine ins) n
-          in
-          actions := [ Engine.predicated engine view a ]
-        end;
-        if wr > 0 || block then begin
-          let a () =
-            match Call_stack.attribute t.stack static with
-            | None -> ()
-            | Some r ->
-                let n = if block then Machine.block_len machine ins else wr in
-                if n > 0 then
-                  record t r.Symtab.id ~read:false (Machine.write_ea machine ins) n
-          in
-          actions := !actions @ [ Engine.predicated engine view a ]
-        end;
-        if Isa.is_ret ins then
-          actions :=
-            !actions @ [ (fun () -> Call_stack.on_ret t.stack ~sp:(Machine.sp machine)) ];
-        !actions
-      end);
+  let t = create ?slice_interval ?policy symtab in
+  Tq_trace.Probe.attach engine (consume t);
   t
 
 type metric = Read_incl | Read_excl | Write_incl | Write_excl

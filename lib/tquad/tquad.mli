@@ -25,13 +25,31 @@
 
 type t
 
+val create :
+  ?slice_interval:int ->
+  ?policy:Tq_prof.Call_stack.policy ->
+  Tq_vm.Symtab.t ->
+  t
+(** Build an unattached analyzer over [symtab].  Feed it events with
+    {!consume} — either live (via {!attach}) or replayed from a recorded
+    trace.  [slice_interval] defaults to 10_000 instructions; [policy] to
+    [Main_image_only]. *)
+
+val consume : t -> Tq_trace.Event.t -> unit
+(** Process one event.  Live instrumentation and trace replay go through
+    this same entry point, so both produce bit-identical results. *)
+
+val interest : Tq_trace.Event.kind list
+(** Event kinds {!consume} does work on — pass as [?wants] to
+    {!Tq_trace.Replay.job} so replay skips the rest. *)
+
 val attach :
   ?slice_interval:int ->
   ?policy:Tq_prof.Call_stack.policy ->
   Tq_dbi.Engine.t ->
   t
-(** Register tQUAD's instrumentation.  [slice_interval] defaults to 10_000
-    instructions; [policy] to [Main_image_only]. *)
+(** [create] + {!Tq_trace.Probe.attach}: register instrumentation that
+    feeds the engine's live event flow into {!consume}. *)
 
 type metric = Read_incl | Read_excl | Write_incl | Write_excl
 

@@ -1,0 +1,233 @@
+module Leb = Tq_util.Leb128
+
+type t =
+  | Rtn_entry of { icount : int; routine : int; sp : int }
+  | Ret of { icount : int; sp : int }
+  | Load of { icount : int; static : int; ea : int; size : int; sp : int }
+  | Store of { icount : int; static : int; ea : int; size : int; sp : int }
+  | Block_copy of {
+      icount : int;
+      static : int;
+      src : int;
+      dst : int;
+      len : int;
+      sp : int;
+    }
+  | Prefetch of { icount : int; ea : int; size : int }
+  | Block_exec of { icount : int; addr : int; n : int }
+  | End of { icount : int }
+
+type kind =
+  | KRtn_entry
+  | KRet
+  | KLoad
+  | KStore
+  | KBlock_copy
+  | KPrefetch
+  | KBlock_exec
+  | KEnd
+
+let all_kinds =
+  [ KRtn_entry; KRet; KLoad; KStore; KBlock_copy; KPrefetch; KBlock_exec; KEnd ]
+
+let n_kinds = 8
+
+let kind_tag = function
+  | KRtn_entry -> 0
+  | KRet -> 1
+  | KLoad -> 2
+  | KStore -> 3
+  | KBlock_copy -> 4
+  | KPrefetch -> 5
+  | KBlock_exec -> 6
+  | KEnd -> 7
+
+let tag = function
+  | Rtn_entry _ -> 0
+  | Ret _ -> 1
+  | Load _ -> 2
+  | Store _ -> 3
+  | Block_copy _ -> 4
+  | Prefetch _ -> 5
+  | Block_exec _ -> 6
+  | End _ -> 7
+
+let icount = function
+  | Rtn_entry { icount; _ }
+  | Ret { icount; _ }
+  | Load { icount; _ }
+  | Store { icount; _ }
+  | Block_copy { icount; _ }
+  | Prefetch { icount; _ }
+  | Block_exec { icount; _ }
+  | End { icount } ->
+      icount
+
+let pp ppf = function
+  | Rtn_entry { icount; routine; sp } ->
+      Format.fprintf ppf "@%d rtn-entry r%d sp=0x%x" icount routine sp
+  | Ret { icount; sp } -> Format.fprintf ppf "@%d ret sp=0x%x" icount sp
+  | Load { icount; static; ea; size; sp } ->
+      Format.fprintf ppf "@%d load r%d 0x%x+%d sp=0x%x" icount static ea size sp
+  | Store { icount; static; ea; size; sp } ->
+      Format.fprintf ppf "@%d store r%d 0x%x+%d sp=0x%x" icount static ea size sp
+  | Block_copy { icount; static; src; dst; len; sp } ->
+      Format.fprintf ppf "@%d movs r%d 0x%x->0x%x+%d sp=0x%x" icount static src
+        dst len sp
+  | Prefetch { icount; ea; size } ->
+      Format.fprintf ppf "@%d prefetch 0x%x+%d" icount ea size
+  | Block_exec { icount; addr; n } ->
+      Format.fprintf ppf "@%d block 0x%x n=%d" icount addr n
+  | End { icount } -> Format.fprintf ppf "@%d end" icount
+
+(* Delta state: [icount] is delta-encoded (monotone, unsigned); effective
+   addresses share one previous-address register, the stack pointer and the
+   block-dispatch address each their own — consecutive events of the same
+   kind tend to be near each other, so the SLEB deltas stay short. *)
+type state = {
+  mutable s_icount : int;
+  mutable s_ea : int;
+  mutable s_sp : int;
+  mutable s_baddr : int;
+}
+
+let fresh_state ?(icount = 0) () =
+  { s_icount = icount; s_ea = 0; s_sp = 0; s_baddr = 0 }
+
+let tag_rtn_entry = 0
+let tag_ret = 1
+let tag_load = 2
+let tag_store = 3
+let tag_block_copy = 4
+let tag_prefetch = 5
+let tag_block_exec = 6
+let tag_end = 7
+
+(* The tag byte carries the icount delta in its high 5 bits: consecutive
+   events are a few instructions apart, so the delta almost always fits
+   inline and the common case costs one byte and zero varint reads.  The
+   escape value 31 means "a full ULEB delta follows". *)
+let icount_escape = 31
+
+let put_tag st buf tag icount =
+  if icount < st.s_icount then
+    invalid_arg
+      (Printf.sprintf "Trace.Event.encode: icount regressed (%d after %d)"
+         icount st.s_icount);
+  let delta = icount - st.s_icount in
+  if delta < icount_escape then Buffer.add_uint8 buf (tag lor (delta lsl 3))
+  else begin
+    Buffer.add_uint8 buf (tag lor (icount_escape lsl 3));
+    Leb.write_u buf delta
+  end;
+  st.s_icount <- icount
+
+let put_sp st buf sp =
+  Leb.write_s buf (sp - st.s_sp);
+  st.s_sp <- sp
+
+let put_ea st buf ea =
+  Leb.write_s buf (ea - st.s_ea);
+  st.s_ea <- ea
+
+let encode st buf ev =
+  match ev with
+  | Rtn_entry { icount; routine; sp } ->
+      put_tag st buf tag_rtn_entry icount;
+      Leb.write_u buf routine;
+      put_sp st buf sp
+  | Ret { icount; sp } ->
+      put_tag st buf tag_ret icount;
+      put_sp st buf sp
+  | Load { icount; static; ea; size; sp } ->
+      put_tag st buf tag_load icount;
+      Leb.write_u buf (static + 1);
+      put_ea st buf ea;
+      Leb.write_u buf size;
+      put_sp st buf sp
+  | Store { icount; static; ea; size; sp } ->
+      put_tag st buf tag_store icount;
+      Leb.write_u buf (static + 1);
+      put_ea st buf ea;
+      Leb.write_u buf size;
+      put_sp st buf sp
+  | Block_copy { icount; static; src; dst; len; sp } ->
+      put_tag st buf tag_block_copy icount;
+      Leb.write_u buf (static + 1);
+      Leb.write_s buf (src - st.s_ea);
+      Leb.write_s buf (dst - src);
+      st.s_ea <- dst;
+      Leb.write_u buf len;
+      put_sp st buf sp
+  | Prefetch { icount; ea; size } ->
+      put_tag st buf tag_prefetch icount;
+      put_ea st buf ea;
+      Leb.write_u buf size
+  | Block_exec { icount; addr; n } ->
+      put_tag st buf tag_block_exec icount;
+      Leb.write_s buf (addr - st.s_baddr);
+      st.s_baddr <- addr;
+      Leb.write_u buf n
+  | End { icount } -> put_tag st buf tag_end icount
+
+let get_sp st s pos =
+  st.s_sp <- st.s_sp + Leb.read_s s pos;
+  st.s_sp
+
+let get_ea st s pos =
+  st.s_ea <- st.s_ea + Leb.read_s s pos;
+  st.s_ea
+
+let read_u8 s pos =
+  if !pos >= String.length s then raise (Leb.Truncated !pos);
+  let v = Char.code s.[!pos] in
+  incr pos;
+  v
+
+let decode st s pos =
+  let b = read_u8 s pos in
+  let d = b lsr 3 in
+  let icount =
+    st.s_icount + (if d < icount_escape then d else Leb.read_u s pos)
+  in
+  st.s_icount <- icount;
+  (* integer match so the dispatch compiles to a jump table — decode is the
+     replay hot path *)
+  match b land 7 with
+  | 2 (* tag_load *) ->
+      let static = Leb.read_u s pos - 1 in
+      let ea = get_ea st s pos in
+      let size = Leb.read_u s pos in
+      let sp = get_sp st s pos in
+      Load { icount; static; ea; size; sp }
+  | 3 (* tag_store *) ->
+      let static = Leb.read_u s pos - 1 in
+      let ea = get_ea st s pos in
+      let size = Leb.read_u s pos in
+      let sp = get_sp st s pos in
+      Store { icount; static; ea; size; sp }
+  | 0 (* tag_rtn_entry *) ->
+      let routine = Leb.read_u s pos in
+      let sp = get_sp st s pos in
+      Rtn_entry { icount; routine; sp }
+  | 1 (* tag_ret *) ->
+      let sp = get_sp st s pos in
+      Ret { icount; sp }
+  | 4 (* tag_block_copy *) ->
+      let static = Leb.read_u s pos - 1 in
+      let src = st.s_ea + Leb.read_s s pos in
+      let dst = src + Leb.read_s s pos in
+      st.s_ea <- dst;
+      let len = Leb.read_u s pos in
+      let sp = get_sp st s pos in
+      Block_copy { icount; static; src; dst; len; sp }
+  | 5 (* tag_prefetch *) ->
+      let ea = get_ea st s pos in
+      let size = Leb.read_u s pos in
+      Prefetch { icount; ea; size }
+  | 6 (* tag_block_exec *) ->
+      st.s_baddr <- st.s_baddr + Leb.read_s s pos;
+      let n = Leb.read_u s pos in
+      Block_exec { icount; addr = st.s_baddr; n }
+  | _ (* tag_end: [b land 7] is exhaustive over the 8 tags *) ->
+      End { icount }

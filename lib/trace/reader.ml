@@ -1,0 +1,144 @@
+module Leb = Tq_util.Leb128
+
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+type chunk = { c_offset : int; c_first_icount : int; c_events : int }
+
+type t = {
+  raw : string;
+  chunks : chunk array;
+  n_events : int;
+  last_icount : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let leb_u s pos =
+  try Leb.read_u s pos with Leb.Truncated p -> fail "truncated LEB128 at %d" p
+
+(* Decode one chunk's events starting at its header offset. *)
+let iter_chunk raw chunk sink =
+  let pos = ref chunk.c_offset in
+  let n = leb_u raw pos in
+  let first_icount = leb_u raw pos in
+  let payload_len = leb_u raw pos in
+  let payload_end = !pos + payload_len in
+  if payload_end > String.length raw then fail "chunk at %d overruns file" chunk.c_offset;
+  let st = Event.fresh_state ~icount:first_icount () in
+  (* the handler sits outside the loop: installing it per event costs real
+     time over millions of events *)
+  (try
+     for _ = 1 to n do
+       sink (Event.decode st raw pos)
+     done
+   with
+  | Leb.Truncated p -> fail "truncated event at %d" p
+  | Failure msg -> fail "%s" msg);
+  if !pos <> payload_end then
+    fail "chunk at %d: payload length mismatch" chunk.c_offset
+
+let load path =
+  let raw = read_file path in
+  let mlen = String.length Writer.magic in
+  if String.length raw < mlen || String.sub raw 0 mlen <> Writer.magic then
+    fail "bad magic (not a tquad trace)";
+  let tlen = String.length Writer.trailer_magic in
+  let len = String.length raw in
+  if len < mlen + 8 + tlen
+     || String.sub raw (len - tlen) tlen <> Writer.trailer_magic
+  then fail "bad trailer (truncated recording?)";
+  let index_offset =
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor Char.code raw.[len - tlen - 8 + i]
+    done;
+    !v
+  in
+  if index_offset < mlen || index_offset > len - tlen - 8 then
+    fail "index offset %d out of range" index_offset;
+  let pos = ref index_offset in
+  let n_chunks = leb_u raw pos in
+  if n_chunks < 0 then fail "negative chunk count";
+  let off = ref 0 and ic = ref 0 in
+  let chunks =
+    Array.init n_chunks (fun _ ->
+        off := !off + leb_u raw pos;
+        ic := !ic + leb_u raw pos;
+        let c_events = leb_u raw pos in
+        if !off < mlen || !off >= index_offset then
+          fail "chunk offset %d out of range" !off;
+        { c_offset = !off; c_first_icount = !ic; c_events })
+  in
+  let n_events = Array.fold_left (fun acc c -> acc + c.c_events) 0 chunks in
+  let last_icount = ref 0 in
+  if n_chunks > 0 then
+    iter_chunk raw chunks.(n_chunks - 1) (fun ev ->
+        last_icount := Event.icount ev);
+  { raw; chunks; n_events; last_icount = !last_icount }
+
+(* Same loop as [iter_chunk], dispatching on the event's tag instead of
+   through one composite sink: the replay driver keeps one fused sink per
+   tag, and routing here saves a closure hop per event. *)
+let iter_chunk_tags raw chunk (per_tag : (Event.t -> unit) array) =
+  let pos = ref chunk.c_offset in
+  let n = leb_u raw pos in
+  let first_icount = leb_u raw pos in
+  let payload_len = leb_u raw pos in
+  let payload_end = !pos + payload_len in
+  if payload_end > String.length raw then fail "chunk at %d overruns file" chunk.c_offset;
+  let st = Event.fresh_state ~icount:first_icount () in
+  (try
+     for _ = 1 to n do
+       let ev = Event.decode st raw pos in
+       per_tag.(Event.tag ev) ev
+     done
+   with
+  | Leb.Truncated p -> fail "truncated event at %d" p
+  | Failure msg -> fail "%s" msg);
+  if !pos <> payload_end then
+    fail "chunk at %d: payload length mismatch" chunk.c_offset
+
+let iter_tags t per_tag =
+  if Array.length per_tag <> Event.n_kinds then
+    invalid_arg "Trace.Reader.iter_tags: need one sink per event kind";
+  Array.iter (fun c -> iter_chunk_tags t.raw c per_tag) t.chunks
+
+let iter ?from_icount t sink =
+  let start =
+    match from_icount with
+    | None -> 0
+    | Some target ->
+        (* last chunk whose first_icount <= target; events are icount-sorted
+           across chunks, so earlier chunks hold nothing >= target that this
+           chunk misses *)
+        let lo = ref 0 and hi = ref (Array.length t.chunks - 1) in
+        let best = ref 0 in
+        while !lo <= !hi do
+          let mid = (!lo + !hi) / 2 in
+          if t.chunks.(mid).c_first_icount <= target then begin
+            best := mid;
+            lo := mid + 1
+          end
+          else hi := mid - 1
+        done;
+        !best
+  in
+  let sink =
+    match from_icount with
+    | None -> sink
+    | Some target -> fun ev -> if Event.icount ev >= target then sink ev
+  in
+  for i = start to Array.length t.chunks - 1 do
+    iter_chunk t.raw t.chunks.(i) sink
+  done
+
+let n_events t = t.n_events
+let n_chunks t = Array.length t.chunks
+let last_icount t = t.last_icount
+let byte_size t = String.length t.raw

@@ -1,0 +1,36 @@
+(** Reader for recorded traces (see {!Writer} for the file layout).
+
+    A loaded reader is immutable — [iter] keeps all decoding state local —
+    so one reader can drive any number of concurrent replay domains over the
+    same in-memory image ({!Replay.parallel}). *)
+
+exception Format_error of string
+
+type t
+
+val load : string -> t
+(** Read the whole file, validate magic and trailer, decode the chunk index.
+    @raise Format_error on a corrupt or truncated file.
+    @raise Sys_error if the file cannot be read. *)
+
+val iter : ?from_icount:int -> t -> (Event.t -> unit) -> unit
+(** Replay events in recording order.  With [from_icount], decoding starts at
+    the last chunk whose first instruction count is [<= from_icount]
+    (binary search over the index) and events with a smaller instruction
+    count are skipped — an O(log n) seek. *)
+
+val iter_tags : t -> (Event.t -> unit) array -> unit
+(** Replay the whole trace, routing each event to the sink at index
+    {!Event.tag}[ ev] — the hot path under {!Replay.parallel}, where each
+    tag's sink fans out to the jobs interested in that kind.
+    @raise Invalid_argument unless given exactly {!Event.n_kinds} sinks. *)
+
+val n_events : t -> int
+val n_chunks : t -> int
+
+val last_icount : t -> int
+(** Instruction count of the last event (the recording's [End] event when the
+    recording completed), [0] for an empty trace. *)
+
+val byte_size : t -> int
+(** On-disk size of the trace, in bytes. *)

@@ -1,0 +1,108 @@
+type job = {
+  name : string;
+  wants : Event.kind list;
+  make : unit -> (Event.t -> unit) * (unit -> string);
+}
+
+let job ?(wants = Event.all_kinds) name make = { name; wants; make }
+
+let wanted_tags j =
+  let w = Array.make Event.n_kinds false in
+  List.iter (fun k -> w.(Event.kind_tag k) <- true) j.wants;
+  w
+
+(* Unrolled fan-out for the common arities: the dispatch runs once per event
+   tag occurrence, and binding each sink directly beats an Array.iter per
+   event. *)
+let fuse = function
+  | [||] -> fun (_ : Event.t) -> ()
+  | [| s0 |] -> s0
+  | [| s0; s1 |] -> fun ev -> s0 ev; s1 ev
+  | [| s0; s1; s2 |] -> fun ev -> s0 ev; s1 ev; s2 ev
+  | [| s0; s1; s2; s3 |] ->
+      fun ev ->
+        s0 ev;
+        s1 ev;
+        s2 ev;
+        s3 ev
+  | [| s0; s1; s2; s3; s4 |] ->
+      fun ev ->
+        s0 ev;
+        s1 ev;
+        s2 ev;
+        s3 ev;
+        s4 ev
+  | [| s0; s1; s2; s3; s4; s5 |] ->
+      fun ev ->
+        s0 ev;
+        s1 ev;
+        s2 ev;
+        s3 ev;
+        s4 ev;
+        s5 ev
+  | sinks -> fun ev -> Array.iter (fun s -> s ev) sinks
+
+let run_job reader j =
+  let sink, finish = j.make () in
+  let wanted = wanted_tags j in
+  if Array.for_all Fun.id wanted then Reader.iter reader sink
+  else Reader.iter reader (fun ev -> if wanted.(Event.tag ev) then sink ev);
+  finish ()
+
+let sequential reader jobs =
+  List.map (fun j -> (j.name, run_job reader j)) jobs
+
+(* Run one group of jobs through a single decode pass.  Each event tag gets
+   its own fused sink over the jobs that declared interest in it, so a tool
+   never sees (and never pays a call for) events it would discard. *)
+let run_group reader group =
+  let made = Array.map (fun j -> j.make ()) group in
+  let per_tag =
+    Array.init Event.n_kinds (fun tag ->
+        let sinks = ref [] in
+        for i = Array.length group - 1 downto 0 do
+          if (wanted_tags group.(i)).(tag) then sinks := fst made.(i) :: !sinks
+        done;
+        fuse (Array.of_list !sinks))
+  in
+  Reader.iter_tags reader per_tag;
+  Array.map (fun (_, finish) -> finish ()) made
+
+let parallel ?domains reader jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  if n = 0 then []
+  else begin
+    (* Each group pays one decode pass, so never split into more groups
+       than the machine can actually run in parallel: extra groups add
+       decode work without adding concurrency. *)
+    let hw = Domain.recommended_domain_count () in
+    let domains =
+      match domains with
+      | Some d -> max 1 (min (min d hw) n)
+      | None -> max 1 (min hw n)
+    in
+    (* static round-robin partition: group g holds jobs g, g+domains, ... *)
+    let group_idxs g =
+      let rec go i acc = if i >= n then List.rev acc else go (i + domains) (i :: acc) in
+      go g []
+    in
+    let results = Array.make n None in
+    let errors = Array.make domains None in
+    let worker g () =
+      let idxs = group_idxs g in
+      let group = Array.of_list (List.map (fun i -> jobs.(i)) idxs) in
+      match run_group reader group with
+      | outs -> List.iteri (fun k i -> results.(i) <- Some outs.(k)) idxs
+      | exception e -> errors.(g) <- Some e
+    in
+    let spawned =
+      List.init (domains - 1) (fun g -> Domain.spawn (worker (g + 1)))
+    in
+    Fun.protect ~finally:(fun () -> List.iter Domain.join spawned) (worker 0);
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.to_list
+      (Array.mapi
+         (fun i j -> (j.name, Option.value ~default:"" results.(i)))
+         jobs)
+  end

@@ -1,0 +1,41 @@
+(** Drive analysis tools from a recorded trace — sequentially or fanned out
+    over OCaml 5 domains.
+
+    A {!job} is a named factory: it builds a fresh tool instance, returns its
+    event sink and a [finish] callback producing the tool's rendered result.
+    The factory runs inside the domain that executes the job, so every
+    tool's mutable state is confined to one domain; the {!Reader.t} itself
+    is immutable and safely shared. *)
+
+type job = {
+  name : string;
+  wants : Event.kind list;
+      (** event kinds the sink consumes; events of other kinds are never
+          delivered to it *)
+  make : unit -> (Event.t -> unit) * (unit -> string);
+}
+
+val job :
+  ?wants:Event.kind list ->
+  string ->
+  (unit -> (Event.t -> unit) * (unit -> string)) ->
+  job
+(** [wants] defaults to {!Event.all_kinds}.  Narrowing it to the kinds the
+    tool actually consumes (its [consume] match arms that do work) lets the
+    replay driver skip the sink call for the rest; it must stay a superset
+    of the consumed kinds or the tool silently loses events. *)
+
+val sequential : Reader.t -> job list -> (string * string) list
+(** Replay the trace once per job, in order, on the current domain. *)
+
+val parallel : ?domains:int -> Reader.t -> job list -> (string * string) list
+(** Fan the jobs out over up to [domains] domains (default
+    [Domain.recommended_domain_count]; always capped at the job count and
+    at [Domain.recommended_domain_count] — each extra domain costs a full
+    decode pass, so oversubscribing the machine only adds work).  Jobs are
+    partitioned round-robin; each domain decodes the trace {e once} and
+    dispatches each event to the sinks of those of its jobs that declared
+    interest in the event's kind, so the decode cost is paid per domain,
+    not per job.  Results come back in job order.  The first exception
+    raised by any group is re-raised after all domains are joined (an
+    exception aborts that whole group's pass). *)

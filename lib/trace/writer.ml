@@ -1,0 +1,99 @@
+module Leb = Tq_util.Leb128
+
+let magic = "TQTRC1\n"
+let trailer_magic = "TQTRIX1\n"
+
+type chunk = { c_offset : int; c_first_icount : int; c_events : int }
+
+type t = {
+  oc : out_channel;
+  chunk_bytes : int;
+  payload : Buffer.t;
+  mutable st : Event.state;
+  mutable chunk_first_icount : int;
+  mutable chunk_events : int;
+  mutable chunks : chunk list;  (* reversed *)
+  mutable written : int;  (* bytes written to [oc] so far *)
+  mutable total_events : int;
+  mutable closed : bool;
+}
+
+let create ?(chunk_bytes = 64 * 1024) path =
+  if chunk_bytes <= 0 then invalid_arg "Trace.Writer.create: chunk_bytes";
+  let oc = open_out_bin path in
+  output_string oc magic;
+  {
+    oc;
+    chunk_bytes;
+    payload = Buffer.create (chunk_bytes + 256);
+    st = Event.fresh_state ();
+    chunk_first_icount = 0;
+    chunk_events = 0;
+    chunks = [];
+    written = String.length magic;
+    total_events = 0;
+    closed = false;
+  }
+
+let flush_chunk w =
+  if w.chunk_events > 0 then begin
+    let header = Buffer.create 16 in
+    Leb.write_u header w.chunk_events;
+    Leb.write_u header w.chunk_first_icount;
+    Leb.write_u header (Buffer.length w.payload);
+    Buffer.output_buffer w.oc header;
+    Buffer.output_buffer w.oc w.payload;
+    w.chunks <-
+      {
+        c_offset = w.written;
+        c_first_icount = w.chunk_first_icount;
+        c_events = w.chunk_events;
+      }
+      :: w.chunks;
+    w.written <- w.written + Buffer.length header + Buffer.length w.payload;
+    Buffer.clear w.payload;
+    w.chunk_events <- 0
+  end
+
+let emit w ev =
+  if w.closed then invalid_arg "Trace.Writer.emit: closed";
+  if w.chunk_events = 0 then begin
+    let ic = Event.icount ev in
+    w.chunk_first_icount <- ic;
+    w.st <- Event.fresh_state ~icount:ic ()
+  end;
+  Event.encode w.st w.payload ev;
+  w.chunk_events <- w.chunk_events + 1;
+  w.total_events <- w.total_events + 1;
+  if Buffer.length w.payload >= w.chunk_bytes then flush_chunk w
+
+let events w = w.total_events
+
+let close w =
+  if not w.closed then begin
+    flush_chunk w;
+    let index_offset = w.written in
+    let index = Buffer.create 1024 in
+    let chunks = List.rev w.chunks in
+    Leb.write_u index (List.length chunks);
+    let prev_off = ref 0 and prev_ic = ref 0 in
+    List.iter
+      (fun c ->
+        Leb.write_u index (c.c_offset - !prev_off);
+        Leb.write_u index (c.c_first_icount - !prev_ic);
+        Leb.write_u index c.c_events;
+        prev_off := c.c_offset;
+        prev_ic := c.c_first_icount)
+      chunks;
+    Buffer.output_buffer w.oc index;
+    let tr = Buffer.create 16 in
+    Buffer.add_int64_le tr (Int64.of_int index_offset);
+    Buffer.add_string tr trailer_magic;
+    Buffer.output_buffer w.oc tr;
+    close_out w.oc;
+    w.closed <- true
+  end
+
+let with_file ?chunk_bytes path f =
+  let w = create ?chunk_bytes path in
+  Fun.protect ~finally:(fun () -> close w) (fun () -> f w)

@@ -1,0 +1,36 @@
+(** Streaming writer for the on-disk trace container.
+
+    File layout (all integers LEB128 unless noted):
+
+    {v
+    "TQTRC1\n"                                      magic
+    chunk*       := n_events  first_icount  payload_len  payload
+    index        := n_chunks  (offset_delta first_icount_delta n_events)*
+    trailer      := index_offset (8 bytes LE)  "TQTRIX1\n"
+    v}
+
+    Each chunk's payload is a run of {!Event.t} delta-encoded against a
+    fresh {!Event.state} seeded with the chunk's [first_icount], so any chunk
+    decodes without its predecessors; the index maps instruction counts to
+    chunk offsets for O(log n) seeks. *)
+
+val magic : string
+val trailer_magic : string
+
+type t
+
+val create : ?chunk_bytes:int -> string -> t
+(** Open [path] for writing and emit the header.  A chunk is flushed once its
+    payload reaches [chunk_bytes] (default 64 KiB). *)
+
+val emit : t -> Event.t -> unit
+
+val events : t -> int
+(** Events emitted so far. *)
+
+val close : t -> unit
+(** Flush the last chunk, append the index and trailer, close the file. *)
+
+val with_file : ?chunk_bytes:int -> string -> (t -> 'a) -> 'a
+(** [create] / [close] bracket; the file is closed (index written) even if
+    the callback raises. *)

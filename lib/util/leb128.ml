@@ -1,0 +1,71 @@
+exception Truncated of int
+
+let write_u buf v =
+  if v < 0 then invalid_arg "Leb128.write_u: negative";
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      continue := false;
+      Buffer.add_uint8 buf byte
+    end
+    else Buffer.add_uint8 buf (byte lor 0x80)
+  done
+
+let write_s buf v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7f in
+    v := !v asr 7;
+    if (!v = 0 && byte land 0x40 = 0) || (!v = -1 && byte land 0x40 <> 0) then begin
+      continue := false;
+      Buffer.add_uint8 buf byte
+    end
+    else Buffer.add_uint8 buf (byte lor 0x80)
+  done
+
+let read_byte s pos =
+  if !pos >= String.length s then raise (Truncated !pos);
+  let v = Char.code s.[!pos] in
+  incr pos;
+  v
+
+(* Decoding is the replay hot path (millions of calls per trace): both
+   readers take a single-byte fast path — the common case for delta-encoded
+   fields — and fall back to an accumulator loop for longer encodings. *)
+
+let rec read_u_slow s pos acc shift =
+  let b = read_byte s pos in
+  let acc = acc lor ((b land 0x7f) lsl shift) in
+  if b land 0x80 <> 0 then read_u_slow s pos acc (shift + 7) else acc
+
+let read_u s pos =
+  let p = !pos in
+  if p >= String.length s then raise (Truncated p);
+  let b = Char.code (String.unsafe_get s p) in
+  if b < 0x80 then begin
+    pos := p + 1;
+    b
+  end
+  else read_u_slow s pos 0 0
+
+let rec read_s_slow s pos acc shift =
+  let b = read_byte s pos in
+  let acc = acc lor ((b land 0x7f) lsl shift) in
+  if b land 0x80 <> 0 then read_s_slow s pos acc (shift + 7)
+  else if shift + 7 < Sys.int_size && b land 0x40 <> 0 then
+    acc lor (-1 lsl (shift + 7))
+  else acc
+
+let read_s s pos =
+  let p = !pos in
+  if p >= String.length s then raise (Truncated p);
+  let b = Char.code (String.unsafe_get s p) in
+  if b < 0x80 then begin
+    pos := p + 1;
+    if b land 0x40 <> 0 then b lor (-1 lsl 7) else b
+  end
+  else read_s_slow s pos 0 0

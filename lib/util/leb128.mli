@@ -1,0 +1,23 @@
+(** LEB128 variable-length integer codec.
+
+    The byte-level convention shared by the on-disk object format
+    ({!Tq_vm.Objfile}) and the event-trace format ({!Tq_trace}): 7 value bits
+    per byte, little-endian groups, high bit = continuation.  [write_u]/
+    [read_u] are the unsigned (ULEB128) variant for counts and sizes;
+    [write_s]/[read_s] the signed (SLEB128) variant for addresses and
+    deltas. *)
+
+exception Truncated of int
+(** Raised by the readers with the offending position when the string ends
+    mid-integer. *)
+
+val write_u : Buffer.t -> int -> unit
+(** ULEB128.  @raise Invalid_argument on negative input. *)
+
+val write_s : Buffer.t -> int -> unit
+(** SLEB128, full OCaml [int] range. *)
+
+val read_u : string -> int ref -> int
+(** Decode at [!pos], advancing [pos]. @raise Truncated on short input. *)
+
+val read_s : string -> int ref -> int

@@ -6,20 +6,9 @@ exception Format_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
 
-(* ---------- primitives ---------- *)
+(* ---------- primitives (LEB128 shared with the trace format) ---------- *)
 
-let sleb128 buf v =
-  let v = ref v in
-  let more = ref true in
-  while !more do
-    let byte = !v land 0x7f in
-    v := !v asr 7;
-    if (!v = 0 && byte land 0x40 = 0) || (!v = -1 && byte land 0x40 <> 0) then begin
-      more := false;
-      Buffer.add_uint8 buf byte
-    end
-    else Buffer.add_uint8 buf (byte lor 0x80)
-  done
+let sleb128 = Tq_util.Leb128.write_s
 
 let read_u8 s pos =
   if !pos >= String.length s then fail "truncated (u8 at %d)" !pos;
@@ -28,16 +17,8 @@ let read_u8 s pos =
   v
 
 let read_sleb128 s pos =
-  let result = ref 0 and shift = ref 0 in
-  let byte = ref 0x80 in
-  while !byte land 0x80 <> 0 do
-    byte := read_u8 s pos;
-    result := !result lor ((!byte land 0x7f) lsl !shift);
-    shift := !shift + 7
-  done;
-  if !shift < Sys.int_size && !byte land 0x40 <> 0 then
-    result := !result lor (-1 lsl !shift);
-  !result
+  try Tq_util.Leb128.read_s s pos
+  with Tq_util.Leb128.Truncated p -> fail "truncated (sleb128 at %d)" p
 
 let write_string buf s =
   sleb128 buf (String.length s);

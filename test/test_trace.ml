@@ -1,0 +1,325 @@
+(* The trace subsystem's contract: the codec is lossless, the container
+   round-trips through disk (chunked, seekable), and replaying a recording
+   through any analysis tool reproduces the live-instrumented run
+   byte-for-byte. *)
+
+open Tq_vm
+open Tq_dbi
+module Event = Tq_trace.Event
+module Writer = Tq_trace.Writer
+module Reader = Tq_trace.Reader
+module Replay = Tq_trace.Replay
+module Probe = Tq_trace.Probe
+
+(* ---------- generators ---------- *)
+
+(* A stream with non-decreasing instruction counts, as the probe emits:
+   several events may share an icount (one instruction can produce a routine
+   entry, a load and a return). *)
+let gen_events =
+  let open QCheck.Gen in
+  let addr = int_bound 0xFF_FFFF in
+  let static = int_range (-1) 40 in
+  let shape =
+    frequency
+      [
+        (2, map2 (fun routine sp -> `Entry (routine, sp)) (int_bound 40) addr);
+        (2, map (fun sp -> `Ret sp) addr);
+        ( 4,
+          map3
+            (fun s (ea, sp) size -> `Load (s, ea, size, sp))
+            static (pair addr addr) (int_bound 64) );
+        ( 4,
+          map3
+            (fun s (ea, sp) size -> `Store (s, ea, size, sp))
+            static (pair addr addr) (int_bound 64) );
+        ( 1,
+          map3
+            (fun s (src, dst) (len, sp) -> `Copy (s, src, dst, len, sp))
+            static (pair addr addr)
+            (pair (int_bound 4096) addr) );
+        (1, map2 (fun ea size -> `Prefetch (ea, size)) addr (int_bound 64));
+        (2, map2 (fun a n -> `Exec (a, n)) addr (int_range 1 30));
+      ]
+  in
+  list_size (int_range 0 400) (pair (int_bound 64) shape)
+  |> map (fun steps ->
+         let ic = ref 0 in
+         List.map
+           (fun (delta, sh) ->
+             ic := !ic + delta;
+             let icount = !ic in
+             match sh with
+             | `Entry (routine, sp) -> Event.Rtn_entry { icount; routine; sp }
+             | `Ret sp -> Event.Ret { icount; sp }
+             | `Load (static, ea, size, sp) ->
+                 Event.Load { icount; static; ea; size; sp }
+             | `Store (static, ea, size, sp) ->
+                 Event.Store { icount; static; ea; size; sp }
+             | `Copy (static, src, dst, len, sp) ->
+                 Event.Block_copy { icount; static; src; dst; len; sp }
+             | `Prefetch (ea, size) -> Event.Prefetch { icount; ea; size }
+             | `Exec (addr, n) -> Event.Block_exec { icount; addr; n })
+           steps)
+
+let arb_events = QCheck.make ~print:(fun evs ->
+    String.concat "; " (List.map (Format.asprintf "%a" Event.pp) evs))
+    gen_events
+
+(* ---------- codec ---------- *)
+
+let qcheck_leb_roundtrip =
+  QCheck.Test.make ~name:"LEB128 round-trips (unsigned and signed)" ~count:500
+    QCheck.(pair (int_bound max_int) int)
+    (fun (u, s) ->
+      let buf = Buffer.create 16 in
+      Tq_util.Leb128.write_u buf u;
+      Tq_util.Leb128.write_s buf s;
+      let str = Buffer.contents buf in
+      let pos = ref 0 in
+      let u' = Tq_util.Leb128.read_u str pos in
+      let s' = Tq_util.Leb128.read_s str pos in
+      u = u' && s = s' && !pos = String.length str)
+
+let qcheck_codec_roundtrip =
+  QCheck.Test.make ~name:"event codec: decode o encode = id" ~count:200
+    arb_events (fun evs ->
+      let buf = Buffer.create 1024 in
+      let st = Event.fresh_state () in
+      List.iter (Event.encode st buf) evs;
+      let s = Buffer.contents buf in
+      let st = Event.fresh_state () in
+      let pos = ref 0 in
+      let out = List.map (fun _ -> Event.decode st s pos) evs in
+      out = evs && !pos = String.length s)
+
+let qcheck_file_roundtrip =
+  (* tiny chunks force many chunk boundaries (state resets, index entries) *)
+  QCheck.Test.make ~name:"trace file: load o write = id across chunks"
+    ~count:60 arb_events (fun evs ->
+      let path = Filename.temp_file "tq_trace" ".trc" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Writer.with_file ~chunk_bytes:256 path (fun w ->
+              List.iter (Writer.emit w) evs);
+          let r = Reader.load path in
+          let out = ref [] in
+          Reader.iter r (fun ev -> out := ev :: !out);
+          List.rev !out = evs && Reader.n_events r = List.length evs))
+
+let qcheck_seek =
+  QCheck.Test.make ~name:"iter ~from_icount = filter (icount >=)" ~count:60
+    QCheck.(pair arb_events (int_bound 0x3FFF))
+    (fun (evs, from_icount) ->
+      let path = Filename.temp_file "tq_trace" ".trc" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Writer.with_file ~chunk_bytes:128 path (fun w ->
+              List.iter (Writer.emit w) evs);
+          let r = Reader.load path in
+          let out = ref [] in
+          Reader.iter ~from_icount r (fun ev -> out := ev :: !out);
+          List.rev !out
+          = List.filter (fun ev -> Event.icount ev >= from_icount) evs))
+
+let qcheck_iter_tags_partition =
+  QCheck.Test.make ~name:"iter_tags partitions the stream by kind" ~count:60
+    arb_events (fun evs ->
+      let path = Filename.temp_file "tq_trace" ".trc" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Writer.with_file ~chunk_bytes:256 path (fun w ->
+              List.iter (Writer.emit w) evs);
+          let r = Reader.load path in
+          let buckets = Array.make Event.n_kinds [] in
+          Reader.iter_tags r
+            (Array.init Event.n_kinds (fun tag ->
+                 fun ev -> buckets.(tag) <- ev :: buckets.(tag)));
+          List.for_all
+            (fun kind ->
+              let tag = Event.kind_tag kind in
+              List.rev buckets.(tag)
+              = List.filter (fun ev -> Event.tag ev = tag) evs)
+            Event.all_kinds))
+
+let test_iter_tags_arity () =
+  let path = Filename.temp_file "tq_trace" ".trc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Writer.with_file path (fun _ -> ());
+      let r = Reader.load path in
+      Alcotest.check_raises "wrong sink count"
+        (Invalid_argument "Trace.Reader.iter_tags: need one sink per event kind")
+        (fun () -> Reader.iter_tags r (Array.make 3 ignore)))
+
+let test_corrupt_trace () =
+  let path = Filename.temp_file "tq_trace" ".trc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "not a trace file at all";
+      close_out oc;
+      match Reader.load path with
+      | _ -> Alcotest.fail "corrupt file loaded"
+      | exception Reader.Format_error _ -> ())
+
+(* ---------- live / replay equivalence ---------- *)
+
+(* Renders mirror the CLI's report sections; what matters here is that each
+   covers the tool's full observable state, so string equality means the
+   live and replayed analyses agree everywhere. *)
+let render_tquad t =
+  let kernels = Tq_tquad.Tquad.kernels t in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      let tot = Tq_tquad.Tquad.totals t r in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d-%d %d %d/%d %d/%d %.4f\n" r.Symtab.name
+           tot.Tq_tquad.Tquad.first_slice tot.last_slice tot.activity_span
+           tot.read_incl tot.read_excl tot.write_incl tot.write_excl
+           (Tq_tquad.Tquad.max_rw_bpi t r ~incl:true)))
+    kernels;
+  Buffer.add_string buf
+    (Tq_report.Report.figure t ~metric:Tq_tquad.Tquad.Read_incl ~kernels
+       ~title:"read bandwidth" ());
+  Buffer.contents buf
+
+let render_quad q =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Tq_report.Report.quad_table (Tq_quad.Quad.rows q));
+  List.iter
+    (fun (b : Tq_quad.Quad.binding) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s->%s %d %d\n" b.producer.Symtab.name
+           b.consumer.Symtab.name b.bytes_incl b.unma))
+    (Tq_quad.Quad.bindings q);
+  Buffer.contents buf
+
+let render_gprof g =
+  Tq_report.Report.flat_profile (Tq_gprofsim.Gprofsim.flat_profile g)
+
+let scen = Tq_wfs.Scenario.tiny
+let slice = 2_000
+let period = 2_000
+
+(* One live wfs run with all six tools attached at once (each registers its
+   own probe on the engine). *)
+let live_reports () =
+  let m =
+    Machine.create
+      ~vfs:(Tq_wfs.Harness.make_vfs scen)
+      (Tq_wfs.Harness.compile scen)
+  in
+  let eng = Engine.create m in
+  let tq = Tq_tquad.Tquad.attach ~slice_interval:slice eng in
+  let q = Tq_quad.Quad.attach eng in
+  let g = Tq_gprofsim.Gprofsim.attach ~period eng in
+  let mix = Tq_prof.Ins_mix.attach eng in
+  let cache = Tq_prof.Cache_sim.attach eng in
+  let fp = Tq_prof.Footprint.attach eng in
+  Engine.run ~fuel:(Tq_wfs.Harness.fuel scen) eng;
+  [
+    ("tquad", render_tquad tq);
+    ("quad", render_quad q);
+    ("gprof", render_gprof g);
+    ("mix", Tq_prof.Ins_mix.render mix);
+    ("cache", Tq_prof.Cache_sim.render cache);
+    ("footprint", Tq_prof.Footprint.render fp);
+  ]
+
+let record_trace path =
+  let prog = Tq_wfs.Harness.compile scen in
+  let m = Machine.create ~vfs:(Tq_wfs.Harness.make_vfs scen) prog in
+  let eng = Engine.create m in
+  let _events : int =
+    Probe.record ~fuel:(Tq_wfs.Harness.fuel scen) eng ~path
+  in
+  prog
+
+let replay_jobs prog =
+  let symtab = prog.Program.symtab in
+  [
+    Replay.job ~wants:Tq_tquad.Tquad.interest "tquad" (fun () ->
+        let t = Tq_tquad.Tquad.create ~slice_interval:slice symtab in
+        (Tq_tquad.Tquad.consume t, fun () -> render_tquad t));
+    Replay.job ~wants:Tq_quad.Quad.interest "quad" (fun () ->
+        let q = Tq_quad.Quad.create symtab in
+        (Tq_quad.Quad.consume q, fun () -> render_quad q));
+    Replay.job ~wants:Tq_gprofsim.Gprofsim.interest "gprof" (fun () ->
+        let g = Tq_gprofsim.Gprofsim.create ~period symtab in
+        (Tq_gprofsim.Gprofsim.consume g, fun () -> render_gprof g));
+    Replay.job ~wants:Tq_prof.Ins_mix.interest "mix" (fun () ->
+        let mix = Tq_prof.Ins_mix.create prog in
+        (Tq_prof.Ins_mix.consume mix, fun () -> Tq_prof.Ins_mix.render mix));
+    Replay.job ~wants:Tq_prof.Cache_sim.interest "cache" (fun () ->
+        let c = Tq_prof.Cache_sim.create symtab in
+        (Tq_prof.Cache_sim.consume c, fun () -> Tq_prof.Cache_sim.render c));
+    Replay.job ~wants:Tq_prof.Footprint.interest "footprint" (fun () ->
+        let f = Tq_prof.Footprint.create prog in
+        (Tq_prof.Footprint.consume f, fun () -> Tq_prof.Footprint.render f));
+  ]
+
+let test_replay_equivalence () =
+  let path = Filename.temp_file "tq_wfs" ".trc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let live = live_reports () in
+      let prog = record_trace path in
+      let reader = Reader.load path in
+      let jobs = replay_jobs prog in
+      let seq = Replay.sequential reader jobs in
+      let par = Replay.parallel ~domains:2 reader jobs in
+      List.iter2
+        (fun (name, live_report) (name', replayed) ->
+          Alcotest.(check string) ("job name " ^ name) name name';
+          Alcotest.(check string)
+            ("sequential replay of " ^ name ^ " matches live")
+            live_report replayed)
+        live seq;
+      Alcotest.(check bool) "parallel = sequential" true (par = seq))
+
+let test_record_reader_stats () =
+  let path = Filename.temp_file "tq_wfs" ".trc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let _ = record_trace path in
+      let r = Reader.load path in
+      Alcotest.(check bool) "has events" true (Reader.n_events r > 0);
+      Alcotest.(check bool) "chunked" true (Reader.n_chunks r > 1);
+      (* the End event's icount is the run's final instruction count *)
+      Alcotest.(check bool) "monotone last icount" true
+        (Reader.last_icount r > 0);
+      let max_ic = ref 0 and n = ref 0 in
+      Reader.iter r (fun ev ->
+          incr n;
+          let ic = Event.icount ev in
+          Alcotest.(check bool) "icount never regresses" true (ic >= !max_ic);
+          max_ic := ic);
+      Alcotest.(check int) "iter covers all events" (Reader.n_events r) !n;
+      Alcotest.(check int) "last icount" (Reader.last_icount r) !max_ic)
+
+let suites =
+  [
+    ( "trace",
+      [
+        QCheck_alcotest.to_alcotest qcheck_leb_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_codec_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_file_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_seek;
+        QCheck_alcotest.to_alcotest qcheck_iter_tags_partition;
+        Alcotest.test_case "iter_tags arity check" `Quick test_iter_tags_arity;
+        Alcotest.test_case "corrupt file rejected" `Quick test_corrupt_trace;
+        Alcotest.test_case "record: reader stats sane" `Quick
+          test_record_reader_stats;
+        Alcotest.test_case "wfs: replay = live for all six tools" `Quick
+          test_replay_equivalence;
+      ] );
+  ]
