@@ -633,6 +633,11 @@ let replay_cmd =
         Printf.eprintf "%s: %s\n" trace msg;
         exit 1
     in
+    (match Tq_trace.Replay.check_program reader prog with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "replay: %s\n" msg;
+        exit 1);
     match (tool, all) with
     | Some name, false ->
         let results =
@@ -665,6 +670,118 @@ let replay_cmd =
     Term.(
       const run $ trace_pos_arg $ file_pos_arg $ wfs_arg $ tool_arg $ all_arg
       $ domains_arg $ slice_arg $ period_arg)
+
+(* ---------- static verification ---------- *)
+
+let check_cmd =
+  let file_opt_arg =
+    Arg.(value & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.mc")
+  in
+  let bandwidth_arg =
+    Arg.(
+      value & flag
+      & info [ "bandwidth" ]
+          ~doc:
+            "Also print the static per-kernel bandwidth estimate, run the \
+             program once under the tQUAD profiler, and compare the static \
+             ranking against the measured per-kernel bytes.")
+  in
+  let slice_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "slice" ] ~docv:"N"
+          ~doc:"tQUAD time-slice interval for the --bandwidth run.")
+  in
+  let app_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("image-pipeline", `Image_pipeline);
+                  ("pointer-chase", `Pointer_chase) ]))
+          None
+      & info [ "app" ] ~docv:"NAME"
+          ~doc:
+            "Check a built-in demo application (image-pipeline or \
+             pointer-chase) instead of a file.")
+  in
+  let run file wfs app dir bandwidth slice =
+    let prog, vfs, fuel =
+      match (file, wfs, app) with
+      | Some f, None, None -> (compile_file f, vfs_of_dir dir, None)
+      | None, Some scen, None ->
+          ( Tq_wfs.Harness.compile scen,
+            Tq_wfs.Harness.make_vfs scen,
+            Some (Tq_wfs.Harness.fuel scen) )
+      | None, None, Some `Image_pipeline ->
+          (Tq_apps.Apps.image_pipeline_program (), vfs_of_dir dir, None)
+      | None, None, Some `Pointer_chase ->
+          (Tq_apps.Apps.pointer_chase_program (), vfs_of_dir dir, None)
+      | _ ->
+          Printf.eprintf "check: give exactly one of FILE.mc, --wfs or --app\n";
+          exit 2
+    in
+    let diags = Tq_staticcheck.Staticcheck.check_program prog in
+    if diags <> [] then begin
+      print_string (Tq_staticcheck.Staticcheck.render diags);
+      Printf.printf "check: %d diagnostic(s)\n" (List.length diags);
+      exit 1
+    end;
+    let routines = ref 0 in
+    Symtab.iter
+      (fun r -> if r.Symtab.size > 0 then incr routines)
+      prog.Tq_vm.Program.symtab;
+    Printf.printf "check: ok — %d routines, %d instructions, 0 diagnostics\n"
+      !routines
+      (Array.length prog.Tq_vm.Program.code);
+    if bandwidth then begin
+      let rows = Tq_staticcheck.Estimate.per_kernel prog in
+      print_newline ();
+      print_string (Tq_staticcheck.Estimate.render rows);
+      let m = Machine.create ~vfs prog in
+      let eng = Engine.create m in
+      let t = Tq_tquad.Tquad.attach ~slice_interval:slice eng in
+      (try Engine.run ?fuel eng with
+      | Machine.Trap { ip; reason } ->
+          Printf.eprintf "trap at 0x%x: %s\n" ip reason;
+          exit 1
+      | Tq_vm.Executor.Out_of_fuel n ->
+          Printf.eprintf "out of fuel after %d instructions\n" n;
+          exit 1);
+      finish ~console:stderr m;
+      let dynamic r =
+        let tot = Tq_tquad.Tquad.totals t r in
+        float_of_int (tot.Tq_tquad.Tquad.read_incl + tot.write_incl)
+      in
+      let kernels = Tq_tquad.Tquad.kernels t in
+      let compared =
+        List.filter_map
+          (fun (row : Tq_staticcheck.Estimate.row) ->
+            (* compare only kernels the run actually entered *)
+            List.find_opt
+              (fun k -> k.Symtab.id = row.routine.Symtab.id)
+              kernels
+            |> Option.map (fun k ->
+                   ( row.routine.Symtab.name,
+                     Tq_staticcheck.Estimate.bytes row,
+                     dynamic k )))
+          rows
+      in
+      print_newline ();
+      print_string (Tq_report.Report.static_bandwidth compared)
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify a compiled program (control flow, dataflow, \
+          stack discipline, constant addresses) and optionally compare the \
+          static bandwidth estimate against a measured run; exits non-zero \
+          if any diagnostic fires")
+    Term.(
+      const run $ file_opt_arg $ wfs_arg $ app_arg $ dir_arg $ bandwidth_arg
+      $ slice_arg)
 
 let wfs_cmd =
   let scenario_arg =
@@ -718,14 +835,73 @@ let wfs_cmd =
     (Cmd.info "wfs" ~doc:"Run the built-in hArtes-wfs case study")
     Term.(const run $ scenario_arg $ tool_arg)
 
+let subcommands =
+  [ build_cmd; disasm_cmd; run_cmd; gprof_cmd; callgraph_cmd; quad_cmd;
+    tquad_cmd; mix_cmd; cache_cmd; footprint_cmd; wcet_cmd; diff_cmd;
+    record_cmd; replay_cmd; check_cmd; wfs_cmd ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "tquad" ~version:"1.0.0"
        ~doc:
          "Temporal memory bandwidth usage analysis on a simulated machine \
           (reproduction of tQUAD, ICPP 2010)")
-    [ build_cmd; disasm_cmd; run_cmd; gprof_cmd; callgraph_cmd; quad_cmd;
-      tquad_cmd; mix_cmd; cache_cmd; footprint_cmd; wcet_cmd; diff_cmd;
-      record_cmd; replay_cmd; wfs_cmd ]
+    subcommands
 
-let () = exit (Cmd.eval main_cmd)
+(* One unified usage block for a missing, unknown or ambiguous subcommand —
+   every subcommand with its one-line purpose, instead of cmdliner's paged
+   manual — printed to stderr with exit status 2.  Anything else (a known
+   name, a unique prefix, or a leading option like --help) goes to cmdliner
+   unchanged. *)
+let usage_lines =
+  [ ("build", "compile and link to an on-disk binary");
+    ("disasm", "print the disassembly of a compiled program");
+    ("run", "compile and execute (uninstrumented)");
+    ("gprof", "sampling flat profile");
+    ("callgraph", "gprof-style call-graph report");
+    ("quad", "producer/consumer memory bindings (QUAD)");
+    ("tquad", "temporal memory bandwidth analysis (the paper's tool)");
+    ("mix", "instruction-mix profile");
+    ("cache", "per-kernel cache hit/miss simulation");
+    ("footprint", "per-kernel unique-byte footprint by region");
+    ("wcet", "static worst-case execution time bound");
+    ("diff", "compare the flat profiles of two program versions");
+    ("record", "execute once, stream the event trace to disk");
+    ("replay", "replay a recorded trace through analysis tools");
+    ("check", "static binary verification and bandwidth estimate");
+    ("wfs", "run the built-in hArtes-wfs case study") ]
+
+let print_usage ch =
+  Printf.fprintf ch
+    "usage: tquad SUBCOMMAND [ARGS]\n\n\
+     Temporal memory bandwidth usage analysis on a simulated machine\n\
+     (reproduction of tQUAD, ICPP 2010).  Subcommands:\n\n";
+  List.iter
+    (fun (name, doc) -> Printf.fprintf ch "  %-10s %s\n" name doc)
+    usage_lines;
+  Printf.fprintf ch
+    "\nRun 'tquad SUBCOMMAND --help' for that subcommand's options.\n"
+
+let () =
+  let names = List.map Cmd.name subcommands in
+  let verdict =
+    if Array.length Sys.argv < 2 then `Missing
+    else
+      let a = Sys.argv.(1) in
+      if String.length a > 0 && a.[0] = '-' then `Pass (* --help, --version *)
+      else if List.mem a names then `Pass
+      else
+        match List.filter (String.starts_with ~prefix:a) names with
+        | [ _ ] -> `Pass (* unique prefix: cmdliner resolves it *)
+        | _ -> `Unknown a
+  in
+  match verdict with
+  | `Pass -> exit (Cmd.eval main_cmd)
+  | `Missing ->
+      prerr_string "tquad: missing subcommand\n\n";
+      print_usage stderr;
+      exit 2
+  | `Unknown a ->
+      Printf.eprintf "tquad: unknown subcommand '%s'\n\n" a;
+      print_usage stderr;
+      exit 2

@@ -16,74 +16,9 @@ module Tquad = Tq_tquad.Tquad
 module Quad = Tq_quad.Quad
 module Symtab = Tq_vm.Symtab
 
-let n = 24
-
-let source =
-  Printf.sprintf
-    {|
-float a[%d];
-float b[%d];
-float bt[%d];
-float c1[%d];
-float c2[%d];
-
-void init() {
-  for (int i = 0; i < %d; i++) {
-    a[i] = (float) (i %% 7) * 0.5;
-    b[i] = (float) (i %% 5) * 0.25;
-  }
-}
-
-// walks b column-wise: strided reads
-void matmul_naive() {
-  for (int i = 0; i < %d; i++)
-    for (int j = 0; j < %d; j++) {
-      float acc; acc = 0.0;
-      for (int k = 0; k < %d; k++)
-        acc = acc + a[i * %d + k] * b[k * %d + j];
-      c1[i * %d + j] = acc;
-    }
-}
-
-void transpose_b() {
-  for (int i = 0; i < %d; i++)
-    for (int j = 0; j < %d; j++)
-      bt[j * %d + i] = b[i * %d + j];
-}
-
-// walks bt row-wise: sequential reads
-void matmul_transposed() {
-  for (int i = 0; i < %d; i++)
-    for (int j = 0; j < %d; j++) {
-      float acc; acc = 0.0;
-      for (int k = 0; k < %d; k++)
-        acc = acc + a[i * %d + k] * bt[j * %d + k];
-      c2[i * %d + j] = acc;
-    }
-}
-
-int check() {
-  for (int i = 0; i < %d; i++)
-    if (c1[i] != c2[i]) return 0;
-  return 1;
-}
-
-int main() {
-  init();
-  matmul_naive();
-  transpose_b();
-  matmul_transposed();
-  if (check()) print_str("results match\n");
-  else print_str("MISMATCH\n");
-  return 0;
-}
-|}
-    (n * n) (n * n) (n * n) (n * n) (n * n) (* arrays *)
-    (n * n) (* init *)
-    n n n n n n (* naive *)
-    n n n n (* transpose *)
-    n n n n n n (* transposed *)
-    (n * n) (* check *)
+(* the MiniC source (n = 24 baked in) lives in mc/matmul_bandwidth.mc;
+   checkable standalone with `tquad check mc/matmul_bandwidth.mc` *)
+let source = Matmul_bandwidth_mc.source
 
 let () =
   let program = Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"matmul" source ] in

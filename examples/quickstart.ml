@@ -9,31 +9,9 @@ module Tquad = Tq_tquad.Tquad
 
 (* Two kernels with very different memory behaviour: [fill] streams writes
    through a large array, [reduce] streams reads. *)
-let source =
-  {|
-int data[4096];
-
-void fill(int rounds) {
-  for (int r = 0; r < rounds; r++)
-    for (int i = 0; i < 4096; i++)
-      data[i] = i + r;
-}
-
-int reduce() {
-  int s; s = 0;
-  for (int i = 0; i < 4096; i++) s += data[i];
-  return s;
-}
-
-int main() {
-  fill(4);
-  int s; s = reduce();
-  print_str("sum=");
-  print_int(s);
-  print_char('\n');
-  return 0;
-}
-|}
+(* the MiniC source lives in mc/quickstart.mc; checkable standalone with
+   `tquad check mc/quickstart.mc` *)
+let source = Quickstart_mc.source
 
 let () =
   (* 1. compile against the runtime image *)

@@ -12,27 +12,8 @@ module Machine = Tq_vm.Machine
 module Engine = Tq_dbi.Engine
 module Tquad = Tq_tquad.Tquad
 
-let source =
-  {|
-float a[8192];
-float b[8192];
-float c[8192];
-
-void triad(float scalar, int rounds) {
-  for (int r = 0; r < rounds; r++)
-    for (int i = 0; i < 8192; i++)
-      a[i] = b[i] + scalar * c[i];
-}
-
-int main() {
-  for (int i = 0; i < 8192; i++) {
-    b[i] = (float) i;
-    c[i] = (float) (8192 - i);
-  }
-  triad(3.0, 4);
-  return 0;
-}
-|}
+(* the MiniC source lives in mc/stream_triad.mc *)
+let source = Stream_triad_mc.source
 
 let run slice_interval =
   let program = Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"stream" source ] in

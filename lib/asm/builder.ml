@@ -13,13 +13,15 @@ type t = {
   body : raw Tq_util.Dyn_array.t;
   mutable next_label : int;
   mutable count : int; (* instructions, not labels *)
+  drop_dead : bool;
 }
 
-let create () =
+let create ?(drop_dead = false) () =
   {
     body = Tq_util.Dyn_array.create ~dummy:(R_ins Tq_isa.Isa.Nop) ();
     next_label = 0;
     count = 0;
+    drop_dead;
   }
 
 let emit t r =
@@ -55,33 +57,82 @@ type item =
   | Call_s of string
   | La_s of Tq_isa.Isa.reg * string
 
+(* Dead-code elimination over the raw stream: an item is dead when no path
+   from the routine entry — following fall-through and the label edges of
+   jumps and branches — reaches it.  Code generators emit such code freely
+   (a loop's back-jump after [break], the shared epilogue after an explicit
+   [return], a whole loop after an early return); dropping it here keeps
+   the linked image free of unreachable instructions without complicating
+   emission.  Reachability, not a linear scan, so a dead loop whose
+   back-jump references its own header is still dropped whole. *)
+let live_mask raws =
+  let n = Array.length raws in
+  let pos = Hashtbl.create 16 in
+  Array.iteri
+    (fun i r -> match r with R_label l -> Hashtbl.replace pos l i | _ -> ())
+    raws;
+  let live = Array.make n false in
+  let work = ref [ 0 ] in
+  let push i = if i < n && not live.(i) then work := i :: !work in
+  let push_label l =
+    (* an unplaced label surfaces as invalid_arg during resolution below *)
+    match Hashtbl.find_opt pos l with Some i -> push i | None -> ()
+  in
+  while
+    match !work with
+    | [] -> false
+    | i :: rest ->
+        work := rest;
+        if i < n && not live.(i) then begin
+          live.(i) <- true;
+          match raws.(i) with
+          | R_jmp l -> push_label l
+          | R_bz (_, l) | R_bnz (_, l) ->
+              push_label l;
+              push (i + 1)
+          | R_ins (Tq_isa.Isa.Ret | Tq_isa.Isa.Halt | Tq_isa.Isa.Jr _) -> ()
+          | R_label _ | R_ins _ | R_call _ | R_la _ -> push (i + 1)
+        end;
+        true
+  do
+    ()
+  done;
+  live
+
 let items t =
+  let raws =
+    Array.init (Tq_util.Dyn_array.length t.body) (Tq_util.Dyn_array.get t.body)
+  in
+  let live =
+    if t.drop_dead then live_mask raws else Array.make (Array.length raws) true
+  in
   let positions = Hashtbl.create 16 in
   let idx = ref 0 in
-  Tq_util.Dyn_array.iteri
-    (fun _ r ->
+  Array.iteri
+    (fun i r ->
       match r with
       | R_label l ->
           if Hashtbl.mem positions l then
             invalid_arg "Builder.items: label placed twice";
           Hashtbl.replace positions l !idx
-      | _ -> incr idx)
-    t.body;
+      | _ -> if live.(i) then incr idx)
+    raws;
   let resolve l =
     match Hashtbl.find_opt positions l with
     | Some i -> i
     | None -> invalid_arg "Builder.items: label never placed"
   in
   let out = Tq_util.Dyn_array.create ~dummy:(I Tq_isa.Isa.Nop) () in
-  Tq_util.Dyn_array.iteri
-    (fun _ r ->
-      match r with
-      | R_label _ -> ()
-      | R_ins i -> Tq_util.Dyn_array.push out (I i)
-      | R_jmp l -> Tq_util.Dyn_array.push out (Jmp_l (resolve l))
-      | R_bz (r, l) -> Tq_util.Dyn_array.push out (Bz_l (r, resolve l))
-      | R_bnz (r, l) -> Tq_util.Dyn_array.push out (Bnz_l (r, resolve l))
-      | R_call s -> Tq_util.Dyn_array.push out (Call_s s)
-      | R_la (r, s) -> Tq_util.Dyn_array.push out (La_s (r, s)))
-    t.body;
+  Array.iteri
+    (fun i r ->
+      if live.(i) then
+        match r with
+        | R_label _ -> ()
+        | R_ins i -> Tq_util.Dyn_array.push out (I i)
+        | R_jmp l -> Tq_util.Dyn_array.push out (Jmp_l (resolve l))
+        | R_bz (r, l) -> Tq_util.Dyn_array.push out (Bz_l (r, resolve l))
+        | R_bnz (r, l) -> Tq_util.Dyn_array.push out (Bnz_l (r, resolve l))
+        | R_call s -> Tq_util.Dyn_array.push out (Call_s s)
+        | R_la (r, s) -> Tq_util.Dyn_array.push out (La_s (r, s)))
+    raws;
   Tq_util.Dyn_array.to_array out

@@ -9,7 +9,12 @@ type t
 
 type label
 
-val create : unit -> t
+val create : ?drop_dead:bool -> unit -> t
+(** [drop_dead] (default [false]) makes {!items} elide unreachable code:
+    instructions no path from the routine entry (fall-through plus jump and
+    branch label edges) can reach — e.g. a loop back-jump emitted after
+    [break], a shared epilogue after an explicit return, or a whole loop
+    after an early return.  References from dead code keep nothing alive. *)
 
 val ins : t -> Tq_isa.Isa.ins -> unit
 (** Emit a fully-resolved instruction (no symbolic target). *)

@@ -255,7 +255,7 @@ let rec gen_stmt st stmt =
       | [] -> raise (Codegen_error "continue outside loop"))
 
 let gen_func (fn : Mir.mfunc) =
-  let b = Builder.create () in
+  let b = Builder.create ~drop_dead:true () in
   let st = { b; loops = [] } in
   (* prologue *)
   Builder.ins b (Isa.Bin (Isa.Sub, Isa.reg_sp, Isa.reg_sp, Isa.Imm 8));

@@ -10,10 +10,26 @@ let parse_and_lower source =
   | exception Parser.Parse_error { pos; msg } -> fail_at pos ("syntax error: " ^ msg)
   | exception Lower.Type_error { pos; msg } -> fail_at pos ("type error: " ^ msg)
 
-let compile_unit ?(optimize = false) ~image source =
+let verify_unit (u : Tq_asm.Link.cunit) =
+  let bad =
+    List.concat_map
+      (fun (r : Tq_asm.Link.routine) ->
+        Tq_staticcheck.Staticcheck.check_items ~name:r.rname
+          (Tq_asm.Builder.items r.body))
+      u.routines
+  in
+  if bad <> [] then
+    raise
+      (Compile_error
+         ("generated code failed static verification:\n"
+         ^ Tq_staticcheck.Staticcheck.render bad))
+
+let compile_unit ?(optimize = false) ?(verify = false) ~image source =
   let mir = parse_and_lower source in
   let mir = if optimize then Opt.program mir else mir in
   match Codegen.gen_unit ~image mir with
-  | u -> u
+  | u ->
+      if verify then verify_unit u;
+      u
   | exception Codegen.Codegen_error msg ->
       raise (Compile_error ("code generation error: " ^ msg))

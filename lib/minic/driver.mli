@@ -5,10 +5,13 @@ exception Compile_error of string
     the message. *)
 
 val compile_unit :
-  ?optimize:bool -> image:string -> string -> Tq_asm.Link.cunit
+  ?optimize:bool -> ?verify:bool -> image:string -> string -> Tq_asm.Link.cunit
 (** [compile_unit ~image source] compiles a MiniC translation unit into a
     linkable main-image compilation unit.  [optimize] (default false, i.e.
-    -O0, like the paper's profiling targets) runs the {!Opt} pass.
+    -O0, like the paper's profiling targets) runs the {!Opt} pass.  [verify]
+    (default false) gates the output through the static binary verifier
+    ({!Tq_staticcheck.Staticcheck.check_items}) and fails compilation if any
+    diagnostic fires.
     @raise Compile_error on any static error. *)
 
 val parse_and_lower : string -> Mir.program

@@ -291,3 +291,73 @@ let profile_diff ~before ~after =
       | None, None -> ())
     names;
   T.render tbl
+
+(* ---------- static vs dynamic bandwidth comparison ---------- *)
+
+let rank_of values =
+  (* 1-based rank by descending value; earlier list position wins ties so
+     ranks are a permutation *)
+  let idx = List.mapi (fun i v -> (i, v)) values in
+  let sorted =
+    List.stable_sort (fun (_, a) (_, b) -> compare b a) idx
+  in
+  let ranks = Array.make (List.length values) 0 in
+  List.iteri (fun r (i, _) -> ranks.(i) <- r + 1) sorted;
+  ranks
+
+let kendall_tau xs ys =
+  let n = Array.length xs in
+  let concordant = ref 0 and discordant = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = compare xs.(i) xs.(j) and b = compare ys.(i) ys.(j) in
+      if a * b > 0 then incr concordant
+      else if a * b < 0 then incr discordant
+    done
+  done;
+  let pairs = n * (n - 1) / 2 in
+  if pairs = 0 then 1.0
+  else float_of_int (!concordant - !discordant) /. float_of_int pairs
+
+let static_bandwidth rows =
+  let tbl =
+    T.create
+      ~header:
+        [ "kernel"; "static est. B"; "rank"; "dynamic B"; "rank" ]
+  in
+  T.set_aligns tbl [ T.Left; T.Right; T.Right; T.Right; T.Right ];
+  let statics = List.map (fun (_, s, _) -> s) rows in
+  let dynamics = List.map (fun (_, _, d) -> d) rows in
+  let srank = rank_of statics and drank = rank_of dynamics in
+  List.iteri
+    (fun i (name, s, d) ->
+      T.add_row tbl
+        [
+          name;
+          T.float_cell ~dp:0 s;
+          T.int_cell srank.(i);
+          T.float_cell ~dp:0 d;
+          T.int_cell drank.(i);
+        ])
+    rows;
+  let tau = kendall_tau srank drank in
+  let top_note =
+    match rows with
+    | [] | [ _ ] -> ""
+    | _ ->
+        let top ranks =
+          let best = ref 0 in
+          Array.iteri (fun i r -> if r = 1 then best := i) ranks;
+          List.nth rows !best |> fun (n, _, _) -> n
+        in
+        let st = top srank and dt = top drank in
+        if st = dt then
+          Printf.sprintf "; heaviest kernel agrees (%s)" st
+        else
+          Printf.sprintf "; heaviest kernel differs (static %s, dynamic %s)"
+            st dt
+  in
+  T.render tbl
+  ^ Printf.sprintf
+      "rank agreement (Kendall tau over %d kernels): %+.2f%s\n"
+      (List.length rows) tau top_note

@@ -65,3 +65,11 @@ val profile_diff :
     workflow: profile, revise, re-profile).  Kernels are matched by name;
     the table reports %time and self-seconds before/after, the delta, and
     rank movement; kernels present in only one profile are marked new/gone. *)
+
+val static_bandwidth : (string * float * float) list -> string
+(** Side-by-side table of statically estimated vs dynamically measured
+    per-kernel bytes — [(kernel, static weighted bytes, dynamic bytes)] —
+    with each side's rank and a Kendall-tau rank-agreement summary.  The
+    static column is a loop-depth-weighted estimate, so only the ranking
+    (which kernels dominate bandwidth), not the magnitudes, is expected to
+    line up with the measured run. *)

@@ -1,0 +1,191 @@
+type block = { id : int; first : int; last : int; succs : int list }
+
+type t = {
+  code : Rcode.t;
+  blocks : block array;
+  block_of : int array;
+  preds : int list array;
+  reachable : bool array;
+  idom : int array;
+  back_edges : (int * int) list;
+  loop_depth : int array;
+}
+
+let ends_block (f : Rcode.flow) =
+  match f with
+  | Rcode.Jump _ | Branch _ | Jump_bad _ | Branch_bad _ | Dynamic_jump
+  | Return | Stop ->
+      true
+  | Seq | Call_known _ | Call_sym _ | Call_bad _ | Dynamic_call -> false
+
+let build (code : Rcode.t) =
+  let n = Rcode.n code in
+  if n = 0 then
+    {
+      code;
+      blocks = [||];
+      block_of = [||];
+      preds = [||];
+      reachable = [||];
+      idom = [||];
+      back_edges = [];
+      loop_depth = [||];
+    }
+  else begin
+    (* leaders: entry, every control-flow target, every instruction after a
+       block-ending one *)
+    let leader = Array.make n false in
+    leader.(0) <- true;
+    Array.iteri
+      (fun i f ->
+        (match f with
+        | Rcode.Jump t | Branch t -> leader.(t) <- true
+        | _ -> ());
+        if ends_block f && i + 1 < n then leader.(i + 1) <- true)
+      code.Rcode.flow;
+    let starts = ref [] in
+    for i = n - 1 downto 0 do
+      if leader.(i) then starts := i :: !starts
+    done;
+    let starts = Array.of_list !starts in
+    let nb = Array.length starts in
+    let block_of = Array.make n 0 in
+    Array.iteri
+      (fun b s ->
+        let e = if b + 1 < nb then starts.(b + 1) - 1 else n - 1 in
+        for i = s to e do
+          block_of.(i) <- b
+        done)
+      starts;
+    let blocks =
+      Array.init nb (fun b ->
+          let first = starts.(b) in
+          let last = if b + 1 < nb then starts.(b + 1) - 1 else n - 1 in
+          let succs =
+            match code.Rcode.flow.(last) with
+            | Rcode.Jump t -> [ block_of.(t) ]
+            | Branch t ->
+                let fall = if last + 1 < n then [ block_of.(last + 1) ] else [] in
+                List.sort_uniq compare (block_of.(t) :: fall)
+            | Branch_bad _ ->
+                if last + 1 < n then [ block_of.(last + 1) ] else []
+            | Jump_bad _ | Dynamic_jump | Return | Stop -> []
+            | Seq | Call_known _ | Call_sym _ | Call_bad _ | Dynamic_call ->
+                if last + 1 < n then [ block_of.(last + 1) ] else []
+          in
+          { id = b; first; last; succs })
+    in
+    let preds = Array.make nb [] in
+    Array.iter
+      (fun b -> List.iter (fun s -> preds.(s) <- b.id :: preds.(s)) b.succs)
+      blocks;
+    Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+    (* reachability from the entry block *)
+    let reachable = Array.make nb false in
+    let rec dfs b =
+      if not reachable.(b) then begin
+        reachable.(b) <- true;
+        List.iter dfs blocks.(b).succs
+      end
+    in
+    dfs 0;
+    (* reverse postorder over reachable blocks *)
+    let rpo = ref [] in
+    let seen = Array.make nb false in
+    let rec post b =
+      if not seen.(b) then begin
+        seen.(b) <- true;
+        List.iter post blocks.(b).succs;
+        rpo := b :: !rpo
+      end
+    in
+    post 0;
+    let rpo = Array.of_list !rpo in
+    let rpo_index = Array.make nb (-1) in
+    Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+    (* iterative dominators (Cooper-Harvey-Kennedy) *)
+    let idom = Array.make nb (-1) in
+    idom.(0) <- 0;
+    let rec intersect a b =
+      if a = b then a
+      else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+      else intersect a idom.(b)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> 0 then begin
+            let new_idom =
+              List.fold_left
+                (fun acc p ->
+                  if (not reachable.(p)) || idom.(p) = -1 then acc
+                  else match acc with None -> Some p | Some a -> Some (intersect a p))
+                None preds.(b)
+            in
+            match new_idom with
+            | Some d when idom.(b) <> d ->
+                idom.(b) <- d;
+                changed := true
+            | _ -> ()
+          end)
+        rpo
+    done;
+    idom.(0) <- -1;
+    let dominates a b =
+      (* does a dominate b? walk b's idom chain *)
+      let rec up x = if x = a then true else if x <= 0 then a = 0 && x = 0 else up idom.(x) in
+      reachable.(b) && up b
+    in
+    let back_edges =
+      Array.to_list blocks
+      |> List.concat_map (fun b ->
+             if not reachable.(b.id) then []
+             else
+               List.filter_map
+                 (fun s -> if dominates s b.id then Some (b.id, s) else None)
+                 b.succs)
+    in
+    (* natural loops: body of back edge (u, h) = {h} ∪ predecessors-closure
+       of u not crossing h; depth = number of distinct headers whose body
+       contains the block *)
+    let headers = List.sort_uniq compare (List.map snd back_edges) in
+    let loop_depth = Array.make nb 0 in
+    List.iter
+      (fun h ->
+        let body = Array.make nb false in
+        body.(h) <- true;
+        let rec pull u =
+          if not body.(u) then begin
+            body.(u) <- true;
+            List.iter (fun p -> if reachable.(p) then pull p) preds.(u)
+          end
+        in
+        List.iter (fun (u, h') -> if h' = h then pull u) back_edges;
+        Array.iteri (fun b inb -> if inb then loop_depth.(b) <- loop_depth.(b) + 1) body)
+      headers;
+    { code; blocks; block_of; preds; reachable; idom; back_edges; loop_depth }
+  end
+
+let n_blocks t = Array.length t.blocks
+
+let render t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "cfg of %s (%d blocks, %d back edges):\n" t.code.Rcode.name
+       (n_blocks t) (List.length t.back_edges));
+  Array.iter
+    (fun b ->
+      let loc =
+        match Rcode.addr_of t.code b.first with
+        | Some a -> Printf.sprintf "0x%x" a
+        | None -> Printf.sprintf "i%d" b.first
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  B%d [%s] %d ins depth %d -> {%s}%s\n" b.id loc
+           (b.last - b.first + 1) t.loop_depth.(b.id)
+           (String.concat "," (List.map string_of_int b.succs))
+           (if t.reachable.(b.id) then "" else " unreachable")))
+    t.blocks;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Control-flow graph over normalized routine code ({!Rcode}), with
+    dominators and loop-nest structure.
+
+    Unlike the WCET front end's CFG (which rejects anything it cannot
+    bound), this graph is total: ill-formed control flow simply contributes
+    no edge, and the checker reports it from the {!Rcode.flow} facts.  Basic
+    blocks end at any control transfer except calls (calls return to the
+    next instruction); block 0 is the routine entry. *)
+
+type block = {
+  id : int;
+  first : int;  (** instruction index of the first instruction *)
+  last : int;
+  succs : int list;  (** block ids; empty = routine exit *)
+}
+
+type t = {
+  code : Rcode.t;
+  blocks : block array;
+  block_of : int array;  (** instruction index -> block id *)
+  preds : int list array;
+  reachable : bool array;  (** from the entry block *)
+  idom : int array;  (** immediate dominator; -1 for entry and unreachable *)
+  back_edges : (int * int) list;  (** (tail, loop header) pairs *)
+  loop_depth : int array;
+      (** per block: number of natural loops containing it (0 = straight-line) *)
+}
+
+val build : Rcode.t -> t
+
+val n_blocks : t -> int
+
+val render : t -> string
+(** Compact textual dump (blocks, depths, edges, reachability). *)

@@ -1,0 +1,130 @@
+module Isa = Tq_isa.Isa
+module Symtab = Tq_vm.Symtab
+module Program = Tq_vm.Program
+
+let loop_weight = 32.
+
+type row = {
+  routine : Symtab.routine;
+  reads : float;
+  writes : float;
+  blocks : int;
+  loops : int;
+  max_depth : int;
+}
+
+let bytes row = row.reads +. row.writes
+
+(* Statically-known bytes of one instruction, under the profilers' rules:
+   prefetches are discarded, block moves have a dynamic length (counted as
+   0 — a known imprecision), call/ret stack traffic counts (the dynamic
+   totals we compare against are stack-inclusive). *)
+let ins_bytes i =
+  if Isa.is_prefetch i then (0, 0)
+  else (Isa.mem_read_bytes i, Isa.mem_write_bytes i)
+
+(* Weighted (reads, writes) of a routine's own code, plus its library call
+   sites with the loop weight of the calling block. *)
+let weigh (cfg : Cfg.t) =
+  let code = cfg.Cfg.code in
+  let reads = ref 0. and writes = ref 0. in
+  let call_sites = ref [] in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if cfg.Cfg.reachable.(b.Cfg.id) then begin
+        let w = loop_weight ** float_of_int cfg.Cfg.loop_depth.(b.Cfg.id) in
+        for i = b.Cfg.first to b.Cfg.last do
+          let r, wr = ins_bytes code.Rcode.ins.(i) in
+          reads := !reads +. (w *. float_of_int r);
+          writes := !writes +. (w *. float_of_int wr);
+          match code.Rcode.flow.(i) with
+          | Rcode.Call_known callee -> call_sites := (callee, w) :: !call_sites
+          | _ -> ()
+        done
+      end)
+    cfg.Cfg.blocks;
+  (!reads, !writes, !call_sites)
+
+let per_kernel prog =
+  let symtab = prog.Program.symtab in
+  let cfgs = Hashtbl.create 32 in
+  Symtab.iter
+    (fun r ->
+      if r.Symtab.size > 0 then
+        Hashtbl.replace cfgs r.Symtab.name
+          (r, Cfg.build (Rcode.of_routine prog r)))
+    symtab;
+  (* flat weighted bytes of a library routine, with callees folded in
+     (librt routines are leaves today, but stay safe under recursion) *)
+  let memo = Hashtbl.create 32 in
+  let rec flat visiting name =
+    match Hashtbl.find_opt memo name with
+    | Some v -> v
+    | None ->
+        if List.mem name visiting then (0., 0.)
+        else
+          let v =
+            match Hashtbl.find_opt cfgs name with
+            | None -> (0., 0.)
+            | Some (_, cfg) ->
+                let r, w, calls = weigh cfg in
+                List.fold_left
+                  (fun (r, w) (callee, cw) ->
+                    let cr, cww = flat (name :: visiting) callee in
+                    (r +. (cw *. cr), w +. (cw *. cww)))
+                  (r, w) calls
+          in
+          Hashtbl.replace memo name v;
+          v
+  in
+  let rows = ref [] in
+  Symtab.iter
+    (fun r ->
+      if r.Symtab.is_main_image && r.Symtab.size > 0 then begin
+        let _, cfg = Hashtbl.find cfgs r.Symtab.name in
+        let reads, writes, calls = weigh cfg in
+        (* fold in library callees only: main-image callees are kernels of
+           their own, mirroring tQUAD's Main_image_only attribution *)
+        let reads, writes =
+          List.fold_left
+            (fun (rd, wr) (callee, cw) ->
+              match Symtab.by_name symtab callee with
+              | Some c when c.Symtab.is_main_image -> (rd, wr)
+              | _ ->
+                  let cr, cww = flat [ r.Symtab.name ] callee in
+                  (rd +. (cw *. cr), wr +. (cw *. cww)))
+            (reads, writes) calls
+        in
+        let headers = List.sort_uniq compare (List.map snd cfg.Cfg.back_edges) in
+        let max_depth = Array.fold_left max 0 cfg.Cfg.loop_depth in
+        rows :=
+          {
+            routine = r;
+            reads;
+            writes;
+            blocks = Cfg.n_blocks cfg;
+            loops = List.length headers;
+            max_depth;
+          }
+          :: !rows
+      end)
+    symtab;
+  List.rev !rows
+
+let render rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "static bandwidth estimate (loop weight %g per nesting level):\n"
+       loop_weight);
+  Buffer.add_string buf
+    (Printf.sprintf "  %-24s %6s %6s %6s %14s %14s\n" "kernel" "blocks" "loops"
+       "depth" "est. read B" "est. write B");
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s %6d %6d %6d %14.0f %14.0f\n"
+           row.routine.Symtab.name row.blocks row.loops row.max_depth row.reads
+           row.writes))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Static per-kernel bandwidth estimator.
+
+    Every reachable instruction's statically-known memory traffic (load /
+    store widths; prefetches excluded and block moves counted as 0 bytes,
+    matching the dynamic profilers' accounting as far as the static side
+    can) is weighted by [loop_weight] raised to the block's loop-nest depth
+    and rolled up per main-image routine.  Library callees are folded into
+    the calling kernel at the call site's weight, mirroring tQUAD's
+    main-image-only attribution, so the rows are directly comparable — as a
+    ranking, not as absolute bytes — with the dynamic per-kernel totals. *)
+
+type row = {
+  routine : Tq_vm.Symtab.routine;
+  reads : float;  (** weighted read bytes *)
+  writes : float;  (** weighted write bytes *)
+  blocks : int;
+  loops : int;  (** natural-loop headers in the routine *)
+  max_depth : int;  (** deepest loop nesting *)
+}
+
+val loop_weight : float
+(** Assumed trip weight per loop-nesting level. *)
+
+val bytes : row -> float
+(** [reads +. writes]. *)
+
+val per_kernel : Tq_vm.Program.t -> row list
+(** One row per main-image routine, in symbol-table order. *)
+
+val render : row list -> string

@@ -1,0 +1,97 @@
+module Isa = Tq_isa.Isa
+module Program = Tq_vm.Program
+module Symtab = Tq_vm.Symtab
+
+type flow =
+  | Seq
+  | Jump of int
+  | Branch of int
+  | Jump_bad of int
+  | Branch_bad of int
+  | Call_known of string
+  | Call_sym of string
+  | Call_bad of int
+  | Dynamic_jump
+  | Dynamic_call
+  | Return
+  | Stop
+
+type t = {
+  name : string;
+  base_addr : int option;
+  ins : Isa.ins array;
+  flow : flow array;
+}
+
+let n t = Array.length t.ins
+
+let addr_of t i =
+  match t.base_addr with Some b -> Some (b + (i * Isa.ins_bytes)) | None -> None
+
+let flow_of_ins ~target ins =
+  match ins with
+  | Isa.Jmp a -> ( match target a with Some i -> Jump i | None -> Jump_bad a)
+  | Isa.Bz (_, a) | Isa.Bnz (_, a) -> (
+      match target a with Some i -> Branch i | None -> Branch_bad a)
+  | Isa.Jr _ -> Dynamic_jump
+  | Isa.Callr _ -> Dynamic_call
+  | Isa.Ret -> Return
+  | Isa.Halt -> Stop
+  | _ -> Seq
+
+let of_routine prog (r : Symtab.routine) =
+  let lo = r.Symtab.entry in
+  let count = r.Symtab.size / Isa.ins_bytes in
+  let ins = Array.init count (fun i -> Program.fetch prog (lo + (i * Isa.ins_bytes))) in
+  let target a =
+    if a >= lo && a < lo + r.Symtab.size && (a - lo) mod Isa.ins_bytes = 0 then
+      Some ((a - lo) / Isa.ins_bytes)
+    else None
+  in
+  let symtab = prog.Program.symtab in
+  let flow =
+    Array.map
+      (fun i ->
+        match i with
+        | Isa.Call a -> (
+            match Symtab.find symtab a with
+            | Some callee when callee.Symtab.entry = a -> Call_known callee.Symtab.name
+            | _ -> Call_bad a)
+        | i -> flow_of_ins ~target i)
+      ins
+  in
+  { name = r.Symtab.name; base_addr = Some lo; ins; flow }
+
+(* Unit-level view over the assembler builder's items: label targets are
+   already instruction indices, calls and address loads are symbolic.  The
+   placeholder instructions keep the registers the checker's dataflow needs
+   (branch guards, address-load destinations); their dummy targets are never
+   read — [flow] carries control.  [La_s] becomes a load of [data_base]: a
+   stand-in for "some valid data address" (the linker will patch a real
+   one), so constant-address validation neither trusts nor flags it. *)
+let of_items ~name (items : Tq_asm.Builder.item array) =
+  let count = Array.length items in
+  let ins =
+    Array.map
+      (function
+        | Tq_asm.Builder.I i -> i
+        | Jmp_l _ -> Isa.Jmp 0
+        | Bz_l (r, _) -> Isa.Bz (r, 0)
+        | Bnz_l (r, _) -> Isa.Bnz (r, 0)
+        | Call_s _ -> Isa.Call 0
+        | La_s (r, _) -> Isa.Li (r, Tq_vm.Layout.data_base))
+      items
+  in
+  let target idx = if idx >= 0 && idx < count then Some idx else None in
+  let flow =
+    Array.map
+      (function
+        | Tq_asm.Builder.I i -> flow_of_ins ~target:(fun a -> target a) i
+        | Jmp_l l -> ( match target l with Some i -> Jump i | None -> Jump_bad l)
+        | Bz_l (_, l) | Bnz_l (_, l) -> (
+            match target l with Some i -> Branch i | None -> Branch_bad l)
+        | Call_s s -> Call_sym s
+        | La_s _ -> Seq)
+      items
+  in
+  { name; base_addr = None; ins; flow }

@@ -1,0 +1,42 @@
+(** Normalized per-routine code: one instruction array plus an explicit
+    control-flow fact per instruction.
+
+    The verifier runs over two sources with one analysis core: fully linked
+    binaries ({!of_routine}, targets are absolute code addresses resolved
+    against the routine's text and the symbol table) and pre-link assembler
+    units ({!of_items}, targets are label indices the builder already
+    resolved).  Anything control-flow-shaped that cannot be proven
+    well-formed is preserved as a [..._bad] or [Dynamic_...] fact for the
+    checker to diagnose — construction itself never fails. *)
+
+type flow =
+  | Seq  (** falls through to the next instruction *)
+  | Jump of int  (** unconditional, target instruction index *)
+  | Branch of int  (** conditional: target index, plus fall-through *)
+  | Jump_bad of int
+      (** unconditional jump whose target leaves the routine's text or lands
+          mid-instruction (the raw target, address or label) *)
+  | Branch_bad of int
+  | Call_known of string  (** call to a resolved routine entry *)
+  | Call_sym of string  (** unit-level symbolic call (resolved at link) *)
+  | Call_bad of int  (** call target is not any routine's entry *)
+  | Dynamic_jump  (** [jr] *)
+  | Dynamic_call  (** [callr] *)
+  | Return
+  | Stop  (** [halt] *)
+
+type t = {
+  name : string;
+  base_addr : int option;  (** code address of instruction 0; [None] pre-link *)
+  ins : Tq_isa.Isa.ins array;
+  flow : flow array;
+}
+
+val n : t -> int
+
+val addr_of : t -> int -> int option
+(** Code address of instruction [i], when known. *)
+
+val of_routine : Tq_vm.Program.t -> Tq_vm.Symtab.routine -> t
+
+val of_items : name:string -> Tq_asm.Builder.item array -> t

@@ -1,0 +1,413 @@
+module Isa = Tq_isa.Isa
+module Layout = Tq_vm.Layout
+module Symtab = Tq_vm.Symtab
+module Program = Tq_vm.Program
+
+type cls =
+  | Bad_jump
+  | Bad_call
+  | Dynamic_flow
+  | Use_before_def
+  | Unreachable_code
+  | Stack_imbalance
+  | Fall_through
+  | Bad_address
+
+let class_name = function
+  | Bad_jump -> "bad-jump"
+  | Bad_call -> "bad-call"
+  | Dynamic_flow -> "dynamic-flow"
+  | Use_before_def -> "use-before-def"
+  | Unreachable_code -> "unreachable"
+  | Stack_imbalance -> "stack-imbalance"
+  | Fall_through -> "fall-through"
+  | Bad_address -> "bad-address"
+
+type diagnostic = {
+  routine : string;
+  index : int;
+  addr : int option;
+  cls : cls;
+  message : string;
+}
+
+let has_class c diags = List.exists (fun d -> d.cls = c) diags
+
+let render diags =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      let where =
+        match d.addr with
+        | Some a -> Printf.sprintf "0x%x" a
+        | None -> Printf.sprintf "i%d" d.index
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s+%s: [%s] %s\n" d.routine where (class_name d.cls)
+           d.message))
+    diags;
+  Buffer.contents buf
+
+(* ---------- per-instruction register uses and definitions ---------- *)
+
+let operand_reg = function Isa.Reg r -> [ r ] | Isa.Imm _ -> []
+let pred_reg = function Some p -> [ p ] | None -> []
+
+(* (int uses, float uses, int defs, float defs) *)
+let uses_defs (i : Isa.ins) =
+  match i with
+  | Isa.Nop | Isa.Halt | Isa.Ret | Isa.Jmp _ -> ([], [], [], [])
+  | Isa.Li (rd, _) -> ([], [], [ rd ], [])
+  | Isa.Mov (rd, rs) -> ([ rs ], [], [ rd ], [])
+  | Isa.Bin (_, rd, rs, o) -> (rs :: operand_reg o, [], [ rd ], [])
+  | Isa.Fli (fd, _) -> ([], [], [], [ fd ])
+  | Isa.Fmov (fd, fs) -> ([], [ fs ], [], [ fd ])
+  | Isa.Fbin (_, fd, fa, fb) -> ([], [ fa; fb ], [], [ fd ])
+  | Isa.Fun (_, fd, fs) -> ([], [ fs ], [], [ fd ])
+  | Isa.Fcmp (_, rd, fa, fb) -> ([], [ fa; fb ], [ rd ], [])
+  | Isa.I2f (fd, rs) -> ([ rs ], [], [], [ fd ])
+  | Isa.F2i (rd, fs) -> ([], [ fs ], [ rd ], [])
+  | Isa.Load { dst; base; pred; _ } -> (base :: pred_reg pred, [], [ dst ], [])
+  | Isa.Loads { dst; base; _ } -> ([ base ], [], [ dst ], [])
+  | Isa.Store { src; base; pred; _ } -> (src :: base :: pred_reg pred, [], [], [])
+  | Isa.Fload { dst; base; pred; _ } -> (base :: pred_reg pred, [], [], [ dst ])
+  | Isa.Fstore { src; base; pred; _ } -> (base :: pred_reg pred, [ src ], [], [])
+  | Isa.Prefetch { base; _ } -> ([ base ], [], [], [])
+  | Isa.Movs { dst; src; len } -> ([ dst; src; len ], [], [], [])
+  | Isa.Jr r -> ([ r ], [], [], [])
+  | Isa.Bz (r, _) | Isa.Bnz (r, _) -> ([ r ], [], [], [])
+  | Isa.Call _ -> ([], [], [ Isa.reg_rv ], [ Isa.freg_rv ])
+  | Isa.Callr r -> ([ r ], [], [ Isa.reg_rv ], [ Isa.freg_rv ])
+  | Isa.Syscall _ -> ([], [], [ Isa.reg_rv ], [])
+
+(* ---------- use-before-def (must-defined forward dataflow) ----------
+
+   A register is "defined" at entry unless it is one of the code
+   generator's caller-saved temporaries (x10..x27 / f10..f27): the ABI
+   gives those no entry value, so reading one before writing it means the
+   routine observes garbage.  Defined-sets are 32-bit masks, one for the
+   integer file and one for the float file. *)
+
+let entry_defined_i =
+  let m = ref 0 in
+  for r = 0 to Isa.num_regs - 1 do
+    if r < Isa.reg_t0 || r >= Isa.reg_t0 + Isa.num_temps then m := !m lor (1 lsl r)
+  done;
+  !m
+
+let entry_defined_f =
+  let m = ref 0 in
+  for r = 0 to Isa.num_regs - 1 do
+    if r < Isa.freg_t0 || r >= Isa.freg_t0 + Isa.num_ftemps then
+      m := !m lor (1 lsl r)
+  done;
+  !m
+
+let full_mask = (1 lsl Isa.num_regs) - 1
+
+let check_use_before_def (cfg : Cfg.t) add =
+  let code = cfg.Cfg.code in
+  let nb = Cfg.n_blocks cfg in
+  if nb > 0 then begin
+    let out_i = Array.make nb full_mask and out_f = Array.make nb full_mask in
+    let in_of b =
+      if b = 0 then (entry_defined_i, entry_defined_f)
+      else
+        List.fold_left
+          (fun (ai, af) p ->
+            if cfg.Cfg.reachable.(p) then (ai land out_i.(p), af land out_f.(p))
+            else (ai, af))
+          (full_mask, full_mask) cfg.Cfg.preds.(b)
+    in
+    let flow_block ~report b =
+      let di = ref (fst (in_of b)) and df = ref (snd (in_of b)) in
+      let blk = cfg.Cfg.blocks.(b) in
+      for i = blk.Cfg.first to blk.Cfg.last do
+        let ui, uf, wi, wf = uses_defs code.Rcode.ins.(i) in
+        if report then begin
+          List.iter
+            (fun r ->
+              if !di land (1 lsl r) = 0 then
+                add i Use_before_def
+                  (Printf.sprintf "reads x%d before any definition" r))
+            ui;
+          List.iter
+            (fun r ->
+              if !df land (1 lsl r) = 0 then
+                add i Use_before_def
+                  (Printf.sprintf "reads f%d before any definition" r))
+            uf
+        end;
+        List.iter (fun r -> di := !di lor (1 lsl r)) wi;
+        List.iter (fun r -> df := !df lor (1 lsl r)) wf
+      done;
+      (!di, !df)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = 0 to nb - 1 do
+        if cfg.Cfg.reachable.(b) then begin
+          let oi, of_ = flow_block ~report:false b in
+          if oi <> out_i.(b) || of_ <> out_f.(b) then begin
+            out_i.(b) <- oi;
+            out_f.(b) <- of_;
+            changed := true
+          end
+        end
+      done
+    done;
+    for b = 0 to nb - 1 do
+      if cfg.Cfg.reachable.(b) then ignore (flow_block ~report:true b)
+    done
+  end
+
+(* ---------- stack discipline ----------
+
+   [sp] and [fp] are tracked as offsets from their entry values.  A [call]
+   is stack-neutral from the caller's view (the callee pops what the call
+   pushed), so any path reaching [ret] must restore sp to exactly its entry
+   value — otherwise the popped "return address" is some other slot.  Joins
+   that disagree degrade to Unknown, and Unknown at a [ret] is reported:
+   generated code must make balance provable. *)
+
+type avbase = Sp0 | Fp0
+type av = Rel of avbase * int | Unknown
+
+type sstate = { s_sp : av; s_fp : av }
+
+let av_meet a b = if a = b then a else Unknown
+
+let meet_state a b = { s_sp = av_meet a.s_sp b.s_sp; s_fp = av_meet a.s_fp b.s_fp }
+
+let value_of st r =
+  if r = Isa.reg_sp then st.s_sp else if r = Isa.reg_fp then st.s_fp else Unknown
+
+let set_value st r v =
+  if r = Isa.reg_sp then { st with s_sp = v }
+  else if r = Isa.reg_fp then { st with s_fp = v }
+  else st
+
+let stack_transfer st (i : Isa.ins) =
+  match i with
+  | Isa.Bin (op, rd, rs, Isa.Imm k)
+    when (rd = Isa.reg_sp || rd = Isa.reg_fp) && (op = Isa.Add || op = Isa.Sub) ->
+      let v =
+        match value_of st rs with
+        | Rel (b, o) -> Rel (b, if op = Isa.Add then o + k else o - k)
+        | Unknown -> Unknown
+      in
+      set_value st rd v
+  | Isa.Mov (rd, rs) when rd = Isa.reg_sp || rd = Isa.reg_fp ->
+      set_value st rd (value_of st rs)
+  | Isa.Call _ | Isa.Callr _ | Isa.Syscall _ -> st
+  | i ->
+      let _, _, wi, _ = uses_defs i in
+      List.fold_left (fun st r -> set_value st r Unknown) st wi
+
+let check_stack (cfg : Cfg.t) add =
+  let code = cfg.Cfg.code in
+  let nb = Cfg.n_blocks cfg in
+  if nb > 0 then begin
+    let entry = { s_sp = Rel (Sp0, 0); s_fp = Rel (Fp0, 0) } in
+    let out : sstate option array = Array.make nb None in
+    let in_of b =
+      if b = 0 then entry
+      else
+        List.fold_left
+          (fun acc p ->
+            match (out.(p), acc) with
+            | None, acc -> acc
+            | Some s, None -> Some s
+            | Some s, Some a -> Some (meet_state a s))
+          None cfg.Cfg.preds.(b)
+        |> Option.value ~default:entry
+    in
+    let flow_block ~report b =
+      let st = ref (in_of b) in
+      let blk = cfg.Cfg.blocks.(b) in
+      for i = blk.Cfg.first to blk.Cfg.last do
+        (if report && code.Rcode.flow.(i) = Rcode.Return then
+           match !st.s_sp with
+           | Rel (Sp0, 0) -> ()
+           | Rel (Sp0, k) ->
+               add i Stack_imbalance
+                 (Printf.sprintf "ret with sp = entry%+d (unbalanced stack)" k)
+           | Rel (Fp0, _) | Unknown ->
+               add i Stack_imbalance
+                 "ret with unprovable stack depth (sp not restored to its \
+                  entry value)");
+        st := stack_transfer !st code.Rcode.ins.(i)
+      done;
+      !st
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = 0 to nb - 1 do
+        if cfg.Cfg.reachable.(b) then begin
+          let o = flow_block ~report:false b in
+          if out.(b) <> Some o then begin
+            out.(b) <- Some o;
+            changed := true
+          end
+        end
+      done
+    done;
+    for b = 0 to nb - 1 do
+      if cfg.Cfg.reachable.(b) then ignore (flow_block ~report:true b)
+    done
+  end
+
+(* ---------- provably bad constant addresses ----------
+
+   Block-local constant propagation; an access whose effective address is a
+   compile-time constant must land in static data, heap or stack.  Anything
+   below [Layout.data_base] (the null page and the text segment) or at or
+   above [Layout.stack_top] can never be legitimate data.  Predicated
+   accesses are exempt: their guard may never fire. *)
+
+let bad_const_addr ea = ea < Layout.data_base || ea >= Layout.stack_top
+
+let check_addresses (cfg : Cfg.t) add =
+  let code = cfg.Cfg.code in
+  let consts = Array.make Isa.num_regs None in
+  let reset () =
+    Array.fill consts 0 Isa.num_regs None;
+    consts.(Isa.reg_zero) <- Some 0
+  in
+  let def r v =
+    if r <> Isa.reg_zero then consts.(r) <- v
+  in
+  let access i ~base ~off ~pred ~what =
+    match pred with
+    | Some _ -> ()
+    | None -> (
+        match consts.(base) with
+        | Some c when bad_const_addr (c + off) ->
+            add i Bad_address
+              (Printf.sprintf "%s at constant address 0x%x, outside any \
+                               data/heap/stack region" what (c + off))
+        | _ -> ())
+  in
+  Array.iter
+    (fun (blk : Cfg.block) ->
+      if cfg.Cfg.reachable.(blk.Cfg.id) then begin
+        reset ();
+        for i = blk.Cfg.first to blk.Cfg.last do
+          (match code.Rcode.ins.(i) with
+          | Isa.Load { base; off; pred; _ } -> access i ~base ~off ~pred ~what:"load"
+          | Isa.Loads { base; off; _ } -> access i ~base ~off ~pred:None ~what:"load"
+          | Isa.Fload { base; off; pred; _ } -> access i ~base ~off ~pred ~what:"load"
+          | Isa.Store { base; off; pred; _ } -> access i ~base ~off ~pred ~what:"store"
+          | Isa.Fstore { base; off; pred; _ } -> access i ~base ~off ~pred ~what:"store"
+          | _ -> ());
+          (match code.Rcode.ins.(i) with
+          | Isa.Li (rd, n) -> def rd (Some n)
+          | Isa.Mov (rd, rs) -> def rd consts.(rs)
+          | Isa.Bin (op, rd, rs, o) ->
+              let ov =
+                match o with Isa.Imm k -> Some k | Isa.Reg r -> consts.(r)
+              in
+              let v =
+                match (op, consts.(rs), ov) with
+                | Isa.Add, Some a, Some b -> Some (a + b)
+                | Isa.Sub, Some a, Some b -> Some (a - b)
+                | _ -> None
+              in
+              def rd v
+          | i ->
+              let _, _, wi, _ = uses_defs i in
+              List.iter (fun r -> def r None) wi)
+        done
+      end)
+    cfg.Cfg.blocks
+
+(* ---------- structural diagnostics from the flow facts ---------- *)
+
+let check_flow (cfg : Cfg.t) add =
+  let code = cfg.Cfg.code in
+  Array.iteri
+    (fun i (f : Rcode.flow) ->
+      match f with
+      | Rcode.Jump_bad t | Branch_bad t ->
+          add i Bad_jump
+            (Printf.sprintf
+               "jump target 0x%x leaves the routine's text or lands \
+                mid-instruction" t)
+      | Call_bad t ->
+          add i Bad_call
+            (Printf.sprintf "call target 0x%x is not any routine's entry" t)
+      | Dynamic_jump -> add i Dynamic_flow "dynamic jump (jr): target unprovable"
+      | Dynamic_call ->
+          add i Dynamic_flow "dynamic call (callr): target unprovable"
+      | _ -> ())
+    code.Rcode.flow
+
+let check_unreachable (cfg : Cfg.t) add =
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if not cfg.Cfg.reachable.(b.Cfg.id) then
+        add b.Cfg.first Unreachable_code
+          (Printf.sprintf "unreachable block of %d instruction(s)"
+             (b.Cfg.last - b.Cfg.first + 1)))
+    cfg.Cfg.blocks
+
+(* The last instruction of the routine must not fall through into whatever
+   the linker placed next.  An [exit] syscall is terminal even though the
+   machine treats it as an ordinary instruction. *)
+let check_fall_through (cfg : Cfg.t) add =
+  let code = cfg.Cfg.code in
+  let n = Rcode.n code in
+  if n > 0 && cfg.Cfg.reachable.(cfg.Cfg.block_of.(n - 1)) then
+    let falls =
+      match code.Rcode.flow.(n - 1) with
+      | Rcode.Seq | Branch _ | Branch_bad _ | Call_known _ | Call_sym _
+      | Call_bad _ | Dynamic_call ->
+          true
+      | Jump _ | Jump_bad _ | Dynamic_jump | Return | Stop -> false
+    in
+    let is_exit =
+      match code.Rcode.ins.(n - 1) with
+      | Isa.Syscall s -> s = Tq_vm.Sysno.exit
+      | _ -> false
+    in
+    if falls && not is_exit then
+      add (n - 1) Fall_through
+        "control can fall through the end of the routine's text"
+
+(* ---------- entry points ---------- *)
+
+let check_cfg (cfg : Cfg.t) =
+  let diags = ref [] in
+  let add index cls message =
+    diags :=
+      {
+        routine = cfg.Cfg.code.Rcode.name;
+        index;
+        addr = Rcode.addr_of cfg.Cfg.code index;
+        cls;
+        message;
+      }
+      :: !diags
+  in
+  check_flow cfg add;
+  check_unreachable cfg add;
+  check_fall_through cfg add;
+  check_use_before_def cfg add;
+  check_stack cfg add;
+  check_addresses cfg add;
+  List.sort (fun a b -> compare (a.index, a.cls) (b.index, b.cls)) !diags
+
+let check_rcode code = check_cfg (Cfg.build code)
+
+let check_items ~name items = check_rcode (Rcode.of_items ~name items)
+
+let check_program ?(all_images = true) prog =
+  let acc = ref [] in
+  Symtab.iter
+    (fun r ->
+      if (all_images || r.Symtab.is_main_image) && r.Symtab.size > 0 then
+        acc := check_rcode (Rcode.of_routine prog r) :: !acc)
+    prog.Program.symtab;
+  List.concat (List.rev !acc)

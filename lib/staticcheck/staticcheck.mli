@@ -1,0 +1,58 @@
+(** Static binary verifier for linked programs and assembler units.
+
+    Runs a small suite of whole-routine analyses over the {!Cfg} of each
+    routine and reports everything it can prove wrong, without executing
+    the program:
+
+    - control flow: jumps that leave the routine's text or land between
+      instruction boundaries, calls whose target is no routine's entry,
+      dynamic transfers whose target cannot be proven;
+    - reachability: blocks no path from the entry reaches, and routines
+      whose last instruction can fall through into the next routine;
+    - dataflow: reads of caller-saved temporaries before any definition
+      (must-defined analysis over both register files);
+    - stack discipline: paths reaching [ret] with [sp] provably or
+      possibly different from its entry value;
+    - memory: loads/stores whose constant effective address lies outside
+      every data, heap and stack region.
+
+    An empty diagnostic list means the checks passed; it does not mean the
+    program is correct. *)
+
+type cls =
+  | Bad_jump
+  | Bad_call
+  | Dynamic_flow
+  | Use_before_def
+  | Unreachable_code
+  | Stack_imbalance
+  | Fall_through
+  | Bad_address
+
+val class_name : cls -> string
+(** Stable kebab-case name, e.g. ["use-before-def"]. *)
+
+type diagnostic = {
+  routine : string;
+  index : int;  (** instruction index within the routine *)
+  addr : int option;  (** absolute address when the code is linked *)
+  cls : cls;
+  message : string;
+}
+
+val has_class : cls -> diagnostic list -> bool
+
+val render : diagnostic list -> string
+(** One line per diagnostic: [routine+addr: [class] message]. *)
+
+val check_cfg : Cfg.t -> diagnostic list
+
+val check_rcode : Rcode.t -> diagnostic list
+
+val check_items : name:string -> Tq_asm.Builder.item array -> diagnostic list
+(** Check one unlinked assembler unit (label-resolved, symbols opaque). *)
+
+val check_program : ?all_images:bool -> Tq_vm.Program.t -> diagnostic list
+(** Check every routine of a linked program ([all_images:false] restricts
+    to main-image routines).  Diagnostics are in symbol-table order, then
+    by instruction index. *)

@@ -95,7 +95,10 @@ let attach engine sink =
       end)
 
 let record ?fuel ?chunk_bytes engine ~path =
-  Writer.with_file ?chunk_bytes path (fun w ->
+  let fingerprint =
+    Tq_vm.Program.fingerprint (Machine.program (Engine.machine engine))
+  in
+  Writer.with_file ?chunk_bytes ~fingerprint path (fun w ->
       attach engine (Writer.emit w);
       Engine.run ?fuel engine;
       let m = Engine.machine engine in

@@ -11,6 +11,7 @@ type t = {
   chunks : chunk array;
   n_events : int;
   last_icount : int;
+  fingerprint : int64;
 }
 
 let read_file path =
@@ -43,16 +44,25 @@ let iter_chunk raw chunk sink =
   if !pos <> payload_end then
     fail "chunk at %d: payload length mismatch" chunk.c_offset
 
+let le64 raw pos =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code raw.[pos + i]))
+  done;
+  !v
+
 let load path =
   let raw = read_file path in
   let mlen = String.length Writer.magic in
   if String.length raw < mlen || String.sub raw 0 mlen <> Writer.magic then
-    fail "bad magic (not a tquad trace)";
+    fail "bad magic (not a tquad trace, or an old container version)";
+  let hlen = Writer.header_bytes in
   let tlen = String.length Writer.trailer_magic in
   let len = String.length raw in
-  if len < mlen + 8 + tlen
+  if len < hlen + 8 + tlen
      || String.sub raw (len - tlen) tlen <> Writer.trailer_magic
   then fail "bad trailer (truncated recording?)";
+  let fingerprint = le64 raw mlen in
   let index_offset =
     let v = ref 0 in
     for i = 7 downto 0 do
@@ -60,7 +70,7 @@ let load path =
     done;
     !v
   in
-  if index_offset < mlen || index_offset > len - tlen - 8 then
+  if index_offset < hlen || index_offset > len - tlen - 8 then
     fail "index offset %d out of range" index_offset;
   let pos = ref index_offset in
   let n_chunks = leb_u raw pos in
@@ -71,7 +81,7 @@ let load path =
         off := !off + leb_u raw pos;
         ic := !ic + leb_u raw pos;
         let c_events = leb_u raw pos in
-        if !off < mlen || !off >= index_offset then
+        if !off < hlen || !off >= index_offset then
           fail "chunk offset %d out of range" !off;
         { c_offset = !off; c_first_icount = !ic; c_events })
   in
@@ -80,7 +90,7 @@ let load path =
   if n_chunks > 0 then
     iter_chunk raw chunks.(n_chunks - 1) (fun ev ->
         last_icount := Event.icount ev);
-  { raw; chunks; n_events; last_icount = !last_icount }
+  { raw; chunks; n_events; last_icount = !last_icount; fingerprint }
 
 (* Same loop as [iter_chunk], dispatching on the event's tag instead of
    through one composite sink: the replay driver keeps one fused sink per
@@ -138,6 +148,7 @@ let iter ?from_icount t sink =
     iter_chunk t.raw t.chunks.(i) sink
   done
 
+let fingerprint t = t.fingerprint
 let n_events t = t.n_events
 let n_chunks t = Array.length t.chunks
 let last_icount t = t.last_icount

@@ -25,6 +25,10 @@ val iter_tags : t -> (Event.t -> unit) array -> unit
     tag's sink fans out to the jobs interested in that kind.
     @raise Invalid_argument unless given exactly {!Event.n_kinds} sinks. *)
 
+val fingerprint : t -> int64
+(** The recorded program's {!Tq_vm.Program.fingerprint} as stamped by the
+    writer; [0L] when the recorder did not know it. *)
+
 val n_events : t -> int
 val n_chunks : t -> int
 

@@ -106,3 +106,17 @@ let parallel ?domains reader jobs =
          (fun i j -> (j.name, Option.value ~default:"" results.(i)))
          jobs)
   end
+
+let check_program reader prog =
+  let recorded = Reader.fingerprint reader in
+  if Int64.equal recorded 0L then Ok () (* recorder did not know the program *)
+  else
+    let actual = Tq_vm.Program.fingerprint prog in
+    if Int64.equal recorded actual then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "trace was recorded from a different program (trace fingerprint \
+            %016Lx, program fingerprint %016Lx); re-record or replay against \
+            the original binary"
+           recorded actual)

@@ -39,3 +39,8 @@ val parallel : ?domains:int -> Reader.t -> job list -> (string * string) list
     not per job.  Results come back in job order.  The first exception
     raised by any group is re-raised after all domains are joined (an
     exception aborts that whole group's pass). *)
+
+val check_program : Reader.t -> Tq_vm.Program.t -> (unit, string) result
+(** Does this trace belong to this program?  [Error] explains a fingerprint
+    mismatch; a trace stamped with fingerprint [0L] (recorder did not know
+    the program) is accepted. *)

@@ -1,7 +1,8 @@
 module Leb = Tq_util.Leb128
 
-let magic = "TQTRC1\n"
+let magic = "TQTRC2\n"
 let trailer_magic = "TQTRIX1\n"
+let header_bytes = String.length magic + 8 (* magic + LE program fingerprint *)
 
 type chunk = { c_offset : int; c_first_icount : int; c_events : int }
 
@@ -18,10 +19,13 @@ type t = {
   mutable closed : bool;
 }
 
-let create ?(chunk_bytes = 64 * 1024) path =
+let create ?(chunk_bytes = 64 * 1024) ?(fingerprint = 0L) path =
   if chunk_bytes <= 0 then invalid_arg "Trace.Writer.create: chunk_bytes";
   let oc = open_out_bin path in
   output_string oc magic;
+  let fp = Buffer.create 8 in
+  Buffer.add_int64_le fp fingerprint;
+  Buffer.output_buffer oc fp;
   {
     oc;
     chunk_bytes;
@@ -30,7 +34,7 @@ let create ?(chunk_bytes = 64 * 1024) path =
     chunk_first_icount = 0;
     chunk_events = 0;
     chunks = [];
-    written = String.length magic;
+    written = header_bytes;
     total_events = 0;
     closed = false;
   }
@@ -94,6 +98,6 @@ let close w =
     w.closed <- true
   end
 
-let with_file ?chunk_bytes path f =
-  let w = create ?chunk_bytes path in
+let with_file ?chunk_bytes ?fingerprint path f =
+  let w = create ?chunk_bytes ?fingerprint path in
   Fun.protect ~finally:(fun () -> close w) (fun () -> f w)

@@ -3,7 +3,8 @@
     File layout (all integers LEB128 unless noted):
 
     {v
-    "TQTRC1\n"                                      magic
+    "TQTRC2\n"                                      magic
+    fingerprint  := program fingerprint (8 bytes LE, 0 = unknown)
     chunk*       := n_events  first_icount  payload_len  payload
     index        := n_chunks  (offset_delta first_icount_delta n_events)*
     trailer      := index_offset (8 bytes LE)  "TQTRIX1\n"
@@ -17,11 +18,17 @@
 val magic : string
 val trailer_magic : string
 
+val header_bytes : int
+(** Size of the fixed header (magic + fingerprint). *)
+
 type t
 
-val create : ?chunk_bytes:int -> string -> t
+val create : ?chunk_bytes:int -> ?fingerprint:int64 -> string -> t
 (** Open [path] for writing and emit the header.  A chunk is flushed once its
-    payload reaches [chunk_bytes] (default 64 KiB). *)
+    payload reaches [chunk_bytes] (default 64 KiB).  [fingerprint] is the
+    recorded program's {!Tq_vm.Program.fingerprint} (default [0L] =
+    unknown); replay refuses a trace whose fingerprint does not match the
+    program it is replayed against. *)
 
 val emit : t -> Event.t -> unit
 
@@ -31,6 +38,6 @@ val events : t -> int
 val close : t -> unit
 (** Flush the last chunk, append the index and trailer, close the file. *)
 
-val with_file : ?chunk_bytes:int -> string -> (t -> 'a) -> 'a
+val with_file : ?chunk_bytes:int -> ?fingerprint:int64 -> string -> (t -> 'a) -> 'a
 (** [create] / [close] bracket; the file is closed (index written) even if
     the callback raises. *)

@@ -19,6 +19,43 @@ let index_of_addr t addr =
 
 let fetch t addr = t.code.(index_of_addr t addr)
 
+(* FNV-1a 64 over everything that determines execution: entry point, every
+   instruction's rendering, the symbol table, and initialized data.  Strings
+   are length-prefixed so field boundaries cannot alias. *)
+let fingerprint t =
+  let fnv_prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  let byte b =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) fnv_prime
+  in
+  let int v =
+    for i = 0 to 7 do
+      byte ((v lsr (8 * i)) land 0xff)
+    done
+  in
+  let str s =
+    int (String.length s);
+    String.iter (fun c -> byte (Char.code c)) s
+  in
+  int t.entry;
+  int (Array.length t.code);
+  Array.iter (fun ins -> str (Tq_isa.Isa.to_string ins)) t.code;
+  Symtab.iter
+    (fun r ->
+      str r.Symtab.name;
+      int r.Symtab.entry;
+      int r.Symtab.size;
+      str r.Symtab.image;
+      byte (if r.Symtab.is_main_image then 1 else 0))
+    t.symtab;
+  List.iter
+    (fun (addr, s) ->
+      int addr;
+      str s)
+    t.data;
+  int t.data_end;
+  !h
+
 let disassemble t =
   let buf = Buffer.create 4096 in
   Array.iteri

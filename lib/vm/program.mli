@@ -20,6 +20,12 @@ val index_of_addr : t -> int -> int
 val fetch : t -> int -> Tq_isa.Isa.ins
 (** [fetch t addr]. @raise Invalid_argument on a bad address. *)
 
+val fingerprint : t -> int64
+(** Stable 64-bit digest (FNV-1a) of everything that determines execution:
+    entry point, code, symbol table and initialized data.  Embedded in trace
+    containers so a recording can be matched to the program that produced
+    it. *)
+
 val disassemble : t -> string
 (** Full listing with routine headers, for debugging and the CLI's
     [disasm] subcommand. *)

@@ -3,7 +3,10 @@ module Machine = Tq_vm.Machine
 
 let compile ?optimize scen =
   Tq_rt.Rt.link
-    [ Tq_minic.Driver.compile_unit ?optimize ~image:"wfs" (Source.generate scen) ]
+    [
+      Tq_minic.Driver.compile_unit ?optimize ~verify:true ~image:"wfs"
+        (Source.generate scen);
+    ]
 
 let le64 v =
   String.init 8 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))

@@ -89,6 +89,108 @@ let qcheck_asm_parse_total =
       | _ -> true
       | exception Tq_asm.Asm_parse.Asm_error _ -> true)
 
+(* ---------- generated-but-valid programs: codegen passes the verifier ----------
+
+   Unlike the totality fuzzers above, this generator only produces
+   well-formed MiniC: int locals a..c, arithmetic, if/while/for with break,
+   continue and early returns (the shapes that make the code generator emit
+   dead tails), and calls between the generated functions.  The property is
+   the post-codegen gate itself: every routine the compiler emits passes
+   [Staticcheck] with zero diagnostics. *)
+
+let gen_minic_valid =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c" ] in
+  let rec expr n =
+    if n <= 0 then oneof [ map string_of_int (int_range 0 99); var ]
+    else
+      frequency
+        [
+          (2, map string_of_int (int_range 0 99));
+          (3, var);
+          ( 3,
+            map3
+              (fun op l r -> Printf.sprintf "(%s %s %s)" l op r)
+              (oneofl [ "+"; "-"; "*" ])
+              (expr (n - 1)) (expr (n - 1)) );
+          ( 1,
+            map3
+              (fun op l r -> Printf.sprintf "(%s %s %s)" l op r)
+              (oneofl [ "<"; "=="; ">" ])
+              (expr (n - 1)) (expr (n - 1)) );
+        ]
+  in
+  let rec stmt depth in_loop =
+    let base =
+      [
+        (4, map2 (fun v e -> Printf.sprintf "%s = %s;" v e) var (expr 2));
+        (1, map (fun e -> Printf.sprintf "return %s;" e) (expr 2));
+      ]
+    in
+    let nested =
+      if depth <= 0 then []
+      else
+        [
+          ( 2,
+            map3
+              (fun e s1 s2 -> Printf.sprintf "if (%s) { %s } else { %s }" e s1 s2)
+              (expr 1)
+              (block (depth - 1) in_loop)
+              (block (depth - 1) in_loop) );
+          ( 2,
+            map2
+              (fun e s ->
+                (* bounded counter loop: c is the induction variable *)
+                Printf.sprintf "for (c = 0; c < %s; c = c + 1) { %s }" e s)
+              (map string_of_int (int_range 1 9))
+              (block (depth - 1) true) );
+        ]
+    in
+    let loop_only =
+      if in_loop then [ (1, return "break;"); (1, return "continue;") ]
+      else []
+    in
+    frequency (base @ nested @ loop_only)
+  and block depth in_loop =
+    map (String.concat " ") (list_size (int_range 1 4) (stmt depth in_loop))
+  in
+  let func name params =
+    map
+      (fun body ->
+        Printf.sprintf "int %s(%s) { int a; int b; int c; a = 0; b = 1; c = 2; %s return a; }"
+          name params body)
+      (block 3 false)
+  in
+  map3
+    (fun f g main ->
+      Printf.sprintf "%s\n%s\n%s\n" f g
+        (String.concat "\n" [ main ]))
+    (func "f" "int a0") (func "g" "")
+    (map
+       (fun body ->
+         Printf.sprintf
+           "int main() { int a; int b; int c; a = f(3); b = g(); c = 0; %s \
+            return a + b; }"
+           body)
+       (block 3 false))
+
+let qcheck_codegen_verifies =
+  QCheck.Test.make ~name:"codegen output always passes the static verifier"
+    ~count:150
+    (QCheck.make ~print:Fun.id gen_minic_valid)
+    (fun src ->
+      (* verify:true raises Compile_error with the rendered diagnostics if
+         any check fires; optimize exercises the second codegen path *)
+      let u = Tq_minic.Driver.compile_unit ~verify:true ~image:"gen" src in
+      let uo =
+        Tq_minic.Driver.compile_unit ~verify:true ~optimize:true ~image:"gen"
+          src
+      in
+      (* and the linked image (runtime included) stays clean too *)
+      ignore uo;
+      let prog = Tq_rt.Rt.link [ u ] in
+      Tq_staticcheck.Staticcheck.check_program prog = [])
+
 let suites =
   [
     ( "fuzz",
@@ -100,5 +202,6 @@ let suites =
         QCheck_alcotest.to_alcotest qcheck_wav_decode_mutated;
         QCheck_alcotest.to_alcotest qcheck_objfile_decode_total;
         QCheck_alcotest.to_alcotest qcheck_asm_parse_total;
+        QCheck_alcotest.to_alcotest qcheck_codegen_verifies;
       ] );
   ]

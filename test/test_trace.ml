@@ -306,6 +306,38 @@ let test_record_reader_stats () =
       Alcotest.(check int) "iter covers all events" (Reader.n_events r) !n;
       Alcotest.(check int) "last icount" (Reader.last_icount r) !max_ic)
 
+let test_fingerprint_guard () =
+  let path = Filename.temp_file "tq_wfs" ".trc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let prog = record_trace path in
+      let r = Reader.load path in
+      Alcotest.(check bool) "recorder stamped a fingerprint" true
+        (Reader.fingerprint r <> 0L);
+      Alcotest.(check bool) "stamp is the program's fingerprint" true
+        (Reader.fingerprint r = Program.fingerprint prog);
+      (match Replay.check_program r prog with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      (* same sources, different scenario constants -> different image *)
+      let other = Tq_wfs.Harness.compile Tq_wfs.Scenario.default in
+      (match Replay.check_program r other with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "trace accepted against the wrong program");
+      (* a trace whose recorder did not know the program is accepted *)
+      let anon = Filename.temp_file "tq_anon" ".trc" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove anon)
+        (fun () ->
+          Writer.with_file anon (fun _ -> ());
+          let r2 = Reader.load anon in
+          Alcotest.(check bool) "unknown stamp is 0" true
+            (Reader.fingerprint r2 = 0L);
+          match Replay.check_program r2 prog with
+          | Ok () -> ()
+          | Error msg -> Alcotest.fail msg))
+
 let suites =
   [
     ( "trace",
@@ -321,5 +353,7 @@ let suites =
           test_record_reader_stats;
         Alcotest.test_case "wfs: replay = live for all six tools" `Quick
           test_replay_equivalence;
+        Alcotest.test_case "fingerprint binds trace to program" `Quick
+          test_fingerprint_guard;
       ] );
   ]
