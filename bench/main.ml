@@ -6,7 +6,10 @@
    Usage:
      bench/main.exe                 run everything
      bench/main.exe table1 ... fig7 overhead ablation bechamel
-                                    run selected experiments *)
+                                    run selected experiments
+     bench/main.exe engine --json   execution-engine speedups, also written
+                                    to BENCH_engine.json (--tiny: small
+                                    workload for CI smoke runs) *)
 
 module Machine = Tq_vm.Machine
 module Engine = Tq_dbi.Engine
@@ -20,6 +23,31 @@ module Ph = Tq_tquad.Phases
 module R = Tq_report.Report
 
 let scen = Scenario.default
+
+(* --json: experiments that support it also write BENCH_<name>.json so the
+   perf trajectory is machine-readable across PRs.  --tiny shrinks the
+   engine experiment's workload (CI smoke). *)
+let json_mode = ref false
+let tiny_mode = ref false
+
+let json_emit name fields =
+  if !json_mode then begin
+    let path = Printf.sprintf "BENCH_%s.json" name in
+    let oc = open_out path in
+    output_string oc "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        Printf.fprintf oc "  %S: %s%s\n" k v
+          (if i < List.length fields - 1 then "," else ""))
+      fields;
+    output_string oc "}\n";
+    close_out oc;
+    Printf.printf "  wrote %s\n" path
+  end
+
+let jstr s = Printf.sprintf "%S" s
+let jint = string_of_int
+let jfloat f = Printf.sprintf "%.6f" f
 
 let section title = Printf.printf "\n==== %s ====\n%!" title
 
@@ -688,6 +716,131 @@ let replay_bench () =
     record_dt
     (two_runs /. 2.)
 
+(* ---------- execution engine: closure compilation + trace chaining ----- *)
+
+let engine_bench () =
+  section
+    "Execution engine: closure-compiled traces + chaining vs the reference \
+     interpreter";
+  let scen = if !tiny_mode then Scenario.tiny else scen in
+  Printf.printf "(workload: %s)\n" (Scenario.describe scen);
+  let prog = Harness.compile scen in
+  let fuel = Harness.fuel scen in
+  let fresh_machine () = Machine.create ~vfs:(Harness.make_vfs scen) prog in
+  (* best-of-N behind a compacted heap: sub-second wall clocks swing with
+     machine load and GC state *)
+  let best_of rounds f =
+    let best = ref infinity and res = ref None in
+    for _ = 1 to rounds do
+      Gc.compact ();
+      let r, dt = timed f in
+      if dt < !best then begin
+        best := dt;
+        res := Some r
+      end
+    done;
+    (Option.get !res, !best)
+  in
+  let rounds = if !tiny_mode then 5 else 2 in
+
+  (* uninstrumented: plain fetch/dispatch interpreter vs threaded code *)
+  let m_interp, interp_dt =
+    best_of rounds (fun () ->
+        let m = fresh_machine () in
+        Tq_vm.Executor.run ~fuel m;
+        m)
+  in
+  let n_instr = Machine.instr_count m_interp in
+  let (m_closure, eng_plain), closure_dt =
+    best_of rounds (fun () ->
+        let m = fresh_machine () in
+        let eng = Engine.create m in
+        Engine.run ~fuel eng;
+        (m, eng))
+  in
+  let arch_identical =
+    Machine.exit_code m_interp = Machine.exit_code m_closure
+    && Machine.stdout_contents m_interp = Machine.stdout_contents m_closure
+    && Machine.instr_count m_interp = Machine.instr_count m_closure
+  in
+  let ips dt = float_of_int n_instr /. dt in
+  let up_uninstr = interp_dt /. closure_dt in
+  Printf.printf "uninstrumented (%s instructions):\n"
+    (Tq_util.Text_table.int_cell n_instr);
+  Printf.printf "  %-34s %8.3fs  %12.0f ins/s\n" "interpreter (Executor.run)"
+    interp_dt (ips interp_dt);
+  Printf.printf "  %-34s %8.3fs  %12.0f ins/s  %5.2fx\n"
+    "closure engine (chained)" closure_dt (ips closure_dt) up_uninstr;
+  Printf.printf "  architectural results identical: %b\n" arch_identical;
+
+  (* instrumented: tQUAD attached, reference path vs chained closures *)
+  let run_tquad ~use_code_cache () =
+    let m = fresh_machine () in
+    let eng = Engine.create ~use_code_cache m in
+    let t = Tq.attach ~slice_interval:2_000 eng in
+    Engine.run ~fuel eng;
+    let report =
+      R.figure t ~metric:Tq.Read_incl ~kernels:(Tq.kernels t) ~title:"fig" ()
+    in
+    (report, eng, m)
+  in
+  let (ref_report, _, _), ref_dt =
+    best_of rounds (run_tquad ~use_code_cache:false)
+  in
+  let (chained_report, eng_instr, m_instr), chained_dt =
+    best_of rounds (run_tquad ~use_code_cache:true)
+  in
+  let identical = ref_report = chained_report in
+  let up_instr = ref_dt /. chained_dt in
+  Printf.printf "instrumented (tQUAD, slice 2000):\n";
+  Printf.printf "  %-34s %8.3fs  %12.0f ins/s\n"
+    "reference (use_code_cache:false)" ref_dt (ips ref_dt);
+  Printf.printf "  %-34s %8.3fs  %12.0f ins/s  %5.2fx\n"
+    "chained closure engine" chained_dt (ips chained_dt) up_instr;
+  Printf.printf "  tQUAD report byte-identical: %b\n" identical;
+
+  (* engine + memory self-profile, tquad-selfprof style *)
+  let st = Engine.stats eng_instr in
+  let mc = Tq_vm.Memory.cache_stats (Machine.mem m_instr) in
+  let pct a b = 100. *. float_of_int a /. float_of_int (max 1 (a + b)) in
+  let chain_pct = 100. *. float_of_int st.Engine.chain_hits
+                  /. float_of_int (max 1 st.Engine.lookups) in
+  Printf.printf
+    "selfprof: blocks=%d chain-hits=%d (%.1f%%) traces=%d closure-ins=%d \
+     page-cache=%.1f%% (%d/%d)\n"
+    st.Engine.lookups st.Engine.chain_hits chain_pct st.Engine.compiled_traces
+    st.Engine.closure_instructions
+    (pct mc.Tq_vm.Memory.hits mc.Tq_vm.Memory.misses)
+    mc.Tq_vm.Memory.hits
+    (mc.Tq_vm.Memory.hits + mc.Tq_vm.Memory.misses);
+  ignore eng_plain;
+
+  json_emit "engine"
+    [
+      ("experiment", jstr "engine");
+      ("scenario", jstr (Scenario.describe scen));
+      ("instructions", jint n_instr);
+      ("uninstr_interp_s", jfloat interp_dt);
+      ("uninstr_closure_s", jfloat closure_dt);
+      ("uninstr_speedup", jfloat up_uninstr);
+      ("uninstr_closure_ips", jfloat (ips closure_dt));
+      ("arch_identical", if arch_identical then "true" else "false");
+      ("instr_reference_s", jfloat ref_dt);
+      ("instr_chained_s", jfloat chained_dt);
+      ("instr_speedup", jfloat up_instr);
+      ("instr_chained_ips", jfloat (ips chained_dt));
+      ("reports_identical", if identical then "true" else "false");
+      ("engine_lookups", jint st.Engine.lookups);
+      ("engine_misses", jint st.Engine.misses);
+      ("engine_chain_hits", jint st.Engine.chain_hits);
+      ("engine_chain_hit_pct", jfloat chain_pct);
+      ("engine_compiled_traces", jint st.Engine.compiled_traces);
+      ("engine_closure_instructions", jint st.Engine.closure_instructions);
+      ("mem_cache_hits", jint mc.Tq_vm.Memory.hits);
+      ("mem_cache_misses", jint mc.Tq_vm.Memory.misses);
+      ("mem_cache_hit_pct", jfloat (pct mc.Tq_vm.Memory.hits mc.Tq_vm.Memory.misses));
+    ]
+
 (* ---------- bechamel micro-benchmarks (one Test.make per experiment) ---- *)
 
 let bechamel () =
@@ -797,11 +950,23 @@ let experiments =
     ("generality", generality);
     ("footprint", footprint);
     ("replay", replay_bench);
+    ("engine", engine_bench);
     ("bechamel", bechamel);
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.tl (Array.to_list Sys.argv)
+    |> List.filter (fun a ->
+           match a with
+           | "--json" ->
+               json_mode := true;
+               false
+           | "--tiny" ->
+               tiny_mode := true;
+               false
+           | _ -> true)
+  in
   let selected =
     if args = [] then List.map fst experiments
     else begin

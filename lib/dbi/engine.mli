@@ -10,6 +10,17 @@
     exactly Pin's cost structure, which the paper's 37x-69x slowdown numbers
     reflect.
 
+    With the code cache on (the default), blocks are {e closure-compiled}
+    into threaded code: each instruction becomes one fused closure (analysis
+    actions + the specialized instruction closure from
+    {!Tq_vm.Machine.compile_ins}), and traces ending in a direct transfer
+    cache links to their successor traces, so steady-state execution follows
+    trace-to-trace links without hashtable probes — Pin's direct trace
+    linking.  [~use_code_cache:false] retains the re-instrument-and-interpret
+    reference path; both paths are observably equivalent (same architectural
+    results, same analysis-action order, byte-identical profiler reports),
+    which the differential tests verify on fuzzed programs.
+
     Mirrors of the Pin API used in the paper (Fig. 3-5):
     - [add_ins_instrumenter]  ~ [INS_AddInstrumentFunction]
     - [add_rtn_instrumenter]  ~ [RTN_AddInstrumentFunction] (fires at routine
@@ -77,11 +88,17 @@ val run : ?fuel:int -> t -> unit
 type stats = {
   compiled_traces : int;
   compiled_instructions : int;
-  lookups : int;  (** code-cache probes (= executed basic blocks) *)
-  misses : int;
+  lookups : int;  (** block dispatches (= executed basic blocks) *)
+  misses : int;  (** dispatches that had to (re)compile *)
+  chain_hits : int;
+      (** dispatches resolved through trace links, bypassing the hashtable *)
+  closure_instructions : int;
+      (** instructions closure-compiled into threaded code *)
 }
 
 val stats : t -> stats
 
 val invalidate_cache : t -> unit
-(** Drop all compiled traces (they will be re-instrumented on next touch). *)
+(** Drop all compiled traces (they will be re-instrumented on next touch).
+    Successor links live inside the dropped traces, so chaining state goes
+    with them; takes effect at the next hashtable dispatch. *)

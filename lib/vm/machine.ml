@@ -328,3 +328,312 @@ let exec t ins =
       t.is_halted <- true;
       if t.exit_status = None then t.exit_status <- Some 0);
   ()
+
+(* ---------- closure compilation (threaded code) ---------- *)
+
+(* First-class binop implementations for the closure compiler: resolving the
+   operator once at compile time replaces the per-execution [eval_binop]
+   dispatch with one indirect call.  [trap] inside Div/Rem sees the correct
+   ip because [compile_ins] closures only advance [pc] after their work,
+   preserving exec's "pc points at the executing instruction" invariant. *)
+let binop_fn t op : int -> int -> int =
+  match op with
+  | Isa.Add -> ( + )
+  | Sub -> ( - )
+  | Mul -> ( * )
+  | Div -> fun a b -> if b = 0 then trap t "integer division by zero" else a / b
+  | Rem ->
+      fun a b -> if b = 0 then trap t "integer remainder by zero" else a mod b
+  | And -> ( land )
+  | Or -> ( lor )
+  | Xor -> ( lxor )
+  | Sll -> fun a b -> a lsl (b land 63)
+  | Srl -> fun a b -> a lsr (b land 63)
+  | Sra -> fun a b -> a asr (b land 63)
+  | Slt -> fun a b -> if a < b then 1 else 0
+  | Sltu -> fun a b -> if ucmp_lt a b then 1 else 0
+  | Seq -> fun a b -> if a = b then 1 else 0
+  | Sne -> fun a b -> if a <> b then 1 else 0
+  | Sle -> fun a b -> if a <= b then 1 else 0
+  | Sge -> fun a b -> if a >= b then 1 else 0
+  | Sgt -> fun a b -> if a > b then 1 else 0
+
+(* Specialize one instruction into a single fused closure.  The returned
+   closure performs exactly what [exec] would — bump the retired counter,
+   do the work, leave [pc] at the follow-on address — but with registers,
+   immediates, widths and predicates resolved here, once, so the hot loop
+   pays no variant dispatch.  Reads of the zero register go straight to
+   [regs.(0)], which is 0 by construction (nothing ever writes it); writes
+   to it are compiled out while still evaluating the right-hand side for
+   its faults, mirroring [set_reg] after evaluation.  Keeping this compiler
+   inside [Machine] is what keeps the architectural state sealed: callers
+   get closures, never the raw arrays. *)
+let compile_ins t ins ~next =
+  let regs = t.regs and fregs = t.fregs and mem = t.memory in
+  match ins with
+  | Isa.Nop | Isa.Prefetch _ ->
+      (* Prefetch is a hint: references memory from the profiler's point of
+         view but has no architectural effect. *)
+      fun () ->
+        t.count <- t.count + 1;
+        t.pc <- next
+  | Isa.Li (r, i) ->
+      if r = Isa.reg_zero then
+        fun () ->
+          t.count <- t.count + 1;
+          t.pc <- next
+      else
+        fun () ->
+          t.count <- t.count + 1;
+          regs.(r) <- i;
+          t.pc <- next
+  | Isa.Mov (d, s) ->
+      if d = Isa.reg_zero then
+        fun () ->
+          t.count <- t.count + 1;
+          t.pc <- next
+      else
+        fun () ->
+          t.count <- t.count + 1;
+          regs.(d) <- regs.(s);
+          t.pc <- next
+  | Isa.Bin (op, d, s, o) -> (
+      let f = binop_fn t op in
+      match o with
+      | Isa.Reg r ->
+          if d = Isa.reg_zero then
+            fun () ->
+              t.count <- t.count + 1;
+              ignore (f regs.(s) regs.(r));
+              t.pc <- next
+          else
+            fun () ->
+              t.count <- t.count + 1;
+              regs.(d) <- f regs.(s) regs.(r);
+              t.pc <- next
+      | Isa.Imm i ->
+          if d = Isa.reg_zero then
+            fun () ->
+              t.count <- t.count + 1;
+              ignore (f regs.(s) i);
+              t.pc <- next
+          else
+            fun () ->
+              t.count <- t.count + 1;
+              regs.(d) <- f regs.(s) i;
+              t.pc <- next)
+  | Isa.Fli (r, f) ->
+      fun () ->
+        t.count <- t.count + 1;
+        fregs.(r) <- f;
+        t.pc <- next
+  | Isa.Fmov (d, s) ->
+      fun () ->
+        t.count <- t.count + 1;
+        fregs.(d) <- fregs.(s);
+        t.pc <- next
+  | Isa.Fbin (op, d, a, b) -> (
+      match op with
+      | Isa.Fadd ->
+          fun () ->
+            t.count <- t.count + 1;
+            fregs.(d) <- fregs.(a) +. fregs.(b);
+            t.pc <- next
+      | Fsub ->
+          fun () ->
+            t.count <- t.count + 1;
+            fregs.(d) <- fregs.(a) -. fregs.(b);
+            t.pc <- next
+      | Fmul ->
+          fun () ->
+            t.count <- t.count + 1;
+            fregs.(d) <- fregs.(a) *. fregs.(b);
+            t.pc <- next
+      | Fdiv ->
+          fun () ->
+            t.count <- t.count + 1;
+            fregs.(d) <- fregs.(a) /. fregs.(b);
+            t.pc <- next)
+  | Isa.Fun (op, d, s) ->
+      let f =
+        match op with
+        | Isa.Fneg -> ( ~-. )
+        | Fabs -> Float.abs
+        | Fsqrt -> Float.sqrt
+        | Fsin -> sin
+        | Fcos -> cos
+        | Ffloor -> Float.floor
+      in
+      fun () ->
+        t.count <- t.count + 1;
+        fregs.(d) <- f fregs.(s);
+        t.pc <- next
+  | Isa.Fcmp (c, d, a, b) ->
+      if d = Isa.reg_zero then
+        fun () ->
+          t.count <- t.count + 1;
+          t.pc <- next
+      else
+        let f =
+          match c with
+          | Isa.Feq -> fun x y -> if x = y then 1 else 0
+          | Fne -> fun x y -> if x <> y then 1 else 0
+          | Flt -> fun x y -> if x < y then 1 else 0
+          | Fle -> fun x y -> if x <= y then 1 else 0
+        in
+        fun () ->
+          t.count <- t.count + 1;
+          regs.(d) <- f fregs.(a) fregs.(b);
+          t.pc <- next
+  | Isa.I2f (d, s) ->
+      fun () ->
+        t.count <- t.count + 1;
+        fregs.(d) <- float_of_int regs.(s);
+        t.pc <- next
+  | Isa.F2i (d, s) ->
+      if d = Isa.reg_zero then
+        fun () ->
+          t.count <- t.count + 1;
+          t.pc <- next
+      else
+        fun () ->
+          t.count <- t.count + 1;
+          regs.(d) <- int_of_float fregs.(s);
+          t.pc <- next
+  | Isa.Load { width; dst; base; off; pred } -> (
+      let ld =
+        match width with
+        | Isa.W8 -> Memory.load_w8 mem
+        | w -> fun a -> Memory.load mem ~width:w a
+      in
+      match pred with
+      | None ->
+          if dst = Isa.reg_zero then
+            fun () ->
+              t.count <- t.count + 1;
+              ignore (ld (regs.(base) + off));
+              t.pc <- next
+          else
+            fun () ->
+              t.count <- t.count + 1;
+              regs.(dst) <- ld (regs.(base) + off);
+              t.pc <- next
+      | Some p ->
+          fun () ->
+            t.count <- t.count + 1;
+            (if regs.(p) <> 0 then
+               let v = ld (regs.(base) + off) in
+               if dst <> Isa.reg_zero then regs.(dst) <- v);
+            t.pc <- next)
+  | Isa.Loads { width; dst; base; off } ->
+      if dst = Isa.reg_zero then
+        fun () ->
+          t.count <- t.count + 1;
+          ignore (Memory.loads mem ~width (regs.(base) + off));
+          t.pc <- next
+      else
+        fun () ->
+          t.count <- t.count + 1;
+          regs.(dst) <- Memory.loads mem ~width (regs.(base) + off);
+          t.pc <- next
+  | Isa.Store { width; src; base; off; pred } -> (
+      let st =
+        match width with
+        | Isa.W8 -> Memory.store_w8 mem
+        | w -> fun a v -> Memory.store mem ~width:w a v
+      in
+      match pred with
+      | None ->
+          fun () ->
+            t.count <- t.count + 1;
+            st (regs.(base) + off) regs.(src);
+            t.pc <- next
+      | Some p ->
+          fun () ->
+            t.count <- t.count + 1;
+            if regs.(p) <> 0 then st (regs.(base) + off) regs.(src);
+            t.pc <- next)
+  | Isa.Fload { dst; base; off; pred } -> (
+      match pred with
+      | None ->
+          fun () ->
+            t.count <- t.count + 1;
+            fregs.(dst) <- Memory.load_f64 mem (regs.(base) + off);
+            t.pc <- next
+      | Some p ->
+          fun () ->
+            t.count <- t.count + 1;
+            if regs.(p) <> 0 then
+              fregs.(dst) <- Memory.load_f64 mem (regs.(base) + off);
+            t.pc <- next)
+  | Isa.Fstore { src; base; off; pred } -> (
+      match pred with
+      | None ->
+          fun () ->
+            t.count <- t.count + 1;
+            Memory.store_f64 mem (regs.(base) + off) fregs.(src);
+            t.pc <- next
+      | Some p ->
+          fun () ->
+            t.count <- t.count + 1;
+            if regs.(p) <> 0 then
+              Memory.store_f64 mem (regs.(base) + off) fregs.(src);
+            t.pc <- next)
+  | Isa.Movs { dst; src; len } ->
+      fun () ->
+        t.count <- t.count + 1;
+        let n = regs.(len) in
+        if n > 0 then begin
+          let data = Memory.read_bytes mem regs.(src) n in
+          Memory.write_bytes mem regs.(dst) data
+        end;
+        t.pc <- next
+  | Isa.Jmp a ->
+      fun () ->
+        t.count <- t.count + 1;
+        t.pc <- a
+  | Isa.Jr r ->
+      fun () ->
+        t.count <- t.count + 1;
+        t.pc <- regs.(r)
+  | Isa.Bz (r, a) ->
+      fun () ->
+        t.count <- t.count + 1;
+        t.pc <- (if regs.(r) = 0 then a else next)
+  | Isa.Bnz (r, a) ->
+      fun () ->
+        t.count <- t.count + 1;
+        t.pc <- (if regs.(r) <> 0 then a else next)
+  | Isa.Call a ->
+      fun () ->
+        t.count <- t.count + 1;
+        let nsp = regs.(Isa.reg_sp) - 8 in
+        Memory.store_w8 mem nsp next;
+        regs.(Isa.reg_sp) <- nsp;
+        t.pc <- a
+  | Isa.Callr r ->
+      fun () ->
+        t.count <- t.count + 1;
+        (* target read before the push, exactly as [exec] orders it *)
+        let target = regs.(r) in
+        let nsp = regs.(Isa.reg_sp) - 8 in
+        Memory.store_w8 mem nsp next;
+        regs.(Isa.reg_sp) <- nsp;
+        t.pc <- target
+  | Isa.Ret ->
+      fun () ->
+        t.count <- t.count + 1;
+        let sp = regs.(Isa.reg_sp) in
+        let ra = Memory.load_w8 mem sp in
+        regs.(Isa.reg_sp) <- sp + 8;
+        t.pc <- ra
+  | Isa.Syscall n ->
+      fun () ->
+        t.count <- t.count + 1;
+        do_syscall t n;
+        t.pc <- next
+  | Isa.Halt ->
+      fun () ->
+        t.count <- t.count + 1;
+        t.is_halted <- true;
+        if t.exit_status = None then t.exit_status <- Some 0

@@ -65,3 +65,15 @@ val exec : t -> Tq_isa.Isa.ins -> unit
 (** Execute one instruction (must be the one at [ip]): updates registers,
     memory, [ip] and the retired-instruction counter.  Syscalls are handled
     inline; [exit] sets the halted flag. *)
+
+val compile_ins : t -> Tq_isa.Isa.ins -> next:int -> (unit -> unit)
+(** [compile_ins t ins ~next] specializes [ins] (the instruction at address
+    [next - ins_bytes]) into a single fused closure that is observably
+    identical to [exec t ins]: it bumps the retired-instruction counter, does
+    the work, and leaves [ip] at the follow-on address ([next] for straight
+    -line code, the transfer target for control flow).  Register numbers,
+    immediates, widths and predicates are resolved at compile time, so
+    executing the closure pays no instruction dispatch — the primitive the
+    DBI engine's threaded-code traces are built from.  The closures mutate
+    the machine's private state directly; the state stays sealed because
+    only closures, never the underlying arrays, escape this module. *)

@@ -18,9 +18,26 @@ val loads : t -> width:Tq_isa.Isa.width -> int -> int
 val store : t -> width:Tq_isa.Isa.width -> int -> int -> unit
 (** [store t ~width addr v] truncates [v] to [width] bytes. *)
 
+val load_w8 : t -> int -> int
+(** 8-byte zero-extended load with an aligned fast path: an 8-aligned
+    access can never straddle a page, so the width dispatch and straddle
+    test are skipped.  Equivalent to [load ~width:W8].
+    @raise Invalid_argument on negative address. *)
+
+val store_w8 : t -> int -> int -> unit
+(** 8-byte store counterpart of {!load_w8}. *)
+
 val load_f64 : t -> int -> float
+(** @raise Invalid_argument on negative address. *)
 
 val store_f64 : t -> int -> float -> unit
+(** @raise Invalid_argument on negative address. *)
+
+type cache_stats = { hits : int; misses : int }
+
+val cache_stats : t -> cache_stats
+(** Direct-mapped page-translation cache counters: [hits] resolved with one
+    array compare, [misses] fell back to the page hashtable. *)
 
 val read_bytes : t -> int -> int -> bytes
 (** [read_bytes t addr len] copies out a range (zero where untouched). *)

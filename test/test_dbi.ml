@@ -194,6 +194,29 @@ let test_no_code_cache () =
   Alcotest.(check int) "every lookup misses" s.lookups s.misses;
   Alcotest.(check int) "recompiled every time" s.lookups s.compiled_traces
 
+let test_chaining_stats () =
+  (* the loop's blocks end in direct transfers, so after the first lap every
+     dispatch except the indirect Ret follows a cached trace link *)
+  let m = Machine.create (program ()) in
+  let eng = Engine.create m in
+  Engine.run eng;
+  let s = Engine.stats eng in
+  Alcotest.(check bool) "steady state follows trace links" true
+    (s.chain_hits > 0);
+  Alcotest.(check bool) "chain hits are a subset of dispatches" true
+    (s.chain_hits <= s.lookups - s.misses);
+  Alcotest.(check int) "every compiled instruction is closure-compiled"
+    s.compiled_instructions s.closure_instructions
+
+let test_no_closure_compilation_without_cache () =
+  let m = Machine.create (program ()) in
+  let eng = Engine.create ~use_code_cache:false m in
+  Engine.run eng;
+  let s = Engine.stats eng in
+  Alcotest.(check int) "reference path never closure-compiles" 0
+    s.closure_instructions;
+  Alcotest.(check int) "reference path never chains" 0 s.chain_hits
+
 let test_uninstrumented_equivalence () =
   (* The engine must not perturb architectural results. *)
   let m1 = Machine.create (program ()) in
@@ -233,6 +256,9 @@ let suites =
         Alcotest.test_case "predicated analysis" `Quick test_predicated_analysis;
         Alcotest.test_case "code cache stats" `Quick test_code_cache_stats;
         Alcotest.test_case "no code cache" `Quick test_no_code_cache;
+        Alcotest.test_case "trace chaining stats" `Quick test_chaining_stats;
+        Alcotest.test_case "no closure compilation without cache" `Quick
+          test_no_closure_compilation_without_cache;
         Alcotest.test_case "transparency" `Quick test_uninstrumented_equivalence;
         Alcotest.test_case "frozen registration" `Quick
           test_instrumenter_registration_frozen;

@@ -1,0 +1,315 @@
+(* Differential verification of the closure-compiled/chained execution
+   engine against the retained reference path.
+
+   The engine promises observable equivalence: for any program, the
+   threaded-code path (use_code_cache:true — fused closures, trace
+   chaining, memory fast paths) and the reference path
+   (use_code_cache:false — re-instrument every block, interpret through
+   Machine.exec) must produce the same exit code, the same console output,
+   the same retired-instruction count and byte-identical profiler reports.
+   These properties fuzz that promise over generated MiniC programs
+   (global arrays, memcpy -> Movs, cross-page traffic, console output) and
+   over assembled programs with predicated loads/stores and page-straddling
+   block moves; deterministic cases pin down trap and out-of-fuel parity. *)
+
+open Tq_vm
+module Engine = Tq_dbi.Engine
+module Tq = Tq_tquad.Tquad
+module Q = Tq_quad.Quad
+module G = Tq_gprofsim.Gprofsim
+module R = Tq_report.Report
+
+(* ---------- observation helper ---------- *)
+
+type outcome = {
+  result : string; (* "exit <n>" / "fuel" / "trap@..." / "error: ..." *)
+  console : string;
+  instr : int;
+  tquad_report : string;
+  quad_report : string;
+  gprof_report : string;
+}
+
+let observe ?(fuel = 5_000_000) prog ~use_code_cache =
+  let m = Machine.create prog in
+  let eng = Engine.create ~use_code_cache m in
+  let t = Tq.attach ~slice_interval:500 eng in
+  let q = Q.attach eng in
+  let g = G.attach ~period:700 eng in
+  let result =
+    match Engine.run ~fuel eng with
+    | () -> (
+        match Machine.exit_code m with
+        | Some c -> Printf.sprintf "exit %d" c
+        | None -> "halted without exit code")
+    | exception Executor.Out_of_fuel _ -> "fuel"
+    | exception Machine.Trap { reason; ip } ->
+        Printf.sprintf "trap@0x%x: %s" ip reason
+    | exception Invalid_argument msg -> Printf.sprintf "error: %s" msg
+  in
+  {
+    result;
+    console = Machine.stdout_contents m;
+    instr = Machine.instr_count m;
+    tquad_report =
+      (* an aborted run can leave nothing to chart; the error text is still a
+         comparable observation *)
+      (try R.figure t ~metric:Tq.Read_incl ~kernels:(Tq.kernels t) ~title:"fig" ()
+       with Invalid_argument msg -> "no-figure: " ^ msg);
+    quad_report = R.quad_table (Q.rows q);
+    gprof_report = R.flat_profile (G.flat_profile g);
+  }
+
+let diverging a b =
+  let field name fa fb = if fa <> fb then [ name ] else [] in
+  field "result" a.result b.result
+  @ field "console" a.console b.console
+  @ field "instr" (string_of_int a.instr) (string_of_int b.instr)
+  @ field "tquad" a.tquad_report b.tquad_report
+  @ field "quad" a.quad_report b.quad_report
+  @ field "gprof" a.gprof_report b.gprof_report
+
+(* Both engine paths over the same program; true iff every observable
+   agrees.  QCheck reports the diverging fields on failure. *)
+let equivalent prog =
+  let chained = observe prog ~use_code_cache:true in
+  let reference = observe prog ~use_code_cache:false in
+  match diverging chained reference with
+  | [] -> true
+  | fields ->
+      QCheck.Test.fail_reportf "engines diverge on: %s (chained %s, ref %s)"
+        (String.concat ", " fields) chained.result reference.result
+
+(* ---------- fuzzed MiniC programs ----------
+
+   Same always-terminating statement language as the codegen fuzzer
+   (test_fuzz.ml), extended with global-array traffic and console output so
+   every generated program exercises the engine's interesting paths: the
+   arrays are 8 KiB each (an int is 8 bytes), so indexing and the final
+   memcpy — the runtime lowers it to the Movs block move — regularly cross
+   the 4 KiB page boundary the memory front-end's translation cache is
+   indexed by. *)
+
+let gen_minic =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c" ] in
+  let rec expr n =
+    if n <= 0 then oneof [ map string_of_int (int_range 0 99); var ]
+    else
+      frequency
+        [
+          (2, map string_of_int (int_range 0 99));
+          (3, var);
+          ( 3,
+            map3
+              (fun op l r -> Printf.sprintf "(%s %s %s)" l op r)
+              (oneofl [ "+"; "-"; "*" ])
+              (expr (n - 1)) (expr (n - 1)) );
+          ( 1,
+            map3
+              (fun op l r -> Printf.sprintf "(%s %s %s)" l op r)
+              (oneofl [ "<"; "=="; ">" ])
+              (expr (n - 1)) (expr (n - 1)) );
+        ]
+  in
+  let rec stmt depth in_loop =
+    let base =
+      [
+        (4, map2 (fun v e -> Printf.sprintf "%s = %s;" v e) var (expr 2));
+        (1, map (fun e -> Printf.sprintf "return %s;" e) (expr 2));
+        (1, map (fun e -> Printf.sprintf "print_int(%s);" e) (expr 1));
+        ( 2,
+          map2
+            (fun i e -> Printf.sprintf "src[%d] = %s;" i e)
+            (int_range 0 1023) (expr 2) );
+        ( 2,
+          map2
+            (fun v i -> Printf.sprintf "%s = dst[%d] + src[%d];" v i (1023 - i))
+            var (int_range 0 1023) );
+      ]
+    in
+    let nested =
+      if depth <= 0 then []
+      else
+        [
+          ( 2,
+            map3
+              (fun e s1 s2 ->
+                Printf.sprintf "if (%s) { %s } else { %s }" e s1 s2)
+              (expr 1)
+              (block (depth - 1) in_loop)
+              (block (depth - 1) in_loop) );
+          ( 2,
+            map2
+              (fun e s ->
+                Printf.sprintf "for (c = 0; c < %s; c = c + 1) { %s }" e s)
+              (map string_of_int (int_range 1 9))
+              (block (depth - 1) true) );
+        ]
+    in
+    let loop_only =
+      if in_loop then [ (1, return "break;"); (1, return "continue;") ]
+      else []
+    in
+    frequency (base @ nested @ loop_only)
+  and block depth in_loop =
+    map (String.concat " ") (list_size (int_range 1 4) (stmt depth in_loop))
+  in
+  let func name params =
+    map
+      (fun body ->
+        Printf.sprintf
+          "int %s(%s) { int a; int b; int c; a = 0; b = 1; c = 2; %s return a; }"
+          name params body)
+      (block 3 false)
+  in
+  map
+    (fun ((f, g), (main_body, (copy_len, probe))) ->
+      Printf.sprintf
+        "int src[1024];\n\
+         int dst[1024];\n\
+         %s\n\
+         %s\n\
+         int main() { int a; int b; int c; a = f(3); b = g(); c = 0; %s\n\
+        \  for (c = 0; c < 1024; c = c + 8) { src[c] = c * 3 + a; }\n\
+        \  memcpy((char*) dst, (char*) src, %d);\n\
+        \  print_int(dst[%d] + b);\n\
+        \  return (a + b) & 255; }"
+        f g main_body copy_len probe)
+    (pair
+       (pair (func "f" "int a0") (func "g" ""))
+       (pair (block 3 false) (pair (int_range 0 8192) (int_range 0 1023))))
+
+let compile src = Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"app" src ]
+
+let qcheck_minic_differential =
+  QCheck.Test.make
+    ~name:"fuzzed MiniC: chained engine == reference (exit/console/reports)"
+    ~count:35
+    (QCheck.make ~print:Fun.id gen_minic)
+    (fun src -> equivalent (compile src))
+
+(* ---------- fuzzed assembly: predicated ops + straddling Movs ----------
+
+   Hand-shaped program parameterized by two predicate values, a Movs source
+   offset and a Movs byte count, so a single run mixes: predicated stores
+   and float stores whose guard is sometimes false (the access must then be
+   skipped entirely, on both paths), a store at offset 4090 that straddles
+   the page boundary, and a block move whose source alignment and length
+   are arbitrary — including zero-length and multi-page moves. *)
+
+let asm_src ~p1 ~p2 ~off ~len =
+  Printf.sprintf
+    {|
+.image diff
+.data buf 16384
+
+.func _start
+  la   x20, buf
+  li   x10, %d
+  li   x11, %d
+  li   x13, 77
+  sd   x13, 4090(x20) ?x10   # page-straddling, predicated
+  ld   x14, 4090(x20)
+  fli  f10, 2.5
+  fsd  f10, 256(x20) ?x11
+  fld  f11, 256(x20)
+  f2i  x15, f11
+  sd   x13, 0(x20)
+  sd   x13, 4096(x20)
+  la   x16, buf
+  add  x16, x16, 8192
+  la   x17, buf
+  add  x17, x17, %d
+  li   x18, %d
+  movs (x16), (x17), x18
+  ld   x19, 8192(x20)
+  add  x4, x14, x15
+  add  x4, x4, x19
+  ld   x5, 0(x20)  ?x11
+  add  x4, x4, x5
+  syscall 0
+.endfunc
+|}
+    p1 p2 off len
+
+let asm_prog src = Tq_asm.Link.link [ Tq_asm.Asm_parse.parse src ]
+
+let qcheck_asm_differential =
+  QCheck.Test.make
+    ~name:"fuzzed asm: predicated + straddling Movs, chained == reference"
+    ~count:60
+    QCheck.(
+      quad (int_bound 1) (int_bound 1) (int_bound 4096) (int_bound 6000))
+    (fun (p1, p2, off, len) ->
+      equivalent (asm_prog (asm_src ~p1 ~p2 ~off ~len)))
+
+(* ---------- deterministic parity cases ---------- *)
+
+let check_same name src =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) name true (equivalent (compile src)))
+
+let test_trap_parity () =
+  (* both paths must trap at the same ip with the same reason: the closure
+     path keeps [pc] pointing at the executing instruction precisely so
+     traps report identical addresses *)
+  let src = "int main() { int a; a = 0; return 10 / a; }" in
+  let prog = compile src in
+  let c = observe prog ~use_code_cache:true in
+  let r = observe prog ~use_code_cache:false in
+  Alcotest.(check bool) "trap reported" true
+    (String.length c.result > 4 && String.sub c.result 0 4 = "trap");
+  Alcotest.(check string) "same trap" r.result c.result;
+  Alcotest.(check int) "same retirement count" r.instr c.instr
+
+let test_fuel_parity () =
+  (* the chained fast loop must honour the fuel budget at the same
+     instruction as the reference interpreter *)
+  let src = ".func _start\nloop:\n  add x10, x10, 1\n  jmp loop\n.endfunc\n" in
+  let prog = asm_prog src in
+  let c = observe ~fuel:999 prog ~use_code_cache:true in
+  let r = observe ~fuel:999 prog ~use_code_cache:false in
+  Alcotest.(check string) "both out of fuel" "fuel" c.result;
+  Alcotest.(check string) "same outcome" r.result c.result;
+  Alcotest.(check int) "same retirement count" r.instr c.instr
+
+let test_uninstrumented_matches_plain_executor () =
+  (* with no tools attached, the closure engine is just a faster executor:
+     architectural results must match [Executor.run] exactly *)
+  let src =
+    "int a[512]; int main() { int s; s = 0; for (int i = 0; i < 512; i++) { \
+     a[i] = i * i; } memcpy((char*) a, (char*) a + 2048, 2048); for (int i = \
+     0; i < 512; i++) { s += a[i]; } print_int(s); return s & 255; }"
+  in
+  let prog = compile src in
+  let m_ref = Machine.create prog in
+  Executor.run ~fuel:5_000_000 m_ref;
+  let m_eng = Machine.create prog in
+  let eng = Engine.create m_eng in
+  Engine.run ~fuel:5_000_000 eng;
+  Alcotest.(check (option int))
+    "exit" (Machine.exit_code m_ref) (Machine.exit_code m_eng);
+  Alcotest.(check string) "console" (Machine.stdout_contents m_ref)
+    (Machine.stdout_contents m_eng);
+  Alcotest.(check int) "instr" (Machine.instr_count m_ref)
+    (Machine.instr_count m_eng)
+
+let suites =
+  [
+    ( "differential",
+      [
+        QCheck_alcotest.to_alcotest qcheck_minic_differential;
+        QCheck_alcotest.to_alcotest qcheck_asm_differential;
+        check_same "predicated MiniC (conditional via arrays)"
+          "int t[256]; int main() { int s; s = 0; for (int i = 0; i < 256; \
+           i++) { if (i & 1) t[i] = i; } for (int i = 0; i < 256; i++) s += \
+           t[i]; print_int(s); return s & 255; }";
+        Alcotest.test_case "trap parity (same ip, same reason)" `Quick
+          test_trap_parity;
+        Alcotest.test_case "fuel parity (same retirement count)" `Quick
+          test_fuel_parity;
+        Alcotest.test_case "uninstrumented engine == plain executor" `Quick
+          test_uninstrumented_matches_plain_executor;
+      ] );
+  ]

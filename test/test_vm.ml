@@ -472,6 +472,52 @@ let qcheck_memory_f64 =
       let got = Memory.load_f64 mem addr in
       Int64.bits_of_float got = Int64.bits_of_float v)
 
+let test_memory_negative_f64 () =
+  (* load_f64/store_f64 must reject negative addresses exactly like the
+     integer paths do *)
+  let mem = Memory.create () in
+  let expect_invalid name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_invalid "load_f64 negative" (fun () -> Memory.load_f64 mem (-8));
+  expect_invalid "store_f64 negative" (fun () ->
+      Memory.store_f64 mem (-8) 1.0;
+      0.)
+
+let test_memory_page_cache_stats () =
+  let mem = Memory.create () in
+  let s0 = Memory.cache_stats mem in
+  Alcotest.(check int) "fresh: no hits" 0 s0.Memory.hits;
+  Alcotest.(check int) "fresh: no misses" 0 s0.Memory.misses;
+  Memory.store mem ~width:Isa.W8 0 42;
+  let s1 = Memory.cache_stats mem in
+  Alcotest.(check bool) "first touch misses" true (s1.Memory.misses > 0);
+  for _ = 1 to 10 do
+    ignore (Memory.load mem ~width:Isa.W8 0)
+  done;
+  let s2 = Memory.cache_stats mem in
+  Alcotest.(check bool) "repeated touches hit" true
+    (s2.Memory.hits >= s1.Memory.hits + 10);
+  Alcotest.(check int) "no new misses on the hot page" s1.Memory.misses
+    s2.Memory.misses
+
+let qcheck_memory_w8_fast_path =
+  (* the aligned W8 fast path must agree with the generic width-dispatched
+     path at every alignment, including page-straddling addresses *)
+  QCheck.Test.make ~name:"load_w8/store_w8 == load/store ~width:W8" ~count:300
+    QCheck.(pair (int_bound 20_000) (int_bound max_int))
+    (fun (addr, v) ->
+      let m1 = Memory.create () and m2 = Memory.create () in
+      Memory.store_w8 m1 addr v;
+      Memory.store m2 ~width:Isa.W8 addr v;
+      Memory.load_w8 m1 addr = Memory.load m1 ~width:Isa.W8 addr
+      && Memory.load_w8 m1 addr = Memory.load_w8 m2 addr
+      && Memory.load_w8 m2 addr = Memory.load m2 ~width:Isa.W8 addr)
+
 (* ---------- symtab / layout ---------- *)
 
 let mk_routine id name entry size =
@@ -609,6 +655,9 @@ let suites =
         Alcotest.test_case "bulk + cstring" `Quick test_memory_bulk;
         QCheck_alcotest.to_alcotest qcheck_memory_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_memory_f64;
+        Alcotest.test_case "f64 negative address" `Quick test_memory_negative_f64;
+        Alcotest.test_case "page cache stats" `Quick test_memory_page_cache_stats;
+        QCheck_alcotest.to_alcotest qcheck_memory_w8_fast_path;
       ] );
     ( "vm.symtab",
       [
