@@ -622,6 +622,7 @@ let replay_bench () =
     timed (fun () -> Tq_trace.Probe.record ~fuel (fresh ()) ~path)
   in
   let reader = Tq_trace.Reader.load path in
+  let reader_unverified = Tq_trace.Reader.load ~verify:false path in
   Printf.printf
     "  recorded %s events in %s bytes (%.2fs; %d chunks)\n"
     (Tq_util.Text_table.int_cell events)
@@ -661,6 +662,7 @@ let replay_bench () =
   let live_tquad = ref "" and tquad_dt = ref infinity in
   let live_quad = ref "" and quad_dt = ref infinity in
   let results = ref [] and replay_dt = ref infinity in
+  let noverify_dt = ref infinity in
   let best dt_ref v_ref (v, dt) =
     if dt < !dt_ref then begin
       dt_ref := dt;
@@ -684,16 +686,24 @@ let replay_bench () =
            render_quad q));
     Gc.compact ();
     best replay_dt results
-      (timed (fun () -> Tq_trace.Replay.parallel ~domains:2 reader jobs))
+      (timed (fun () -> Tq_trace.Replay.parallel ~domains:2 reader jobs));
+    Gc.compact ();
+    best noverify_dt (ref [])
+      (timed (fun () ->
+           Tq_trace.Replay.parallel ~domains:2 reader_unverified jobs))
   done;
   let live_tquad = !live_tquad and tquad_dt = !tquad_dt in
   let live_quad = !live_quad and quad_dt = !quad_dt in
   let results = !results and replay_dt = !replay_dt in
+  let noverify_dt = !noverify_dt in
   Sys.remove path;
   let identical name live =
     match List.assoc_opt name results with
-    | Some replayed -> replayed = live
-    | None -> false
+    | Some (Ok replayed) -> replayed = live
+    | Some (Error _) | None -> false
+  in
+  let failures =
+    List.filter (fun (_, o) -> Result.is_error o) results |> List.length
   in
   Printf.printf
     "  replayed %d tools (2 domains requested, %d hardware) in %.2fs\n"
@@ -714,7 +724,29 @@ let replay_bench () =
     "  amortization: record %.2fs once, then each further tool costs replay \
      only (vs %.2fs per instrumented run)\n"
     record_dt
-    (two_runs /. 2.)
+    (two_runs /. 2.);
+  let crc_overhead_pct =
+    if noverify_dt > 0. then (replay_dt -. noverify_dt) /. noverify_dt *. 100.
+    else 0.
+  in
+  Printf.printf
+    "  CRC verification: replay %.3fs verified vs %.3fs unverified \
+     (%+.2f%% overhead)\n"
+    replay_dt noverify_dt crc_overhead_pct;
+  Printf.printf "  job failures during replay: %d\n" failures;
+  json_emit "replay"
+    [
+      ("events", jint events);
+      ("tools", jint (List.length jobs));
+      ("record_s", jfloat record_dt);
+      ("replay_verified_s", jfloat replay_dt);
+      ("replay_unverified_s", jfloat noverify_dt);
+      ("crc_overhead_pct", jfloat crc_overhead_pct);
+      ("speedup_vs_two_live_runs", jfloat (two_runs /. replay_dt));
+      ("tquad_identical", jstr (string_of_bool (identical "tquad" live_tquad)));
+      ("quad_identical", jstr (string_of_bool (identical "quad" live_quad)));
+      ("job_failures", jint failures);
+    ]
 
 (* ---------- execution engine: closure compilation + trace chaining ----- *)
 

@@ -497,6 +497,31 @@ let wfs_arg =
         ~doc:"Use the built-in wfs case study (tiny, default or large) as the \
               program instead of a file.")
 
+(* Exit-code contract for the trace subcommands (record, replay, trace-info,
+   faultgen): 0 success, 2 usage error, 3 trace file unreadable/unusable
+   (bad container, unreadable/unwritable file, fingerprint mismatch),
+   4 partial replay failure (the trace was readable and at least the decode
+   pass ran, but one or more tools failed). *)
+let exit_usage = 2
+let exit_unreadable = 3
+let exit_partial = 4
+
+let load_reader ?mode ctx path =
+  try Tq_trace.Reader.load ?mode path with
+  | Tq_trace.Reader.Format_error msg ->
+      Printf.eprintf "%s: %s: %s\n" ctx path msg;
+      exit exit_unreadable
+  | Sys_error msg ->
+      Printf.eprintf "%s: %s\n" ctx msg;
+      exit exit_unreadable
+
+let print_salvage ~ctx ~events (s : Tq_trace.Reader.salvage) =
+  Printf.eprintf
+    "%s: salvage: recovered %d chunk(s) (%d events), %d corrupt region(s) \
+     (%d bytes) dropped — %s\n"
+    ctx s.Tq_trace.Reader.salvaged_chunks events s.dropped_chunks
+    s.dropped_bytes s.reason
+
 let record_cmd =
   let file_opt_arg =
     Arg.(value & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.mc")
@@ -517,7 +542,7 @@ let record_cmd =
             Some (Tq_wfs.Harness.fuel scen) )
       | _ ->
           Printf.eprintf "record: give exactly one of FILE.mc or --wfs\n";
-          exit 2
+          exit exit_usage
     in
     let m = Machine.create ~vfs prog in
     let eng = Engine.create m in
@@ -525,7 +550,7 @@ let record_cmd =
       try Tq_trace.Probe.record ?fuel eng ~path:out with
       | Sys_error msg ->
           Printf.eprintf "record: %s\n" msg;
-          exit 1
+          exit exit_unreadable
       | Machine.Trap { ip; reason } ->
           Printf.eprintf "trap at 0x%x: %s\n" ip reason;
           exit 1
@@ -534,7 +559,7 @@ let record_cmd =
           exit 1
     in
     finish m;
-    let r = Tq_trace.Reader.load out in
+    let r = load_reader "record" out in
     Printf.printf "wrote %s: %d events, %d chunks, %d bytes (%d instructions)\n"
       out events
       (Tq_trace.Reader.n_chunks r)
@@ -582,11 +607,24 @@ let replay_job prog ~slice ~period name =
   | other ->
       Printf.eprintf "replay: unknown tool %s (have: %s)\n" other
         (String.concat ", " all_tool_names);
-      exit 2
+      exit exit_usage
+
+(* Testing aid for the supervised-replay exit-code contract: wrap the named
+   job so its sink raises on the first event it sees. *)
+let sabotage name jobs =
+  List.map
+    (fun (j : Tq_trace.Replay.job) ->
+      if j.Tq_trace.Replay.name <> name then j
+      else
+        Tq_trace.Replay.job ~wants:j.wants j.name (fun () ->
+            let _sink, finish = j.make () in
+            ( (fun _ -> failwith "deliberate failure injected by --fail-tool"),
+              finish )))
+    jobs
 
 let replay_cmd =
   let trace_pos_arg =
-    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"TRACE")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE")
   in
   let file_pos_arg =
     Arg.(value & pos 1 (some non_dir_file) None & info [] ~docv:"FILE.mc")
@@ -618,35 +656,85 @@ let replay_cmd =
       & info [ "slice" ] ~docv:"N"
         ~doc:"tquad time-slice interval in instructions.")
   in
-  let run trace file wfs tool all domains slice period =
+  let salvage_arg =
+    Arg.(
+      value & flag
+      & info [ "salvage" ]
+          ~doc:
+            "Load the trace in salvage mode: ignore the trailer and index, \
+             rebuild the chunk list by forward scan and replay every chunk \
+             whose CRC verifies.  For recordings killed mid-run (.tmp files) \
+             or damaged on disk.")
+  in
+  let fail_tool_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fail-tool" ] ~docv:"TOOL"
+          ~doc:
+            "Testing aid: make TOOL's replay job raise on its first event, \
+             to exercise the partial-failure exit code (4).")
+  in
+  let run trace file wfs tool all domains slice period salvage fail_tool =
     let prog =
       match (file, wfs) with
       | Some f, None -> compile_file f
       | None, Some scen -> Tq_wfs.Harness.compile scen
       | _ ->
           Printf.eprintf "replay: give exactly one of FILE.mc or --wfs\n";
-          exit 2
+          exit exit_usage
     in
-    let reader =
-      try Tq_trace.Reader.load trace
-      with Tq_trace.Reader.Format_error msg ->
-        Printf.eprintf "%s: %s\n" trace msg;
-        exit 1
+    let mode =
+      if salvage then Tq_trace.Reader.Salvage else Tq_trace.Reader.Strict
     in
+    let reader = load_reader ~mode "replay" trace in
+    (match Tq_trace.Reader.salvage_info reader with
+    | Some s ->
+        print_salvage ~ctx:"replay" ~events:(Tq_trace.Reader.n_events reader) s
+    | None -> ());
     (match Tq_trace.Replay.check_program reader prog with
     | Ok () -> ()
     | Error msg ->
         Printf.eprintf "replay: %s\n" msg;
-        exit 1);
+        exit exit_unreadable);
+    (* Surviving tools print their reports (byte-identical to live runs);
+       failed tools are listed on stderr.  Exit 4 for a partial failure, 3
+       when nothing ran because the trace itself was unreadable. *)
+    let finish_results ~banner results =
+      let ok, failed =
+        List.partition_map
+          (fun (name, outcome) ->
+            match outcome with
+            | Ok report -> Either.Left (name, report)
+            | Error f -> Either.Right (name, f))
+          results
+      in
+      List.iter
+        (fun (name, report) ->
+          if banner then Printf.printf "=== %s ===\n" name;
+          print_string report)
+        ok;
+      List.iter
+        (fun (name, f) ->
+          Printf.eprintf "replay: tool %s failed: %s\n" name
+            (Tq_trace.Replay.failure_message f))
+        failed;
+      if failed = [] then ()
+      else if ok = [] && List.for_all (fun (_, f) -> Tq_trace.Replay.is_trace_error f) failed
+      then exit exit_unreadable
+      else exit exit_partial
+    in
+    let prepare jobs =
+      match fail_tool with Some name -> sabotage name jobs | None -> jobs
+    in
     match (tool, all) with
     | Some name, false ->
-        let results =
-          Tq_trace.Replay.sequential reader
-            [ replay_job prog ~slice ~period name ]
-        in
-        List.iter (fun (_, report) -> print_string report) results
+        let jobs = prepare [ replay_job prog ~slice ~period name ] in
+        finish_results ~banner:false (Tq_trace.Replay.sequential reader jobs)
     | None, true ->
-        let jobs = List.map (replay_job prog ~slice ~period) all_tool_names in
+        let jobs =
+          prepare (List.map (replay_job prog ~slice ~period) all_tool_names)
+        in
         let results =
           if domains = 1 then Tq_trace.Replay.sequential reader jobs
           else
@@ -654,22 +742,190 @@ let replay_cmd =
               ?domains:(if domains > 1 then Some domains else None)
               reader jobs
         in
-        List.iter
-          (fun (name, report) -> Printf.printf "=== %s ===\n%s" name report)
-          results
+        finish_results ~banner:true results
     | _ ->
         Printf.eprintf "replay: give exactly one of --tool or --all\n";
-        exit 2
+        exit exit_usage
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
          "Replay a recorded trace through one analysis tool (--tool) or all \
           of them in parallel (--all); reports are byte-identical to a \
-          live-instrumented run")
+          live-instrumented run.  Exit codes: 0 ok, 2 usage, 3 trace \
+          unreadable, 4 partial replay failure (some tools failed, the \
+          survivors' reports were printed)")
     Term.(
       const run $ trace_pos_arg $ file_pos_arg $ wfs_arg $ tool_arg $ all_arg
-      $ domains_arg $ slice_arg $ period_arg)
+      $ domains_arg $ slice_arg $ period_arg $ salvage_arg $ fail_tool_arg)
+
+(* ---------- trace inspection / fault injection ---------- *)
+
+let trace_info_cmd =
+  let trace_pos_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE")
+  in
+  let salvage_arg =
+    Arg.(
+      value & flag
+      & info [ "salvage" ]
+          ~doc:"Scan in salvage mode even if the container loads strictly.")
+  in
+  let run trace salvage =
+    let print_reader r =
+      Printf.printf "%s: container v%d, %d events in %d chunks, %d bytes\n"
+        trace
+        (Tq_trace.Reader.version r)
+        (Tq_trace.Reader.n_events r)
+        (Tq_trace.Reader.n_chunks r)
+        (Tq_trace.Reader.byte_size r);
+      let fp = Tq_trace.Reader.fingerprint r in
+      Printf.printf "  fingerprint %016Lx%s\n" fp
+        (if Int64.equal fp 0L then " (program unknown to the recorder)" else "");
+      Printf.printf "  last icount %d\n" (Tq_trace.Reader.last_icount r);
+      match Tq_trace.Reader.salvage_info r with
+      | Some s ->
+          Printf.printf
+            "  salvage: %d chunk(s) recovered, %d corrupt region(s) (%d \
+             bytes) dropped\n  reason: %s\n"
+            s.Tq_trace.Reader.salvaged_chunks s.dropped_chunks s.dropped_bytes
+            s.reason
+      | None -> ()
+    in
+    if salvage then
+      print_reader (load_reader ~mode:Tq_trace.Reader.Salvage "trace-info" trace)
+    else
+      match Tq_trace.Reader.load trace with
+      | r -> print_reader r
+      | exception Sys_error msg ->
+          Printf.eprintf "trace-info: %s\n" msg;
+          exit exit_unreadable
+      | exception Tq_trace.Reader.Format_error msg ->
+          (* strict load refused the container — report why, then salvage *)
+          Printf.printf "%s: strict load failed: %s\n" trace msg;
+          print_reader
+            (load_reader ~mode:Tq_trace.Reader.Salvage "trace-info" trace)
+  in
+  Cmd.v
+    (Cmd.info "trace-info"
+       ~doc:
+         "Inspect a recorded trace: container version, fingerprint, \
+          event/chunk counts.  Falls back to a salvage scan (recovered and \
+          dropped chunk counts) when the strict load refuses the file; exit \
+          3 only if nothing is recoverable")
+    Term.(const run $ trace_pos_arg $ salvage_arg)
+
+let faultgen_cmd =
+  let trace_pos_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH"
+          ~doc:"Output file (one mutation) or directory (--sweep).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+  in
+  let sweep_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "sweep" ] ~docv:"K"
+          ~doc:
+            "Write K independently-seeded random mutations into the output \
+             directory instead of applying one --mutation.")
+  in
+  let mutation_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutation" ] ~docv:"KIND"
+          ~doc:
+            "Mutation to apply: bit-flip, truncate, dup-chunk, drop-chunk, \
+             corrupt-index, corrupt-trailer or strip-tail (parameters drawn \
+             from --seed; strip-tail is deterministic and simulates a \
+             recorder killed mid-run).")
+  in
+  let run trace out seed sweep mutation =
+    let raw =
+      try read_file trace
+      with Sys_error msg ->
+        Printf.eprintf "faultgen: %s\n" msg;
+        exit exit_unreadable
+    in
+    let write_out path bytes =
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc
+    in
+    let known_kinds =
+      [ "bit-flip"; "truncate"; "dup-chunk"; "drop-chunk"; "corrupt-index";
+        "corrupt-trailer"; "strip-tail" ]
+    in
+    let gen_named kind =
+      if not (List.mem kind known_kinds) then begin
+        Printf.eprintf "faultgen: unknown mutation %s (have: %s)\n" kind
+          (String.concat ", " known_kinds);
+        exit exit_usage
+      end;
+      (* draw seeded candidates until one of the requested kind comes up;
+         strip-tail needs no parameters at all *)
+      if kind = "strip-tail" then Tq_faultgen.Faultgen.Strip_tail
+      else begin
+        let found = ref None and s = ref seed in
+        while !found = None do
+          let m = Tq_faultgen.Faultgen.random ~seed:!s raw in
+          if Tq_faultgen.Faultgen.slug m = kind then found := Some m;
+          incr s;
+          if !s - seed > 10_000 then begin
+            Printf.eprintf
+              "faultgen: no %s mutation applies to this container (is it \
+               empty?)\n"
+              kind;
+            exit exit_usage
+          end
+        done;
+        Option.get !found
+      end
+    in
+    match
+      if sweep > 0 then begin
+        if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+        List.iteri
+          (fun i (mut, bytes) ->
+            let path =
+              Filename.concat out
+                (Printf.sprintf "m%02d-%s.trc" i (Tq_faultgen.Faultgen.slug mut))
+            in
+            write_out path bytes;
+            Printf.printf "wrote %s: %s\n" path (Tq_faultgen.Faultgen.describe mut))
+          (Tq_faultgen.Faultgen.sweep ~seed ~count:sweep raw)
+      end
+      else
+        match mutation with
+        | None ->
+            Printf.eprintf "faultgen: give --sweep K or --mutation KIND\n";
+            exit exit_usage
+        | Some kind ->
+            let mut = gen_named kind in
+            write_out out (Tq_faultgen.Faultgen.apply mut raw);
+            Printf.printf "wrote %s: %s\n" out (Tq_faultgen.Faultgen.describe mut)
+    with
+    | () -> ()
+    | exception Invalid_argument msg | (exception Sys_error msg) ->
+        Printf.eprintf "faultgen: %s\n" msg;
+        exit exit_unreadable
+  in
+  Cmd.v
+    (Cmd.info "faultgen"
+       ~doc:
+         "Corrupt a recorded trace deterministically (seeded bit flips, \
+          truncations, chunk duplication/removal, index/trailer damage) to \
+          exercise the reader's fault tolerance; see also 'tquad trace-info' \
+          and 'tquad replay --salvage'")
+    Term.(const run $ trace_pos_arg $ out_arg $ seed_arg $ sweep_arg $ mutation_arg)
 
 (* ---------- static verification ---------- *)
 
@@ -838,7 +1094,7 @@ let wfs_cmd =
 let subcommands =
   [ build_cmd; disasm_cmd; run_cmd; gprof_cmd; callgraph_cmd; quad_cmd;
     tquad_cmd; mix_cmd; cache_cmd; footprint_cmd; wcet_cmd; diff_cmd;
-    record_cmd; replay_cmd; check_cmd; wfs_cmd ]
+    record_cmd; replay_cmd; trace_info_cmd; faultgen_cmd; check_cmd; wfs_cmd ]
 
 let main_cmd =
   Cmd.group
@@ -868,6 +1124,8 @@ let usage_lines =
     ("diff", "compare the flat profiles of two program versions");
     ("record", "execute once, stream the event trace to disk");
     ("replay", "replay a recorded trace through analysis tools");
+    ("trace-info", "inspect a trace (version, counts; salvage fallback)");
+    ("faultgen", "corrupt a trace deterministically (robustness testing)");
     ("check", "static binary verification and bandwidth estimate");
     ("wfs", "run the built-in hArtes-wfs case study") ]
 

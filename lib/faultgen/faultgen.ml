@@ -1,0 +1,168 @@
+module Leb = Tq_util.Leb128
+module Writer = Tq_trace.Writer
+
+type mutation =
+  | Bit_flip of { offset : int; bit : int }
+  | Truncate of { len : int }
+  | Duplicate_chunk of { index : int }
+  | Drop_chunk of { index : int }
+  | Corrupt_index of { offset : int; bit : int }
+  | Corrupt_trailer of { offset : int; bit : int }
+  | Strip_tail
+
+let describe = function
+  | Bit_flip { offset; bit } -> Printf.sprintf "bit-flip @%d.%d" offset bit
+  | Truncate { len } -> Printf.sprintf "truncate to %d bytes" len
+  | Duplicate_chunk { index } -> Printf.sprintf "duplicate chunk %d" index
+  | Drop_chunk { index } -> Printf.sprintf "drop chunk %d" index
+  | Corrupt_index { offset; bit } ->
+      Printf.sprintf "corrupt index @%d.%d" offset bit
+  | Corrupt_trailer { offset; bit } ->
+      Printf.sprintf "corrupt trailer @%d.%d" offset bit
+  | Strip_tail -> "strip index+trailer (unfinalized .tmp shape)"
+
+let slug = function
+  | Bit_flip _ -> "bit-flip"
+  | Truncate _ -> "truncate"
+  | Duplicate_chunk _ -> "dup-chunk"
+  | Drop_chunk _ -> "drop-chunk"
+  | Corrupt_index _ -> "corrupt-index"
+  | Corrupt_trailer _ -> "corrupt-trailer"
+  | Strip_tail -> "strip-tail"
+
+(* ---------- container layout ----------
+
+   Faultgen parses the v3 container with its own minimal scanner (chunk
+   headers are self-delimiting) rather than through [Reader] — the module
+   exists to test the reader, so it must not trust it. *)
+
+type layout = {
+  file_len : int;
+  chunk_spans : (int * int) array;  (* (offset, end) of each chunk *)
+  index_offset : int;  (* also: end of the chunk region *)
+}
+
+let bad fmt = Printf.ksprintf invalid_arg fmt
+
+let layout raw =
+  let len = String.length raw in
+  let mlen = String.length Writer.magic in
+  if len < Writer.header_bytes || String.sub raw 0 mlen <> Writer.magic then
+    bad "Faultgen: not a v3 trace container";
+  let tlen = String.length Writer.trailer_magic in
+  if len < Writer.header_bytes + 8 + tlen
+     || String.sub raw (len - tlen) tlen <> Writer.trailer_magic
+  then bad "Faultgen: missing trailer (mutate only intact containers)";
+  let index_offset =
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor Char.code raw.[len - tlen - 8 + i]
+    done;
+    !v
+  in
+  if index_offset < Writer.header_bytes || index_offset > len - tlen - 8 then
+    bad "Faultgen: index offset out of range";
+  let spans = ref [] in
+  let pos = ref Writer.header_bytes in
+  (try
+     while !pos < index_offset do
+       let start = !pos in
+       if raw.[!pos] <> Writer.chunk_magic then
+         bad "Faultgen: chunk magic missing at %d" !pos;
+       incr pos;
+       let _n = Leb.read_u raw pos in
+       let _fic = Leb.read_u raw pos in
+       let plen = Leb.read_u raw pos in
+       pos := !pos + 4 + plen;
+       if !pos > index_offset then
+         bad "Faultgen: chunk at %d overruns the chunk region" start;
+       spans := (start, !pos) :: !spans
+     done
+   with Leb.Truncated p -> bad "Faultgen: truncated chunk header at %d" p);
+  { file_len = len; chunk_spans = Array.of_list (List.rev !spans); index_offset }
+
+(* ---------- mutations ---------- *)
+
+let flip raw offset bit =
+  if offset < 0 || offset >= String.length raw || bit < 0 || bit > 7 then
+    bad "Faultgen: bit-flip out of range (%d.%d)" offset bit;
+  let b = Bytes.of_string raw in
+  Bytes.set b offset (Char.chr (Char.code (Bytes.get b offset) lxor (1 lsl bit)));
+  Bytes.to_string b
+
+let apply mut raw =
+  let lay () = layout raw in
+  match mut with
+  | Bit_flip { offset; bit } -> flip raw offset bit
+  | Truncate { len } ->
+      if len < 0 || len > String.length raw then
+        bad "Faultgen: truncate length %d out of range" len;
+      String.sub raw 0 len
+  | Duplicate_chunk { index } ->
+      let l = lay () in
+      if index < 0 || index >= Array.length l.chunk_spans then
+        bad "Faultgen: no chunk %d" index;
+      let s, e = l.chunk_spans.(index) in
+      String.sub raw 0 e ^ String.sub raw s (e - s)
+      ^ String.sub raw e (l.file_len - e)
+  | Drop_chunk { index } ->
+      let l = lay () in
+      if index < 0 || index >= Array.length l.chunk_spans then
+        bad "Faultgen: no chunk %d" index;
+      let s, e = l.chunk_spans.(index) in
+      String.sub raw 0 s ^ String.sub raw e (l.file_len - e)
+  | Corrupt_index { offset; bit } ->
+      let l = lay () in
+      let tail = l.file_len - String.length Writer.trailer_magic - 8 in
+      if offset < l.index_offset || offset >= tail then
+        bad "Faultgen: offset %d outside the index region [%d, %d)" offset
+          l.index_offset tail;
+      flip raw offset bit
+  | Corrupt_trailer { offset; bit } ->
+      let l = lay () in
+      let tail = l.file_len - String.length Writer.trailer_magic - 8 in
+      if offset < tail || offset >= l.file_len then
+        bad "Faultgen: offset %d outside the trailer region [%d, %d)" offset
+          tail l.file_len;
+      flip raw offset bit
+  | Strip_tail ->
+      let l = lay () in
+      String.sub raw 0 l.index_offset
+
+(* ---------- seeded deterministic generation ----------
+
+   A tiny self-contained LCG (Java's 48-bit parameters): mutations must be
+   reproducible from the seed alone, independent of [Random]'s global
+   state. *)
+
+type rng = { mutable s : int }
+
+let rng seed = { s = (seed lxor 0x5DEECE66D) land 0x3FFFFFFFFFFF }
+
+let next r =
+  r.s <- (r.s * 0x5DEECE66D + 0xB) land 0x3FFFFFFFFFFF;
+  r.s lsr 17
+
+let pick r bound = if bound <= 0 then 0 else next r mod bound
+
+let random ~seed raw =
+  let l = layout raw in
+  let r = rng seed in
+  let n_chunks = Array.length l.chunk_spans in
+  let tail = l.file_len - String.length Writer.trailer_magic - 8 in
+  let index_len = tail - l.index_offset in
+  match pick r 7 with
+  | 0 -> Bit_flip { offset = pick r l.file_len; bit = pick r 8 }
+  | 1 -> Truncate { len = pick r l.file_len }
+  | 2 when n_chunks > 0 -> Duplicate_chunk { index = pick r n_chunks }
+  | 3 when n_chunks > 0 -> Drop_chunk { index = pick r n_chunks }
+  | 4 when index_len > 0 ->
+      Corrupt_index { offset = l.index_offset + pick r index_len; bit = pick r 8 }
+  | 5 -> Corrupt_trailer { offset = tail + pick r (l.file_len - tail); bit = pick r 8 }
+  | 6 -> Strip_tail
+  | _ -> Truncate { len = pick r l.file_len } (* empty-container fallback *)
+
+let sweep ~seed ~count raw =
+  List.init count (fun i ->
+      let mut = random ~seed:(seed + (i * 0x9E3779B9)) raw in
+      (mut, apply mut raw))

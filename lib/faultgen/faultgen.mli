@@ -1,0 +1,53 @@
+(** Deterministic, seeded fault injection for trace containers.
+
+    The harness behind the trace subsystem's robustness contract: for {e any}
+    mutation of a valid v3 trace, a strict {!Tq_trace.Reader.load} must
+    either succeed with byte-identical events or raise
+    {!Tq_trace.Reader.Format_error} (never another exception, never wrong
+    events), and a salvage load must return a CRC-verified subsequence of the
+    original events.  [test/test_fault.ml] checks exactly that property;
+    the CI corruption sweep drives the same mutations through the CLI.
+
+    Mutations are pure string transforms — the input container is parsed
+    with faultgen's own minimal v3 scanner, not through [Reader] (the module
+    exists to test the reader, so it must not trust it).  All generation is
+    reproducible from the seed alone. *)
+
+type mutation =
+  | Bit_flip of { offset : int; bit : int }
+      (** flip one bit anywhere in the file *)
+  | Truncate of { len : int }  (** keep the first [len] bytes *)
+  | Duplicate_chunk of { index : int }
+      (** splice a byte-identical copy of chunk [index] right after it
+          (index/trailer left stale on purpose) *)
+  | Drop_chunk of { index : int }
+      (** remove chunk [index] (index/trailer left stale on purpose) *)
+  | Corrupt_index of { offset : int; bit : int }
+      (** bit-flip constrained to the index region *)
+  | Corrupt_trailer of { offset : int; bit : int }
+      (** bit-flip constrained to the 16-byte trailer *)
+  | Strip_tail
+      (** drop the index and trailer — the shape of a recorder killed
+          mid-run (an un-finalized [.tmp] file) *)
+
+val describe : mutation -> string
+(** Human-readable, e.g. for logging which corruption a sweep applied. *)
+
+val slug : mutation -> string
+(** Short kebab-case kind name (["bit-flip"], ["strip-tail"], ...) for file
+    names and CLI arguments. *)
+
+val apply : mutation -> string -> string
+(** Apply the mutation to a raw container image.
+    @raise Invalid_argument if the input is not an intact v3 container or
+    the mutation's parameters do not fit it. *)
+
+val random : seed:int -> string -> mutation
+(** A mutation chosen deterministically from [seed], with parameters drawn
+    to fit the given container (chunk indices in range, region-constrained
+    offsets).  Same seed + same container = same mutation.
+    @raise Invalid_argument if the input is not an intact v3 container. *)
+
+val sweep : seed:int -> count:int -> string -> (mutation * string) list
+(** [count] independent seeded mutations of the same container, each paired
+    with the mutated image. *)

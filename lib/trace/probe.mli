@@ -21,5 +21,8 @@ val attach : Tq_dbi.Engine.t -> (Event.t -> unit) -> unit
 val record : ?fuel:int -> ?chunk_bytes:int -> Tq_dbi.Engine.t -> path:string -> int
 (** Attach a probe streaming to [path], run the engine to halt, append the
     final [End] event and close the file (also on exceptions).  Returns the
-    number of events recorded.  @raise Tq_vm.Executor.Out_of_fuel (and
+    number of events recorded.  The recording streams to ["path.tmp"] and is
+    atomically renamed to [path] when finalized; a recorder killed mid-run
+    therefore leaves a [.tmp] file that {!Reader.load}[ ~mode:Salvage] can
+    recover chunk by chunk.  @raise Tq_vm.Executor.Out_of_fuel (and
     anything [Engine.run] raises) after closing the partial file. *)

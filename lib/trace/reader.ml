@@ -1,4 +1,5 @@
 module Leb = Tq_util.Leb128
+module Crc32 = Tq_util.Crc32
 
 exception Format_error of string
 
@@ -6,12 +7,24 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
 
 type chunk = { c_offset : int; c_first_icount : int; c_events : int }
 
+type mode = Strict | Salvage
+
+type salvage = {
+  salvaged_chunks : int;
+  dropped_chunks : int;
+  dropped_bytes : int;
+  reason : string;
+}
+
 type t = {
   raw : string;
+  v3 : bool;
+  verify : bool;
   chunks : chunk array;
   n_events : int;
   last_icount : int;
   fingerprint : int64;
+  salvage : salvage option;
 }
 
 let read_file path =
@@ -23,26 +36,16 @@ let read_file path =
 let leb_u s pos =
   try Leb.read_u s pos with Leb.Truncated p -> fail "truncated LEB128 at %d" p
 
-(* Decode one chunk's events starting at its header offset. *)
-let iter_chunk raw chunk sink =
-  let pos = ref chunk.c_offset in
-  let n = leb_u raw pos in
-  let first_icount = leb_u raw pos in
-  let payload_len = leb_u raw pos in
-  let payload_end = !pos + payload_len in
-  if payload_end > String.length raw then fail "chunk at %d overruns file" chunk.c_offset;
-  let st = Event.fresh_state ~icount:first_icount () in
-  (* the handler sits outside the loop: installing it per event costs real
-     time over millions of events *)
-  (try
-     for _ = 1 to n do
-       sink (Event.decode st raw pos)
-     done
-   with
-  | Leb.Truncated p -> fail "truncated event at %d" p
-  | Failure msg -> fail "%s" msg);
-  if !pos <> payload_end then
-    fail "chunk at %d: payload length mismatch" chunk.c_offset
+let le32 raw pos =
+  if !pos + 4 > String.length raw then fail "truncated CRC at %d" !pos;
+  let v =
+    Char.code raw.[!pos]
+    lor (Char.code raw.[!pos + 1] lsl 8)
+    lor (Char.code raw.[!pos + 2] lsl 16)
+    lor (Char.code raw.[!pos + 3] lsl 24)
+  in
+  pos := !pos + 4;
+  v
 
 let le64 raw pos =
   let v = ref 0L in
@@ -51,30 +54,86 @@ let le64 raw pos =
   done;
   !v
 
-let load path =
-  let raw = read_file path in
-  let mlen = String.length Writer.magic in
-  if String.length raw < mlen || String.sub raw 0 mlen <> Writer.magic then
-    fail "bad magic (not a tquad trace, or an old container version)";
-  let hlen = Writer.header_bytes in
-  let tlen = String.length Writer.trailer_magic in
+(* Parse a v3 chunk's fixed part at [offset]: magic byte, the three
+   self-delimiting header fields, the stored CRC.  Returns the header fields,
+   the CRC, the [meta] slice the CRC covers (header fields), the payload
+   bounds and the chunk's end offset.  Raises [Format_error] on anything
+   malformed — the strict path's vocabulary. *)
+let parse_chunk_v3 raw offset =
   let len = String.length raw in
-  if len < hlen + 8 + tlen
-     || String.sub raw (len - tlen) tlen <> Writer.trailer_magic
-  then fail "bad trailer (truncated recording?)";
-  let fingerprint = le64 raw mlen in
-  let index_offset =
-    let v = ref 0 in
-    for i = 7 downto 0 do
-      v := (!v lsl 8) lor Char.code raw.[len - tlen - 8 + i]
-    done;
-    !v
+  if offset >= len || raw.[offset] <> Writer.chunk_magic then
+    fail "chunk at %d: bad chunk magic" offset;
+  let pos = ref (offset + 1) in
+  let meta_start = !pos in
+  let n = leb_u raw pos in
+  let first_icount = leb_u raw pos in
+  let payload_len = leb_u raw pos in
+  let meta_len = !pos - meta_start in
+  if n < 0 || first_icount < 0 || payload_len < 0 then
+    fail "chunk at %d: negative header field" offset;
+  let crc = le32 raw pos in
+  let payload_start = !pos in
+  if payload_len > len - payload_start then fail "chunk at %d overruns file" offset;
+  (n, first_icount, payload_len, crc, meta_start, meta_len, payload_start)
+
+let check_crc_v3 raw offset (_, _, payload_len, crc, meta_start, meta_len, payload_start) =
+  let computed = Crc32.digest ~pos:meta_start ~len:meta_len raw in
+  let computed = Crc32.digest ~crc:computed ~pos:payload_start ~len:payload_len raw in
+  if computed <> crc then
+    fail "chunk at %d: CRC mismatch (stored %08x, computed %08x)" offset crc
+      computed
+
+(* Decode one chunk's events starting at its header offset.  For v3 the
+   chunk's CRC is verified (unless the reader was loaded with
+   [~verify:false]) before any event is decoded, so a corrupt payload
+   surfaces as [Format_error], never as garbage events. *)
+let iter_chunk ~v3 ~verify raw chunk sink =
+  let n, first_icount, payload_len, payload_start =
+    if v3 then begin
+      let ((n, fic, plen, _, _, _, pstart) as parts) =
+        parse_chunk_v3 raw chunk.c_offset
+      in
+      if n <> chunk.c_events || fic <> chunk.c_first_icount then
+        fail "chunk at %d: header disagrees with index" chunk.c_offset;
+      if verify then check_crc_v3 raw chunk.c_offset parts;
+      (n, fic, plen, pstart)
+    end
+    else begin
+      let pos = ref chunk.c_offset in
+      let n = leb_u raw pos in
+      let first_icount = leb_u raw pos in
+      let payload_len = leb_u raw pos in
+      if n < 0 || payload_len < 0 then
+        fail "chunk at %d: negative header field" chunk.c_offset;
+      (n, first_icount, payload_len, !pos)
+    end
   in
-  if index_offset < hlen || index_offset > len - tlen - 8 then
-    fail "index offset %d out of range" index_offset;
+  let payload_end = payload_start + payload_len in
+  if payload_end > String.length raw then
+    fail "chunk at %d overruns file" chunk.c_offset;
+  let pos = ref payload_start in
+  let st = Event.fresh_state ~icount:first_icount () in
+  (* only decode failures are container corruption; an exception raised by
+     the sink itself (a replayed tool crashing) must pass through untouched
+     so replay supervision can attribute it to the tool, not the trace *)
+  for _ = 1 to n do
+    match Event.decode st raw pos with
+    | ev -> sink ev
+    | exception Leb.Truncated p -> fail "truncated event at %d" p
+    | exception Failure msg -> fail "%s" msg
+  done;
+  if !pos <> payload_end then
+    fail "chunk at %d: payload length mismatch" chunk.c_offset
+
+(* ---------- strict load ---------- *)
+
+let parse_index raw ~v3 ~hlen ~index_offset =
+  let len = String.length raw in
   let pos = ref index_offset in
   let n_chunks = leb_u raw pos in
-  if n_chunks < 0 then fail "negative chunk count";
+  (* a corrupted count must fail cleanly, not OOM in Array.init: every chunk
+     costs at least 5 bytes on disk *)
+  if n_chunks < 0 || n_chunks > len then fail "chunk count %d out of range" n_chunks;
   let off = ref 0 and ic = ref 0 in
   let chunks =
     Array.init n_chunks (fun _ ->
@@ -85,39 +144,243 @@ let load path =
           fail "chunk offset %d out of range" !off;
         { c_offset = !off; c_first_icount = !ic; c_events })
   in
+  if v3 then begin
+    (* the chunks listed by the index must exactly tile the chunk region —
+       a tampered index cannot silently select, duplicate or skip chunks *)
+    let expect = ref hlen in
+    Array.iter
+      (fun c ->
+        if c.c_offset <> !expect then
+          fail "index does not tile the chunk region (chunk at %d, expected %d)"
+            c.c_offset !expect;
+        let n, fic, plen, _, _, _, pstart = parse_chunk_v3 raw c.c_offset in
+        if n <> c.c_events || fic <> c.c_first_icount then
+          fail "chunk at %d: header disagrees with index" c.c_offset;
+        expect := pstart + plen)
+      chunks;
+    if !expect <> index_offset then
+      fail "chunk region ends at %d but index starts at %d" !expect index_offset
+  end;
+  chunks
+
+let of_raw ~verify raw =
+  let mlen = String.length Writer.magic in
+  if String.length raw < mlen then fail "bad magic (file shorter than a header)";
+  let v3 =
+    match String.sub raw 0 mlen with
+    | m when m = Writer.magic -> true
+    | m when m = Writer.magic_v2 -> false
+    | _ -> fail "bad magic (not a tquad trace, or an unknown container version)"
+  in
+  let hlen = Writer.header_bytes in
+  let tlen = String.length Writer.trailer_magic in
+  let len = String.length raw in
+  if len < hlen + 8 + tlen
+     || String.sub raw (len - tlen) tlen <> Writer.trailer_magic
+  then fail "bad trailer (truncated recording? try salvage)";
+  let fingerprint = le64 raw mlen in
+  let index_offset =
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor Char.code raw.[len - tlen - 8 + i]
+    done;
+    !v
+  in
+  if index_offset < hlen || index_offset > len - tlen - 8 then
+    fail "index offset %d out of range" index_offset;
+  let chunks = parse_index raw ~v3 ~hlen ~index_offset in
+  let n_chunks = Array.length chunks in
   let n_events = Array.fold_left (fun acc c -> acc + c.c_events) 0 chunks in
   let last_icount = ref 0 in
   if n_chunks > 0 then
-    iter_chunk raw chunks.(n_chunks - 1) (fun ev ->
+    iter_chunk ~v3 ~verify raw chunks.(n_chunks - 1) (fun ev ->
         last_icount := Event.icount ev);
-  { raw; chunks; n_events; last_icount = !last_icount; fingerprint }
+  {
+    raw;
+    v3;
+    verify;
+    chunks;
+    n_events;
+    last_icount = !last_icount;
+    fingerprint;
+    salvage = None;
+  }
+
+(* ---------- salvage load ---------- *)
+
+(* CRC-verify a candidate chunk at [offset]; [None] if anything about it is
+   implausible.  A verifying chunk is, with probability 1 - 2^-32, a chunk
+   the writer actually flushed. *)
+let try_chunk raw offset =
+  match parse_chunk_v3 raw offset with
+  | (n, fic, plen, _, _, _, pstart) as parts ->
+      if n < 1 || plen < 1 then None
+      else begin
+        match check_crc_v3 raw offset parts with
+        | () -> Some ({ c_offset = offset; c_first_icount = fic; c_events = n }, pstart + plen)
+        | exception Format_error _ -> None
+      end
+  | exception Format_error _ -> None
+
+(* Does the byte range [gap_start, len) hold exactly the index + trailer of
+   an intact container?  Then the trailing "gap" of a clean forward scan is
+   structure, not damage. *)
+let tail_is_index raw gap_start =
+  let tlen = String.length Writer.trailer_magic in
+  let len = String.length raw in
+  len - gap_start >= 8 + tlen
+  && String.sub raw (len - tlen) tlen = Writer.trailer_magic
+  && (let v = ref 0 in
+      for i = 7 downto 0 do
+        v := (!v lsl 8) lor Char.code raw.[len - tlen - 8 + i]
+      done;
+      !v = gap_start)
+
+let salvage_scan raw =
+  let len = String.length raw in
+  let hlen = Writer.header_bytes in
+  let chunks = ref [] in
+  let n_chunks = ref 0 in
+  let dropped_chunks = ref 0 and dropped_bytes = ref 0 in
+  let last_span = ref None in  (* (offset, end) of the last accepted chunk *)
+  let gap_start = ref (-1) in
+  let intact_tail = ref false in
+  let note_gap upto =
+    if !gap_start >= 0 then begin
+      incr dropped_chunks;
+      dropped_bytes := !dropped_bytes + (upto - !gap_start);
+      gap_start := -1
+    end
+  in
+  let pos = ref hlen in
+  while !pos < len do
+    match try_chunk raw !pos with
+    | Some (c, cend) ->
+        note_gap !pos;
+        (* a duplicated chunk is byte-identical to its predecessor; dropping
+           the copy keeps the salvaged events a subsequence of the original *)
+        let dup =
+          match !last_span with
+          | Some (poff, pend) ->
+              cend - !pos = pend - poff
+              && String.sub raw poff (pend - poff) = String.sub raw !pos (cend - !pos)
+          | None -> false
+        in
+        if not dup then begin
+          chunks := c :: !chunks;
+          incr n_chunks
+        end;
+        last_span := Some (!pos, cend);
+        pos := cend
+    | None ->
+        (* resync: skip forward one byte at a time until the next verifying
+           chunk; everything skipped is one dropped region *)
+        if !gap_start < 0 then gap_start := !pos;
+        incr pos
+  done;
+  if !gap_start >= 0 && tail_is_index raw !gap_start then begin
+    intact_tail := true;
+    gap_start := -1
+  end;
+  note_gap len;
+  let reason =
+    if !dropped_chunks = 0 then
+      if !intact_tail then "all chunks verified; container intact"
+      else
+        "all chunks verified; trailer/index missing (recording not \
+         finalized?)"
+    else
+      Printf.sprintf
+        "%d corrupt region(s) totalling %d byte(s) skipped by the forward scan"
+        !dropped_chunks !dropped_bytes
+  in
+  ( Array.of_list (List.rev !chunks),
+    {
+      salvaged_chunks = !n_chunks;
+      dropped_chunks = !dropped_chunks;
+      dropped_bytes = !dropped_bytes;
+      reason;
+    } )
+
+let of_raw_salvage ~verify raw =
+  let mlen = String.length Writer.magic in
+  if String.length raw < mlen then fail "bad magic (file shorter than a header)";
+  (match String.sub raw 0 mlen with
+  | m when m = Writer.magic -> ()
+  | m when m = Writer.magic_v2 ->
+      fail "salvage needs a v3 container (v2 chunks carry no checksums)"
+  | _ -> fail "bad magic (not a tquad trace, or an unknown container version)");
+  if String.length raw < Writer.header_bytes then fail "truncated header";
+  let fingerprint = le64 raw mlen in
+  let chunks, info = salvage_scan raw in
+  let n_chunks = Array.length chunks in
+  let n_events = Array.fold_left (fun acc c -> acc + c.c_events) 0 chunks in
+  let last_icount = ref 0 in
+  if n_chunks > 0 then
+    iter_chunk ~v3:true ~verify:true raw chunks.(n_chunks - 1) (fun ev ->
+        last_icount := Event.icount ev);
+  {
+    raw;
+    v3 = true;
+    verify;
+    chunks;
+    n_events;
+    last_icount = !last_icount;
+    fingerprint;
+    salvage = Some info;
+  }
+
+let of_string ?(verify = true) ?(mode = Strict) raw =
+  match mode with
+  | Strict -> of_raw ~verify raw
+  | Salvage -> of_raw_salvage ~verify raw
+
+let load ?verify ?mode path = of_string ?verify ?mode (read_file path)
 
 (* Same loop as [iter_chunk], dispatching on the event's tag instead of
    through one composite sink: the replay driver keeps one fused sink per
    tag, and routing here saves a closure hop per event. *)
-let iter_chunk_tags raw chunk (per_tag : (Event.t -> unit) array) =
-  let pos = ref chunk.c_offset in
-  let n = leb_u raw pos in
-  let first_icount = leb_u raw pos in
-  let payload_len = leb_u raw pos in
-  let payload_end = !pos + payload_len in
-  if payload_end > String.length raw then fail "chunk at %d overruns file" chunk.c_offset;
+let iter_chunk_tags ~v3 ~verify raw chunk (per_tag : (Event.t -> unit) array) =
+  let n, first_icount, payload_len, payload_start =
+    if v3 then begin
+      let ((n, fic, plen, _, _, _, pstart) as parts) =
+        parse_chunk_v3 raw chunk.c_offset
+      in
+      if n <> chunk.c_events || fic <> chunk.c_first_icount then
+        fail "chunk at %d: header disagrees with index" chunk.c_offset;
+      if verify then check_crc_v3 raw chunk.c_offset parts;
+      (n, fic, plen, pstart)
+    end
+    else begin
+      let pos = ref chunk.c_offset in
+      let n = leb_u raw pos in
+      let first_icount = leb_u raw pos in
+      let payload_len = leb_u raw pos in
+      if n < 0 || payload_len < 0 then
+        fail "chunk at %d: negative header field" chunk.c_offset;
+      (n, first_icount, payload_len, !pos)
+    end
+  in
+  let payload_end = payload_start + payload_len in
+  if payload_end > String.length raw then
+    fail "chunk at %d overruns file" chunk.c_offset;
+  let pos = ref payload_start in
   let st = Event.fresh_state ~icount:first_icount () in
-  (try
-     for _ = 1 to n do
-       let ev = Event.decode st raw pos in
-       per_tag.(Event.tag ev) ev
-     done
-   with
-  | Leb.Truncated p -> fail "truncated event at %d" p
-  | Failure msg -> fail "%s" msg);
+  for _ = 1 to n do
+    match Event.decode st raw pos with
+    | ev -> per_tag.(Event.tag ev) ev
+    | exception Leb.Truncated p -> fail "truncated event at %d" p
+    | exception Failure msg -> fail "%s" msg
+  done;
   if !pos <> payload_end then
     fail "chunk at %d: payload length mismatch" chunk.c_offset
 
 let iter_tags t per_tag =
   if Array.length per_tag <> Event.n_kinds then
     invalid_arg "Trace.Reader.iter_tags: need one sink per event kind";
-  Array.iter (fun c -> iter_chunk_tags t.raw c per_tag) t.chunks
+  Array.iter
+    (fun c -> iter_chunk_tags ~v3:t.v3 ~verify:t.verify t.raw c per_tag)
+    t.chunks
 
 let iter ?from_icount t sink =
   let start =
@@ -145,7 +408,7 @@ let iter ?from_icount t sink =
     | Some target -> fun ev -> if Event.icount ev >= target then sink ev
   in
   for i = start to Array.length t.chunks - 1 do
-    iter_chunk t.raw t.chunks.(i) sink
+    iter_chunk ~v3:t.v3 ~verify:t.verify t.raw t.chunks.(i) sink
   done
 
 let fingerprint t = t.fingerprint
@@ -153,3 +416,5 @@ let n_events t = t.n_events
 let n_chunks t = Array.length t.chunks
 let last_icount t = t.last_icount
 let byte_size t = String.length t.raw
+let version t = if t.v3 then 3 else 2
+let salvage_info t = t.salvage

@@ -2,28 +2,61 @@
 
     A loaded reader is immutable — [iter] keeps all decoding state local —
     so one reader can drive any number of concurrent replay domains over the
-    same in-memory image ({!Replay.parallel}). *)
+    same in-memory image ({!Replay.parallel}).
+
+    Fault tolerance: v3 chunks carry a CRC-32 that is verified lazily, per
+    chunk, before any of its events are decoded — corruption anywhere in a
+    chunk surfaces as {!Format_error}, never as a decode crash or silently
+    wrong events.  In [Strict] mode the trailer, the index and the exact
+    tiling of the chunk region are validated up front; [Salvage] mode ignores
+    the trailer and index entirely and rebuilds the chunk list by scanning
+    forward from the header, keeping every chunk whose CRC verifies — the
+    path for recordings killed mid-run ([.tmp] files) or damaged on disk. *)
 
 exception Format_error of string
 
 type t
 
-val load : string -> t
-(** Read the whole file, validate magic and trailer, decode the chunk index.
+type mode =
+  | Strict  (** require an intact trailer, index and chunk tiling (default) *)
+  | Salvage
+      (** rebuild the chunk list by forward scan; only CRC-verified chunks
+          are kept (v3 containers only — v2 has no checksums) *)
+
+type salvage = {
+  salvaged_chunks : int;  (** chunks recovered (CRC-verified) *)
+  dropped_chunks : int;
+      (** corrupt byte-regions skipped by the scan — a lower bound on the
+          number of chunks lost *)
+  dropped_bytes : int;  (** total bytes in those regions *)
+  reason : string;  (** human-readable scan summary *)
+}
+
+val load : ?verify:bool -> ?mode:mode -> string -> t
+(** Read the whole file, validate magic and (in [Strict] mode) trailer and
+    index, decode the chunk index.  [verify] (default [true]) controls the
+    lazy per-chunk CRC check during iteration; salvage scanning always
+    verifies.  v2 containers load in [Strict] mode with no CRC verification
+    (the format has none).
     @raise Format_error on a corrupt or truncated file.
     @raise Sys_error if the file cannot be read. *)
+
+val of_string : ?verify:bool -> ?mode:mode -> string -> t
+(** [load] on an in-memory container image (no file involved). *)
 
 val iter : ?from_icount:int -> t -> (Event.t -> unit) -> unit
 (** Replay events in recording order.  With [from_icount], decoding starts at
     the last chunk whose first instruction count is [<= from_icount]
     (binary search over the index) and events with a smaller instruction
-    count are skipped — an O(log n) seek. *)
+    count are skipped — an O(log n) seek.
+    @raise Format_error if a chunk fails its CRC check or is malformed. *)
 
 val iter_tags : t -> (Event.t -> unit) array -> unit
 (** Replay the whole trace, routing each event to the sink at index
     {!Event.tag}[ ev] — the hot path under {!Replay.parallel}, where each
     tag's sink fans out to the jobs interested in that kind.
-    @raise Invalid_argument unless given exactly {!Event.n_kinds} sinks. *)
+    @raise Invalid_argument unless given exactly {!Event.n_kinds} sinks.
+    @raise Format_error if a chunk fails its CRC check or is malformed. *)
 
 val fingerprint : t -> int64
 (** The recorded program's {!Tq_vm.Program.fingerprint} as stamped by the
@@ -38,3 +71,10 @@ val last_icount : t -> int
 
 val byte_size : t -> int
 (** On-disk size of the trace, in bytes. *)
+
+val version : t -> int
+(** Container version of the loaded file: [3] or [2]. *)
+
+val salvage_info : t -> salvage option
+(** Scan statistics; [Some] exactly when the reader was loaded in [Salvage]
+    mode. *)

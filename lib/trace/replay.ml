@@ -4,7 +4,20 @@ type job = {
   make : unit -> (Event.t -> unit) * (unit -> string);
 }
 
+type failure = { exn : exn; backtrace : string }
+type outcome = (string, failure) result
+
 let job ?(wants = Event.all_kinds) name make = { name; wants; make }
+
+let capture exn = { exn; backtrace = Printexc.get_backtrace () }
+
+let failure_message f =
+  match f.exn with
+  | Reader.Format_error msg -> "trace unreadable: " ^ msg
+  | e -> Printexc.to_string e
+
+let is_trace_error f =
+  match f.exn with Reader.Format_error _ -> true | _ -> false
 
 let wanted_tags j =
   let w = Array.make Event.n_kinds false in
@@ -42,31 +55,70 @@ let fuse = function
         s5 ev
   | sinks -> fun ev -> Array.iter (fun s -> s ev) sinks
 
+(* One job, one decode pass, every exception captured: a raising tool (or a
+   trace that fails its CRC check mid-iteration) becomes this job's [Error],
+   not an abort of the caller. *)
 let run_job reader j =
-  let sink, finish = j.make () in
-  let wanted = wanted_tags j in
-  if Array.for_all Fun.id wanted then Reader.iter reader sink
-  else Reader.iter reader (fun ev -> if wanted.(Event.tag ev) then sink ev);
-  finish ()
+  match
+    let sink, finish = j.make () in
+    let wanted = wanted_tags j in
+    if Array.for_all Fun.id wanted then Reader.iter reader sink
+    else Reader.iter reader (fun ev -> if wanted.(Event.tag ev) then sink ev);
+    finish ()
+  with
+  | report -> Ok report
+  | exception e -> Error (capture e)
 
 let sequential reader jobs =
   List.map (fun j -> (j.name, run_job reader j)) jobs
 
 (* Run one group of jobs through a single decode pass.  Each event tag gets
    its own fused sink over the jobs that declared interest in it, so a tool
-   never sees (and never pays a call for) events it would discard. *)
+   never sees (and never pays a call for) events it would discard.
+
+   Supervision: each job's sink is guarded — a raising tool is retired from
+   the rest of the pass (its sink becomes a no-op) and comes back as [Error],
+   instead of poisoning the whole group.  Only a failure of the decode pass
+   itself (an unreadable trace) fails every job still live in the group. *)
 let run_group reader group =
-  let made = Array.map (fun j -> j.make ()) group in
+  let n = Array.length group in
+  let made =
+    Array.map
+      (fun j -> match j.make () with m -> Ok m | exception e -> Error (capture e))
+      group
+  in
+  let failed = Array.map (function Ok _ -> None | Error f -> Some f) made in
+  let alive = Array.map Option.is_none failed in
+  let guard i raw_sink ev =
+    if alive.(i) then
+      try raw_sink ev
+      with e ->
+        alive.(i) <- false;
+        failed.(i) <- Some (capture e)
+  in
   let per_tag =
     Array.init Event.n_kinds (fun tag ->
         let sinks = ref [] in
-        for i = Array.length group - 1 downto 0 do
-          if (wanted_tags group.(i)).(tag) then sinks := fst made.(i) :: !sinks
+        for i = n - 1 downto 0 do
+          match made.(i) with
+          | Ok (sink, _) when (wanted_tags group.(i)).(tag) ->
+              sinks := guard i sink :: !sinks
+          | _ -> ()
         done;
         fuse (Array.of_list !sinks))
   in
-  Reader.iter_tags reader per_tag;
-  Array.map (fun (_, finish) -> finish ()) made
+  (match Reader.iter_tags reader per_tag with
+  | () -> ()
+  | exception e ->
+      let f = capture e in
+      Array.iteri (fun i live -> if live then failed.(i) <- Some f) alive);
+  Array.mapi
+    (fun i m ->
+      match (failed.(i), m) with
+      | Some f, _ | None, Error f -> Error f
+      | None, Ok (_, finish) -> (
+          match finish () with r -> Ok r | exception e -> Error (capture e)))
+    made
 
 let parallel ?domains reader jobs =
   let jobs = Array.of_list jobs in
@@ -87,24 +139,27 @@ let parallel ?domains reader jobs =
       let rec go i acc = if i >= n then List.rev acc else go (i + domains) (i :: acc) in
       go g []
     in
-    let results = Array.make n None in
-    let errors = Array.make domains None in
+    let results =
+      Array.make n (Error { exn = Failure "job never ran"; backtrace = "" })
+    in
     let worker g () =
       let idxs = group_idxs g in
-      let group = Array.of_list (List.map (fun i -> jobs.(i)) idxs) in
-      match run_group reader group with
-      | outs -> List.iteri (fun k i -> results.(i) <- Some outs.(k)) idxs
-      | exception e -> errors.(g) <- Some e
+      match
+        let group = Array.of_list (List.map (fun i -> jobs.(i)) idxs) in
+        run_group reader group
+      with
+      | outs -> List.iteri (fun k i -> results.(i) <- outs.(k)) idxs
+      | exception e ->
+          (* run_group captures everything it can; this is the backstop so no
+             exception ever crosses a domain boundary un-accounted *)
+          let f = capture e in
+          List.iter (fun i -> results.(i) <- Error f) idxs
     in
     let spawned =
       List.init (domains - 1) (fun g -> Domain.spawn (worker (g + 1)))
     in
     Fun.protect ~finally:(fun () -> List.iter Domain.join spawned) (worker 0);
-    Array.iter (function Some e -> raise e | None -> ()) errors;
-    Array.to_list
-      (Array.mapi
-         (fun i j -> (j.name, Option.value ~default:"" results.(i)))
-         jobs)
+    Array.to_list (Array.mapi (fun i j -> (j.name, results.(i))) jobs)
   end
 
 let check_program reader prog =

@@ -1,11 +1,16 @@
 (** Drive analysis tools from a recorded trace — sequentially or fanned out
-    over OCaml 5 domains.
+    over OCaml 5 domains — with per-job fault isolation.
 
     A {!job} is a named factory: it builds a fresh tool instance, returns its
     event sink and a [finish] callback producing the tool's rendered result.
     The factory runs inside the domain that executes the job, so every
     tool's mutable state is confined to one domain; the {!Reader.t} itself
-    is immutable and safely shared. *)
+    is immutable and safely shared.
+
+    Every job comes back as an {!outcome}: a raising tool is captured as
+    that job's [Error] (exception + backtrace) instead of aborting its whole
+    domain group, so one broken analysis cannot take down the other tools'
+    byte-identical reports. *)
 
 type job = {
   name : string;
@@ -14,6 +19,16 @@ type job = {
           delivered to it *)
   make : unit -> (Event.t -> unit) * (unit -> string);
 }
+
+type failure = {
+  exn : exn;
+  backtrace : string;  (** best-effort; empty unless backtraces are on *)
+}
+
+type outcome = (string, failure) result
+(** [Ok report] — the tool's rendered result, byte-identical to a live
+    instrumented run; [Error f] — the tool's factory, sink or finish raised,
+    or the decode pass feeding it found the trace unreadable. *)
 
 val job :
   ?wants:Event.kind list ->
@@ -25,10 +40,20 @@ val job :
     replay driver skip the sink call for the rest; it must stay a superset
     of the consumed kinds or the tool silently loses events. *)
 
-val sequential : Reader.t -> job list -> (string * string) list
-(** Replay the trace once per job, in order, on the current domain. *)
+val failure_message : failure -> string
+(** One-line rendering of a failure ({!Reader.Format_error} is labelled as an
+    unreadable trace). *)
 
-val parallel : ?domains:int -> Reader.t -> job list -> (string * string) list
+val is_trace_error : failure -> bool
+(** Did this job fail because the trace itself was unreadable
+    ({!Reader.Format_error}) rather than because the tool raised? *)
+
+val sequential : Reader.t -> job list -> (string * outcome) list
+(** Replay the trace once per job, in order, on the current domain.  Never
+    raises on a failing job or an unreadable trace — each job's result is
+    its own {!outcome}. *)
+
+val parallel : ?domains:int -> Reader.t -> job list -> (string * outcome) list
 (** Fan the jobs out over up to [domains] domains (default
     [Domain.recommended_domain_count]; always capped at the job count and
     at [Domain.recommended_domain_count] — each extra domain costs a full
@@ -36,9 +61,13 @@ val parallel : ?domains:int -> Reader.t -> job list -> (string * string) list
     partitioned round-robin; each domain decodes the trace {e once} and
     dispatches each event to the sinks of those of its jobs that declared
     interest in the event's kind, so the decode cost is paid per domain,
-    not per job.  Results come back in job order.  The first exception
-    raised by any group is re-raised after all domains are joined (an
-    exception aborts that whole group's pass). *)
+    not per job.  Results come back in job order.
+
+    Supervision: a job whose sink raises is retired from the rest of its
+    group's decode pass and reported as [Error]; the group's other jobs run
+    to completion.  Only an unreadable trace (the decode pass itself raising
+    {!Reader.Format_error}) fails every job still live in that group.  No
+    exception escapes a domain. *)
 
 val check_program : Reader.t -> Tq_vm.Program.t -> (unit, string) result
 (** Does this trace belong to this program?  [Error] explains a fingerprint

@@ -1,6 +1,9 @@
 module Leb = Tq_util.Leb128
+module Crc32 = Tq_util.Crc32
 
-let magic = "TQTRC2\n"
+let magic = "TQTRC3\n"
+let magic_v2 = "TQTRC2\n"
+let chunk_magic = '\xA7'
 let trailer_magic = "TQTRIX1\n"
 let header_bytes = String.length magic + 8 (* magic + LE program fingerprint *)
 
@@ -8,6 +11,8 @@ type chunk = { c_offset : int; c_first_icount : int; c_events : int }
 
 type t = {
   oc : out_channel;
+  tmp : string;  (* the path being written; renamed to [path] on close *)
+  path : string;
   chunk_bytes : int;
   payload : Buffer.t;
   mutable st : Event.state;
@@ -21,31 +26,52 @@ type t = {
 
 let create ?(chunk_bytes = 64 * 1024) ?(fingerprint = 0L) path =
   if chunk_bytes <= 0 then invalid_arg "Trace.Writer.create: chunk_bytes";
-  let oc = open_out_bin path in
-  output_string oc magic;
-  let fp = Buffer.create 8 in
-  Buffer.add_int64_le fp fingerprint;
-  Buffer.output_buffer oc fp;
-  {
-    oc;
-    chunk_bytes;
-    payload = Buffer.create (chunk_bytes + 256);
-    st = Event.fresh_state ();
-    chunk_first_icount = 0;
-    chunk_events = 0;
-    chunks = [];
-    written = header_bytes;
-    total_events = 0;
-    closed = false;
-  }
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  match
+    output_string oc magic;
+    let fp = Buffer.create 8 in
+    Buffer.add_int64_le fp fingerprint;
+    Buffer.output_buffer oc fp
+  with
+  | () ->
+      {
+        oc;
+        tmp;
+        path;
+        chunk_bytes;
+        payload = Buffer.create (chunk_bytes + 256);
+        st = Event.fresh_state ();
+        chunk_first_icount = 0;
+        chunk_events = 0;
+        chunks = [];
+        written = header_bytes;
+        total_events = 0;
+        closed = false;
+      }
+  | exception e ->
+      (* don't leak the channel (or the half-written temp file) when the
+         header write fails *)
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 let flush_chunk w =
   if w.chunk_events > 0 then begin
-    let header = Buffer.create 16 in
-    Leb.write_u header w.chunk_events;
-    Leb.write_u header w.chunk_first_icount;
-    Leb.write_u header (Buffer.length w.payload);
-    Buffer.output_buffer w.oc header;
+    let meta = Buffer.create 16 in
+    Leb.write_u meta w.chunk_events;
+    Leb.write_u meta w.chunk_first_icount;
+    Leb.write_u meta (Buffer.length w.payload);
+    (* the CRC covers the self-delimiting header fields and the payload —
+       everything between the chunk magic and the stored CRC is either
+       checksummed or is the checksum *)
+    let crc = Crc32.digest (Buffer.contents meta) in
+    let crc = Crc32.digest ~crc (Buffer.contents w.payload) in
+    output_char w.oc chunk_magic;
+    Buffer.output_buffer w.oc meta;
+    let cb = Buffer.create 4 in
+    Buffer.add_int32_le cb (Int32.of_int crc);
+    Buffer.output_buffer w.oc cb;
     Buffer.output_buffer w.oc w.payload;
     w.chunks <-
       {
@@ -54,7 +80,7 @@ let flush_chunk w =
         c_events = w.chunk_events;
       }
       :: w.chunks;
-    w.written <- w.written + Buffer.length header + Buffer.length w.payload;
+    w.written <- w.written + 1 + Buffer.length meta + 4 + Buffer.length w.payload;
     Buffer.clear w.payload;
     w.chunk_events <- 0
   end
@@ -75,27 +101,37 @@ let events w = w.total_events
 
 let close w =
   if not w.closed then begin
-    flush_chunk w;
-    let index_offset = w.written in
-    let index = Buffer.create 1024 in
-    let chunks = List.rev w.chunks in
-    Leb.write_u index (List.length chunks);
-    let prev_off = ref 0 and prev_ic = ref 0 in
-    List.iter
-      (fun c ->
-        Leb.write_u index (c.c_offset - !prev_off);
-        Leb.write_u index (c.c_first_icount - !prev_ic);
-        Leb.write_u index c.c_events;
-        prev_off := c.c_offset;
-        prev_ic := c.c_first_icount)
-      chunks;
-    Buffer.output_buffer w.oc index;
-    let tr = Buffer.create 16 in
-    Buffer.add_int64_le tr (Int64.of_int index_offset);
-    Buffer.add_string tr trailer_magic;
-    Buffer.output_buffer w.oc tr;
-    close_out w.oc;
-    w.closed <- true
+    (* mark closed before touching the channel: a failing finalization must
+       not leave the writer re-closable (a second close would append a second
+       index/trailer to whatever made it to disk) *)
+    w.closed <- true;
+    match
+      flush_chunk w;
+      let index_offset = w.written in
+      let index = Buffer.create 1024 in
+      let chunks = List.rev w.chunks in
+      Leb.write_u index (List.length chunks);
+      let prev_off = ref 0 and prev_ic = ref 0 in
+      List.iter
+        (fun c ->
+          Leb.write_u index (c.c_offset - !prev_off);
+          Leb.write_u index (c.c_first_icount - !prev_ic);
+          Leb.write_u index c.c_events;
+          prev_off := c.c_offset;
+          prev_ic := c.c_first_icount)
+        chunks;
+      Buffer.output_buffer w.oc index;
+      let tr = Buffer.create 16 in
+      Buffer.add_int64_le tr (Int64.of_int index_offset);
+      Buffer.add_string tr trailer_magic;
+      Buffer.output_buffer w.oc tr;
+      close_out w.oc
+    with
+    | () -> Sys.rename w.tmp w.path
+    | exception e ->
+        (* leave [tmp] on disk: it is the crash artifact salvage understands *)
+        close_out_noerr w.oc;
+        raise e
   end
 
 let with_file ?chunk_bytes ?fingerprint path f =

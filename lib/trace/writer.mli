@@ -1,11 +1,12 @@
-(** Streaming writer for the on-disk trace container.
+(** Streaming writer for the on-disk trace container (version 3).
 
     File layout (all integers LEB128 unless noted):
 
     {v
-    "TQTRC2\n"                                      magic
+    "TQTRC3\n"                                      magic
     fingerprint  := program fingerprint (8 bytes LE, 0 = unknown)
-    chunk*       := n_events  first_icount  payload_len  payload
+    chunk*       := 0xA7  n_events  first_icount  payload_len
+                    crc32 (4 bytes LE)  payload
     index        := n_chunks  (offset_delta first_icount_delta n_events)*
     trailer      := index_offset (8 bytes LE)  "TQTRIX1\n"
     v}
@@ -13,9 +14,31 @@
     Each chunk's payload is a run of {!Event.t} delta-encoded against a
     fresh {!Event.state} seeded with the chunk's [first_icount], so any chunk
     decodes without its predecessors; the index maps instruction counts to
-    chunk offsets for O(log n) seeks. *)
+    chunk offsets for O(log n) seeks.
+
+    New in v3 (vs the v2 container, which {!Reader} still loads):
+
+    - every chunk starts with the {!chunk_magic} byte and stores a CRC-32
+      ({!Tq_util.Crc32}) of its header fields and payload, so corruption is
+      detected deterministically instead of surfacing as a decode crash or
+      silently wrong events;
+    - chunks are fully self-delimiting, so a reader can rebuild the index by
+      scanning forward from the file header when the trailer or index is
+      missing or corrupt ({!Reader.load}[ ~mode:Salvage]);
+    - the writer streams to ["path.tmp"] and atomically renames to [path] in
+      {!close} — a finished trace is never observed half-written, and a
+      recorder killed mid-run leaves a salvageable [.tmp] instead of a
+      truncated file under the final name. *)
 
 val magic : string
+(** v3 container magic. *)
+
+val magic_v2 : string
+(** The previous container's magic; {!Reader} accepts both for one release. *)
+
+val chunk_magic : char
+(** First byte of every chunk (v3). *)
+
 val trailer_magic : string
 
 val header_bytes : int
@@ -24,11 +47,12 @@ val header_bytes : int
 type t
 
 val create : ?chunk_bytes:int -> ?fingerprint:int64 -> string -> t
-(** Open [path] for writing and emit the header.  A chunk is flushed once its
-    payload reaches [chunk_bytes] (default 64 KiB).  [fingerprint] is the
-    recorded program's {!Tq_vm.Program.fingerprint} (default [0L] =
+(** Open ["path.tmp"] for writing and emit the header.  A chunk is flushed
+    once its payload reaches [chunk_bytes] (default 64 KiB).  [fingerprint]
+    is the recorded program's {!Tq_vm.Program.fingerprint} (default [0L] =
     unknown); replay refuses a trace whose fingerprint does not match the
-    program it is replayed against. *)
+    program it is replayed against.  If anything after opening the channel
+    raises, the channel is closed and the temp file removed (no leaked fd). *)
 
 val emit : t -> Event.t -> unit
 
@@ -36,8 +60,12 @@ val events : t -> int
 (** Events emitted so far. *)
 
 val close : t -> unit
-(** Flush the last chunk, append the index and trailer, close the file. *)
+(** Flush the last chunk, append the index and trailer, close the file and
+    rename ["path.tmp"] to [path].  Idempotent — including when the
+    finalization itself fails: the writer is marked closed before any
+    syscall, and on error the channel is torn down with [close_out_noerr]
+    and the [.tmp] file is left on disk for salvage. *)
 
 val with_file : ?chunk_bytes:int -> ?fingerprint:int64 -> string -> (t -> 'a) -> 'a
-(** [create] / [close] bracket; the file is closed (index written) even if
-    the callback raises. *)
+(** [create] / [close] bracket; the file is closed (index written, temp file
+    renamed) even if the callback raises. *)

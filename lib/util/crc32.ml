@@ -1,0 +1,23 @@
+(* Table-driven CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let digest ?(crc = 0) ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Crc32.digest: slice out of bounds";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c :=
+      Array.unsafe_get t ((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+      lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF

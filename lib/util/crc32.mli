@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the checksum guarding the
+    trace container's chunks.
+
+    The digest is kept in an [int] in [0, 0xFFFFFFFF]; on a 64-bit OCaml this
+    is exact.  Digests compose: feeding two slices through a running [crc]
+    equals digesting their concatenation, so a chunk's header and payload can
+    be checksummed without copying them into one buffer. *)
+
+val digest : ?crc:int -> ?pos:int -> ?len:int -> string -> int
+(** [digest ?crc ?pos ?len s] extends [crc] (default [0], the digest of the
+    empty string) with [len] bytes of [s] starting at [pos] (default: all of
+    [s]).  [digest ~crc:(digest a) b = digest (a ^ b)].
+    @raise Invalid_argument if [pos]/[len] do not describe a valid slice. *)

@@ -265,6 +265,11 @@ let replay_jobs prog =
         (Tq_prof.Footprint.consume f, fun () -> Tq_prof.Footprint.render f));
   ]
 
+(* Every job in these equivalence runs must succeed; unwrap its report. *)
+let report name = function
+  | Ok r -> r
+  | Error f -> Alcotest.fail (name ^ " failed: " ^ Replay.failure_message f)
+
 let test_replay_equivalence () =
   let path = Filename.temp_file "tq_wfs" ".trc" in
   Fun.protect
@@ -281,9 +286,163 @@ let test_replay_equivalence () =
           Alcotest.(check string) ("job name " ^ name) name name';
           Alcotest.(check string)
             ("sequential replay of " ^ name ^ " matches live")
-            live_report replayed)
+            live_report (report name replayed))
         live seq;
       Alcotest.(check bool) "parallel = sequential" true (par = seq))
+
+(* A tool that raises mid-replay must surface as its own [Error]; every
+   other job in the same pass still produces its live-identical report. *)
+let test_supervised_replay () =
+  let path = Filename.temp_file "tq_wfs" ".trc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let live = live_reports () in
+      let prog = record_trace path in
+      let reader = Reader.load path in
+      let bomb =
+        Replay.job "bomb" (fun () ->
+            let seen = ref 0 in
+            ( (fun _ ->
+                incr seen;
+                if !seen = 3 then failwith "synthetic tool crash"),
+              fun () -> "unreachable" ))
+      in
+      let jobs = bomb :: replay_jobs prog in
+      let check results =
+        (match List.assoc "bomb" results with
+        | Error f ->
+            Alcotest.(check bool) "failure is the tool's exn" true
+              (match f.Replay.exn with
+              | Failure msg -> msg = "synthetic tool crash"
+              | _ -> false);
+            Alcotest.(check bool) "not classified as a trace error" false
+              (Replay.is_trace_error f)
+        | Ok _ -> Alcotest.fail "raising job reported success");
+        List.iter
+          (fun (name, live_report) ->
+            Alcotest.(check string)
+              ("survivor " ^ name ^ " still matches live")
+              live_report
+              (report name (List.assoc name results)))
+          live
+      in
+      check (Replay.sequential reader jobs);
+      check (Replay.parallel ~domains:2 reader jobs);
+      (* even with every job sharing one domain's decode pass *)
+      check (Replay.parallel ~domains:1 reader jobs))
+
+(* ---------- crash safety of the writer ---------- *)
+
+let test_writer_atomic_rename () =
+  let dir = Filename.temp_file "tq_dir" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let path = Filename.concat dir "out.trc" in
+  let tmp = path ^ ".tmp" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ path; tmp ];
+      Sys.rmdir dir)
+    (fun () ->
+      let w = Writer.create path in
+      Writer.emit w (Event.Load { icount = 1; static = 0; ea = 8; size = 4; sp = 0 });
+      Alcotest.(check bool) "streams to .tmp while recording" true
+        (Sys.file_exists tmp);
+      Alcotest.(check bool) "final path absent until close" false
+        (Sys.file_exists path);
+      Writer.close w;
+      Alcotest.(check bool) ".tmp gone after close" false (Sys.file_exists tmp);
+      Alcotest.(check bool) "final path appears atomically" true
+        (Sys.file_exists path);
+      Alcotest.(check int) "renamed container loads" 1
+        (Reader.n_events (Reader.load path));
+      (* close is idempotent; emit after close is a hard error *)
+      Writer.close w;
+      Alcotest.check_raises "emit after close"
+        (Invalid_argument "Trace.Writer.emit: closed") (fun () ->
+          Writer.emit w (Event.Ret { icount = 2; sp = 0 })))
+
+(* ---------- v2 container back-compat ---------- *)
+
+(* Hand-assemble a v2 container (no chunk magic, no CRCs) the way the old
+   writer laid it out, so pre-upgrade recordings keep loading. *)
+let build_v2 ~chunk_events events =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "TQTRC2\n";
+  Buffer.add_int64_le buf 0L;
+  let chunks = ref [] in
+  let rec split = function
+    | [] -> []
+    | evs ->
+        let rec take n = function
+          | x :: tl when n > 0 ->
+              let a, b = take (n - 1) tl in
+              (x :: a, b)
+          | rest -> ([], rest)
+        in
+        let head, tail = take chunk_events evs in
+        head :: split tail
+  in
+  List.iter
+    (fun evs ->
+      let first_icount = Event.icount (List.hd evs) in
+      let payload = Buffer.create 256 in
+      let st = Event.fresh_state ~icount:first_icount () in
+      List.iter (Event.encode st payload) evs;
+      chunks := (Buffer.length buf, first_icount, List.length evs) :: !chunks;
+      Tq_util.Leb128.write_u buf (List.length evs);
+      Tq_util.Leb128.write_u buf first_icount;
+      Tq_util.Leb128.write_u buf (Buffer.length payload);
+      Buffer.add_buffer buf payload)
+    (split events);
+  let chunks = List.rev !chunks in
+  let index_offset = Buffer.length buf in
+  Tq_util.Leb128.write_u buf (List.length chunks);
+  let prev_off = ref 0 and prev_ic = ref 0 in
+  List.iter
+    (fun (off, ic, n) ->
+      Tq_util.Leb128.write_u buf (off - !prev_off);
+      Tq_util.Leb128.write_u buf (ic - !prev_ic);
+      Tq_util.Leb128.write_u buf n;
+      prev_off := off;
+      prev_ic := ic)
+    chunks;
+  Buffer.add_int64_le buf (Int64.of_int index_offset);
+  Buffer.add_string buf "TQTRIX1\n";
+  Buffer.contents buf
+
+let qcheck_v2_backcompat =
+  QCheck.Test.make ~name:"v2 containers still load (no CRCs, no salvage)"
+    ~count:40 arb_events (fun evs ->
+      QCheck.assume (evs <> []);
+      let raw = build_v2 ~chunk_events:7 evs in
+      let r = Reader.of_string raw in
+      let out = ref [] in
+      Reader.iter r (fun ev -> out := ev :: !out);
+      let loads_ok =
+        Reader.version r = 2
+        && List.rev !out = evs
+        && Reader.n_events r = List.length evs
+      in
+      let salvage_refused =
+        match Reader.of_string ~mode:Reader.Salvage raw with
+        | _ -> false
+        | exception Reader.Format_error _ -> true
+      in
+      loads_ok && salvage_refused)
+
+let test_v3_is_default () =
+  let path = Filename.temp_file "tq_trace" ".trc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Writer.with_file path (fun w ->
+          Writer.emit w (Event.Ret { icount = 5; sp = 0 }));
+      let r = Reader.load path in
+      Alcotest.(check int) "writer emits v3" 3 (Reader.version r);
+      Alcotest.(check bool) "strict load reports no salvage" true
+        (Reader.salvage_info r = None))
 
 let test_record_reader_stats () =
   let path = Filename.temp_file "tq_wfs" ".trc" in
@@ -353,6 +512,12 @@ let suites =
           test_record_reader_stats;
         Alcotest.test_case "wfs: replay = live for all six tools" `Quick
           test_replay_equivalence;
+        Alcotest.test_case "supervised replay isolates a raising tool" `Quick
+          test_supervised_replay;
+        Alcotest.test_case "writer streams to .tmp, renames on close" `Quick
+          test_writer_atomic_rename;
+        QCheck_alcotest.to_alcotest qcheck_v2_backcompat;
+        Alcotest.test_case "new recordings are v3" `Quick test_v3_is_default;
         Alcotest.test_case "fingerprint binds trace to program" `Quick
           test_fingerprint_guard;
       ] );

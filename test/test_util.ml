@@ -194,6 +194,43 @@ let test_ascii_bar () =
   let s = Ascii_chart.bar_chart ~title:"phases" [ ("a", 1.); ("b", 2.) ] in
   Alcotest.(check bool) "bar has label" true (Astring_contains.contains s "a")
 
+(* ---------- crc32 ---------- *)
+
+let test_crc32_vectors () =
+  (* the IEEE reference vectors every CRC-32 implementation must hit *)
+  let check name want s =
+    Alcotest.(check int) name want (Crc32.digest s)
+  in
+  check "empty" 0 "";
+  check "check value" 0xCBF43926 "123456789";
+  check "single byte" 0xE8B7BE43 "a";
+  check "ascii" 0x414FA339 "The quick brown fox jumps over the lazy dog"
+
+let test_crc32_compose () =
+  let s = "The quick brown fox jumps over the lazy dog" in
+  let whole = Crc32.digest s in
+  (* feeding the string in arbitrary splits through [~crc] must agree *)
+  for cut = 0 to String.length s do
+    let c = Crc32.digest (String.sub s 0 cut) in
+    let c = Crc32.digest ~crc:c (String.sub s cut (String.length s - cut)) in
+    Alcotest.(check int) (Printf.sprintf "split at %d" cut) whole c
+  done;
+  (* slice digest = digest of the substring *)
+  Alcotest.(check int) "pos/len slice" (Crc32.digest "quick")
+    (Crc32.digest ~pos:4 ~len:5 s);
+  Alcotest.check_raises "slice out of bounds"
+    (Invalid_argument "Crc32.digest: slice out of bounds") (fun () ->
+      ignore (Crc32.digest ~pos:4 ~len:String.(length s) s))
+
+let qcheck_crc32_detects_bitflips =
+  QCheck.Test.make ~name:"crc32 detects any single bit flip" ~count:200
+    QCheck.(pair (string_of_size Gen.(int_range 1 64)) (pair small_nat small_nat))
+    (fun (s, (byte, bit)) ->
+      let byte = byte mod String.length s and bit = bit mod 8 in
+      let b = Bytes.of_string s in
+      Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+      Crc32.digest (Bytes.to_string b) <> Crc32.digest s)
+
 let suites =
   [
     ( "util.dyn_array",
@@ -217,6 +254,12 @@ let suites =
         Alcotest.test_case "percentile" `Quick test_stats_percentile;
         Alcotest.test_case "running" `Quick test_stats_running;
         QCheck_alcotest.to_alcotest qcheck_running_matches_batch;
+      ] );
+    ( "util.crc32",
+      [
+        Alcotest.test_case "known vectors" `Quick test_crc32_vectors;
+        Alcotest.test_case "running digest composes" `Quick test_crc32_compose;
+        QCheck_alcotest.to_alcotest qcheck_crc32_detects_bitflips;
       ] );
     ( "util.render",
       [
