@@ -25,29 +25,46 @@ module R = Tq_report.Report
 let scen = Scenario.default
 
 (* --json: experiments that support it also write BENCH_<name>.json so the
-   perf trajectory is machine-readable across PRs.  --tiny shrinks the
-   engine experiment's workload (CI smoke). *)
+   perf trajectory is machine-readable across PRs.  Each file is a run
+   manifest (Tq_obs.Manifest, schema-versioned) whose extra top-level
+   members are the experiment's own fields — a superset of the pre-manifest
+   BENCH_*.json layout, so existing CI guards keep matching.  --tiny
+   shrinks the engine experiment's workload (CI smoke). *)
 let json_mode = ref false
 let tiny_mode = ref false
 
-let json_emit name fields =
-  if !json_mode then begin
-    let path = Printf.sprintf "BENCH_%s.json" name in
-    let oc = open_out path in
-    output_string oc "{\n";
-    List.iteri
-      (fun i (k, v) ->
-        Printf.fprintf oc "  %S: %s%s\n" k v
-          (if i < List.length fields - 1 then "," else ""))
-      fields;
-    output_string oc "}\n";
-    close_out oc;
-    Printf.printf "  wrote %s\n" path
-  end
+module Obs = Tq_obs
 
-let jstr s = Printf.sprintf "%S" s
-let jint = string_of_int
-let jfloat f = Printf.sprintf "%.6f" f
+(* Per-experiment span recorder / metrics registry; live only under --json.
+   The driver re-creates both around each experiment and emits pending
+   manifests after the experiment's own span has closed, so every manifest
+   carries the full span tree of the experiment that produced it. *)
+let obs = ref Obs.Span.disabled
+let obs_metrics = ref Obs.Metrics.disabled
+let bspan ?attrs name f = Obs.Span.with_span !obs ?attrs name f
+let pending_manifests = ref []
+
+let json_emit name fields =
+  if !json_mode then pending_manifests := (name, fields) :: !pending_manifests
+
+let flush_manifests () =
+  List.iter
+    (fun (name, fields) ->
+      let path = Printf.sprintf "BENCH_%s.json" name in
+      let doc =
+        Obs.Manifest.make ~tool:"bench" ~subcommand:name
+          ~argv:(Array.to_list Sys.argv)
+          ~extra:fields !obs !obs_metrics
+      in
+      Obs.Manifest.write path doc;
+      Printf.printf "  wrote %s\n" path)
+    (List.rev !pending_manifests);
+  pending_manifests := []
+
+let jstr s = Obs.Json.Str s
+let jint i = Obs.Json.Int i
+let jfloat f = Obs.Json.Float f
+let jbool b = Obs.Json.Bool b
 
 let section title = Printf.printf "\n==== %s ====\n%!" title
 
@@ -619,7 +636,8 @@ let replay_bench () =
   (* record once ... *)
   let path = Filename.temp_file "tquad_bench" ".trc" in
   let events, record_dt =
-    timed (fun () -> Tq_trace.Probe.record ~fuel (fresh ()) ~path)
+    timed (fun () ->
+        bspan "record" (fun () -> Tq_trace.Probe.record ~fuel (fresh ()) ~path))
   in
   let reader = Tq_trace.Reader.load path in
   let reader_unverified = Tq_trace.Reader.load ~verify:false path in
@@ -856,12 +874,12 @@ let engine_bench () =
       ("uninstr_closure_s", jfloat closure_dt);
       ("uninstr_speedup", jfloat up_uninstr);
       ("uninstr_closure_ips", jfloat (ips closure_dt));
-      ("arch_identical", if arch_identical then "true" else "false");
+      ("arch_identical", jbool arch_identical);
       ("instr_reference_s", jfloat ref_dt);
       ("instr_chained_s", jfloat chained_dt);
       ("instr_speedup", jfloat up_instr);
       ("instr_chained_ips", jfloat (ips chained_dt));
-      ("reports_identical", if identical then "true" else "false");
+      ("reports_identical", jbool identical);
       ("engine_lookups", jint st.Engine.lookups);
       ("engine_misses", jint st.Engine.misses);
       ("engine_chain_hits", jint st.Engine.chain_hits);
@@ -871,6 +889,84 @@ let engine_bench () =
       ("mem_cache_hits", jint mc.Tq_vm.Memory.hits);
       ("mem_cache_misses", jint mc.Tq_vm.Memory.misses);
       ("mem_cache_hit_pct", jfloat (pct mc.Tq_vm.Memory.hits mc.Tq_vm.Memory.misses));
+    ]
+
+(* ---------- observability: disabled-path overhead ----------------------- *)
+
+(* The lib/obs contract is near-zero cost when no manifest is requested: a
+   disabled recorder's [with_span] is the wrapped call, a dead counter's
+   [add] is one load and branch.  This experiment measures both — the
+   pipeline wrapped in disabled spans vs bare, and the per-op cost of dead
+   instruments — and emits [disabled_overhead_pct] for the CI guard. *)
+let obs_bench () =
+  section "Observability: disabled-path overhead (contract: < 2%)";
+  let tiny = Scenario.tiny in
+  let prog = Harness.compile tiny in
+  let fuel = Harness.fuel tiny in
+  let dis = Obs.Span.disabled in
+  let dead = Obs.Metrics.counter Obs.Metrics.disabled ~unit_:"events" "bench.dead" in
+  let run_bare () =
+    let m = Machine.create ~vfs:(Harness.make_vfs tiny) prog in
+    let eng = Engine.create m in
+    Engine.run ~fuel eng
+  in
+  (* same pipeline wrapped the way the CLI wraps it without --metrics:
+     disabled spans around the stages, a dead counter poke per stage *)
+  let run_wrapped () =
+    Obs.Span.with_span dis "run" (fun () ->
+        Obs.Span.with_span dis "create" (fun () ->
+            Obs.Metrics.add dead 1;
+            let m = Machine.create ~vfs:(Harness.make_vfs tiny) prog in
+            Engine.create m)
+        |> fun eng ->
+        Obs.Span.with_span dis "execute" (fun () ->
+            Obs.Metrics.add dead 1;
+            Engine.run ~fuel eng))
+  in
+  (* interleaved best-of rounds behind a compacted heap: machine-load drift
+     hits both sides alike, and each side keeps its fastest round *)
+  let rounds = 7 in
+  let bare_dt = ref infinity and wrapped_dt = ref infinity in
+  for _ = 1 to rounds do
+    Gc.compact ();
+    let (), dt = timed run_bare in
+    if dt < !bare_dt then bare_dt := dt;
+    Gc.compact ();
+    let (), dt = timed run_wrapped in
+    if dt < !wrapped_dt then wrapped_dt := dt
+  done;
+  let bare_dt = !bare_dt and wrapped_dt = !wrapped_dt in
+  let overhead_pct = (wrapped_dt -. bare_dt) /. bare_dt *. 100. in
+  Printf.printf "  bare pipeline    %8.4fs\n" bare_dt;
+  Printf.printf "  disabled-obs     %8.4fs  (%+.3f%%)\n" wrapped_dt overhead_pct;
+  (* per-op cost of dead instruments *)
+  let ops = 10_000_000 in
+  let (), span_dt =
+    timed (fun () ->
+        for _ = 1 to ops do
+          Obs.Span.with_span dis "noop" (fun () -> ())
+        done)
+  in
+  let (), ctr_dt =
+    timed (fun () ->
+        for _ = 1 to ops do
+          Obs.Metrics.add dead 1
+        done)
+  in
+  let ns dt = dt /. float_of_int ops *. 1e9 in
+  Printf.printf "  disabled with_span %6.2f ns/op, disabled counter add %6.2f ns/op (%d ops)\n"
+    (ns span_dt) (ns ctr_dt) ops;
+  Printf.printf
+    "  dead instruments stay dead: counter value = %d after %d adds\n"
+    (Obs.Metrics.counter_value dead) ops;
+  json_emit "obs"
+    [
+      ("bare_s", jfloat bare_dt);
+      ("wrapped_s", jfloat wrapped_dt);
+      ("disabled_overhead_pct", jfloat overhead_pct);
+      ("disabled_span_ns", jfloat (ns span_dt));
+      ("disabled_counter_ns", jfloat (ns ctr_dt));
+      ("counter_stayed_zero", jbool (Obs.Metrics.counter_value dead = 0));
     ]
 
 (* ---------- bechamel micro-benchmarks (one Test.make per experiment) ---- *)
@@ -983,6 +1079,7 @@ let experiments =
     ("footprint", footprint);
     ("replay", replay_bench);
     ("engine", engine_bench);
+    ("obs", obs_bench);
     ("bechamel", bechamel);
   ]
 
@@ -1015,4 +1112,14 @@ let () =
   in
   Printf.printf "tQUAD reproduction benchmark harness\n";
   Printf.printf "scenario: %s\n" (Scenario.describe scen);
-  List.iter (fun name -> (List.assoc name experiments) ()) selected
+  List.iter
+    (fun name ->
+      (* fresh recorder per experiment; the manifest is emitted only after
+         the experiment's own span closed, so it carries the full tree *)
+      if !json_mode then begin
+        obs := Obs.Span.create ();
+        obs_metrics := Obs.Metrics.create ()
+      end;
+      bspan name (List.assoc name experiments);
+      flush_manifests ())
+    selected

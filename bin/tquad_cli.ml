@@ -15,6 +15,122 @@ module Machine = Tq_vm.Machine
 module Vfs = Tq_vm.Vfs
 module Engine = Tq_dbi.Engine
 module Symtab = Tq_vm.Symtab
+module Obs = Tq_obs
+
+let version_string = "1.0.0"
+
+(* ---------- observability ----------
+
+   Every subcommand takes [--metrics PATH]; when given, the run carries a
+   live span recorder and metrics registry and writes a schema-versioned
+   manifest (see docs/METRICS.md) on exit.  The flush hangs off [at_exit]
+   so the manifest still lands on the error paths that call [exit 1/2/3/4]
+   mid-pipeline — a failed run's manifest is exactly the one you want. *)
+
+let obs = ref Obs.Span.disabled
+let obs_metrics = ref Obs.Metrics.disabled
+let obs_state = ref None (* Some (path, subcommand) once --metrics is seen *)
+let obs_sections = ref [] (* manifest extra sections, newest first *)
+let obs_written = ref false
+
+let obs_section name json =
+  if Obs.Span.is_enabled !obs && not (List.mem_assoc name !obs_sections) then
+    obs_sections := (name, json) :: !obs_sections
+
+let obs_flush () =
+  match !obs_state with
+  | Some (path, subcommand) when not !obs_written ->
+      obs_written := true;
+      let doc =
+        Obs.Manifest.make ~tool:"tquad" ~subcommand
+          ~argv:(Array.to_list Sys.argv)
+          ~extra:(List.rev !obs_sections)
+          !obs !obs_metrics
+      in
+      (try Obs.Manifest.write path doc
+       with Sys_error msg -> Printf.eprintf "tquad: --metrics: %s\n" msg)
+  | _ -> ()
+
+let obs_init subcommand = function
+  | None -> ()
+  | Some path ->
+      obs := Obs.Span.create ();
+      obs_metrics := Obs.Metrics.create ();
+      obs_state := Some (path, subcommand);
+      at_exit obs_flush
+
+let span ?attrs name f = Obs.Span.with_span !obs ?attrs name f
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Write a run manifest to $(docv): a schema-versioned JSON document \
+           with pipeline spans, the metrics registry and \
+           engine/memory/trace/replay sections (see docs/METRICS.md).  \
+           Written even when the run fails.")
+
+(* Engine and page-cache statistics, recorded by every subcommand that
+   actually executes the program. *)
+let obs_engine_sections eng m =
+  if Obs.Span.is_enabled !obs then begin
+  let s = Engine.stats eng in
+  obs_section "engine"
+    (Obs.Json.Obj
+       [ ("compiled_traces", Obs.Json.Int s.Engine.compiled_traces);
+         ("compiled_instructions", Obs.Json.Int s.Engine.compiled_instructions);
+         ("lookups", Obs.Json.Int s.Engine.lookups);
+         ("misses", Obs.Json.Int s.Engine.misses);
+         ("chain_hits", Obs.Json.Int s.Engine.chain_hits);
+         ("closure_instructions", Obs.Json.Int s.Engine.closure_instructions) ]);
+  let mem = Machine.mem m in
+  let c = Tq_vm.Memory.cache_stats mem in
+  obs_section "memory"
+    (Obs.Json.Obj
+       [ ("page_cache_hits", Obs.Json.Int c.Tq_vm.Memory.hits);
+         ("page_cache_misses", Obs.Json.Int c.Tq_vm.Memory.misses);
+         ("pages", Obs.Json.Int (Tq_vm.Memory.page_count mem)) ])
+  end
+
+(* The manifest's ["trace"] section for a loaded reader; when observability
+   is on, also times a full CRC verification pass over every chunk. *)
+let obs_trace_section r =
+  if Obs.Span.is_enabled !obs then begin
+    let crc_verify_s =
+      match
+        span "crc-verify" (fun () ->
+            let t0 = Unix.gettimeofday () in
+            ignore (Tq_trace.Reader.crc_check r);
+            Unix.gettimeofday () -. t0)
+      with
+      | dt -> [ ("crc_verify_s", Obs.Json.Float dt) ]
+      | exception Tq_trace.Reader.Format_error _ -> []
+    in
+    let salvage =
+      match Tq_trace.Reader.salvage_info r with
+      | None -> []
+      | Some s ->
+          [ ( "salvage",
+              Obs.Json.Obj
+                [ ("salvaged_chunks", Obs.Json.Int s.Tq_trace.Reader.salvaged_chunks);
+                  ("dropped_chunks", Obs.Json.Int s.dropped_chunks);
+                  ("dropped_bytes", Obs.Json.Int s.dropped_bytes);
+                  ("reason", Obs.Json.Str s.reason) ] ) ]
+    in
+    obs_section "trace"
+      (Obs.Json.Obj
+         ([ ("version", Obs.Json.Int (Tq_trace.Reader.version r));
+            ("events", Obs.Json.Int (Tq_trace.Reader.n_events r));
+            ("chunks", Obs.Json.Int (Tq_trace.Reader.n_chunks r));
+            ("bytes", Obs.Json.Int (Tq_trace.Reader.byte_size r));
+            ( "fingerprint",
+              Obs.Json.Str
+                (Printf.sprintf "%016Lx" (Tq_trace.Reader.fingerprint r)) );
+            ("last_icount", Obs.Json.Int (Tq_trace.Reader.last_icount r)) ]
+         @ crc_verify_s @ salvage))
+  end
 
 let read_file path =
   let ic = open_in_bin path in
@@ -26,7 +142,7 @@ let read_file path =
 (* .mc files are MiniC (linked against the runtime image, entry via the
    runtime's _start -> main); .s files are assembly providing their own
    _start, linked with the runtime available for calls *)
-let compile_file path =
+let compile_file_raw path =
   let source = read_file path in
   if Tq_vm.Objfile.is_objfile source then begin
     match Tq_vm.Objfile.decode source with
@@ -51,6 +167,14 @@ let compile_file path =
     | exception Tq_minic.Driver.Compile_error msg ->
         Printf.eprintf "%s: %s\n" path msg;
         exit 1
+
+let compile_file path =
+  let instructions = ref 0 in
+  span ~attrs:(fun () -> [ ("instructions", !instructions) ]) "compile"
+    (fun () ->
+      let prog = compile_file_raw path in
+      instructions := Array.length prog.Tq_vm.Program.code;
+      prog)
 
 let vfs_of_dir dir =
   let vfs = Vfs.create () in
@@ -163,13 +287,16 @@ let run_under ?(console = stderr) file dir attach =
   let m = Machine.create ~vfs prog in
   let eng = Engine.create m in
   let tool = attach eng in
-  (try Engine.run eng with
-  | Machine.Trap { ip; reason } ->
-      Printf.eprintf "trap at 0x%x: %s\n" ip reason;
-      exit 1
-  | Tq_vm.Executor.Out_of_fuel n ->
-      Printf.eprintf "out of fuel after %d instructions\n" n;
-      exit 1);
+  span ~attrs:(fun () -> [ ("instructions", Machine.instr_count m) ]) "execute"
+    (fun () ->
+      try Engine.run eng with
+      | Machine.Trap { ip; reason } ->
+          Printf.eprintf "trap at 0x%x: %s\n" ip reason;
+          exit 1
+      | Tq_vm.Executor.Out_of_fuel n ->
+          Printf.eprintf "out of fuel after %d instructions\n" n;
+          exit 1);
+  obs_engine_sections eng m;
   finish ~console m;
   write_back ~console dir vfs before;
   (tool, m)
@@ -198,7 +325,8 @@ let build_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output object file.")
   in
-  let run file out =
+  let run metrics file out =
+    obs_init "build" metrics;
     let prog = compile_file file in
     Tq_vm.Objfile.write_file out prog;
     Printf.printf "wrote %s (%d instructions, %d symbols)\n" out
@@ -210,23 +338,25 @@ let build_cmd =
        ~doc:
          "Compile and link to an on-disk binary; all other subcommands accept \
           the resulting .bin directly")
-    Term.(const run $ file_arg $ out_arg)
+    Term.(const run $ metrics_arg $ file_arg $ out_arg)
 
 let disasm_cmd =
-  let run file =
+  let run metrics file =
+    obs_init "disasm" metrics;
     print_string (Tq_vm.Program.disassemble (compile_file file))
   in
   Cmd.v (Cmd.info "disasm" ~doc:"Compile a MiniC file and print the disassembly")
-    Term.(const run $ file_arg)
+    Term.(const run $ metrics_arg $ file_arg)
 
 let run_cmd =
-  let run file dir =
+  let run metrics file dir =
+    obs_init "run" metrics;
     let _, _ = run_under ~console:stdout file dir (fun _ -> ()) in
     ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a MiniC program (uninstrumented)")
-    Term.(const run $ file_arg $ dir_arg)
+    Term.(const run $ metrics_arg $ file_arg $ dir_arg)
 
 let period_arg =
   Arg.(
@@ -234,7 +364,8 @@ let period_arg =
     & info [ "period" ] ~docv:"N" ~doc:"Instructions between PC samples.")
 
 let gprof_cmd =
-  let run file dir period =
+  let run metrics file dir period =
+    obs_init "gprof" metrics;
     let g, _ =
       run_under file dir (fun eng -> Tq_gprofsim.Gprofsim.attach ~period eng)
     in
@@ -242,7 +373,7 @@ let gprof_cmd =
   in
   Cmd.v
     (Cmd.info "gprof" ~doc:"Profile a MiniC program with the sampling profiler")
-    Term.(const run $ file_arg $ dir_arg $ period_arg)
+    Term.(const run $ metrics_arg $ file_arg $ dir_arg $ period_arg)
 
 let track_all_arg =
   Arg.(
@@ -259,7 +390,8 @@ let quad_cmd =
       & opt (some string) None
       & info [ "dot" ] ~docv:"PATH" ~doc:"Write the QDU graph in DOT format.")
   in
-  let run file dir track_all dot =
+  let run metrics file dir track_all dot =
+    obs_init "quad" metrics;
     let policy =
       if track_all then Tq_prof.Call_stack.Track_all
       else Tq_prof.Call_stack.Main_image_only
@@ -276,7 +408,7 @@ let quad_cmd =
   in
   Cmd.v
     (Cmd.info "quad" ~doc:"Analyse producer/consumer memory bindings (QUAD)")
-    Term.(const run $ file_arg $ dir_arg $ track_all_arg $ dot_arg)
+    Term.(const run $ metrics_arg $ file_arg $ dir_arg $ track_all_arg $ dot_arg)
 
 let tquad_cmd =
   let slice_arg =
@@ -303,7 +435,8 @@ let tquad_cmd =
             "Write the kernel activity timeline as Chrome trace-event JSON \
              (chrome://tracing, Perfetto).")
   in
-  let run file dir track_all slice phases csv trace =
+  let run metrics file dir track_all slice phases csv trace =
+    obs_init "tquad" metrics;
     let policy =
       if track_all then Tq_prof.Call_stack.Track_all
       else Tq_prof.Call_stack.Main_image_only
@@ -344,21 +477,23 @@ let tquad_cmd =
     (Cmd.info "tquad"
        ~doc:"Temporal memory bandwidth analysis (the paper's tQUAD tool)")
     Term.(
-      const run $ file_arg $ dir_arg $ track_all_arg $ slice_arg $ phases_arg
-      $ csv_arg $ trace_arg)
+      const run $ metrics_arg $ file_arg $ dir_arg $ track_all_arg $ slice_arg
+      $ phases_arg $ csv_arg $ trace_arg)
 
 let mix_cmd =
-  let run file dir =
+  let run metrics file dir =
+    obs_init "mix" metrics;
     let mix, m = run_under file dir (fun eng -> Tq_prof.Ins_mix.attach eng) in
     ignore m;
     print_string (render_mix mix)
   in
   Cmd.v
     (Cmd.info "mix" ~doc:"Instruction-mix profile (loads/stores/ALU/branches)")
-    Term.(const run $ file_arg $ dir_arg)
+    Term.(const run $ metrics_arg $ file_arg $ dir_arg)
 
 let callgraph_cmd =
-  let run file dir period =
+  let run metrics file dir period =
+    obs_init "callgraph" metrics;
     let g, _ =
       run_under file dir (fun eng -> Tq_gprofsim.Gprofsim.attach ~period eng)
     in
@@ -366,7 +501,7 @@ let callgraph_cmd =
   in
   Cmd.v
     (Cmd.info "callgraph" ~doc:"gprof-style call-graph report")
-    Term.(const run $ file_arg $ dir_arg $ period_arg)
+    Term.(const run $ metrics_arg $ file_arg $ dir_arg $ period_arg)
 
 let cache_cmd =
   let size_arg =
@@ -380,7 +515,8 @@ let cache_cmd =
   let line_arg =
     Arg.(value & opt int 64 & info [ "line" ] ~docv:"N" ~doc:"Line size in bytes.")
   in
-  let run file dir size_kib assoc line =
+  let run metrics file dir size_kib assoc line =
+    obs_init "cache" metrics;
     let config =
       { Tq_prof.Cache_sim.size_bytes = size_kib * 1024; line_bytes = line; assoc }
     in
@@ -396,13 +532,16 @@ let cache_cmd =
   in
   Cmd.v
     (Cmd.info "cache" ~doc:"Per-kernel cache hit/miss simulation")
-    Term.(const run $ file_arg $ dir_arg $ size_arg $ assoc_arg $ line_arg)
+    Term.(
+      const run $ metrics_arg $ file_arg $ dir_arg $ size_arg $ assoc_arg
+      $ line_arg)
 
 let diff_cmd =
   let file2_arg =
     Arg.(required & pos 1 (some non_dir_file) None & info [] ~docv:"AFTER.mc")
   in
-  let run before after period =
+  let run metrics before after period =
+    obs_init "diff" metrics;
     let profile file =
       let prog = compile_file file in
       let m = Machine.create prog in
@@ -423,17 +562,18 @@ let diff_cmd =
        ~doc:
          "Compare the flat profiles of two program versions (the \
           profile-revise-reprofile workflow)")
-    Term.(const run $ file_arg $ file2_arg $ period_arg)
+    Term.(const run $ metrics_arg $ file_arg $ file2_arg $ period_arg)
 
 let footprint_cmd =
-  let run file dir =
+  let run metrics file dir =
+    obs_init "footprint" metrics;
     let f, _ = run_under file dir (fun eng -> Tq_prof.Footprint.attach eng) in
     print_string (Tq_prof.Footprint.render f)
   in
   Cmd.v
     (Cmd.info "footprint"
        ~doc:"Per-kernel unique-byte footprint by region (buffer sizing)")
-    Term.(const run $ file_arg $ dir_arg)
+    Term.(const run $ metrics_arg $ file_arg $ dir_arg)
 
 let wcet_cmd =
   let bound_arg =
@@ -447,7 +587,8 @@ let wcet_cmd =
       value & opt string "_start"
       & info [ "routine" ] ~docv:"NAME" ~doc:"Routine to analyse.")
   in
-  let run file bound routine =
+  let run metrics file bound routine =
+    obs_init "wcet" metrics;
     let prog = compile_file file in
     (* list loops per main-image routine *)
     Tq_vm.Symtab.iter
@@ -477,7 +618,7 @@ let wcet_cmd =
   in
   Cmd.v
     (Cmd.info "wcet" ~doc:"Static worst-case execution time bound")
-    Term.(const run $ file_arg $ bound_arg $ routine_arg)
+    Term.(const run $ metrics_arg $ file_arg $ bound_arg $ routine_arg)
 
 let scenario_enum =
   [ ("tiny", Tq_wfs.Scenario.tiny);
@@ -507,13 +648,18 @@ let exit_unreadable = 3
 let exit_partial = 4
 
 let load_reader ?mode ctx path =
-  try Tq_trace.Reader.load ?mode path with
-  | Tq_trace.Reader.Format_error msg ->
-      Printf.eprintf "%s: %s: %s\n" ctx path msg;
-      exit exit_unreadable
-  | Sys_error msg ->
-      Printf.eprintf "%s: %s\n" ctx msg;
-      exit exit_unreadable
+  let r =
+    span "load-trace" (fun () ->
+        try Tq_trace.Reader.load ?mode path with
+        | Tq_trace.Reader.Format_error msg ->
+            Printf.eprintf "%s: %s: %s\n" ctx path msg;
+            exit exit_unreadable
+        | Sys_error msg ->
+            Printf.eprintf "%s: %s\n" ctx msg;
+            exit exit_unreadable)
+  in
+  obs_trace_section r;
+  r
 
 let print_salvage ~ctx ~events (s : Tq_trace.Reader.salvage) =
   Printf.eprintf
@@ -532,12 +678,13 @@ let record_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output trace file.")
   in
-  let run file wfs dir out =
+  let run metrics file wfs dir out =
+    obs_init "record" metrics;
     let prog, vfs, fuel =
       match (file, wfs) with
       | Some f, None -> (compile_file f, vfs_of_dir dir, None)
       | None, Some scen ->
-          ( Tq_wfs.Harness.compile scen,
+          ( span "compile" (fun () -> Tq_wfs.Harness.compile scen),
             Tq_wfs.Harness.make_vfs scen,
             Some (Tq_wfs.Harness.fuel scen) )
       | _ ->
@@ -546,18 +693,33 @@ let record_cmd =
     in
     let m = Machine.create ~vfs prog in
     let eng = Engine.create m in
+    let events_ref = ref 0 in
     let events =
-      try Tq_trace.Probe.record ?fuel eng ~path:out with
-      | Sys_error msg ->
-          Printf.eprintf "record: %s\n" msg;
-          exit exit_unreadable
-      | Machine.Trap { ip; reason } ->
-          Printf.eprintf "trap at 0x%x: %s\n" ip reason;
-          exit 1
-      | Tq_vm.Executor.Out_of_fuel n ->
-          Printf.eprintf "out of fuel after %d instructions\n" n;
-          exit 1
+      span
+        ~attrs:(fun () ->
+          [ ("events", !events_ref); ("instructions", Machine.instr_count m) ])
+        "record"
+        (fun () ->
+          try
+            let n = Tq_trace.Probe.record ?fuel eng ~path:out in
+            events_ref := n;
+            n
+          with
+          | Sys_error msg ->
+              Printf.eprintf "record: %s\n" msg;
+              exit exit_unreadable
+          | Machine.Trap { ip; reason } ->
+              Printf.eprintf "trap at 0x%x: %s\n" ip reason;
+              exit 1
+          | Tq_vm.Executor.Out_of_fuel n ->
+              Printf.eprintf "out of fuel after %d instructions\n" n;
+              exit 1)
     in
+    obs_engine_sections eng m;
+    if Obs.Metrics.is_enabled !obs_metrics then
+      Obs.Metrics.add
+        (Obs.Metrics.counter !obs_metrics ~unit_:"events" "events_recorded")
+        events;
     finish m;
     let r = load_reader "record" out in
     Printf.printf "wrote %s: %d events, %d chunks, %d bytes (%d instructions)\n"
@@ -571,7 +733,7 @@ let record_cmd =
        ~doc:
          "Execute once under the event recorder and stream the trace to disk; \
           any analysis tool can then replay it without re-running the program")
-    Term.(const run $ file_opt_arg $ wfs_arg $ dir_arg $ out_arg)
+    Term.(const run $ metrics_arg $ file_opt_arg $ wfs_arg $ dir_arg $ out_arg)
 
 let all_tool_names = [ "tquad"; "quad"; "gprof"; "mix"; "cache"; "footprint" ]
 
@@ -675,11 +837,12 @@ let replay_cmd =
             "Testing aid: make TOOL's replay job raise on its first event, \
              to exercise the partial-failure exit code (4).")
   in
-  let run trace file wfs tool all domains slice period salvage fail_tool =
+  let run metrics trace file wfs tool all domains slice period salvage fail_tool =
+    obs_init "replay" metrics;
     let prog =
       match (file, wfs) with
       | Some f, None -> compile_file f
-      | None, Some scen -> Tq_wfs.Harness.compile scen
+      | None, Some scen -> span "compile" (fun () -> Tq_wfs.Harness.compile scen)
       | _ ->
           Printf.eprintf "replay: give exactly one of FILE.mc or --wfs\n";
           exit exit_usage
@@ -709,6 +872,14 @@ let replay_cmd =
             | Error f -> Either.Right (name, f))
           results
       in
+      if Obs.Metrics.is_enabled !obs_metrics then begin
+        Obs.Metrics.add
+          (Obs.Metrics.counter !obs_metrics ~unit_:"tools" "tools_ok")
+          (List.length ok);
+        Obs.Metrics.add
+          (Obs.Metrics.counter !obs_metrics ~unit_:"tools" "tools_failed")
+          (List.length failed)
+      end;
       List.iter
         (fun (name, report) ->
           if banner then Printf.printf "=== %s ===\n" name;
@@ -727,20 +898,51 @@ let replay_cmd =
     let prepare jobs =
       match fail_tool with Some name -> sabotage name jobs | None -> jobs
     in
+    (* per-domain wall times for the manifest's ["replay"] section *)
+    let timings =
+      if not (Obs.Span.is_enabled !obs) then None
+      else
+        Some
+          (fun ts ->
+            let domains =
+              List.length
+                (List.sort_uniq compare
+                   (List.map (fun t -> t.Tq_trace.Replay.domain) ts))
+            in
+            obs_section "replay"
+              (Obs.Json.Obj
+                 [ ("domains", Obs.Json.Int domains);
+                   ( "timings",
+                     Obs.Json.List
+                       (List.map
+                          (fun (t : Tq_trace.Replay.domain_timing) ->
+                            Obs.Json.Obj
+                              [ ("domain", Obs.Json.Int t.domain);
+                                ( "jobs",
+                                  Obs.Json.List
+                                    (List.map
+                                       (fun j -> Obs.Json.Str j)
+                                       t.jobs) );
+                                ("wall_s", Obs.Json.Float t.wall_s) ])
+                          ts) ) ]))
+    in
     match (tool, all) with
     | Some name, false ->
         let jobs = prepare [ replay_job prog ~slice ~period name ] in
-        finish_results ~banner:false (Tq_trace.Replay.sequential reader jobs)
+        finish_results ~banner:false
+          (span "replay" (fun () ->
+               Tq_trace.Replay.sequential ?timings reader jobs))
     | None, true ->
         let jobs =
           prepare (List.map (replay_job prog ~slice ~period) all_tool_names)
         in
         let results =
-          if domains = 1 then Tq_trace.Replay.sequential reader jobs
-          else
-            Tq_trace.Replay.parallel
-              ?domains:(if domains > 1 then Some domains else None)
-              reader jobs
+          span "replay" (fun () ->
+              if domains = 1 then Tq_trace.Replay.sequential ?timings reader jobs
+              else
+                Tq_trace.Replay.parallel
+                  ?domains:(if domains > 1 then Some domains else None)
+                  ?timings reader jobs)
         in
         finish_results ~banner:true results
     | _ ->
@@ -756,8 +958,9 @@ let replay_cmd =
           unreadable, 4 partial replay failure (some tools failed, the \
           survivors' reports were printed)")
     Term.(
-      const run $ trace_pos_arg $ file_pos_arg $ wfs_arg $ tool_arg $ all_arg
-      $ domains_arg $ slice_arg $ period_arg $ salvage_arg $ fail_tool_arg)
+      const run $ metrics_arg $ trace_pos_arg $ file_pos_arg $ wfs_arg
+      $ tool_arg $ all_arg $ domains_arg $ slice_arg $ period_arg $ salvage_arg
+      $ fail_tool_arg)
 
 (* ---------- trace inspection / fault injection ---------- *)
 
@@ -771,7 +974,8 @@ let trace_info_cmd =
       & info [ "salvage" ]
           ~doc:"Scan in salvage mode even if the container loads strictly.")
   in
-  let run trace salvage =
+  let run metrics trace salvage =
+    obs_init "trace-info" metrics;
     let print_reader r =
       Printf.printf "%s: container v%d, %d events in %d chunks, %d bytes\n"
         trace
@@ -795,8 +999,10 @@ let trace_info_cmd =
     if salvage then
       print_reader (load_reader ~mode:Tq_trace.Reader.Salvage "trace-info" trace)
     else
-      match Tq_trace.Reader.load trace with
-      | r -> print_reader r
+      match span "load-trace" (fun () -> Tq_trace.Reader.load trace) with
+      | r ->
+          obs_trace_section r;
+          print_reader r
       | exception Sys_error msg ->
           Printf.eprintf "trace-info: %s\n" msg;
           exit exit_unreadable
@@ -813,7 +1019,7 @@ let trace_info_cmd =
           event/chunk counts.  Falls back to a salvage scan (recovered and \
           dropped chunk counts) when the strict load refuses the file; exit \
           3 only if nothing is recoverable")
-    Term.(const run $ trace_pos_arg $ salvage_arg)
+    Term.(const run $ metrics_arg $ trace_pos_arg $ salvage_arg)
 
 let faultgen_cmd =
   let trace_pos_arg =
@@ -848,7 +1054,8 @@ let faultgen_cmd =
              from --seed; strip-tail is deterministic and simulates a \
              recorder killed mid-run).")
   in
-  let run trace out seed sweep mutation =
+  let run metrics trace out seed sweep mutation =
+    obs_init "faultgen" metrics;
     let raw =
       try read_file trace
       with Sys_error msg ->
@@ -925,7 +1132,9 @@ let faultgen_cmd =
           truncations, chunk duplication/removal, index/trailer damage) to \
           exercise the reader's fault tolerance; see also 'tquad trace-info' \
           and 'tquad replay --salvage'")
-    Term.(const run $ trace_pos_arg $ out_arg $ seed_arg $ sweep_arg $ mutation_arg)
+    Term.(
+      const run $ metrics_arg $ trace_pos_arg $ out_arg $ seed_arg $ sweep_arg
+      $ mutation_arg)
 
 (* ---------- static verification ---------- *)
 
@@ -962,12 +1171,13 @@ let check_cmd =
             "Check a built-in demo application (image-pipeline or \
              pointer-chase) instead of a file.")
   in
-  let run file wfs app dir bandwidth slice =
+  let run metrics file wfs app dir bandwidth slice =
+    obs_init "check" metrics;
     let prog, vfs, fuel =
       match (file, wfs, app) with
       | Some f, None, None -> (compile_file f, vfs_of_dir dir, None)
       | None, Some scen, None ->
-          ( Tq_wfs.Harness.compile scen,
+          ( span "compile" (fun () -> Tq_wfs.Harness.compile scen),
             Tq_wfs.Harness.make_vfs scen,
             Some (Tq_wfs.Harness.fuel scen) )
       | None, None, Some `Image_pipeline ->
@@ -978,7 +1188,9 @@ let check_cmd =
           Printf.eprintf "check: give exactly one of FILE.mc, --wfs or --app\n";
           exit 2
     in
-    let diags = Tq_staticcheck.Staticcheck.check_program prog in
+    let diags =
+      span "verify" (fun () -> Tq_staticcheck.Staticcheck.check_program prog)
+    in
     if diags <> [] then begin
       print_string (Tq_staticcheck.Staticcheck.render diags);
       Printf.printf "check: %d diagnostic(s)\n" (List.length diags);
@@ -998,13 +1210,18 @@ let check_cmd =
       let m = Machine.create ~vfs prog in
       let eng = Engine.create m in
       let t = Tq_tquad.Tquad.attach ~slice_interval:slice eng in
-      (try Engine.run ?fuel eng with
-      | Machine.Trap { ip; reason } ->
-          Printf.eprintf "trap at 0x%x: %s\n" ip reason;
-          exit 1
-      | Tq_vm.Executor.Out_of_fuel n ->
-          Printf.eprintf "out of fuel after %d instructions\n" n;
-          exit 1);
+      span
+        ~attrs:(fun () -> [ ("instructions", Machine.instr_count m) ])
+        "execute"
+        (fun () ->
+          try Engine.run ?fuel eng with
+          | Machine.Trap { ip; reason } ->
+              Printf.eprintf "trap at 0x%x: %s\n" ip reason;
+              exit 1
+          | Tq_vm.Executor.Out_of_fuel n ->
+              Printf.eprintf "out of fuel after %d instructions\n" n;
+              exit 1);
+      obs_engine_sections eng m;
       finish ~console:stderr m;
       let dynamic r =
         let tot = Tq_tquad.Tquad.totals t r in
@@ -1036,8 +1253,8 @@ let check_cmd =
           static bandwidth estimate against a measured run; exits non-zero \
           if any diagnostic fires")
     Term.(
-      const run $ file_opt_arg $ wfs_arg $ app_arg $ dir_arg $ bandwidth_arg
-      $ slice_arg)
+      const run $ metrics_arg $ file_opt_arg $ wfs_arg $ app_arg $ dir_arg
+      $ bandwidth_arg $ slice_arg)
 
 let wfs_cmd =
   let scenario_arg =
@@ -1053,52 +1270,66 @@ let wfs_cmd =
           `Tquad
       & info [ "tool" ] ~docv:"TOOL" ~doc:"run, gprof, quad or tquad.")
   in
-  let run scen tool =
+  let run metrics scen tool =
+    obs_init "wfs" metrics;
     Printf.printf "%s\n" (Tq_wfs.Scenario.describe scen);
     let m =
       Machine.create
         ~vfs:(Tq_wfs.Harness.make_vfs scen)
-        (Tq_wfs.Harness.compile scen)
+        (span "compile" (fun () -> Tq_wfs.Harness.compile scen))
     in
     let eng = Engine.create m in
     let fuel = Tq_wfs.Harness.fuel scen in
+    let execute () =
+      span
+        ~attrs:(fun () -> [ ("instructions", Machine.instr_count m) ])
+        "execute"
+        (fun () -> Engine.run ~fuel eng)
+    in
     (match tool with
     | `Run ->
-        Engine.run ~fuel eng;
+        execute ();
         finish m
     | `Gprof ->
         let g = Tq_gprofsim.Gprofsim.attach ~period:2_000 eng in
-        Engine.run ~fuel eng;
+        execute ();
         finish m;
         print_string
           (Tq_report.Report.flat_profile (Tq_gprofsim.Gprofsim.flat_profile g))
     | `Quad ->
         let q = Tq_quad.Quad.attach eng in
-        Engine.run ~fuel eng;
+        execute ();
         finish m;
         print_string (Tq_report.Report.quad_table (Tq_quad.Quad.rows q))
     | `Tquad ->
         let t = Tq_tquad.Tquad.attach ~slice_interval:2_000 eng in
-        Engine.run ~fuel eng;
+        execute ();
         finish m;
         let kernels = Tq_tquad.Tquad.kernels t in
         print_string
           (Tq_report.Report.figure t ~metric:Tq_tquad.Tquad.Read_incl ~kernels
              ~title:"wfs read bandwidth (stack incl.)" ()));
-    ()
+    obs_engine_sections eng m
   in
   Cmd.v
     (Cmd.info "wfs" ~doc:"Run the built-in hArtes-wfs case study")
-    Term.(const run $ scenario_arg $ tool_arg)
+    Term.(const run $ metrics_arg $ scenario_arg $ tool_arg)
+
+let version_cmd =
+  let run () = print_endline version_string in
+  Cmd.v
+    (Cmd.info "version" ~doc:"Print the tquad version and exit")
+    Term.(const run $ const ())
 
 let subcommands =
   [ build_cmd; disasm_cmd; run_cmd; gprof_cmd; callgraph_cmd; quad_cmd;
     tquad_cmd; mix_cmd; cache_cmd; footprint_cmd; wcet_cmd; diff_cmd;
-    record_cmd; replay_cmd; trace_info_cmd; faultgen_cmd; check_cmd; wfs_cmd ]
+    record_cmd; replay_cmd; trace_info_cmd; faultgen_cmd; check_cmd; wfs_cmd;
+    version_cmd ]
 
 let main_cmd =
   Cmd.group
-    (Cmd.info "tquad" ~version:"1.0.0"
+    (Cmd.info "tquad" ~version:version_string
        ~doc:
          "Temporal memory bandwidth usage analysis on a simulated machine \
           (reproduction of tQUAD, ICPP 2010)")
@@ -1127,7 +1358,8 @@ let usage_lines =
     ("trace-info", "inspect a trace (version, counts; salvage fallback)");
     ("faultgen", "corrupt a trace deterministically (robustness testing)");
     ("check", "static binary verification and bandwidth estimate");
-    ("wfs", "run the built-in hArtes-wfs case study") ]
+    ("wfs", "run the built-in hArtes-wfs case study");
+    ("version", "print the tquad version") ]
 
 let print_usage ch =
   Printf.fprintf ch
@@ -1138,23 +1370,42 @@ let print_usage ch =
     (fun (name, doc) -> Printf.fprintf ch "  %-10s %s\n" name doc)
     usage_lines;
   Printf.fprintf ch
-    "\nRun 'tquad SUBCOMMAND --help' for that subcommand's options.\n"
+    "\nRun 'tquad help SUBCOMMAND' for that subcommand's options.\n"
 
 let () =
   let names = List.map Cmd.name subcommands in
+  let resolve a =
+    (* a known name or a unique prefix of one, like cmdliner resolves it *)
+    if List.mem a names then Some a
+    else
+      match List.filter (String.starts_with ~prefix:a) names with
+      | [ n ] -> Some n
+      | _ -> None
+  in
   let verdict =
     if Array.length Sys.argv < 2 then `Missing
     else
       let a = Sys.argv.(1) in
-      if String.length a > 0 && a.[0] = '-' then `Pass (* --help, --version *)
-      else if List.mem a names then `Pass
-      else
-        match List.filter (String.starts_with ~prefix:a) names with
-        | [ _ ] -> `Pass (* unique prefix: cmdliner resolves it *)
-        | _ -> `Unknown a
+      if a = "help" then
+        (* 'tquad help' prints the usage block and exits 0; 'tquad help SUB'
+           shows SUB's manual — the same contract as '--help', so scripts and
+           humans get consistent exit codes either way. *)
+        if Array.length Sys.argv < 3 then `Help_toplevel
+        else
+          match resolve Sys.argv.(2) with
+          | Some n -> `Help_sub n
+          | None -> `Unknown Sys.argv.(2)
+      else if String.length a > 0 && a.[0] = '-' then
+        `Pass (* --help, --version *)
+      else if resolve a <> None then `Pass
+      else `Unknown a
   in
   match verdict with
   | `Pass -> exit (Cmd.eval main_cmd)
+  | `Help_toplevel ->
+      print_usage stdout;
+      exit 0
+  | `Help_sub n -> exit (Cmd.eval ~argv:[| "tquad"; n; "--help" |] main_cmd)
   | `Missing ->
       prerr_string "tquad: missing subcommand\n\n";
       print_usage stderr;

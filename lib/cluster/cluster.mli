@@ -55,3 +55,4 @@ val quality : t -> string list list -> float
     total mass is 0).  The objective the paper states: maximize this. *)
 
 val render : string list list -> string
+(** One line per cluster ([{a, b, ...}]), in {!agglomerate}'s order. *)

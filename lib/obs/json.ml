@@ -1,0 +1,294 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ---------- printer ---------- *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  if Float.is_finite f then begin
+    (* shortest rendering that parses back to the same double *)
+    let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    Buffer.add_string buf s;
+    (* keep the float/int distinction through a round-trip *)
+    if String.for_all (function '0' .. '9' | '-' -> true | _ -> false) s then
+      Buffer.add_string buf ".0"
+  end
+  else Buffer.add_string buf "null"
+
+let rec add buf indent v =
+  let pad n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | Str s -> add_escaped buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 1);
+          add buf (indent + 1) item)
+        items;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj members ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 1);
+          add_escaped buf k;
+          Buffer.add_string buf ": ";
+          add buf (indent + 1) item)
+        members;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  add buf 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ---------- parser ---------- *)
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws s pos =
+  while !pos < String.length s && is_ws s.[!pos] do
+    incr pos
+  done
+
+let expect s pos c =
+  if !pos >= String.length s || s.[!pos] <> c then
+    fail "expected '%c' at offset %d" c !pos;
+  incr pos
+
+let parse_lit s pos lit v =
+  let n = String.length lit in
+  if !pos + n <= String.length s && String.sub s !pos n = lit then begin
+    pos := !pos + n;
+    v
+  end
+  else fail "bad literal at offset %d" !pos
+
+(* UTF-8-encode one code point (for \uXXXX escapes) *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_hex4 s pos =
+  if !pos + 4 > String.length s then fail "truncated \\u escape at %d" !pos;
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let d =
+      match s.[!pos] with
+      | '0' .. '9' as c -> Char.code c - Char.code '0'
+      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+      | _ -> fail "bad hex digit at offset %d" !pos
+    in
+    v := (!v lsl 4) lor d;
+    incr pos
+  done;
+  !v
+
+let parse_string s pos =
+  expect s pos '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if !pos >= String.length s then fail "unterminated string";
+    match s.[!pos] with
+    | '"' ->
+        incr pos;
+        Buffer.contents buf
+    | '\\' ->
+        incr pos;
+        if !pos >= String.length s then fail "truncated escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char buf '"'; incr pos
+        | '\\' -> Buffer.add_char buf '\\'; incr pos
+        | '/' -> Buffer.add_char buf '/'; incr pos
+        | 'b' -> Buffer.add_char buf '\b'; incr pos
+        | 'f' -> Buffer.add_char buf '\012'; incr pos
+        | 'n' -> Buffer.add_char buf '\n'; incr pos
+        | 'r' -> Buffer.add_char buf '\r'; incr pos
+        | 't' -> Buffer.add_char buf '\t'; incr pos
+        | 'u' ->
+            incr pos;
+            let cp = parse_hex4 s pos in
+            (* surrogate pair *)
+            if cp >= 0xD800 && cp <= 0xDBFF
+               && !pos + 2 <= String.length s
+               && s.[!pos] = '\\'
+               && s.[!pos + 1] = 'u'
+            then begin
+              pos := !pos + 2;
+              let lo = parse_hex4 s pos in
+              if lo >= 0xDC00 && lo <= 0xDFFF then
+                add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+              else begin
+                add_utf8 buf cp;
+                add_utf8 buf lo
+              end
+            end
+            else add_utf8 buf cp
+        | c -> fail "bad escape '\\%c' at offset %d" c !pos);
+        go ()
+    | c ->
+        Buffer.add_char buf c;
+        incr pos;
+        go ()
+  in
+  go ()
+
+let parse_number s pos =
+  let start = !pos in
+  let len = String.length s in
+  let is_float = ref false in
+  if !pos < len && s.[!pos] = '-' then incr pos;
+  while
+    !pos < len
+    && match s.[!pos] with
+       | '0' .. '9' -> true
+       | '.' | 'e' | 'E' | '+' | '-' ->
+           is_float := true;
+           true
+       | _ -> false
+  do
+    incr pos
+  done;
+  let text = String.sub s start (!pos - start) in
+  (* JSON forbids leading zeros ("01") and a bare minus *)
+  let digits =
+    if String.length text > 0 && text.[0] = '-' then
+      String.sub text 1 (String.length text - 1)
+    else text
+  in
+  if
+    String.length digits = 0
+    || (String.length digits > 1 && digits.[0] = '0' && digits.[1] <> '.'
+        && digits.[1] <> 'e' && digits.[1] <> 'E')
+  then fail "bad number %S at offset %d" text start;
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail "bad number %S at offset %d" text start
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> fail "bad number %S at offset %d" text start
+
+let rec parse_value s pos =
+  skip_ws s pos;
+  if !pos >= String.length s then fail "unexpected end of input";
+  match s.[!pos] with
+  | 'n' -> parse_lit s pos "null" Null
+  | 't' -> parse_lit s pos "true" (Bool true)
+  | 'f' -> parse_lit s pos "false" (Bool false)
+  | '"' -> Str (parse_string s pos)
+  | '[' ->
+      incr pos;
+      skip_ws s pos;
+      if !pos < String.length s && s.[!pos] = ']' then begin
+        incr pos;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec go () =
+          items := parse_value s pos :: !items;
+          skip_ws s pos;
+          if !pos >= String.length s then fail "unterminated array";
+          match s.[!pos] with
+          | ',' -> incr pos; go ()
+          | ']' -> incr pos
+          | c -> fail "expected ',' or ']', got '%c' at offset %d" c !pos
+        in
+        go ();
+        List (List.rev !items)
+      end
+  | '{' ->
+      incr pos;
+      skip_ws s pos;
+      if !pos < String.length s && s.[!pos] = '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let members = ref [] in
+        let rec go () =
+          skip_ws s pos;
+          let k = parse_string s pos in
+          skip_ws s pos;
+          expect s pos ':';
+          members := (k, parse_value s pos) :: !members;
+          skip_ws s pos;
+          if !pos >= String.length s then fail "unterminated object";
+          match s.[!pos] with
+          | ',' -> incr pos; go ()
+          | '}' -> incr pos
+          | c -> fail "expected ',' or '}', got '%c' at offset %d" c !pos
+        in
+        go ();
+        Obj (List.rev !members)
+      end
+  | '-' | '0' .. '9' -> parse_number s pos
+  | c -> fail "unexpected '%c' at offset %d" c !pos
+
+let of_string s =
+  let pos = ref 0 in
+  let v = parse_value s pos in
+  skip_ws s pos;
+  if !pos <> String.length s then fail "trailing garbage at offset %d" !pos;
+  v
+
+let member k = function
+  | Obj members -> List.assoc_opt k members
+  | _ -> None

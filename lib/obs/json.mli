@@ -1,0 +1,41 @@
+(** Minimal JSON values for the observability layer.
+
+    The run manifests ({!Manifest}) and the bench JSON artifacts are plain
+    JSON documents; this module is the self-contained codec behind them —
+    a value type, a deterministic pretty-printer and a strict parser — so
+    the repository needs no external JSON dependency and the schema tests
+    can round-trip what the tools emit.
+
+    The printer is deterministic (object members keep insertion order, one
+    member per line, two-space indent), so two identical runs emit
+    byte-identical manifests — the same property every profiler report in
+    this repository has. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+      (** printed with ["%.12g"], widened to ["%.17g"] when needed so the
+          rendering parses back to the same double; non-finite values are
+          printed as [null] (JSON has no representation for them) *)
+  | Str of string  (** arbitrary bytes; control characters are escaped *)
+  | List of t list
+  | Obj of (string * t) list  (** member order is preserved *)
+
+exception Parse_error of string
+(** Raised by {!of_string} with a byte offset and reason. *)
+
+val to_string : t -> string
+(** Render with a trailing newline.  Deterministic: equal values render to
+    equal strings. *)
+
+val of_string : string -> t
+(** Strict JSON parser (RFC 8259 subset: no duplicate-key detection, numbers
+    must fit [int]/[float]).  Numbers without [.], [e] or [E] parse as
+    {!Int}, everything else as {!Float}.
+    @raise Parse_error on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the first binding of [k]; [None] for other
+    constructors or a missing key. *)

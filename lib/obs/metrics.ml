@@ -1,0 +1,137 @@
+type counter = {
+  c_name : string;
+  c_unit : string;
+  c_live : bool;
+  mutable c_value : int;
+}
+
+type gauge = {
+  g_name : string;
+  g_unit : string;
+  g_live : bool;
+  mutable g_value : float;
+  mutable g_set : bool;
+}
+
+type timer = {
+  t_name : string;
+  t_live : bool;
+  mutable t_count : int;
+  mutable t_total : float;
+  mutable t_min : float;
+  mutable t_max : float;
+}
+
+type t = {
+  enabled : bool;
+  (* registration order, newest first; registries live per CLI invocation,
+     so linear name lookup at registration time is fine *)
+  mutable counters : counter list;
+  mutable gauges : gauge list;
+  mutable timers : timer list;
+}
+
+let disabled = { enabled = false; counters = []; gauges = []; timers = [] }
+let create () = { enabled = true; counters = []; gauges = []; timers = [] }
+let is_enabled t = t.enabled
+
+let counter t ?(unit_ = "count") name =
+  if not t.enabled then { c_name = name; c_unit = unit_; c_live = false; c_value = 0 }
+  else
+    match List.find_opt (fun c -> c.c_name = name) t.counters with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_unit = unit_; c_live = true; c_value = 0 } in
+        t.counters <- c :: t.counters;
+        c
+
+let add c n = if c.c_live then c.c_value <- c.c_value + n
+let incr c = add c 1
+let counter_value c = c.c_value
+
+let gauge t ?(unit_ = "") name =
+  if not t.enabled then
+    { g_name = name; g_unit = unit_; g_live = false; g_value = 0.; g_set = false }
+  else
+    match List.find_opt (fun g -> g.g_name = name) t.gauges with
+    | Some g -> g
+    | None ->
+        let g =
+          { g_name = name; g_unit = unit_; g_live = true; g_value = 0.; g_set = false }
+        in
+        t.gauges <- g :: t.gauges;
+        g
+
+let set g v =
+  if g.g_live then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let gauge_value g = g.g_value
+
+let timer t name =
+  if not t.enabled then
+    { t_name = name; t_live = false; t_count = 0; t_total = 0.; t_min = 0.; t_max = 0. }
+  else
+    match List.find_opt (fun tm -> tm.t_name = name) t.timers with
+    | Some tm -> tm
+    | None ->
+        let tm =
+          { t_name = name; t_live = true; t_count = 0; t_total = 0.;
+            t_min = infinity; t_max = neg_infinity }
+        in
+        t.timers <- tm :: t.timers;
+        tm
+
+let observe tm dt =
+  if tm.t_live then begin
+    tm.t_count <- tm.t_count + 1;
+    tm.t_total <- tm.t_total +. dt;
+    if dt < tm.t_min then tm.t_min <- dt;
+    if dt > tm.t_max then tm.t_max <- dt
+  end
+
+let time tm f =
+  if not tm.t_live then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    observe tm (Unix.gettimeofday () -. t0);
+    r
+  end
+
+let timer_count tm = tm.t_count
+let timer_total tm = tm.t_total
+
+let to_json t =
+  let counters =
+    List.rev_map
+      (fun c ->
+        (c.c_name, Json.Obj [ ("value", Json.Int c.c_value); ("unit", Json.Str c.c_unit) ]))
+      t.counters
+  in
+  let gauges =
+    List.rev_map
+      (fun g ->
+        ( g.g_name,
+          Json.Obj
+            [ ("value", if g.g_set then Json.Float g.g_value else Json.Null);
+              ("unit", Json.Str g.g_unit) ] ))
+      t.gauges
+  in
+  let timers =
+    List.rev_map
+      (fun tm ->
+        ( tm.t_name,
+          Json.Obj
+            [ ("count", Json.Int tm.t_count);
+              ("total_s", Json.Float tm.t_total);
+              ("min_s", Json.Float (if tm.t_count = 0 then 0. else tm.t_min));
+              ("max_s", Json.Float (if tm.t_count = 0 then 0. else tm.t_max)) ] ))
+      t.timers
+  in
+  Json.Obj
+    [ ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("timers", Json.Obj timers) ]

@@ -1,0 +1,71 @@
+(** Self-metrics registry: counters, gauges and timers.
+
+    The instrumentation pipeline's own instruments.  A registry is either
+    {e enabled} (created by {!create}, typically because the user passed
+    [--metrics] to the CLI) or the shared {!disabled} no-op sink.  Instruments
+    registered on a disabled registry are dead: {!add}, {!set} and {!observe}
+    reduce to one branch on an immutable flag — no allocation, no writes —
+    so instrumented code can call them unconditionally on hot paths.
+
+    All instruments are identified by name within their class; registering
+    the same name twice returns the same instrument (so independent pipeline
+    stages can share a counter without plumbing).  Values render into the
+    run manifest via {!to_json} in registration order. *)
+
+type t
+
+val create : unit -> t
+(** A fresh enabled registry. *)
+
+val disabled : t
+(** The shared no-op registry: instruments registered on it are dead and
+    never accumulate. *)
+
+val is_enabled : t -> bool
+
+type counter
+
+val counter : t -> ?unit_:string -> string -> counter
+(** Register (or look up) a monotonically increasing integer.  [unit_]
+    (default ["count"]) is documentation carried into the manifest. *)
+
+val add : counter -> int -> unit
+(** No-op on a dead counter; never allocates. *)
+
+val incr : counter -> unit
+(** [add c 1]. *)
+
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : t -> ?unit_:string -> string -> gauge
+(** Register (or look up) a last-value-wins float. *)
+
+val set : gauge -> float -> unit
+(** No-op on a dead gauge; never allocates. *)
+
+val gauge_value : gauge -> float
+(** [0.] before the first {!set}. *)
+
+type timer
+
+val timer : t -> string -> timer
+(** Register (or look up) a duration histogram summary (count, total, min,
+    max — in seconds). *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk and record its wall-clock duration; on a dead timer, just
+    the thunk call.  Re-raises the thunk's exception without recording. *)
+
+val observe : timer -> float -> unit
+(** Record an externally measured duration, in seconds. *)
+
+val timer_count : timer -> int
+
+val timer_total : timer -> float
+(** Sum of observed durations, in seconds. *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "timers": {...}}], members in
+    registration order — the manifest's ["metrics"] section. *)

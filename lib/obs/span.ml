@@ -1,0 +1,52 @@
+type span = {
+  name : string;
+  start_s : float;
+  wall_s : float;
+  top_heap_words : int;
+  attrs : (string * int) list;
+}
+
+type recorder = {
+  enabled : bool;
+  t0 : float;
+  mutable closed : span list;  (* completion order, newest first *)
+}
+
+let disabled = { enabled = false; t0 = 0.; closed = [] }
+let create () = { enabled = true; t0 = Unix.gettimeofday (); closed = [] }
+let is_enabled r = r.enabled
+
+let with_span r ?attrs name f =
+  if not r.enabled then f ()
+  else begin
+    let start_s = Unix.gettimeofday () -. r.t0 in
+    let close attrs =
+      let wall_s = Unix.gettimeofday () -. r.t0 -. start_s in
+      let top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words in
+      r.closed <- { name; start_s; wall_s; top_heap_words; attrs } :: r.closed
+    in
+    match f () with
+    | v ->
+        close (match attrs with None -> [] | Some g -> g ());
+        v
+    | exception e ->
+        close [ ("failed", 1) ];
+        raise e
+  end
+
+let spans r =
+  List.stable_sort
+    (fun a b -> compare a.start_s b.start_s)
+    (List.rev r.closed)
+
+let to_json r =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [ ("name", Json.Str s.name);
+             ("start_s", Json.Float s.start_s);
+             ("wall_s", Json.Float s.wall_s);
+             ("top_heap_words", Json.Int s.top_heap_words);
+             ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.attrs)) ])
+       (spans r))

@@ -22,6 +22,8 @@ val default_l1 : config
 (** 32 KiB, 64-byte lines, 8-way (the paper's Q9550 L1D shape). *)
 
 val validate : config -> (unit, string) result
+(** [Error] explains a non-power-of-two line size, a non-positive field or
+    a size that is not [sets * assoc * line]-consistent. *)
 
 type t
 
@@ -61,5 +63,8 @@ val totals : t -> int * int
 (** (accesses, misses) over the whole run. *)
 
 val miss_rate : t -> float
+(** Overall misses / accesses, in [0, 1] (0 before any access). *)
 
 val render : t -> string
+(** The per-kernel hit/miss table ({!rows}) plus the overall totals and
+    miss rate, as printed by [tquad cache]. *)

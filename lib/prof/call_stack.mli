@@ -31,6 +31,7 @@ val top : t -> Tq_vm.Symtab.routine option
 (** The innermost tracked frame. *)
 
 val depth : t -> int
+(** Number of tracked frames currently on the stack. *)
 
 val max_depth : t -> int
 (** High-water mark, for reporting. *)

@@ -12,6 +12,7 @@
 type region = Data | Heap | Stack
 
 val region_name : region -> string
+(** Display name of a region: ["data"], ["heap"] or ["stack"]. *)
 
 type t
 
@@ -20,6 +21,8 @@ val create : ?policy:Call_stack.policy -> Tq_vm.Program.t -> t
     replayed. *)
 
 val consume : t -> Tq_trace.Event.t -> unit
+(** Process one event; live and replayed runs produce bit-identical
+    results. *)
 
 val interest : Tq_trace.Event.kind list
 (** Event kinds {!consume} does work on — pass as [?wants] to
@@ -27,6 +30,7 @@ val interest : Tq_trace.Event.kind list
 
 val attach :
   ?policy:Call_stack.policy -> Tq_dbi.Engine.t -> t
+(** Register the tool: [create] + {!Tq_trace.Probe.attach}. *)
 
 type region_stats = {
   unique_bytes : int;  (** distinct addresses touched *)
@@ -36,9 +40,13 @@ type region_stats = {
 }
 
 val stats : t -> Tq_vm.Symtab.routine -> region -> region_stats
+(** One kernel's footprint in one region (all-zero if it never touched
+    it). *)
 
 val rows : t -> (Tq_vm.Symtab.routine * (region * region_stats) list) list
 (** Kernels with any traffic, ordered by total unique bytes (descending);
     only non-empty regions are listed. *)
 
 val render : t -> string
+(** The {!rows} table with per-region unique bytes/pages/extents, as
+    printed by [tquad footprint]. *)

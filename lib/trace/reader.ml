@@ -411,6 +411,16 @@ let iter ?from_icount t sink =
     iter_chunk ~v3:t.v3 ~verify:t.verify t.raw t.chunks.(i) sink
   done
 
+let crc_check t =
+  if not t.v3 then 0 (* v2 carries no checksums *)
+  else begin
+    Array.iter
+      (fun chunk ->
+        check_crc_v3 t.raw chunk.c_offset (parse_chunk_v3 t.raw chunk.c_offset))
+      t.chunks;
+    Array.length t.chunks
+  end
+
 let fingerprint t = t.fingerprint
 let n_events t = t.n_events
 let n_chunks t = Array.length t.chunks

@@ -58,6 +58,13 @@ val iter_tags : t -> (Event.t -> unit) array -> unit
     @raise Invalid_argument unless given exactly {!Event.n_kinds} sinks.
     @raise Format_error if a chunk fails its CRC check or is malformed. *)
 
+val crc_check : t -> int
+(** Verify every chunk's CRC-32 without decoding any events, and return the
+    number of chunks checked ([0] for a v2 container, which carries no
+    checksums).  The full-file verification pass behind a manifest's
+    [trace.crc_verify_s] timing.
+    @raise Format_error on the first chunk whose CRC does not match. *)
+
 val fingerprint : t -> int64
 (** The recorded program's {!Tq_vm.Program.fingerprint} as stamped by the
     writer; [0L] when the recorder did not know it. *)

@@ -6,6 +6,7 @@ type job = {
 
 type failure = { exn : exn; backtrace : string }
 type outcome = (string, failure) result
+type domain_timing = { domain : int; jobs : string list; wall_s : float }
 
 let job ?(wants = Event.all_kinds) name make = { name; wants; make }
 
@@ -69,8 +70,23 @@ let run_job reader j =
   | report -> Ok report
   | exception e -> Error (capture e)
 
-let sequential reader jobs =
-  List.map (fun j -> (j.name, run_job reader j)) jobs
+let sequential ?timings reader jobs =
+  match timings with
+  | None -> List.map (fun j -> (j.name, run_job reader j)) jobs
+  | Some report ->
+      let timed = ref [] in
+      let results =
+        List.map
+          (fun j ->
+            let t0 = Unix.gettimeofday () in
+            let out = run_job reader j in
+            let wall_s = Unix.gettimeofday () -. t0 in
+            timed := { domain = 0; jobs = [ j.name ]; wall_s } :: !timed;
+            (j.name, out))
+          jobs
+      in
+      report (List.rev !timed);
+      results
 
 (* Run one group of jobs through a single decode pass.  Each event tag gets
    its own fused sink over the jobs that declared interest in it, so a tool
@@ -120,10 +136,12 @@ let run_group reader group =
           match finish () with r -> Ok r | exception e -> Error (capture e)))
     made
 
-let parallel ?domains reader jobs =
+let parallel ?domains ?timings reader jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
-  if n = 0 then []
+  if n = 0 then (
+    Option.iter (fun report -> report []) timings;
+    [])
   else begin
     (* Each group pays one decode pass, so never split into more groups
        than the machine can actually run in parallel: extra groups add
@@ -142,23 +160,35 @@ let parallel ?domains reader jobs =
     let results =
       Array.make n (Error { exn = Failure "job never ran"; backtrace = "" })
     in
+    (* wall_times.(g) is written only by worker g, read only after join *)
+    let wall_times = Array.make domains 0. in
     let worker g () =
+      let t0 = Unix.gettimeofday () in
       let idxs = group_idxs g in
-      match
-        let group = Array.of_list (List.map (fun i -> jobs.(i)) idxs) in
-        run_group reader group
-      with
+      (match
+         let group = Array.of_list (List.map (fun i -> jobs.(i)) idxs) in
+         run_group reader group
+       with
       | outs -> List.iteri (fun k i -> results.(i) <- outs.(k)) idxs
       | exception e ->
           (* run_group captures everything it can; this is the backstop so no
              exception ever crosses a domain boundary un-accounted *)
           let f = capture e in
-          List.iter (fun i -> results.(i) <- Error f) idxs
+          List.iter (fun i -> results.(i) <- Error f) idxs);
+      wall_times.(g) <- Unix.gettimeofday () -. t0
     in
     let spawned =
       List.init (domains - 1) (fun g -> Domain.spawn (worker (g + 1)))
     in
     Fun.protect ~finally:(fun () -> List.iter Domain.join spawned) (worker 0);
+    Option.iter
+      (fun report ->
+        report
+          (List.init domains (fun g ->
+               { domain = g;
+                 jobs = List.map (fun i -> jobs.(i).name) (group_idxs g);
+                 wall_s = wall_times.(g) })))
+      timings;
     Array.to_list (Array.mapi (fun i j -> (j.name, results.(i))) jobs)
   end
 

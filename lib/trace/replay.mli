@@ -40,6 +40,15 @@ val job :
     replay driver skip the sink call for the rest; it must stay a superset
     of the consumed kinds or the tool silently loses events. *)
 
+type domain_timing = {
+  domain : int;  (** worker index; [0] is the caller's own domain *)
+  jobs : string list;  (** names of the jobs the worker ran, in run order *)
+  wall_s : float;  (** wall time of the worker's whole decode+dispatch pass *)
+}
+(** Where the replay wall time went.  {!parallel} reports one entry per
+    worker group (the straggler's [wall_s] bounds the run); {!sequential}
+    reports one entry per job, all on domain [0]. *)
+
 val failure_message : failure -> string
 (** One-line rendering of a failure ({!Reader.Format_error} is labelled as an
     unreadable trace). *)
@@ -48,12 +57,22 @@ val is_trace_error : failure -> bool
 (** Did this job fail because the trace itself was unreadable
     ({!Reader.Format_error}) rather than because the tool raised? *)
 
-val sequential : Reader.t -> job list -> (string * outcome) list
+val sequential :
+  ?timings:(domain_timing list -> unit) ->
+  Reader.t ->
+  job list ->
+  (string * outcome) list
 (** Replay the trace once per job, in order, on the current domain.  Never
     raises on a failing job or an unreadable trace — each job's result is
-    its own {!outcome}. *)
+    its own {!outcome}.  [timings], if given, receives one
+    {!domain_timing} per job (all on domain [0]) before the call returns. *)
 
-val parallel : ?domains:int -> Reader.t -> job list -> (string * outcome) list
+val parallel :
+  ?domains:int ->
+  ?timings:(domain_timing list -> unit) ->
+  Reader.t ->
+  job list ->
+  (string * outcome) list
 (** Fan the jobs out over up to [domains] domains (default
     [Domain.recommended_domain_count]; always capped at the job count and
     at [Domain.recommended_domain_count] — each extra domain costs a full
@@ -67,7 +86,11 @@ val parallel : ?domains:int -> Reader.t -> job list -> (string * outcome) list
     group's decode pass and reported as [Error]; the group's other jobs run
     to completion.  Only an unreadable trace (the decode pass itself raising
     {!Reader.Format_error}) fails every job still live in that group.  No
-    exception escapes a domain. *)
+    exception escapes a domain.
+
+    [timings], if given, receives one {!domain_timing} per worker group
+    (ordered by worker index) before the call returns — the raw material
+    for a manifest's ["replay"] section and for spotting load imbalance. *)
 
 val check_program : Reader.t -> Tq_vm.Program.t -> (unit, string) result
 (** Does this trace belong to this program?  [Error] explains a fingerprint

@@ -113,6 +113,61 @@ let test_determinism () =
   let s2 = R.chrome_trace (tquad_run ()) in
   Alcotest.(check bool) "deterministic profiling" true (s1 = s2)
 
+(* ---------- golden renders ----------
+
+   A hand-built symbol table and a fixed synthetic event stream pin the
+   renderers' exact output, independent of the MiniC compiler: any byte-level
+   change to [chrome_trace] or [figure_csv] must update these goldens
+   deliberately (docs/METRICS.md documents both formats). *)
+
+let golden_tquad () =
+  let rtn id name entry =
+    { Symtab.id; name; entry; size = 64; image = "app"; is_main_image = true }
+  in
+  let symtab = Symtab.build [ rtn 0 "alpha" 0x400000; rtn 1 "beta" 0x400040 ] in
+  let id name = (Option.get (Symtab.by_name symtab name)).Symtab.id in
+  let alpha = id "alpha" and beta = id "beta" in
+  let t =
+    Tq.create ~slice_interval:10 ~policy:Tq_prof.Call_stack.Track_all symtab
+  in
+  let open Tq_trace.Event in
+  let sp = 0x7eff_0000_0000 in
+  (* slice 0: alpha reads 8 global + 8 stack bytes, writes 4; slice 1: beta
+     reads 8; slice 2: alpha writes 8 (no reads) *)
+  List.iter (Tq.consume t)
+    [ Rtn_entry { icount = 0; routine = alpha; sp };
+      Load { icount = 2; static = alpha; ea = 0x1000_0000; size = 8; sp };
+      Store { icount = 5; static = alpha; ea = 0x1000_0010; size = 4; sp };
+      Load { icount = 7; static = alpha; ea = sp; size = 8; sp };
+      Rtn_entry { icount = 12; routine = beta; sp = sp - 16 };
+      Load { icount = 14; static = beta; ea = 0x1000_0020; size = 8; sp = sp - 16 };
+      Ret { icount = 18; sp = sp - 16 };
+      Store { icount = 25; static = alpha; ea = 0x1000_0000; size = 8; sp };
+      End { icount = 30 } ];
+  t
+
+let test_chrome_trace_golden () =
+  let t = golden_tquad () in
+  let expected =
+    "[\n\
+     {\"name\":\"alpha\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.000,\"dur\":0.010,\"args\":{\"bytes\":20,\"bpi\":2.0000}},\n\
+     {\"name\":\"alpha\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.020,\"dur\":0.010,\"args\":{\"bytes\":8,\"bpi\":0.8000}},\n\
+     {\"name\":\"beta\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0.010,\"dur\":0.010,\"args\":{\"bytes\":8,\"bpi\":0.8000}}\n\
+     ]\n"
+  in
+  Alcotest.(check string) "chrome trace golden" expected (R.chrome_trace t)
+
+let test_figure_csv_golden () =
+  let t = golden_tquad () in
+  let kernels = Tq.kernels t in
+  Alcotest.(check string) "read-inclusive csv golden"
+    "slice,alpha,beta\n0,1.600000,0.000000\n1,0.000000,0.800000\n2,0.000000,0.000000\n"
+    (R.figure_csv t ~metric:Tq.Read_incl ~kernels);
+  (* the stack-area load in slice 0 must vanish from the exclusive series *)
+  Alcotest.(check string) "read-exclusive csv golden"
+    "slice,alpha,beta\n0,0.800000,0.000000\n1,0.000000,0.800000\n2,0.000000,0.000000\n"
+    (R.figure_csv t ~metric:Tq.Read_excl ~kernels)
+
 let test_profile_diff () =
   (* "revise" the program: hoist an invariant computation out of the loop *)
   let before_src =
@@ -164,6 +219,9 @@ let suites =
         Alcotest.test_case "phase table groups" `Quick test_phase_table_groups;
         Alcotest.test_case "figure + csv" `Quick test_figure_and_csv;
         Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+        Alcotest.test_case "chrome trace golden" `Quick
+          test_chrome_trace_golden;
+        Alcotest.test_case "figure csv golden" `Quick test_figure_csv_golden;
         Alcotest.test_case "determinism" `Quick test_determinism;
         Alcotest.test_case "profile diff" `Quick test_profile_diff;
       ] );
