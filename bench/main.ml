@@ -969,6 +969,231 @@ let obs_bench () =
       ("counter_stayed_zero", jbool (Obs.Metrics.counter_value dead = 0));
     ]
 
+(* ---------- serve daemon: concurrent clients, cache, admission -------- *)
+
+let serve_bench () =
+  section
+    "Serve daemon: concurrent clients, chunk cache, admission control";
+  let module Sv = Tq_serve.Server in
+  let module Cl = Tq_serve.Client in
+  (* a self-terminating MiniC workload (recording has no fuel cutoff):
+     [rounds] passes of a fill/reduce pair over a 512-word buffer, sized so
+     the decoded trace fits the daemon's cache but spans many chunks *)
+  let rounds = if !tiny_mode then 20 else 80 in
+  let src =
+    Printf.sprintf
+      "int buf[512];\n\
+       void fill(int k) { for (int i = 0; i < 512; i++) buf[i] = i + k; }\n\
+       int total() { int s; s = 0;\n\
+      \              for (int i = 0; i < 512; i++) s += buf[i];\n\
+      \              return s; }\n\
+       int main() { int t; t = 0;\n\
+      \             for (int r = 0; r < %d; r++) { fill(r); t += total(); }\n\
+      \             return t - t; }"
+      rounds
+  in
+  let prog =
+    Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"bench" src ]
+  in
+  (* one recording, shared (by idempotent upload) across every client;
+     small chunks so the LRU sees a meaningful working set *)
+  let path = Filename.temp_file "tquad_serve_bench" ".trc" in
+  let events =
+    let eng = Engine.create (Machine.create prog) in
+    Tq_trace.Probe.record ~chunk_bytes:(64 * 1024) eng ~path
+  in
+  let trace =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove path;
+  let n_chunks = Tq_trace.Reader.n_chunks (Tq_trace.Reader.of_string trace) in
+  let program = Tq_vm.Objfile.encode prog in
+  Printf.printf "  workload: %d events, %d chunks, %d trace bytes\n" events
+    n_chunks (String.length trace);
+  let tmp_socket () =
+    let p = Filename.temp_file "tquad_serve_bench" ".sock" in
+    Sys.remove p;
+    p
+  in
+  let start_server cfg =
+    let ready_m = Mutex.create () and ready_c = Condition.create () in
+    let ready = ref false in
+    let th =
+      Thread.create
+        (fun () ->
+          Sv.run ~handle_signals:false
+            ~on_ready:(fun () ->
+              Mutex.lock ready_m;
+              ready := true;
+              Condition.signal ready_c;
+              Mutex.unlock ready_m)
+            cfg)
+        ()
+    in
+    Mutex.lock ready_m;
+    while not !ready do
+      Condition.wait ready_c ready_m
+    done;
+    Mutex.unlock ready_m;
+    th
+  in
+  let num j k =
+    match Obs.Json.member k j with
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | Some (Obs.Json.Float f) -> f
+    | _ -> nan
+  in
+  let sub j k =
+    match Obs.Json.member k j with Some o -> o | None -> Obs.Json.Obj []
+  in
+  (* phase 1: N clients hammer one daemon with full-toolset replays; the
+     first pass decodes every chunk, later passes should hit the cache *)
+  let clients = 4 and cycles = if !tiny_mode then 2 else 3 in
+  let socket = tmp_socket () in
+  let cfg =
+    {
+      (Sv.default ~socket_path:socket) with
+      Sv.workers = 2;
+      cache_bytes = 512 * 1024 * 1024;
+      rate = 10_000.;
+      burst = 10_000;
+      max_traces = 4;
+    }
+  in
+  let th = start_server cfg in
+  let errs_m = Mutex.create () in
+  let errs = ref [] and jobs_ok = ref 0 in
+  let fail msg = Mutex.protect errs_m (fun () -> errs := msg :: !errs) in
+  let client_loop i () =
+    match Cl.connect socket with
+    | Error e -> fail (Printf.sprintf "client %d connect: %s" i e.Cl.reason)
+    | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Cl.close c)
+          (fun () ->
+            match Cl.upload ~name:"bench" ~program ~trace c with
+            | Error e ->
+                fail (Printf.sprintf "client %d upload: %s" i e.Cl.reason)
+            | Ok id ->
+                for cycle = 1 to cycles do
+                  match Cl.replay ~slice:2_000 ~period:2_000 c id with
+                  | Error e ->
+                      fail
+                        (Printf.sprintf "client %d cycle %d replay: %s" i
+                           cycle e.Cl.reason)
+                  | Ok jid -> (
+                      match Cl.report ~wait:true c jid with
+                      | Error e ->
+                          fail
+                            (Printf.sprintf "client %d job %d report: %s" i
+                               jid e.Cl.reason)
+                      | Ok r ->
+                          if r.Cl.failures <> [] then
+                            fail
+                              (Printf.sprintf "client %d job %d tool failures"
+                                 i jid)
+                          else
+                            Mutex.protect errs_m (fun () -> incr jobs_ok))
+                done)
+  in
+  let (), phase1_dt =
+    timed (fun () ->
+        let ths =
+          List.init clients (fun i -> Thread.create (client_loop i) ())
+        in
+        List.iter Thread.join ths)
+  in
+  let control = Result.get_ok (Cl.connect socket) in
+  let stats = Result.get_ok (Cl.stats control) in
+  ignore (Cl.shutdown control);
+  Cl.close control;
+  Thread.join th;
+  let queue = sub stats "queue"
+  and cache = sub stats "cache"
+  and latency = sub stats "latency" in
+  let hit_rate = num cache "hit_rate" in
+  let completed = int_of_float (num queue "completed")
+  and failed = int_of_float (num queue "failed_jobs") in
+  Printf.printf
+    "  phase 1: %d clients x %d replay cycles (all tools) in %.2fs\n" clients
+    cycles phase1_dt;
+  Printf.printf "  jobs: %d completed, %d failed (%d report round-trips ok)\n"
+    completed failed !jobs_ok;
+  Printf.printf
+    "  cache: %.0f hits / %.0f misses / %.0f evictions, hit rate %.3f\n"
+    (num cache "hits") (num cache "misses") (num cache "evictions") hit_rate;
+  Printf.printf "  queue: depth %.0f, peak %.0f, workers %.0f\n"
+    (num queue "depth") (num queue "peak") (num queue "workers");
+  Printf.printf "  job latency: p50 %.4fs, p99 %.4fs, max %.4fs (n=%.0f)\n"
+    (num latency "p50_s") (num latency "p99_s") (num latency "max_s")
+    (num latency "count");
+  List.iter (fun e -> Printf.printf "  CLIENT ERROR: %s\n" e) !errs;
+  (* phase 2: a second daemon with a starved token bucket — a burst of
+     replays must be refused with the typed busy error, not queued *)
+  let socket2 = tmp_socket () in
+  let cfg2 =
+    {
+      (Sv.default ~socket_path:socket2) with
+      Sv.workers = 1;
+      rate = 0.001;
+      burst = 2;
+    }
+  in
+  let th2 = start_server cfg2 in
+  let c2 = Result.get_ok (Cl.connect socket2) in
+  let id2 = Result.get_ok (Cl.upload ~program ~trace c2) in
+  let burst_requests = 8 in
+  let admitted = ref 0 and busy = ref 0 in
+  for _ = 1 to burst_requests do
+    match Cl.replay ~tools:[ "gprof" ] ~slice:2_000 ~period:2_000 c2 id2 with
+    | Ok _ -> incr admitted
+    | Error e when e.Cl.kind = Tq_serve.Protocol.busy -> incr busy
+    | Error e -> fail ("phase 2 replay: " ^ e.Cl.reason)
+  done;
+  let stats2 = Result.get_ok (Cl.stats c2) in
+  let busy_rejections = int_of_float (num stats2 "busy_rejections") in
+  ignore (Cl.shutdown c2);
+  Cl.close c2;
+  Thread.join th2;
+  Printf.printf
+    "  phase 2: burst of %d replays at rate 0.001/s: %d admitted, %d busy \
+     (server counted %d rejections)\n"
+    burst_requests !admitted !busy busy_rejections;
+  let ok =
+    !errs = [] && failed = 0 && hit_rate > 0.5 && !busy > 0
+    && !jobs_ok = clients * cycles
+  in
+  Printf.printf "  acceptance (no failures, hit rate > 0.5, busy > 0): %b\n"
+    ok;
+  json_emit "serve"
+    [
+      ("events", jint events);
+      ("chunks", jint n_chunks);
+      ("clients", jint clients);
+      ("cycles_per_client", jint cycles);
+      ("phase1_wall_s", jfloat phase1_dt);
+      ("jobs_completed", jint completed);
+      ("jobs_failed", jint failed);
+      ("client_errors", jint (List.length !errs));
+      ("cache_hits", jint (int_of_float (num cache "hits")));
+      ("cache_misses", jint (int_of_float (num cache "misses")));
+      ("cache_evictions", jint (int_of_float (num cache "evictions")));
+      ("cache_hit_rate", jfloat hit_rate);
+      ("queue_depth", jint (int_of_float (num queue "depth")));
+      ("queue_peak", jint (int_of_float (num queue "peak")));
+      ("latency_p50_s", jfloat (num latency "p50_s"));
+      ("latency_p99_s", jfloat (num latency "p99_s"));
+      ("latency_max_s", jfloat (num latency "max_s"));
+      ("burst_requests", jint burst_requests);
+      ("burst_admitted", jint !admitted);
+      ("burst_busy", jint !busy);
+      ("busy_rejections", jint busy_rejections);
+      ("acceptance_ok", jbool ok);
+    ]
+
 (* ---------- bechamel micro-benchmarks (one Test.make per experiment) ---- *)
 
 let bechamel () =
@@ -1080,6 +1305,7 @@ let experiments =
     ("replay", replay_bench);
     ("engine", engine_bench);
     ("obs", obs_bench);
+    ("serve", serve_bench);
     ("bechamel", bechamel);
   ]
 

@@ -108,28 +108,11 @@ let obs_trace_section r =
       | dt -> [ ("crc_verify_s", Obs.Json.Float dt) ]
       | exception Tq_trace.Reader.Format_error _ -> []
     in
-    let salvage =
-      match Tq_trace.Reader.salvage_info r with
-      | None -> []
-      | Some s ->
-          [ ( "salvage",
-              Obs.Json.Obj
-                [ ("salvaged_chunks", Obs.Json.Int s.Tq_trace.Reader.salvaged_chunks);
-                  ("dropped_chunks", Obs.Json.Int s.dropped_chunks);
-                  ("dropped_bytes", Obs.Json.Int s.dropped_bytes);
-                  ("reason", Obs.Json.Str s.reason) ] ) ]
-    in
+    (* the section body is the shared codec (Tq_serve.Protocol), so the
+       manifest, `trace-info --json` and the daemon's trace-info response
+       can never drift apart *)
     obs_section "trace"
-      (Obs.Json.Obj
-         ([ ("version", Obs.Json.Int (Tq_trace.Reader.version r));
-            ("events", Obs.Json.Int (Tq_trace.Reader.n_events r));
-            ("chunks", Obs.Json.Int (Tq_trace.Reader.n_chunks r));
-            ("bytes", Obs.Json.Int (Tq_trace.Reader.byte_size r));
-            ( "fingerprint",
-              Obs.Json.Str
-                (Printf.sprintf "%016Lx" (Tq_trace.Reader.fingerprint r)) );
-            ("last_icount", Obs.Json.Int (Tq_trace.Reader.last_icount r)) ]
-         @ crc_verify_s @ salvage))
+      (Tq_serve.Protocol.trace_section ~extra:crc_verify_s r)
   end
 
 let read_file path =
@@ -212,69 +195,14 @@ let finish ?(console = stdout) m =
 
 (* ---------- tool report renderers ----------
 
-   Shared by the live subcommands and the trace-replay path, so a replayed
-   analysis prints byte-identical report sections. *)
+   Shared by the live subcommands, the trace-replay path and the serve
+   daemon (Tq_serve.Toolset is the single definition), so a replayed or a
+   served analysis prints byte-identical report sections. *)
 
-let render_gprof g =
-  Tq_report.Report.flat_profile (Tq_gprofsim.Gprofsim.flat_profile g)
-
-let render_quad q =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf (Tq_report.Report.quad_table (Tq_quad.Quad.rows q));
-  Buffer.add_string buf "\nbindings (heaviest first):\n";
-  List.iteri
-    (fun i (b : Tq_quad.Quad.binding) ->
-      if i < 20 then
-        Buffer.add_string buf
-          (Printf.sprintf "  %-24s -> %-24s %12d B (incl), %10d UnMA\n"
-             b.producer.Symtab.name b.consumer.Symtab.name b.bytes_incl b.unma))
-    (Tq_quad.Quad.bindings q);
-  Buffer.contents buf
-
-let render_tquad ~slice t =
-  let buf = Buffer.create 4096 in
-  let kernels = Tq_tquad.Tquad.kernels t in
-  Buffer.add_string buf
-    (Printf.sprintf "%d time slices of %d instructions; %d kernels\n"
-       (Tq_tquad.Tquad.total_slices t) slice (List.length kernels));
-  List.iter
-    (fun r ->
-      let tot = Tq_tquad.Tquad.totals t r in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "  %-24s slices %6d-%-6d act %6d  R %9d/%9d  W %9d/%9d  max RW \
-            %8.4f B/ins\n"
-           r.Symtab.name tot.Tq_tquad.Tquad.first_slice tot.last_slice
-           tot.activity_span tot.read_incl tot.read_excl tot.write_incl
-           tot.write_excl
-           (Tq_tquad.Tquad.max_rw_bpi t r ~incl:true)))
-    kernels;
-  Buffer.add_char buf '\n';
-  Buffer.add_string buf
-    (Tq_report.Report.figure t ~metric:Tq_tquad.Tquad.Read_incl ~kernels
-       ~title:"read bandwidth (stack incl.)" ());
-  Buffer.contents buf
-
-let render_mix mix =
-  let buf = Buffer.create 2048 in
-  Buffer.add_string buf (Tq_prof.Ins_mix.render mix);
-  Buffer.add_string buf "\nper kernel:\n";
-  List.iter
-    (fun (r, counts) ->
-      let total = Array.fold_left ( + ) 0 counts in
-      if total > 0 then begin
-        Buffer.add_string buf (Printf.sprintf "  %-24s %9d:" r.Symtab.name total);
-        List.iteri
-          (fun i c ->
-            if counts.(i) > 0 then
-              Buffer.add_string buf
-                (Printf.sprintf " %s %d" (Tq_prof.Ins_mix.category_name c)
-                   counts.(i)))
-          Tq_prof.Ins_mix.categories;
-        Buffer.add_char buf '\n'
-      end)
-    (Tq_prof.Ins_mix.per_kernel mix);
-  Buffer.contents buf
+let render_gprof = Tq_serve.Toolset.render_gprof
+let render_quad = Tq_serve.Toolset.render_quad
+let render_tquad = Tq_serve.Toolset.render_tquad
+let render_mix = Tq_serve.Toolset.render_mix
 
 (* The instrumented tool subcommands route the program's own console output
    (and write-back notices) to stderr so their stdout is exactly the analysis
@@ -735,40 +663,13 @@ let record_cmd =
           any analysis tool can then replay it without re-running the program")
     Term.(const run $ metrics_arg $ file_opt_arg $ wfs_arg $ dir_arg $ out_arg)
 
-let all_tool_names = [ "tquad"; "quad"; "gprof"; "mix"; "cache"; "footprint" ]
+let all_tool_names = Tq_serve.Toolset.names
 
 let replay_job prog ~slice ~period name =
-  let symtab = prog.Tq_vm.Program.symtab in
-  match name with
-  | "tquad" ->
-      Tq_trace.Replay.job ~wants:Tq_tquad.Tquad.interest "tquad" (fun () ->
-          let t = Tq_tquad.Tquad.create ~slice_interval:slice symtab in
-          (Tq_tquad.Tquad.consume t, fun () -> render_tquad ~slice t))
-  | "quad" ->
-      Tq_trace.Replay.job ~wants:Tq_quad.Quad.interest "quad" (fun () ->
-          let q = Tq_quad.Quad.create symtab in
-          (Tq_quad.Quad.consume q, fun () -> render_quad q))
-  | "gprof" ->
-      Tq_trace.Replay.job ~wants:Tq_gprofsim.Gprofsim.interest "gprof"
-        (fun () ->
-          let g = Tq_gprofsim.Gprofsim.create ~period symtab in
-          (Tq_gprofsim.Gprofsim.consume g, fun () -> render_gprof g))
-  | "mix" ->
-      Tq_trace.Replay.job ~wants:Tq_prof.Ins_mix.interest "mix" (fun () ->
-          let mix = Tq_prof.Ins_mix.create prog in
-          (Tq_prof.Ins_mix.consume mix, fun () -> render_mix mix))
-  | "cache" ->
-      Tq_trace.Replay.job ~wants:Tq_prof.Cache_sim.interest "cache" (fun () ->
-          let c = Tq_prof.Cache_sim.create symtab in
-          (Tq_prof.Cache_sim.consume c, fun () -> Tq_prof.Cache_sim.render c))
-  | "footprint" ->
-      Tq_trace.Replay.job ~wants:Tq_prof.Footprint.interest "footprint"
-        (fun () ->
-          let f = Tq_prof.Footprint.create prog in
-          (Tq_prof.Footprint.consume f, fun () -> Tq_prof.Footprint.render f))
-  | other ->
-      Printf.eprintf "replay: unknown tool %s (have: %s)\n" other
-        (String.concat ", " all_tool_names);
+  match Tq_serve.Toolset.job ~prog ~slice ~period name with
+  | Ok j -> j
+  | Error msg ->
+      Printf.eprintf "replay: %s\n" msg;
       exit exit_usage
 
 (* Testing aid for the supervised-replay exit-code contract: wrap the named
@@ -974,8 +875,26 @@ let trace_info_cmd =
       & info [ "salvage" ]
           ~doc:"Scan in salvage mode even if the container loads strictly.")
   in
-  let run metrics trace salvage =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print a run manifest (schema of docs/METRICS.md) with the \
+             trace section to stdout instead of the human summary — the \
+             same codec path the serve daemon's trace-info response uses.")
+  in
+  let run metrics trace salvage json =
     obs_init "trace-info" metrics;
+    let print_json r =
+      let doc =
+        Obs.Manifest.make ~tool:"tquad" ~subcommand:"trace-info"
+          ~argv:(Array.to_list Sys.argv)
+          ~extra:[ ("trace", Tq_serve.Protocol.trace_section r) ]
+          Obs.Span.disabled Obs.Metrics.disabled
+      in
+      print_string (Obs.Json.to_string doc)
+    in
     let print_reader r =
       Printf.printf "%s: container v%d, %d events in %d chunks, %d bytes\n"
         trace
@@ -996,21 +915,24 @@ let trace_info_cmd =
             s.reason
       | None -> ()
     in
+    let emit r = if json then print_json r else print_reader r in
     if salvage then
-      print_reader (load_reader ~mode:Tq_trace.Reader.Salvage "trace-info" trace)
+      emit (load_reader ~mode:Tq_trace.Reader.Salvage "trace-info" trace)
     else
       match span "load-trace" (fun () -> Tq_trace.Reader.load trace) with
       | r ->
           obs_trace_section r;
-          print_reader r
+          emit r
       | exception Sys_error msg ->
           Printf.eprintf "trace-info: %s\n" msg;
           exit exit_unreadable
       | exception Tq_trace.Reader.Format_error msg ->
-          (* strict load refused the container — report why, then salvage *)
-          Printf.printf "%s: strict load failed: %s\n" trace msg;
-          print_reader
-            (load_reader ~mode:Tq_trace.Reader.Salvage "trace-info" trace)
+          (* strict load refused the container — report why (on stderr under
+             --json, whose stdout must stay pure JSON), then salvage *)
+          Printf.fprintf
+            (if json then stderr else stdout)
+            "%s: strict load failed: %s\n" trace msg;
+          emit (load_reader ~mode:Tq_trace.Reader.Salvage "trace-info" trace)
   in
   Cmd.v
     (Cmd.info "trace-info"
@@ -1019,7 +941,7 @@ let trace_info_cmd =
           event/chunk counts.  Falls back to a salvage scan (recovered and \
           dropped chunk counts) when the strict load refuses the file; exit \
           3 only if nothing is recoverable")
-    Term.(const run $ metrics_arg $ trace_pos_arg $ salvage_arg)
+    Term.(const run $ metrics_arg $ trace_pos_arg $ salvage_arg $ json_arg)
 
 let faultgen_cmd =
   let trace_pos_arg =
@@ -1315,6 +1237,347 @@ let wfs_cmd =
     (Cmd.info "wfs" ~doc:"Run the built-in hArtes-wfs case study")
     Term.(const run $ metrics_arg $ scenario_arg $ tool_arg)
 
+(* ---------- serve daemon and its client ----------
+
+   `tquad serve` runs the long-lived analysis server (lib/serve); `tquad
+   client ...` is the matching command-line peer.  Server refusals and
+   transport failures exit 3 (the trace-unreadable code — the analysis never
+   ran); a served replay with failing tools exits 4 like `tquad replay`. *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the serve daemon.")
+
+let serve_cmd =
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for replay jobs (0 = one per core, minus the \
+             listener).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Job-queue bound; submissions beyond it are refused with a \
+             typed busy response, never queued unboundedly.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:"Decoded-chunk cache budget in MiB.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 50.
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Replay admissions per second (token-bucket refill rate).")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "burst" ] ~docv:"N"
+          ~doc:"Token-bucket depth (burst capacity).")
+  in
+  let max_traces_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-traces" ] ~docv:"N"
+          ~doc:"Resident uploaded traces; further uploads are refused busy.")
+  in
+  let manifest_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write observability manifests into DIR (created if missing): \
+             server.json, rewritten every --manifest-period seconds and at \
+             shutdown, plus one job-N.json per completed job.")
+  in
+  let manifest_period_arg =
+    Arg.(
+      value & opt float 5.
+      & info [ "manifest-period" ] ~docv:"SECONDS"
+          ~doc:"Server-manifest rewrite period.")
+  in
+  let run socket domains queue cache_mb rate burst max_traces mdir mperiod =
+    if
+      domains < 0 || queue < 1 || cache_mb < 1 || rate <= 0. || burst < 1
+      || max_traces < 1 || mperiod <= 0.
+    then begin
+      Printf.eprintf
+        "serve: limits must be positive (queue-limit, cache-mb, rate, \
+         burst, max-traces, manifest-period) and --domains non-negative\n";
+      exit exit_usage
+    end;
+    (match mdir with
+    | Some d when not (Sys.file_exists d) -> (
+        try Sys.mkdir d 0o755
+        with Sys_error msg ->
+          Printf.eprintf "serve: --manifest-dir: %s\n" msg;
+          exit exit_unreadable)
+    | _ -> ());
+    let cfg =
+      {
+        Tq_serve.Server.socket_path = socket;
+        workers = domains;
+        queue_limit = queue;
+        cache_bytes = cache_mb * 1024 * 1024;
+        rate;
+        burst;
+        max_traces;
+        manifest_dir = mdir;
+        manifest_period_s = mperiod;
+      }
+    in
+    match
+      Tq_serve.Server.run
+        ~on_ready:(fun () ->
+          Printf.printf "tquad serve: listening on %s\n%!" socket)
+        cfg
+    with
+    | () -> Printf.printf "tquad serve: drained, bye\n%!"
+    | exception Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "serve: %s: %s\n" fn (Unix.error_message e);
+        exit exit_unreadable
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the trace-analysis daemon on a Unix-domain socket: clients \
+          upload traces once and replay them through any tool subset many \
+          times, against a shared decoded-chunk cache and a worker-domain \
+          pool with token-bucket admission control.  SIGTERM/SIGINT (or a \
+          client shutdown request) drains gracefully.  See docs/SERVE.md")
+    Term.(
+      const run $ socket_arg $ domains_arg $ queue_arg $ cache_arg $ rate_arg
+      $ burst_arg $ max_traces_arg $ manifest_dir_arg $ manifest_period_arg)
+
+let client_fail ctx (e : Tq_serve.Client.err) =
+  Printf.eprintf "client %s: %s: %s\n" ctx e.Tq_serve.Client.kind e.reason;
+  (match e.retry_after_s with
+  | Some s -> Printf.eprintf "client %s: retry after %.3fs\n" ctx s
+  | None -> ());
+  exit exit_unreadable
+
+let with_client socket f =
+  match Tq_serve.Client.connect socket with
+  | Error e -> client_fail "connect" e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Tq_serve.Client.close c) (fun () -> f c)
+
+let print_served_report (r : Tq_serve.Client.report) =
+  if not r.Tq_serve.Client.done_ then
+    Printf.printf "job %d: pending\n" r.Tq_serve.Client.job
+  else begin
+    (* banner rule mirrors `tquad replay`: a single-tool job prints the bare
+       report, multi-tool jobs separate the sections with === name === *)
+    let banner =
+      List.length r.Tq_serve.Client.reports
+      + List.length r.Tq_serve.Client.failures
+      > 1
+    in
+    List.iter
+      (fun (name, rep) ->
+        if banner then Printf.printf "=== %s ===\n" name;
+        print_string rep)
+      r.Tq_serve.Client.reports;
+    List.iter
+      (fun (name, msg) ->
+        Printf.eprintf "client: tool %s failed: %s\n" name msg)
+      r.Tq_serve.Client.failures;
+    if r.Tq_serve.Client.failures <> [] then exit exit_partial
+  end
+
+let client_cmd =
+  let ping_cmd =
+    let run socket =
+      with_client socket (fun c ->
+          match Tq_serve.Client.ping c with
+          | Ok () -> print_endline "pong"
+          | Error e -> client_fail "ping" e)
+    in
+    Cmd.v
+      (Cmd.info "ping" ~doc:"Check that the daemon answers")
+      Term.(const run $ socket_arg)
+  in
+  let upload_cmd =
+    let trace_pos_arg =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE")
+    in
+    let file_pos_arg =
+      Arg.(value & pos 1 (some non_dir_file) None & info [] ~docv:"FILE.mc")
+    in
+    let name_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "name" ] ~docv:"NAME" ~doc:"Display name for the trace.")
+    in
+    let run socket trace file wfs name =
+      let bytes =
+        try read_file trace
+        with Sys_error msg ->
+          Printf.eprintf "client upload: %s\n" msg;
+          exit exit_unreadable
+      in
+      let program =
+        match (file, wfs) with
+        | Some f, None -> Some (Tq_vm.Objfile.encode (compile_file f))
+        | None, Some scen ->
+            Some
+              (Tq_vm.Objfile.encode
+                 (span "compile" (fun () -> Tq_wfs.Harness.compile scen)))
+        | None, None -> None
+        | Some _, Some _ ->
+            Printf.eprintf "client upload: give at most one of FILE.mc or --wfs\n";
+            exit exit_usage
+      in
+      with_client socket (fun c ->
+          match
+            Tq_serve.Client.upload ?name ?program ~trace:bytes c
+          with
+          | Ok id -> Printf.printf "%s\n" id
+          | Error e -> client_fail "upload" e)
+    in
+    Cmd.v
+      (Cmd.info "upload"
+         ~doc:
+           "Upload a recorded trace (and, with FILE.mc or --wfs, its \
+            program) to the daemon; prints the trace id.  Idempotent for \
+            identical bytes")
+      Term.(
+        const run $ socket_arg $ trace_pos_arg $ file_pos_arg $ wfs_arg
+        $ name_arg)
+  in
+  let info_cmd =
+    let id_pos_arg =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
+    in
+    let run socket id =
+      with_client socket (fun c ->
+          match Tq_serve.Client.trace_info c id with
+          | Ok j -> print_string (Obs.Json.to_string j)
+          | Error e -> client_fail "info" e)
+    in
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:
+           "Print the daemon's trace section (JSON) for an uploaded trace \
+            id — the same codec as 'tquad trace-info --json'")
+      Term.(const run $ socket_arg $ id_pos_arg)
+  in
+  let replay_cmd =
+    let id_pos_arg =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
+    in
+    let tool_arg =
+      Arg.(
+        value & opt_all string []
+        & info [ "tool" ] ~docv:"TOOL"
+            ~doc:
+              "Tool to replay through (repeatable); default: every tool.")
+    in
+    let slice_arg =
+      Arg.(
+        value & opt int 10_000
+        & info [ "slice" ] ~docv:"N"
+            ~doc:"tquad time-slice interval in instructions.")
+    in
+    let wait_arg =
+      Arg.(
+        value & flag
+        & info [ "wait" ]
+            ~doc:
+              "Block until the job completes and print its reports (exit 4 \
+               if any tool failed) instead of printing the job id.")
+    in
+    let run socket id tools slice period wait =
+      let tools = if tools = [] then None else Some tools in
+      with_client socket (fun c ->
+          match Tq_serve.Client.replay ?tools ~slice ~period c id with
+          | Error e -> client_fail "replay" e
+          | Ok jid ->
+              if not wait then Printf.printf "job %d\n" jid
+              else begin
+                match Tq_serve.Client.report ~wait:true c jid with
+                | Ok r -> print_served_report r
+                | Error e -> client_fail "report" e
+              end)
+    in
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:
+           "Submit a replay of an uploaded trace through the chosen tools; \
+            prints the job id (or, with --wait, the reports).  Over-budget \
+            submissions are refused with a typed busy response")
+      Term.(
+        const run $ socket_arg $ id_pos_arg $ tool_arg $ slice_arg
+        $ period_arg $ wait_arg)
+  in
+  let report_cmd =
+    let job_pos_arg =
+      Arg.(required & pos 0 (some int) None & info [] ~docv:"JOB")
+    in
+    let wait_arg =
+      Arg.(
+        value & flag
+        & info [ "wait" ] ~doc:"Block until the job completes.")
+    in
+    let run socket jid wait =
+      with_client socket (fun c ->
+          match Tq_serve.Client.report ~wait c jid with
+          | Ok r -> print_served_report r
+          | Error e -> client_fail "report" e)
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Fetch a job's reports (exit 4 if any tool failed; '--wait' \
+            blocks server-side until the job is done)")
+      Term.(const run $ socket_arg $ job_pos_arg $ wait_arg)
+  in
+  let stats_cmd =
+    let run socket =
+      with_client socket (fun c ->
+          match Tq_serve.Client.stats c with
+          | Ok j -> print_string (Obs.Json.to_string j)
+          | Error e -> client_fail "stats" e)
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Print the daemon's live server section (queue, cache, rate, \
+            latency percentiles) as JSON")
+      Term.(const run $ socket_arg)
+  in
+  let shutdown_cmd =
+    let run socket =
+      with_client socket (fun c ->
+          match Tq_serve.Client.shutdown c with
+          | Ok () -> print_endline "draining"
+          | Error e -> client_fail "shutdown" e)
+    in
+    Cmd.v
+      (Cmd.info "shutdown" ~doc:"Ask the daemon to drain and exit")
+      Term.(const run $ socket_arg)
+  in
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running 'tquad serve' daemon: ping, upload, info, \
+          replay, report, stats, shutdown")
+    [ ping_cmd; upload_cmd; info_cmd; replay_cmd; report_cmd; stats_cmd;
+      shutdown_cmd ]
+
 let version_cmd =
   let run () = print_endline version_string in
   Cmd.v
@@ -1325,7 +1588,7 @@ let subcommands =
   [ build_cmd; disasm_cmd; run_cmd; gprof_cmd; callgraph_cmd; quad_cmd;
     tquad_cmd; mix_cmd; cache_cmd; footprint_cmd; wcet_cmd; diff_cmd;
     record_cmd; replay_cmd; trace_info_cmd; faultgen_cmd; check_cmd; wfs_cmd;
-    version_cmd ]
+    serve_cmd; client_cmd; version_cmd ]
 
 let main_cmd =
   Cmd.group
@@ -1359,6 +1622,8 @@ let usage_lines =
     ("faultgen", "corrupt a trace deterministically (robustness testing)");
     ("check", "static binary verification and bandwidth estimate");
     ("wfs", "run the built-in hArtes-wfs case study");
+    ("serve", "run the trace-analysis daemon on a Unix socket");
+    ("client", "talk to a running serve daemon");
     ("version", "print the tquad version") ]
 
 let print_usage ch =

@@ -141,6 +141,23 @@ let check_replay v =
       | _ -> ())
     (as_obj "replay" v)
 
+(* The serve daemon's section: top-level counters plus nested all-numeric
+   groups (requests, rate, queue, cache, latency). *)
+let check_server v =
+  List.iter
+    (fun (k, x) ->
+      let path = "server." ^ k in
+      match k with
+      | "uptime_s" -> ignore (as_num path x)
+      | "connections" | "active_connections" | "busy_rejections" ->
+          ignore (as_int path x)
+      | "requests" | "rate" | "queue" | "cache" | "latency" ->
+          List.iter
+            (fun (k2, y) -> ignore (as_num (path ^ "." ^ k2) y))
+            (as_obj path x)
+      | _ -> ())
+    (as_obj "server" v)
+
 let validate doc =
   match
     let members = as_obj "manifest" doc in
@@ -160,6 +177,7 @@ let validate doc =
         | "engine" | "memory" -> check_int_section k v
         | "trace" -> check_trace v
         | "replay" -> check_replay v
+        | "server" -> check_server v
         | _ -> ())
       members
   with

@@ -1,0 +1,134 @@
+module Json = Tq_obs.Json
+
+type t = { fd : Unix.file_descr }
+
+type err = {
+  kind : string;
+  reason : string;
+  retry_after_s : float option;
+}
+
+let transport reason = { kind = "transport"; reason; retry_after_s = None }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok { fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (transport (Printf.sprintf "connect %s: %s" path (Unix.error_message e)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t req =
+  match
+    Protocol.write_frame t.fd req;
+    Protocol.read_frame t.fd
+  with
+  | None -> Error (transport "server closed the connection")
+  | Some resp -> (
+      match Protocol.get_bool "ok" resp with
+      | Some true -> Ok resp
+      | _ ->
+          let kind =
+            Option.value (Protocol.get_str "error" resp) ~default:"transport"
+          in
+          let reason =
+            Option.value (Protocol.get_str "reason" resp)
+              ~default:"malformed error response"
+          in
+          let retry_after_s =
+            match Json.member "retry_after_s" resp with
+            | Some (Json.Float f) -> Some f
+            | Some (Json.Int i) -> Some (float_of_int i)
+            | _ -> None
+          in
+          Error { kind; reason; retry_after_s })
+  | exception End_of_file -> Error (transport "server closed mid-frame")
+  | exception Protocol.Frame_error msg -> Error (transport msg)
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (transport (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+let op name members = Json.Obj (("op", Json.Str name) :: members)
+
+let ping t =
+  match request t (op "ping" []) with Ok _ -> Ok () | Error e -> Error e
+
+let upload ?name ?program ~trace t =
+  let members =
+    [ ("trace", Json.Str trace) ]
+    @ (match name with Some n -> [ ("name", Json.Str n) ] | None -> [])
+    @ match program with Some p -> [ ("program", Json.Str p) ] | None -> []
+  in
+  match request t (op "upload" members) with
+  | Error e -> Error e
+  | Ok resp -> (
+      match Protocol.get_str "id" resp with
+      | Some id -> Ok id
+      | None -> Error (transport "upload response carries no id"))
+
+let trace_info t id =
+  match request t (op "trace-info" [ ("id", Json.Str id) ]) with
+  | Error e -> Error e
+  | Ok resp -> (
+      match Json.member "trace" resp with
+      | Some j -> Ok j
+      | None -> Error (transport "trace-info response carries no trace"))
+
+let replay ?tools ?slice ?period t id =
+  let members =
+    [ ("id", Json.Str id) ]
+    @ (match tools with
+      | Some ts -> [ ("tools", Json.List (List.map (fun t -> Json.Str t) ts)) ]
+      | None -> [])
+    @ (match slice with Some n -> [ ("slice", Json.Int n) ] | None -> [])
+    @ match period with Some n -> [ ("period", Json.Int n) ] | None -> []
+  in
+  match request t (op "replay" members) with
+  | Error e -> Error e
+  | Ok resp -> (
+      match Protocol.get_int "job" resp with
+      | Some jid -> Ok jid
+      | None -> Error (transport "replay response carries no job id"))
+
+type report = {
+  job : int;
+  done_ : bool;
+  reports : (string * string) list;
+  failures : (string * string) list;
+}
+
+let str_members = function
+  | Some (Json.Obj members) ->
+      List.filter_map
+        (function k, Json.Str v -> Some (k, v) | _ -> None)
+        members
+  | _ -> []
+
+let report ?(wait = false) t jid =
+  match
+    request t (op "report" [ ("job", Json.Int jid); ("wait", Json.Bool wait) ])
+  with
+  | Error e -> Error e
+  | Ok resp ->
+      Ok
+        {
+          job = jid;
+          done_ =
+            Option.value (Protocol.get_bool "done" resp) ~default:false;
+          reports = str_members (Json.member "reports" resp);
+          failures = str_members (Json.member "failures" resp);
+        }
+
+let stats t =
+  match request t (op "stats" []) with
+  | Error e -> Error e
+  | Ok resp -> (
+      match Json.member "server" resp with
+      | Some j -> Ok j
+      | None -> Error (transport "stats response carries no server section"))
+
+let shutdown t =
+  match request t (op "shutdown" []) with
+  | Ok _ -> Ok ()
+  | Error e -> Error e

@@ -1,0 +1,74 @@
+(** Client side of the serve protocol — a thin, typed wrapper over one
+    connected Unix-domain socket.
+
+    Each helper sends one request frame and blocks for the response frame;
+    the connection is usable from one thread at a time (the protocol has no
+    request ids — responses pair with requests by order).  Server refusals
+    come back as [Error {kind; reason}] with [kind] one of the
+    {!Protocol.busy} family; transport problems (connection refused, server
+    gone mid-request, malformed frame) surface as the ["transport"] kind. *)
+
+type t
+
+type err = {
+  kind : string;
+      (** a {!Protocol} error kind, or ["transport"] for socket/framing
+          failures *)
+  reason : string;
+  retry_after_s : float option;  (** populated on [busy] refusals *)
+}
+
+val connect : string -> (t, err) result
+(** Connect to the daemon's socket path. *)
+
+val close : t -> unit
+
+val request : t -> Tq_obs.Json.t -> (Tq_obs.Json.t, err) result
+(** Send one raw frame, wait for the reply.  [Ok] is the whole response
+    object of a [{"ok": true}] reply; refusals and transport failures are
+    [Error]. *)
+
+(** {1 Typed operations} *)
+
+val ping : t -> (unit, err) result
+
+val upload :
+  ?name:string ->
+  ?program:string ->
+  trace:string ->
+  t ->
+  (string, err) result
+(** Upload a trace container (raw bytes) with an optional encoded object
+    file ({!Tq_vm.Objfile.encode}); returns the server's trace id.
+    Idempotent: re-uploading known bytes returns the same id. *)
+
+val trace_info : t -> string -> (Tq_obs.Json.t, err) result
+(** The server's ["trace"] section for an uploaded trace id. *)
+
+val replay :
+  ?tools:string list ->
+  ?slice:int ->
+  ?period:int ->
+  t ->
+  string ->
+  (int, err) result
+(** Submit a replay of trace [id] through [tools] (default: all); returns
+    the job id.  [busy] refusals carry [retry_after_s]. *)
+
+type report = {
+  job : int;
+  done_ : bool;
+  reports : (string * string) list;  (** tool name → rendered report *)
+  failures : (string * string) list;  (** tool name → failure message *)
+}
+
+val report : ?wait:bool -> t -> int -> (report, err) result
+(** Fetch a job's results.  With [wait] (default [false]) the server holds
+    the request until the job completes, so [done_] is always [true] on
+    success. *)
+
+val stats : t -> (Tq_obs.Json.t, err) result
+(** The server's live ["server"] observability section. *)
+
+val shutdown : t -> (unit, err) result
+(** Ask the server to drain and exit. *)

@@ -1,0 +1,273 @@
+module Reader = Tq_trace.Reader
+module Event = Tq_trace.Event
+module Replay = Tq_trace.Replay
+
+type spec = {
+  trace_key : int64;
+  reader : Reader.t;
+  prog : Tq_vm.Program.t;
+  tools : string list;
+  slice : int;
+  period : int;
+}
+
+type outcome = (string * Replay.outcome) list
+
+type status = Unknown | Pending | Done of outcome
+
+type state = Queued | Running | Finished of outcome
+
+type jrec = { spec : spec; mutable state : state }
+
+type stats = {
+  submitted : int;
+  completed : int;
+  failed_jobs : int;
+  rejected : int;
+  depth : int;
+  running : int;
+  peak_depth : int;
+  queue_limit : int;
+  workers : int;
+  latency : float array;
+}
+
+let lat_cap = 4096
+
+type t = {
+  lock : Mutex.t;
+  cond : Condition.t;  (* broadcast on every state change; waiters recheck *)
+  queue : int Queue.t;
+  jobs : (int, jrec) Hashtbl.t;
+  queue_limit : int;
+  cache : Event.t array Lru.t;
+  on_done : int -> unit;
+  mutable next_id : int;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable failed_jobs : int;
+  mutable rejected : int;
+  mutable running : int;
+  mutable peak_depth : int;
+  mutable draining : bool;
+  mutable joined : bool;
+  lat : float array;
+  mutable lat_n : int;  (* samples recorded, ever *)
+  mutable domains : unit Domain.t array;
+}
+
+(* ---------- execution ---------- *)
+
+(* Decode-or-hit dispatch pass: the cache-aware equivalent of
+   Reader.iter_tags.  ~64 bytes per boxed event plus per-array overhead is
+   the weight estimate — it only has to be proportionate, the budget is a
+   soft memory bound, not an accounting. *)
+let cached_iter cache key reader per_tag =
+  for i = 0 to Reader.n_chunks reader - 1 do
+    let evs =
+      match Lru.find cache (key, i) with
+      | Some evs -> evs
+      | None ->
+          let evs = Reader.chunk_events reader i in
+          Lru.add cache (key, i) ~weight:((64 * Array.length evs) + 256) evs;
+          evs
+    in
+    Array.iter (fun ev -> per_tag.(Event.tag ev) ev) evs
+  done
+
+let run_spec cache spec =
+  let fail msg = Error Replay.{ exn = Failure msg; backtrace = "" } in
+  let built =
+    List.map
+      (fun name ->
+        ( name,
+          Toolset.job ~prog:spec.prog ~slice:spec.slice ~period:spec.period
+            name ))
+      spec.tools
+  in
+  let jobs =
+    List.filter_map (function _, Ok j -> Some j | _, Error _ -> None) built
+  in
+  let results =
+    Replay.supervised
+      ~iter:(cached_iter cache spec.trace_key spec.reader)
+      jobs
+  in
+  List.map
+    (fun (name, b) ->
+      match b with
+      | Error msg -> (name, fail msg)
+      | Ok _ -> (
+          match List.assoc_opt name results with
+          | Some o -> (name, o)
+          | None -> (name, fail "job produced no outcome")))
+    built
+
+(* Run job [id] (already popped and marked Running) outside the lock, then
+   publish its results. *)
+let execute t id jr =
+  let t0 = Unix.gettimeofday () in
+  let results =
+    try run_spec t.cache jr.spec
+    with exn ->
+      (* run_spec is not supposed to raise (supervision happens inside), but
+         a job must never take a worker domain down with it *)
+      let f = Replay.{ exn; backtrace = "" } in
+      List.map (fun name -> (name, Error f)) jr.spec.tools
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Mutex.lock t.lock;
+  jr.state <- Finished results;
+  t.running <- t.running - 1;
+  t.completed <- t.completed + 1;
+  if List.exists (fun (_, o) -> Result.is_error o) results then
+    t.failed_jobs <- t.failed_jobs + 1;
+  t.lat.(t.lat_n mod lat_cap) <- wall;
+  t.lat_n <- t.lat_n + 1;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  try t.on_done id with _ -> ()
+
+(* Pop one queued job while holding the lock; caller releases and executes. *)
+let pop_locked t =
+  let id = Queue.pop t.queue in
+  let jr = Hashtbl.find t.jobs id in
+  jr.state <- Running;
+  t.running <- t.running + 1;
+  (id, jr)
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.draining do
+    Condition.wait t.cond t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock (* draining, queue dry *)
+  else begin
+    let id, jr = pop_locked t in
+    Mutex.unlock t.lock;
+    execute t id jr;
+    worker_loop t
+  end
+
+(* ---------- api ---------- *)
+
+let create ?workers ?(on_done = fun _ -> ()) ~queue_limit ~cache () =
+  if queue_limit < 1 then invalid_arg "Jobs.create: queue_limit must be >= 1";
+  let workers =
+    match workers with
+    | Some n when n >= 0 -> n
+    | Some _ -> invalid_arg "Jobs.create: negative workers"
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let t =
+    {
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      jobs = Hashtbl.create 64;
+      queue_limit;
+      cache;
+      on_done;
+      next_id = 1;
+      submitted = 0;
+      completed = 0;
+      failed_jobs = 0;
+      rejected = 0;
+      running = 0;
+      peak_depth = 0;
+      draining = false;
+      joined = false;
+      lat = Array.make lat_cap 0.;
+      lat_n = 0;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t spec =
+  Mutex.protect t.lock (fun () ->
+      let depth = Queue.length t.queue in
+      if t.draining || depth >= t.queue_limit then begin
+        t.rejected <- t.rejected + 1;
+        Error (`Queue_full depth)
+      end
+      else begin
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        Hashtbl.add t.jobs id { spec; state = Queued };
+        Queue.push id t.queue;
+        t.submitted <- t.submitted + 1;
+        t.peak_depth <- max t.peak_depth (depth + 1);
+        Condition.broadcast t.cond;
+        Ok id
+      end)
+
+let status t id =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.jobs id with
+      | None -> Unknown
+      | Some { state = Finished r; _ } -> Done r
+      | Some _ -> Pending)
+
+let wait t id =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.jobs id with
+  | None ->
+      Mutex.unlock t.lock;
+      None
+  | Some jr ->
+      let rec settle () =
+        match jr.state with
+        | Finished r -> r
+        | Queued | Running ->
+            Condition.wait t.cond t.lock;
+            settle ()
+      in
+      let r = settle () in
+      Mutex.unlock t.lock;
+      Some r
+
+let step t =
+  Mutex.lock t.lock;
+  if Queue.is_empty t.queue then begin
+    Mutex.unlock t.lock;
+    false
+  end
+  else begin
+    let id, jr = pop_locked t in
+    Mutex.unlock t.lock;
+    execute t id jr;
+    true
+  end
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        submitted = t.submitted;
+        completed = t.completed;
+        failed_jobs = t.failed_jobs;
+        rejected = t.rejected;
+        depth = Queue.length t.queue;
+        running = t.running;
+        peak_depth = t.peak_depth;
+        queue_limit = t.queue_limit;
+        workers = Array.length t.domains;
+        latency = Array.sub t.lat 0 (min t.lat_n lat_cap);
+      })
+
+let drain t =
+  Mutex.lock t.lock;
+  t.draining <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  (* a worker-less pool has nobody to run the backlog dry — do it here *)
+  if Array.length t.domains = 0 then while step t do () done;
+  Mutex.lock t.lock;
+  while not (Queue.is_empty t.queue) || t.running > 0 do
+    Condition.wait t.cond t.lock
+  done;
+  let join_now = not t.joined in
+  t.joined <- true;
+  Mutex.unlock t.lock;
+  if join_now then Array.iter Domain.join t.domains

@@ -1,0 +1,83 @@
+(** The serve daemon's job manager: a bounded queue of replay jobs
+    multiplexed over a shared pool of OCaml 5 worker domains.
+
+    Each submitted {!spec} is one served replay — a trace, a program and a
+    tool subset — executed as a supervised job group
+    ({!Tq_trace.Replay.supervised}) fed from the shared decoded-chunk cache,
+    so per-tool failures stay per-tool and hot chunks decode once.
+
+    Backpressure is structural: the queue has a hard bound and {!submit}
+    refuses (never blocks, never grows) when it is full — the server turns
+    the refusal into a typed [busy] response.  Connection threads block in
+    {!wait} (one condition variable, broadcast on every state change), so a
+    slow job never ties up a worker beyond its own execution. *)
+
+type spec = {
+  trace_key : int64;  (** cache-key namespace, from {!Protocol.trace_key} *)
+  reader : Tq_trace.Reader.t;
+  prog : Tq_vm.Program.t;
+  tools : string list;  (** validated against {!Toolset.names} by the caller *)
+  slice : int;
+  period : int;
+}
+
+type outcome = (string * Tq_trace.Replay.outcome) list
+(** One entry per requested tool, in request order. *)
+
+type status =
+  | Unknown  (** no such job id *)
+  | Pending  (** queued or running *)
+  | Done of outcome
+
+type stats = {
+  submitted : int;
+  completed : int;
+  failed_jobs : int;  (** completed jobs with at least one [Error] outcome *)
+  rejected : int;  (** submissions refused by the full queue *)
+  depth : int;  (** queued, not yet picked up *)
+  running : int;
+  peak_depth : int;
+  queue_limit : int;
+  workers : int;
+  latency : float array;
+      (** execution wall times (seconds) of up to the last 4096 completed
+          jobs, unordered — feed {!Tq_util.Stats.percentile} *)
+}
+
+type t
+
+val create :
+  ?workers:int ->
+  ?on_done:(int -> unit) ->
+  queue_limit:int ->
+  cache:Tq_trace.Event.t array Lru.t ->
+  unit ->
+  t
+(** Start the pool.  [workers] defaults to
+    [Domain.recommended_domain_count - 1] (at least 1); [workers:0] spawns
+    no domains — jobs then run only via {!step}, the deterministic mode the
+    tests use.  [on_done id] fires after job [id]'s results are stored and
+    waiters are woken, outside the manager lock (the server writes the
+    job's manifest there). *)
+
+val submit : t -> spec -> (int, [ `Queue_full of int ]) result
+(** Enqueue; [Ok id] or [`Queue_full depth] when the bound is hit (also
+    after {!drain} began).  Never blocks. *)
+
+val status : t -> int -> status
+
+val wait : t -> int -> outcome option
+(** Block until the job completes; [None] for an unknown id.  Returns
+    immediately if it is already done. *)
+
+val step : t -> bool
+(** Run one queued job to completion on the calling thread; [false] when
+    the queue is empty.  The test-mode scheduler for [workers:0] pools (it
+    works on any pool). *)
+
+val stats : t -> stats
+
+val drain : t -> unit
+(** Stop accepting submissions, run the queue dry, join the worker domains.
+    Completed results stay readable through {!status}/{!wait}.
+    Idempotent. *)

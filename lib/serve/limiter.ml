@@ -1,0 +1,56 @@
+type t = {
+  now : unit -> float;
+  rate : float;  (* tokens per second *)
+  burst : float;  (* bucket depth *)
+  mutable tokens : float;
+  mutable last : float;  (* clock reading at the last refill *)
+  mutable allowed : int;
+  mutable rejected : int;
+  lock : Mutex.t;
+}
+
+let create ?(now = Unix.gettimeofday) ~rate ~burst () =
+  if rate <= 0. then invalid_arg "Limiter.create: rate must be positive";
+  if burst < 1 then invalid_arg "Limiter.create: burst must be at least 1";
+  let burst = float_of_int burst in
+  {
+    now;
+    rate;
+    burst;
+    tokens = burst;
+    last = now ();
+    allowed = 0;
+    rejected = 0;
+    lock = Mutex.create ();
+  }
+
+(* Caller holds the lock.  A clock that steps backwards (NTP slew, fake test
+   clocks) refills nothing rather than draining the bucket. *)
+let refill t =
+  let now = t.now () in
+  let dt = now -. t.last in
+  if dt > 0. then t.tokens <- Float.min t.burst (t.tokens +. (dt *. t.rate));
+  t.last <- now
+
+let try_take ?(cost = 1) t =
+  if cost < 1 then invalid_arg "Limiter.try_take: cost must be at least 1";
+  Mutex.protect t.lock (fun () ->
+      refill t;
+      let cost = float_of_int cost in
+      if t.tokens >= cost then begin
+        t.tokens <- t.tokens -. cost;
+        t.allowed <- t.allowed + 1;
+        true
+      end
+      else begin
+        t.rejected <- t.rejected + 1;
+        false
+      end)
+
+let retry_after t =
+  Mutex.protect t.lock (fun () ->
+      refill t;
+      if t.tokens >= 1. then 0. else (1. -. t.tokens) /. t.rate)
+
+let allowed t = Mutex.protect t.lock (fun () -> t.allowed)
+let rejected t = Mutex.protect t.lock (fun () -> t.rejected)

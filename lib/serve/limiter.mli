@@ -1,0 +1,30 @@
+(** Token-bucket rate limiter — the serve daemon's admission control.
+
+    A bucket holds up to [burst] tokens and refills continuously at [rate]
+    tokens per second.  Each admitted request spends one token (or an
+    explicit [cost]); a request that finds the bucket empty is {e rejected
+    immediately} — the caller turns that into a typed [busy] response with a
+    [retry_after_s] hint, never a blocked connection or an unbounded queue.
+
+    The clock is injectable ([?now]) so refill semantics are testable
+    deterministically.  All operations are thread-safe. *)
+
+type t
+
+val create : ?now:(unit -> float) -> rate:float -> burst:int -> unit -> t
+(** [rate] tokens/second (must be positive), [burst] bucket depth (≥ 1).
+    The bucket starts full.  [now] defaults to [Unix.gettimeofday]. *)
+
+val try_take : ?cost:int -> t -> bool
+(** Refill from the clock, then spend [cost] (default 1) tokens if
+    available.  [false] = over budget, nothing spent. *)
+
+val retry_after : t -> float
+(** Seconds until one token will have accrued ([0.] if one is available
+    now) — the hint carried in a [busy] response. *)
+
+val allowed : t -> int
+(** Requests admitted so far. *)
+
+val rejected : t -> int
+(** Requests refused so far. *)

@@ -1,0 +1,112 @@
+type key = int64 * int
+
+type 'v node = {
+  nkey : key;
+  value : 'v;
+  nweight : int;
+  mutable prev : 'v node option;  (* toward most-recently-used *)
+  mutable next : 'v node option;  (* toward least-recently-used *)
+}
+
+type 'v t = {
+  mutable head : 'v node option;  (* most-recently-used *)
+  mutable tail : 'v node option;  (* least-recently-used *)
+  tbl : (key, 'v node) Hashtbl.t;
+  capacity : int;
+  mutable weight : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  weight : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  {
+    head = None;
+    tail = None;
+    tbl = Hashtbl.create 64;
+    capacity;
+    weight = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some n ->
+          t.hits <- t.hits + 1;
+          unlink t n;
+          push_front t n;
+          Some n.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.nkey;
+      t.weight <- t.weight - n.nweight;
+      t.evictions <- t.evictions + 1
+
+let add t k ~weight v =
+  if weight < 0 then invalid_arg "Lru.add: negative weight";
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some n ->
+          (* re-adding a resident key is a touch, not a replace: chunk
+             decodes are deterministic, so the resident value is the value *)
+          unlink t n;
+          push_front t n
+      | None ->
+          if weight <= t.capacity then begin
+            while t.weight + weight > t.capacity do
+              evict_tail t
+            done;
+            let n = { nkey = k; value = v; nweight = weight; prev = None; next = None } in
+            Hashtbl.add t.tbl k n;
+            push_front t n;
+            t.weight <- t.weight + weight
+          end)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.tbl;
+        weight = t.weight;
+        capacity = t.capacity;
+      })
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0. else float_of_int s.hits /. float_of_int total

@@ -1,0 +1,127 @@
+module Json = Tq_obs.Json
+module Reader = Tq_trace.Reader
+
+let max_frame = 256 * 1024 * 1024
+
+exception Frame_error of string
+
+(* ---------- framing ---------- *)
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+(* Read exactly [len] bytes into [buf] at [pos]; [false] if EOF hits before
+   the first byte, End_of_file if it hits mid-read. *)
+let read_exact fd buf pos len =
+  let rec go pos len started =
+    if len = 0 then true
+    else
+      let n =
+        try Unix.read fd buf pos len
+        with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+      in
+      if n < 0 then go pos len started
+      else if n = 0 then if started then raise End_of_file else false
+      else go (pos + n) (len - n) true
+  in
+  go pos len false
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  if not (read_exact fd hdr 0 4) then None
+  else begin
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame then
+      raise (Frame_error (Printf.sprintf "frame length %d out of bounds" len));
+    let payload = Bytes.create len in
+    if not (read_exact fd payload 0 len) then raise End_of_file;
+    match Json.of_string (Bytes.unsafe_to_string payload) with
+    | j -> Some j
+    | exception Json.Parse_error msg ->
+        raise (Frame_error ("frame payload: " ^ msg))
+  end
+
+let write_frame fd j =
+  let s = Json.to_string j in
+  let len = String.length s in
+  if len > max_frame then
+    raise (Frame_error (Printf.sprintf "frame length %d out of bounds" len));
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string s 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+(* ---------- trace identity ---------- *)
+
+(* FNV-1a-64 over the container bytes.  Same construction as
+   Tq_vm.Program.fingerprint, but over the recording rather than the code:
+   two recordings of one program (different inputs, slices, fuel) must not
+   share a cache key. *)
+let trace_key s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let trace_id s = Printf.sprintf "%016Lx" (trace_key s)
+
+(* ---------- shared sections ---------- *)
+
+let trace_section ?(extra = []) r =
+  let salvage =
+    match Reader.salvage_info r with
+    | None -> []
+    | Some s ->
+        [ ( "salvage",
+            Json.Obj
+              [ ("salvaged_chunks", Json.Int s.Reader.salvaged_chunks);
+                ("dropped_chunks", Json.Int s.dropped_chunks);
+                ("dropped_bytes", Json.Int s.dropped_bytes);
+                ("reason", Json.Str s.reason) ] ) ]
+  in
+  Json.Obj
+    ([ ("version", Json.Int (Reader.version r));
+       ("events", Json.Int (Reader.n_events r));
+       ("chunks", Json.Int (Reader.n_chunks r));
+       ("bytes", Json.Int (Reader.byte_size r));
+       ("fingerprint", Json.Str (Printf.sprintf "%016Lx" (Reader.fingerprint r)));
+       ("last_icount", Json.Int (Reader.last_icount r)) ]
+    @ salvage @ extra)
+
+(* ---------- response shapes ---------- *)
+
+let ok members = Json.Obj (("ok", Json.Bool true) :: members)
+
+let error ?(extra = []) kind reason =
+  Json.Obj
+    (("ok", Json.Bool false)
+    :: ("error", Json.Str kind)
+    :: ("reason", Json.Str reason)
+    :: extra)
+
+let busy = "busy"
+let bad_request = "bad-request"
+let not_found = "not-found"
+let bad_trace = "bad-trace"
+let shutting_down = "shutting-down"
+
+(* ---------- request accessors ---------- *)
+
+let get_str k j =
+  match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+
+let get_int k j =
+  match Json.member k j with Some (Json.Int i) -> Some i | _ -> None
+
+let get_bool k j =
+  match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None

@@ -1,0 +1,88 @@
+(** Wire protocol of the serve daemon — framing, trace identity and the
+    shared response shapes.
+
+    One frame = a 4-byte big-endian length followed by that many bytes of
+    {!Tq_obs.Json} text.  Both directions use the same framing; binary
+    payloads (trace containers, object files) ride inside [Json.Str]
+    members, which hold arbitrary bytes.  Frames larger than {!max_frame}
+    are refused on read and on write — a malformed peer cannot make the
+    server allocate unboundedly.
+
+    Every response is an object with a boolean ["ok"] member.  Failures are
+    [{"ok": false, "error": KIND, "reason": TEXT}] where KIND is one of the
+    {!val-busy} … {!val-shutting_down} constants — clients dispatch on the
+    kind, humans read the reason.  See docs/SERVE.md for the full request
+    and response schemas. *)
+
+val max_frame : int
+(** Upper bound on a frame's payload length (bytes). *)
+
+exception Frame_error of string
+(** A malformed frame: oversized length prefix, or a payload that is not
+    valid JSON.  Distinct from [End_of_file]-style clean closure, which
+    {!read_frame} reports as [None]. *)
+
+val read_frame : Unix.file_descr -> Tq_obs.Json.t option
+(** Read one frame.  [None] when the peer closed the connection cleanly
+    (EOF before any length byte).
+    @raise Frame_error on an oversized length or malformed payload.
+    @raise End_of_file when the connection dies mid-frame. *)
+
+val write_frame : Unix.file_descr -> Tq_obs.Json.t -> unit
+(** Serialise and send one frame.
+    @raise Frame_error if the rendering exceeds {!max_frame}. *)
+
+(** {1 Trace identity} *)
+
+val trace_key : string -> int64
+(** FNV-1a-64 digest of the raw container bytes — the serve layer's trace
+    fingerprint.  Distinct from the recorded {e program}'s fingerprint
+    (stamped inside the container): two recordings of one program get
+    different keys, so cache entries and uploads never alias. *)
+
+val trace_id : string -> string
+(** {!trace_key} rendered as 16 lowercase hex digits — the [id] clients
+    quote in [trace-info] and [replay] requests. *)
+
+(** {1 Shared sections} *)
+
+val trace_section :
+  ?extra:(string * Tq_obs.Json.t) list -> Tq_trace.Reader.t -> Tq_obs.Json.t
+(** The canonical ["trace"] description of a loaded reader — version,
+    events, chunks, bytes, program fingerprint, last icount, plus salvage
+    statistics when present.  One codec path shared by the CLI's manifest
+    ["trace"] section, [tquad trace-info --json] and the serve daemon's
+    [trace-info] response, so the three can never drift.  [extra] members
+    are appended after the standard ones. *)
+
+(** {1 Response shapes} *)
+
+val ok : (string * Tq_obs.Json.t) list -> Tq_obs.Json.t
+(** [{"ok": true, ...members}]. *)
+
+val error :
+  ?extra:(string * Tq_obs.Json.t) list -> string -> string -> Tq_obs.Json.t
+(** [error kind reason] = [{"ok": false, "error": kind, "reason": reason,
+    ...extra}]. *)
+
+val busy : string
+(** Admission control refused the request (rate limit or full job queue);
+    the response carries [retry_after_s]. *)
+
+val bad_request : string
+(** The request frame was well-formed JSON but not a valid request. *)
+
+val not_found : string
+(** Unknown trace id or job id. *)
+
+val bad_trace : string
+(** An uploaded container failed to load, or its program check failed. *)
+
+val shutting_down : string
+(** The server is draining; no new work is accepted. *)
+
+(** {1 Request accessors} *)
+
+val get_str : string -> Tq_obs.Json.t -> string option
+val get_int : string -> Tq_obs.Json.t -> int option
+val get_bool : string -> Tq_obs.Json.t -> bool option

@@ -1,0 +1,51 @@
+(** The serve daemon: a long-running trace-analysis server on a Unix-domain
+    socket.
+
+    One process holds the expensive state — uploaded traces, the shared
+    decoded-chunk {!Lru} cache, a {!Jobs} pool of worker domains — and any
+    number of clients talk {!Protocol} frames to it: upload a trace once,
+    replay it through any tool subset many times, fetch the reports.
+    Admission control is a {!Limiter} token bucket in front of the job
+    queue's hard bound; an over-budget client gets a typed [busy] response
+    with a retry hint, never an unbounded queue.
+
+    Concurrency model: one listener thread (the caller of {!run}) in a
+    [select] loop, one systhread per connection (blocking socket IO releases
+    the domain lock), worker {e domains} inside {!Jobs} for the CPU-bound
+    replays.  See docs/SERVE.md for the protocol and operational notes. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** worker domains; [0] = one per core (minus the listener) *)
+  queue_limit : int;  (** job-queue bound; beyond it submissions get [busy] *)
+  cache_bytes : int;  (** decoded-chunk cache budget *)
+  rate : float;  (** replay admissions per second (token-bucket refill) *)
+  burst : int;  (** token-bucket depth *)
+  max_traces : int;  (** resident uploaded traces; beyond it uploads get [busy] *)
+  manifest_dir : string option;
+      (** where run manifests land: [server.json] (periodic and at
+          shutdown) plus one [job-N.json] per completed job *)
+  manifest_period_s : float;  (** period of the server manifest rewrite *)
+}
+
+val default : socket_path:string -> config
+(** [workers = 0], [queue_limit = 32], [cache_bytes = 64 MiB], [rate = 50.],
+    [burst = 100], [max_traces = 64], no manifests, period [5.]. *)
+
+val run : ?on_ready:(unit -> unit) -> ?handle_signals:bool -> config -> unit
+(** Bind the socket, serve until shut down, clean up (drain the job pool,
+    write the final server manifest, unlink the socket), return.
+
+    Shutdown comes from either a [shutdown] request frame or — when
+    [handle_signals] is [true], the default — SIGTERM/SIGINT.  Both drain
+    gracefully: the listener stops accepting, queued and running jobs
+    complete, [replay] requests on open connections get [shutting-down].
+    Embedders (tests, bench) pass [~handle_signals:false] and stop the
+    server with the [shutdown] operation instead, keeping SIGTERM/SIGINT
+    dispositions untouched.  SIGPIPE is always set to ignore — a client
+    hanging up mid-response must surface as [EPIPE] in the connection
+    thread, not kill the process.
+
+    [on_ready] fires once the socket is listening — the embedder's cue that
+    clients may connect.
+    @raise Unix.Unix_error if the socket cannot be bound. *)

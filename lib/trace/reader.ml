@@ -21,6 +21,12 @@ type t = {
   v3 : bool;
   verify : bool;
   chunks : chunk array;
+  verified : bool array;
+      (* verified.(i): chunk i's CRC has already matched once in this
+         process, so later passes skip the digest.  Plain [bool array], not a
+         bitmap: concurrent replay domains store [true] without a
+         read-modify-write, so the worst a race can do is re-verify a chunk,
+         never un-verify one. *)
   n_events : int;
   last_icount : int;
   fingerprint : int64;
@@ -86,8 +92,12 @@ let check_crc_v3 raw offset (_, _, payload_len, crc, meta_start, meta_len, paylo
 (* Decode one chunk's events starting at its header offset.  For v3 the
    chunk's CRC is verified (unless the reader was loaded with
    [~verify:false]) before any event is decoded, so a corrupt payload
-   surfaces as [Format_error], never as garbage events. *)
-let iter_chunk ~v3 ~verify raw chunk sink =
+   surfaces as [Format_error], never as garbage events.  [verified] carries
+   the per-chunk already-verified bits ([idx] indexes it): a chunk whose bit
+   is set skips the digest, and a chunk that verifies here sets its bit, so
+   each chunk pays the CRC at most once per process no matter how many
+   replay passes or domains walk the trace. *)
+let iter_chunk ~v3 ~verify ~verified ~idx raw chunk sink =
   let n, first_icount, payload_len, payload_start =
     if v3 then begin
       let ((n, fic, plen, _, _, _, pstart) as parts) =
@@ -95,7 +105,10 @@ let iter_chunk ~v3 ~verify raw chunk sink =
       in
       if n <> chunk.c_events || fic <> chunk.c_first_icount then
         fail "chunk at %d: header disagrees with index" chunk.c_offset;
-      if verify then check_crc_v3 raw chunk.c_offset parts;
+      if verify && not verified.(idx) then begin
+        check_crc_v3 raw chunk.c_offset parts;
+        verified.(idx) <- true
+      end;
       (n, fic, plen, pstart)
     end
     else begin
@@ -190,16 +203,19 @@ let of_raw ~verify raw =
     fail "index offset %d out of range" index_offset;
   let chunks = parse_index raw ~v3 ~hlen ~index_offset in
   let n_chunks = Array.length chunks in
+  let verified = Array.make n_chunks false in
   let n_events = Array.fold_left (fun acc c -> acc + c.c_events) 0 chunks in
   let last_icount = ref 0 in
   if n_chunks > 0 then
-    iter_chunk ~v3 ~verify raw chunks.(n_chunks - 1) (fun ev ->
-        last_icount := Event.icount ev);
+    iter_chunk ~v3 ~verify ~verified ~idx:(n_chunks - 1) raw
+      chunks.(n_chunks - 1)
+      (fun ev -> last_icount := Event.icount ev);
   {
     raw;
     v3;
     verify;
     chunks;
+    verified;
     n_events;
     last_icount = !last_icount;
     fingerprint;
@@ -314,16 +330,21 @@ let of_raw_salvage ~verify raw =
   let fingerprint = le64 raw mlen in
   let chunks, info = salvage_scan raw in
   let n_chunks = Array.length chunks in
+  (* the forward scan only kept CRC-verified chunks, so they are all born
+     verified *)
+  let verified = Array.make n_chunks true in
   let n_events = Array.fold_left (fun acc c -> acc + c.c_events) 0 chunks in
   let last_icount = ref 0 in
   if n_chunks > 0 then
-    iter_chunk ~v3:true ~verify:true raw chunks.(n_chunks - 1) (fun ev ->
-        last_icount := Event.icount ev);
+    iter_chunk ~v3:true ~verify:true ~verified ~idx:(n_chunks - 1) raw
+      chunks.(n_chunks - 1)
+      (fun ev -> last_icount := Event.icount ev);
   {
     raw;
     v3 = true;
     verify;
     chunks;
+    verified;
     n_events;
     last_icount = !last_icount;
     fingerprint;
@@ -340,7 +361,8 @@ let load ?verify ?mode path = of_string ?verify ?mode (read_file path)
 (* Same loop as [iter_chunk], dispatching on the event's tag instead of
    through one composite sink: the replay driver keeps one fused sink per
    tag, and routing here saves a closure hop per event. *)
-let iter_chunk_tags ~v3 ~verify raw chunk (per_tag : (Event.t -> unit) array) =
+let iter_chunk_tags ~v3 ~verify ~verified ~idx raw chunk
+    (per_tag : (Event.t -> unit) array) =
   let n, first_icount, payload_len, payload_start =
     if v3 then begin
       let ((n, fic, plen, _, _, _, pstart) as parts) =
@@ -348,7 +370,10 @@ let iter_chunk_tags ~v3 ~verify raw chunk (per_tag : (Event.t -> unit) array) =
       in
       if n <> chunk.c_events || fic <> chunk.c_first_icount then
         fail "chunk at %d: header disagrees with index" chunk.c_offset;
-      if verify then check_crc_v3 raw chunk.c_offset parts;
+      if verify && not verified.(idx) then begin
+        check_crc_v3 raw chunk.c_offset parts;
+        verified.(idx) <- true
+      end;
       (n, fic, plen, pstart)
     end
     else begin
@@ -378,8 +403,10 @@ let iter_chunk_tags ~v3 ~verify raw chunk (per_tag : (Event.t -> unit) array) =
 let iter_tags t per_tag =
   if Array.length per_tag <> Event.n_kinds then
     invalid_arg "Trace.Reader.iter_tags: need one sink per event kind";
-  Array.iter
-    (fun c -> iter_chunk_tags ~v3:t.v3 ~verify:t.verify t.raw c per_tag)
+  Array.iteri
+    (fun idx c ->
+      iter_chunk_tags ~v3:t.v3 ~verify:t.verify ~verified:t.verified ~idx t.raw
+        c per_tag)
     t.chunks
 
 let iter ?from_icount t sink =
@@ -408,18 +435,47 @@ let iter ?from_icount t sink =
     | Some target -> fun ev -> if Event.icount ev >= target then sink ev
   in
   for i = start to Array.length t.chunks - 1 do
-    iter_chunk ~v3:t.v3 ~verify:t.verify t.raw t.chunks.(i) sink
+    iter_chunk ~v3:t.v3 ~verify:t.verify ~verified:t.verified ~idx:i t.raw
+      t.chunks.(i) sink
   done
 
 let crc_check t =
   if not t.v3 then 0 (* v2 carries no checksums *)
   else begin
-    Array.iter
-      (fun chunk ->
-        check_crc_v3 t.raw chunk.c_offset (parse_chunk_v3 t.raw chunk.c_offset))
+    Array.iteri
+      (fun idx chunk ->
+        if not t.verified.(idx) then begin
+          check_crc_v3 t.raw chunk.c_offset
+            (parse_chunk_v3 t.raw chunk.c_offset);
+          t.verified.(idx) <- true
+        end)
       t.chunks;
     Array.length t.chunks
   end
+
+let verified_chunks t =
+  Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.verified
+
+(* Decode one chunk into an array — the serve layer's chunk cache entry.
+   The chunk is CRC-verified first (at most once per process, via the
+   verified bit all other passes share), so a cached entry is always a
+   decoded-and-verified chunk. *)
+let chunk_events t idx =
+  if idx < 0 || idx >= Array.length t.chunks then
+    invalid_arg "Trace.Reader.chunk_events: chunk index out of range";
+  let c = t.chunks.(idx) in
+  let out = Array.make c.c_events (Event.End { icount = 0 }) in
+  let k = ref 0 in
+  iter_chunk ~v3:t.v3 ~verify:t.verify ~verified:t.verified ~idx t.raw c
+    (fun ev ->
+      (* v2 indexes are not cross-checked against chunk headers at load
+         time, so a lying v2 index must surface as Format_error here, not
+         as an array bounds crash *)
+      if !k >= c.c_events then
+        fail "chunk at %d: more events than the index records" c.c_offset;
+      out.(!k) <- ev;
+      incr k);
+  out
 
 let fingerprint t = t.fingerprint
 let n_events t = t.n_events

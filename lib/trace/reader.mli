@@ -7,7 +7,13 @@
     Fault tolerance: v3 chunks carry a CRC-32 that is verified lazily, per
     chunk, before any of its events are decoded — corruption anywhere in a
     chunk surfaces as {!Format_error}, never as a decode crash or silently
-    wrong events.  In [Strict] mode the trailer, the index and the exact
+    wrong events.  Each chunk is verified {e at most once per process}: the
+    reader keeps a per-chunk verified bit shared by every iteration pass
+    ({!iter}, {!iter_tags}, {!crc_check}, {!chunk_events}), so repeated
+    replays — or several replay domains walking the same reader — never pay
+    the digest twice.  The bits are written without synchronization; a race
+    between domains can at worst re-verify a chunk, never skip an unverified
+    one.  In [Strict] mode the trailer, the index and the exact
     tiling of the chunk region are validated up front; [Salvage] mode ignores
     the trailer and index entirely and rebuilds the chunk list by scanning
     forward from the header, keeping every chunk whose CRC verifies — the
@@ -59,11 +65,29 @@ val iter_tags : t -> (Event.t -> unit) array -> unit
     @raise Format_error if a chunk fails its CRC check or is malformed. *)
 
 val crc_check : t -> int
-(** Verify every chunk's CRC-32 without decoding any events, and return the
-    number of chunks checked ([0] for a v2 container, which carries no
-    checksums).  The full-file verification pass behind a manifest's
-    [trace.crc_verify_s] timing.
+(** Ensure every chunk's CRC-32 has been verified, without decoding any
+    events, and return the chunk count ([0] for a v2 container, which
+    carries no checksums).  Chunks already verified this process (their
+    verified bit is set) are skipped; the rest are digested and marked.  The
+    full-file verification pass behind a manifest's [trace.crc_verify_s]
+    timing.
     @raise Format_error on the first chunk whose CRC does not match. *)
+
+val chunk_events : t -> int -> Event.t array
+(** Decode chunk [i] (0-based, [0 <= i < ]{!n_chunks}) into an array of its
+    events, CRC-verifying it first if its verified bit is not yet set.
+    Chunks decode independently (the delta-codec state resets at every chunk
+    boundary), so this is the chunk-granular read behind the serve layer's
+    decoded-chunk cache: a returned array is always a decoded-and-verified
+    chunk, and re-reading a chunk never re-verifies it.
+    @raise Invalid_argument if the index is out of range.
+    @raise Format_error if the chunk fails its CRC check or is malformed. *)
+
+val verified_chunks : t -> int
+(** How many chunks have their verified bit set — observability for the
+    verify-at-most-once contract ([= ]{!n_chunks} after {!crc_check} or a
+    full iteration of a v3 trace; salvage-loaded readers are born fully
+    verified). *)
 
 val fingerprint : t -> int64
 (** The recorded program's {!Tq_vm.Program.fingerprint} as stamped by the

@@ -88,15 +88,18 @@ let sequential ?timings reader jobs =
       report (List.rev !timed);
       results
 
-(* Run one group of jobs through a single decode pass.  Each event tag gets
-   its own fused sink over the jobs that declared interest in it, so a tool
-   never sees (and never pays a call for) events it would discard.
+(* Run one group of jobs through a single dispatch pass.  Each event tag
+   gets its own fused sink over the jobs that declared interest in it, so a
+   tool never sees (and never pays a call for) events it would discard.
+   [iter] supplies the pass itself — [Reader.iter_tags] for the in-process
+   replay paths, the decoded-chunk cache walk for the serve layer — and
+   must deliver every event to the sink at the event's tag.
 
    Supervision: each job's sink is guarded — a raising tool is retired from
    the rest of the pass (its sink becomes a no-op) and comes back as [Error],
-   instead of poisoning the whole group.  Only a failure of the decode pass
+   instead of poisoning the whole group.  Only a failure of the dispatch pass
    itself (an unreadable trace) fails every job still live in the group. *)
-let run_group reader group =
+let run_group_with ~iter group =
   let n = Array.length group in
   let made =
     Array.map
@@ -123,7 +126,7 @@ let run_group reader group =
         done;
         fuse (Array.of_list !sinks))
   in
-  (match Reader.iter_tags reader per_tag with
+  (match iter per_tag with
   | () -> ()
   | exception e ->
       let f = capture e in
@@ -135,6 +138,14 @@ let run_group reader group =
       | None, Ok (_, finish) -> (
           match finish () with r -> Ok r | exception e -> Error (capture e)))
     made
+
+let run_group reader group =
+  run_group_with ~iter:(fun per_tag -> Reader.iter_tags reader per_tag) group
+
+let supervised ~iter jobs =
+  let group = Array.of_list jobs in
+  let outs = run_group_with ~iter group in
+  List.mapi (fun i j -> (j.name, outs.(i))) jobs
 
 let parallel ?domains ?timings reader jobs =
   let jobs = Array.of_list jobs in

@@ -57,6 +57,20 @@ val is_trace_error : failure -> bool
 (** Did this job fail because the trace itself was unreadable
     ({!Reader.Format_error}) rather than because the tool raised? *)
 
+val supervised :
+  iter:((Event.t -> unit) array -> unit) ->
+  job list ->
+  (string * outcome) list
+(** Run one supervised job group over a caller-supplied dispatch pass, on
+    the current domain.  [iter] receives one fused, guarded sink per event
+    tag ({!Event.n_kinds} of them, indexed by {!Event.tag}) and must deliver
+    every event of the trace to the sink at its tag — {!Reader.iter_tags}
+    partially applied is the canonical pass; the serve layer's
+    decoded-chunk-cache walk is another.  Supervision matches {!parallel}:
+    a job whose factory, sink or finish raises is retired and reported as
+    its own [Error]; an exception escaping [iter] itself fails every job
+    still live.  Never raises. *)
+
 val sequential :
   ?timings:(domain_timing list -> unit) ->
   Reader.t ->
