@@ -1285,6 +1285,102 @@ let bechamel () =
         rows)
     results
 
+(* ---------- static bandwidth model: heuristic vs dataflow --------------- *)
+
+(* For every application: run once under tQUAD, then rank the kernels with
+   both static estimators and report each one's Kendall tau against the
+   measured per-kernel bytes.  The dataflow model must never rank worse
+   than the flat heuristic — [tau_regressions] counts the apps where it
+   does, and CI fails when it is non-zero. *)
+let check_bench () =
+  section "Static bandwidth model: heuristic vs dataflow rank agreement";
+  let cscen = if !tiny_mode then Scenario.tiny else scen in
+  let apps =
+    [
+      ( "wfs",
+        (fun () -> Harness.compile cscen),
+        (fun () -> Some (Harness.make_vfs cscen)),
+        Some (Harness.fuel cscen) );
+      ( "image-pipeline",
+        (fun () -> Tq_apps.Apps.image_pipeline_program ()),
+        (fun () -> None),
+        Some 100_000_000 );
+      ( "pointer-chase",
+        (fun () -> Tq_apps.Apps.pointer_chase_program ()),
+        (fun () -> None),
+        Some 100_000_000 );
+    ]
+  in
+  let module E = Tq_staticcheck.Estimate in
+  let regressions = ref 0 in
+  let entries =
+    List.map
+      (fun (name, prog_of, vfs_of, fuel) ->
+        let prog = prog_of () in
+        let m =
+          match vfs_of () with
+          | Some vfs -> Machine.create ~vfs prog
+          | None -> Machine.create prog
+        in
+        let eng = Engine.create m in
+        let t = Tq.attach ~slice_interval:2_000 eng in
+        let (), run_dt =
+          timed (fun () ->
+              bspan ~attrs:(fun () -> [ ("app", 0) ]) ("run:" ^ name)
+                (fun () -> Engine.run ?fuel eng))
+        in
+        let kernels = Tq.kernels t in
+        let dynamic r =
+          let tot = Tq.totals t r in
+          float_of_int (tot.Tq.read_incl + tot.Tq.write_incl)
+        in
+        let tau_of rows =
+          let compared =
+            List.filter_map
+              (fun (row : E.row) ->
+                List.find_opt
+                  (fun k -> k.Symtab.id = row.E.routine.Symtab.id)
+                  kernels
+                |> Option.map (fun k -> (E.bytes row, dynamic k)))
+              rows
+          in
+          let srank = R.rank_of (List.map fst compared)
+          and drank = R.rank_of (List.map snd compared) in
+          (R.kendall_tau srank drank, List.length compared)
+        in
+        let rows_h, dt_h =
+          timed (fun () -> E.per_kernel ~mode:E.Heuristic prog)
+        in
+        let rows_d, dt_d =
+          timed (fun () -> E.per_kernel ~mode:E.Dataflow prog)
+        in
+        let tau_h, nk = tau_of rows_h in
+        let tau_d, _ = tau_of rows_d in
+        if tau_d < tau_h then incr regressions;
+        Printf.printf
+          "  %-16s %2d kernels  tau heuristic %+.2f (%.3fs)  tau dataflow \
+           %+.2f (%.3fs)  run %.2fs%s\n"
+          name nk tau_h dt_h tau_d dt_d run_dt
+          (if tau_d < tau_h then "  <-- REGRESSION" else "");
+        Obs.Json.Obj
+          [
+            ("app", jstr name);
+            ("kernels", jint nk);
+            ("tau_heuristic", jfloat tau_h);
+            ("tau_dataflow", jfloat tau_d);
+            ("static_heuristic_s", jfloat dt_h);
+            ("static_dataflow_s", jfloat dt_d);
+            ("run_s", jfloat run_dt);
+          ])
+      apps
+  in
+  Printf.printf
+    "  dataflow trip counts and stride classes must not rank kernels worse \
+     than the flat heuristic: %d regression(s)\n"
+    !regressions;
+  json_emit "check"
+    [ ("apps", Obs.Json.List entries); ("tau_regressions", jint !regressions) ]
+
 (* ---------- driver ---------- *)
 
 let experiments =
@@ -1306,6 +1402,7 @@ let experiments =
     ("engine", engine_bench);
     ("obs", obs_bench);
     ("serve", serve_bench);
+    ("check", check_bench);
     ("bechamel", bechamel);
   ]
 

@@ -1060,9 +1060,160 @@ let faultgen_cmd =
 
 (* ---------- static verification ---------- *)
 
+(* Compile an input file under the check exit contract: unreadable or
+   uncompilable input exits 3 (the same "bad input" code the trace tools
+   use), and source-level inputs also yield the static-data layout for the
+   [Oob_access] bounds checker.  Object files carry no per-object sizes and
+   the built-in programs are constructed in memory, so those check without
+   bounds. *)
+let compile_for_check path =
+  let bounds_of units (prog : Tq_vm.Program.t) syms =
+    let objects = ref [] in
+    List.iter
+      (fun (u : Tq_asm.Link.cunit) ->
+        List.iter
+          (fun (d : Tq_asm.Link.datum) ->
+            match Hashtbl.find_opt syms d.Tq_asm.Link.dname with
+            | None -> ()
+            | Some addr ->
+                let size =
+                  match d.Tq_asm.Link.init with
+                  | Tq_asm.Link.Zero n -> n
+                  | Tq_asm.Link.Bytes s -> String.length s
+                in
+                objects := (d.Tq_asm.Link.dname, addr, size) :: !objects)
+          u.Tq_asm.Link.data)
+      units;
+    Some
+      {
+        Tq_staticcheck.Staticcheck.b_objects =
+          List.sort (fun (_, a, _) (_, b, _) -> compare a b) !objects;
+        b_data_end = prog.Tq_vm.Program.data_end;
+      }
+  in
+  let source =
+    try read_file path
+    with Sys_error msg ->
+      Printf.eprintf "check: %s\n" msg;
+      exit exit_unreadable
+  in
+  if Tq_vm.Objfile.is_objfile source then begin
+    match Tq_vm.Objfile.decode source with
+    | prog -> (prog, None)
+    | exception Tq_vm.Objfile.Format_error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit exit_unreadable
+  end
+  else if Filename.check_suffix path ".s" then begin
+    match Tq_asm.Asm_parse.parse source with
+    | u -> (
+        let units = [ u; Tq_rt.Rt.unit_no_start ] in
+        match Tq_asm.Link.link_with_symbols units with
+        | prog, syms -> (prog, bounds_of units prog syms)
+        | exception Tq_asm.Link.Link_error msg ->
+            Printf.eprintf "%s: link error: %s\n" path msg;
+            exit exit_unreadable)
+    | exception Tq_asm.Asm_parse.Asm_error { line; msg } ->
+        Printf.eprintf "%s:%d: %s\n" path line msg;
+        exit exit_unreadable
+  end
+  else
+    match Tq_minic.Driver.compile_unit ~image:"app" source with
+    | u -> (
+        (* Rt.link_with_symbols appends the runtime unit; mirror that for
+           the bounds objects so runtime globals are covered too *)
+        match Tq_rt.Rt.link_with_symbols [ u ] with
+        | prog, syms -> (prog, bounds_of [ u; Tq_rt.Rt.unit_ ] prog syms)
+        | exception Tq_asm.Link.Link_error msg ->
+            Printf.eprintf "%s: link error: %s\n" path msg;
+            exit exit_unreadable)
+    | exception Tq_minic.Driver.Compile_error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit exit_unreadable
+
+(* The "check" manifest section (docs/METRICS.md): severity counts always;
+   loop/access/kernel statistics when the dataflow layer ran. *)
+let check_section ~routines ~instructions ~errors ~warns ~infos ~dataflow rep
+    rows =
+  let base =
+    [
+      ("routines", Obs.Json.Int routines);
+      ("instructions", Obs.Json.Int instructions);
+      ("errors", Obs.Json.Int errors);
+      ("warnings", Obs.Json.Int warns);
+      ("infos", Obs.Json.Int infos);
+      ("dataflow", Obs.Json.Int (if dataflow then 1 else 0));
+    ]
+  in
+  let extra =
+    match (rep, rows) with
+    | Some rep, Some rows ->
+        let st = Tq_staticcheck.Access.stats rep in
+        [
+          ( "loops",
+            Obs.Json.Obj
+              [
+                ("total", Obs.Json.Int st.Tq_staticcheck.Access.st_loops);
+                ("const", Obs.Json.Int st.Tq_staticcheck.Access.st_const);
+                ("affine", Obs.Json.Int st.Tq_staticcheck.Access.st_affine);
+                ("unknown", Obs.Json.Int st.Tq_staticcheck.Access.st_unknown);
+              ] );
+          ( "accesses",
+            Obs.Json.Obj
+              [
+                ("total", Obs.Json.Int st.Tq_staticcheck.Access.st_accesses);
+                ("in_loop", Obs.Json.Int st.Tq_staticcheck.Access.st_in_loop);
+                ( "classified_in_loop",
+                  Obs.Json.Int st.Tq_staticcheck.Access.st_classified );
+                ("scalar", Obs.Json.Int st.Tq_staticcheck.Access.st_scalar);
+                ( "sequential",
+                  Obs.Json.Int st.Tq_staticcheck.Access.st_sequential );
+                ("strided", Obs.Json.Int st.Tq_staticcheck.Access.st_strided);
+                ("indirect", Obs.Json.Int st.Tq_staticcheck.Access.st_indirect);
+                ( "unknown",
+                  Obs.Json.Int st.Tq_staticcheck.Access.st_unknown_acc );
+              ] );
+          ( "kernels",
+            Obs.Json.List
+              (List.map
+                 (fun (row : Tq_staticcheck.Estimate.row) ->
+                   let bk = row.Tq_staticcheck.Estimate.patterns in
+                   let total = Tq_staticcheck.Estimate.bk_total bk in
+                   let pct x =
+                     if total <= 0. then 0. else 100. *. x /. total
+                   in
+                   Obs.Json.Obj
+                     [
+                       ( "name",
+                         Obs.Json.Str
+                           row.Tq_staticcheck.Estimate.routine.Symtab.name );
+                       ( "bytes",
+                         Obs.Json.Float (Tq_staticcheck.Estimate.bytes row) );
+                       ( "trips_known",
+                         Obs.Json.Int row.Tq_staticcheck.Estimate.trips_known
+                       );
+                       ( "trips_total",
+                         Obs.Json.Int row.Tq_staticcheck.Estimate.trips_total
+                       );
+                       ( "pct_sequential",
+                         Obs.Json.Float
+                           (pct bk.Tq_staticcheck.Estimate.bk_sequential) );
+                       ( "pct_strided",
+                         Obs.Json.Float
+                           (pct bk.Tq_staticcheck.Estimate.bk_strided) );
+                       ( "pct_indirect",
+                         Obs.Json.Float
+                           (pct bk.Tq_staticcheck.Estimate.bk_indirect) );
+                     ])
+                 rows) );
+        ]
+    | _ -> []
+  in
+  Obs.Json.Obj (base @ extra)
+
 let check_cmd =
   let file_opt_arg =
-    Arg.(value & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.mc")
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.mc")
   in
   let bandwidth_arg =
     Arg.(
@@ -1093,42 +1244,134 @@ let check_cmd =
             "Check a built-in demo application (image-pipeline or \
              pointer-chase) instead of a file.")
   in
-  let run metrics file wfs app dir bandwidth slice =
+  let dataflow_arg =
+    Arg.(
+      value & flag
+      & info [ "dataflow" ]
+          ~doc:
+            "Run the dataflow layer: induction variables, symbolic trip \
+             counts and stride-classified access patterns per loop, the \
+             parametric bandwidth model, and the dataflow-only diagnostic \
+             classes (uninit-local, dead-store, oob-access, \
+             invariant-load).")
+  in
+  let loop_weight_arg =
+    Arg.(
+      value
+      & opt float Tq_staticcheck.Estimate.loop_weight
+      & info [ "loop-weight" ] ~docv:"W"
+          ~doc:
+            "Assumed trip count per loop-nesting level for the heuristic \
+             estimator (and for loops whose trip count the dataflow layer \
+             cannot derive).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print a run manifest (schema of docs/METRICS.md) with the \
+             check section to stdout instead of the human report; \
+             diagnostics still render on stderr.  Incompatible with \
+             --bandwidth.")
+  in
+  let run metrics file wfs app dir bandwidth slice dataflow lw json =
     obs_init "check" metrics;
-    let prog, vfs, fuel =
+    if json && bandwidth then begin
+      Printf.eprintf "check: --json cannot be combined with --bandwidth\n";
+      exit exit_usage
+    end;
+    let prog, bounds, vfs, fuel =
       match (file, wfs, app) with
-      | Some f, None, None -> (compile_file f, vfs_of_dir dir, None)
+      | Some f, None, None ->
+          let prog, bounds = span "compile" (fun () -> compile_for_check f) in
+          (prog, bounds, vfs_of_dir dir, None)
       | None, Some scen, None ->
           ( span "compile" (fun () -> Tq_wfs.Harness.compile scen),
+            None,
             Tq_wfs.Harness.make_vfs scen,
             Some (Tq_wfs.Harness.fuel scen) )
       | None, None, Some `Image_pipeline ->
-          (Tq_apps.Apps.image_pipeline_program (), vfs_of_dir dir, None)
+          (Tq_apps.Apps.image_pipeline_program (), None, vfs_of_dir dir, None)
       | None, None, Some `Pointer_chase ->
-          (Tq_apps.Apps.pointer_chase_program (), vfs_of_dir dir, None)
+          (Tq_apps.Apps.pointer_chase_program (), None, vfs_of_dir dir, None)
       | _ ->
           Printf.eprintf "check: give exactly one of FILE.mc, --wfs or --app\n";
-          exit 2
+          exit exit_usage
     in
-    let diags =
-      span "verify" (fun () -> Tq_staticcheck.Staticcheck.check_program prog)
+    let module Sc = Tq_staticcheck.Staticcheck in
+    let diags = span "verify" (fun () -> Sc.check_program ?bounds ~dataflow prog) in
+    let count s =
+      List.length (List.filter (fun d -> Sc.severity_of d.Sc.cls = s) diags)
     in
-    if diags <> [] then begin
-      print_string (Tq_staticcheck.Staticcheck.render diags);
-      Printf.printf "check: %d diagnostic(s)\n" (List.length diags);
-      exit 1
-    end;
+    let errors = count Sc.Error
+    and warns = count Sc.Warn
+    and infos = count Sc.Info in
+    (* stdout stays pure JSON under --json; the human lines go to stderr *)
+    let out = if json then stderr else stdout in
+    if diags <> [] then output_string out (Sc.render diags);
     let routines = ref 0 in
     Symtab.iter
       (fun r -> if r.Symtab.size > 0 then incr routines)
       prog.Tq_vm.Program.symtab;
-    Printf.printf "check: ok — %d routines, %d instructions, 0 diagnostics\n"
-      !routines
-      (Array.length prog.Tq_vm.Program.code);
+    let instructions = Array.length prog.Tq_vm.Program.code in
+    let rep, df_rows =
+      if dataflow then
+        ( Some
+            (span "dataflow" (fun () ->
+                 Tq_staticcheck.Access.analyze_program prog)),
+          Some
+            (span "estimate" (fun () ->
+                 Tq_staticcheck.Estimate.per_kernel
+                   ~mode:Tq_staticcheck.Estimate.Dataflow ~loop_weight:lw prog))
+        )
+      else (None, None)
+    in
+    let section =
+      check_section ~routines:!routines ~instructions ~errors ~warns ~infos
+        ~dataflow rep df_rows
+    in
+    obs_section "check" section;
+    if json then begin
+      let doc =
+        Obs.Manifest.make ~tool:"tquad" ~subcommand:"check"
+          ~argv:(Array.to_list Sys.argv)
+          ~extra:[ ("check", section) ]
+          Obs.Span.disabled Obs.Metrics.disabled
+      in
+      print_string (Obs.Json.to_string doc)
+    end;
+    if errors + warns > 0 then begin
+      Printf.fprintf out
+        "check: %d diagnostic(s) (%d error(s), %d warning(s), %d info)\n"
+        (List.length diags) errors warns infos;
+      exit exit_partial
+    end;
+    Printf.fprintf out "check: ok — %d routines, %d instructions, %d diagnostics\n"
+      !routines instructions (List.length diags);
+    (match (rep, df_rows) with
+    | Some rep, Some rows when not json ->
+        print_newline ();
+        print_string (Tq_staticcheck.Access.render rep);
+        print_newline ();
+        print_string
+          (Tq_staticcheck.Estimate.render ~mode:Tq_staticcheck.Estimate.Dataflow
+             ~loop_weight:lw rows)
+    | _ -> ());
     if bandwidth then begin
-      let rows = Tq_staticcheck.Estimate.per_kernel prog in
-      print_newline ();
-      print_string (Tq_staticcheck.Estimate.render rows);
+      let mode =
+        if dataflow then Tq_staticcheck.Estimate.Dataflow
+        else Tq_staticcheck.Estimate.Heuristic
+      in
+      let rows =
+        match df_rows with
+        | Some rows -> rows
+        | None -> Tq_staticcheck.Estimate.per_kernel ~mode ~loop_weight:lw prog
+      in
+      if not dataflow then begin
+        print_newline ();
+        print_string (Tq_staticcheck.Estimate.render ~mode ~loop_weight:lw rows)
+      end;
       let m = Machine.create ~vfs prog in
       let eng = Engine.create m in
       let t = Tq_tquad.Tquad.attach ~slice_interval:slice eng in
@@ -1171,12 +1414,14 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Statically verify a compiled program (control flow, dataflow, \
-          stack discipline, constant addresses) and optionally compare the \
-          static bandwidth estimate against a measured run; exits non-zero \
-          if any diagnostic fires")
+          stack discipline, constant addresses; --dataflow adds trip \
+          counts, access-pattern classes and four dataflow diagnostics) \
+          and optionally compare the static bandwidth model against a \
+          measured run; exits 4 if any non-informational diagnostic fires, \
+          3 if the input cannot be read or compiled, 2 on usage errors")
     Term.(
       const run $ metrics_arg $ file_opt_arg $ wfs_arg $ app_arg $ dir_arg
-      $ bandwidth_arg $ slice_arg)
+      $ bandwidth_arg $ slice_arg $ dataflow_arg $ loop_weight_arg $ json_arg)
 
 let wfs_cmd =
   let scenario_arg =
@@ -1666,11 +1911,15 @@ let () =
       else `Unknown a
   in
   match verdict with
-  | `Pass -> exit (Cmd.eval main_cmd)
+  | `Pass ->
+      (* unknown flags and malformed options are usage errors: exit 2 (the
+         cmdliner default would be 124) *)
+      exit (Cmd.eval ~term_err:exit_usage main_cmd)
   | `Help_toplevel ->
       print_usage stdout;
       exit 0
-  | `Help_sub n -> exit (Cmd.eval ~argv:[| "tquad"; n; "--help" |] main_cmd)
+  | `Help_sub n ->
+      exit (Cmd.eval ~term_err:exit_usage ~argv:[| "tquad"; n; "--help" |] main_cmd)
   | `Missing ->
       prerr_string "tquad: missing subcommand\n\n";
       print_usage stderr;

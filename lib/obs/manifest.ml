@@ -158,6 +158,35 @@ let check_server v =
       | _ -> ())
     (as_obj "server" v)
 
+(* The static checker's section: flat counters, two all-integer nested
+   groups (loops, accesses), and a per-kernel list from the dataflow
+   bandwidth model. *)
+let check_check v =
+  List.iter
+    (fun (k, x) ->
+      let path = "check." ^ k in
+      match k with
+      | "routines" | "instructions" | "errors" | "warnings" | "infos"
+      | "dataflow" ->
+          ignore (as_int path x)
+      | "loops" | "accesses" ->
+          List.iter
+            (fun (k2, y) -> ignore (as_int (path ^ "." ^ k2) y))
+            (as_obj path x)
+      | "kernels" ->
+          List.iteri
+            (fun i kv ->
+              let path = Printf.sprintf "check.kernels[%d]" i in
+              ignore (as_str (path ^ ".name") (get path kv "name"));
+              ignore (as_num (path ^ ".bytes") (get path kv "bytes"));
+              List.iter
+                (fun (k2, y) ->
+                  if k2 <> "name" then ignore (as_num (path ^ "." ^ k2) y))
+                (as_obj path kv))
+            (as_list path x)
+      | _ -> ())
+    (as_obj "check" v)
+
 let validate doc =
   match
     let members = as_obj "manifest" doc in
@@ -178,6 +207,7 @@ let validate doc =
         | "trace" -> check_trace v
         | "replay" -> check_replay v
         | "server" -> check_server v
+        | "check" -> check_check v
         | _ -> ())
       members
   with

@@ -36,8 +36,8 @@ val make :
 val validate : Json.t -> (unit, string) result
 (** Structural schema check: required members present with the right types,
     [schema_version] supported, every span and metric well-formed, known
-    sections ([engine], [memory], [trace], [replay], [server]) shaped as
-    documented.  Unknown extra members are allowed. *)
+    sections ([engine], [memory], [trace], [replay], [server], [check])
+    shaped as documented.  Unknown extra members are allowed. *)
 
 val write : string -> Json.t -> unit
 (** Render to the given path (trailing newline, deterministic member

@@ -66,6 +66,15 @@ val profile_diff :
     the table reports %time and self-seconds before/after, the delta, and
     rank movement; kernels present in only one profile are marked new/gone. *)
 
+val rank_of : float list -> int array
+(** 1-based ranks by descending value; earlier list position wins ties, so
+    the result is always a permutation. *)
+
+val kendall_tau : int array -> int array -> float
+(** Kendall rank-correlation coefficient between two rank arrays of equal
+    length: (concordant - discordant) / pairs, in [-1, 1]; [1.0] when there
+    are fewer than two elements. *)
+
 val static_bandwidth : (string * float * float) list -> string
 (** Side-by-side table of statically estimated vs dynamically measured
     per-kernel bytes — [(kernel, static weighted bytes, dynamic bytes)] —

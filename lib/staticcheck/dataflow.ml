@@ -1,0 +1,743 @@
+module Isa = Tq_isa.Isa
+module Layout = Tq_vm.Layout
+
+(* ---------- per-instruction register uses and definitions ---------- *)
+
+let operand_reg = function Isa.Reg r -> [ r ] | Isa.Imm _ -> []
+let pred_reg = function Some p -> [ p ] | None -> []
+
+(* (int uses, float uses, int defs, float defs) *)
+let uses_defs (i : Isa.ins) =
+  match i with
+  | Isa.Nop | Isa.Halt | Isa.Ret | Isa.Jmp _ -> ([], [], [], [])
+  | Isa.Li (rd, _) -> ([], [], [ rd ], [])
+  | Isa.Mov (rd, rs) -> ([ rs ], [], [ rd ], [])
+  | Isa.Bin (_, rd, rs, o) -> (rs :: operand_reg o, [], [ rd ], [])
+  | Isa.Fli (fd, _) -> ([], [], [], [ fd ])
+  | Isa.Fmov (fd, fs) -> ([], [ fs ], [], [ fd ])
+  | Isa.Fbin (_, fd, fa, fb) -> ([], [ fa; fb ], [], [ fd ])
+  | Isa.Fun (_, fd, fs) -> ([], [ fs ], [], [ fd ])
+  | Isa.Fcmp (_, rd, fa, fb) -> ([], [ fa; fb ], [ rd ], [])
+  | Isa.I2f (fd, rs) -> ([ rs ], [], [], [ fd ])
+  | Isa.F2i (rd, fs) -> ([], [ fs ], [ rd ], [])
+  | Isa.Load { dst; base; pred; _ } -> (base :: pred_reg pred, [], [ dst ], [])
+  | Isa.Loads { dst; base; _ } -> ([ base ], [], [ dst ], [])
+  | Isa.Store { src; base; pred; _ } -> (src :: base :: pred_reg pred, [], [], [])
+  | Isa.Fload { dst; base; pred; _ } -> (base :: pred_reg pred, [], [], [ dst ])
+  | Isa.Fstore { src; base; pred; _ } -> (base :: pred_reg pred, [ src ], [], [])
+  | Isa.Prefetch { base; _ } -> ([ base ], [], [], [])
+  | Isa.Movs { dst; src; len } -> ([ dst; src; len ], [], [], [])
+  | Isa.Jr r -> ([ r ], [], [], [])
+  | Isa.Bz (r, _) | Isa.Bnz (r, _) -> ([ r ], [], [], [])
+  | Isa.Call _ -> ([], [], [ Isa.reg_rv ], [ Isa.freg_rv ])
+  | Isa.Callr r -> ([ r ], [], [ Isa.reg_rv ], [ Isa.freg_rv ])
+  | Isa.Syscall _ -> ([], [], [ Isa.reg_rv ], [])
+
+(* Integer registers an instruction may leave with an unpredictable value.
+   Calls additionally clobber every caller-saved temporary: the callee uses
+   them freely, so a value that "survives" a call in the symbolic world must
+   not survive here. *)
+let int_clobbers (i : Isa.ins) =
+  let _, _, wi, _ = uses_defs i in
+  let wi =
+    match i with
+    | Isa.Call _ | Isa.Callr _ ->
+        List.init Isa.num_temps (fun k -> Isa.reg_t0 + k) @ wi
+    | _ -> wi
+  in
+  List.sort_uniq compare (List.filter (fun r -> r <> Isa.reg_zero) wi)
+
+(* ---------- the symbolic value domain ---------- *)
+
+type cell = Stack of int | Data of int
+
+type term = Tcell of cell | Tload of int
+
+type lin = { sp : int; terms : (term * int) list; k : int }
+
+type value = Lin of lin | Cmp of Isa.binop * lin * lin | Top
+
+let const k = { sp = 0; terms = []; k }
+let lin_const k = Lin (const k)
+
+let string_of_cell = function
+  | Stack o -> Printf.sprintf "[entry%+d]" o
+  | Data a -> Printf.sprintf "[0x%x]" a
+
+let string_of_lin l =
+  let buf = Buffer.create 16 in
+  let sep () = if Buffer.length buf > 0 then Buffer.add_string buf " + " in
+  if l.sp <> 0 then begin
+    sep ();
+    if l.sp <> 1 then Buffer.add_string buf (string_of_int l.sp ^ "*");
+    Buffer.add_string buf "sp0"
+  end;
+  List.iter
+    (fun (t, c) ->
+      sep ();
+      if c <> 1 then Buffer.add_string buf (string_of_int c ^ "*");
+      match t with
+      | Tcell cell -> Buffer.add_string buf (string_of_cell cell)
+      | Tload i -> Buffer.add_string buf (Printf.sprintf "load@i%d" i))
+    l.terms;
+  if l.k <> 0 || Buffer.length buf = 0 then begin
+    sep ();
+    Buffer.add_string buf (string_of_int l.k)
+  end;
+  Buffer.contents buf
+
+let string_of_value = function
+  | Lin l -> string_of_lin l
+  | Cmp (_, _, _) -> "<comparison>"
+  | Top -> "<unknown>"
+
+let merge_terms ta tb =
+  let add acc (t, c) =
+    match List.assoc_opt t acc with
+    | Some c0 -> (t, c0 + c) :: List.remove_assoc t acc
+    | None -> (t, c) :: acc
+  in
+  List.fold_left add ta tb
+  |> List.filter (fun (_, c) -> c <> 0)
+  |> List.sort compare
+
+let lin_add a b =
+  { sp = a.sp + b.sp; terms = merge_terms a.terms b.terms; k = a.k + b.k }
+
+let lin_scale a n =
+  if n = 0 then const 0
+  else { sp = a.sp * n; terms = List.map (fun (t, c) -> (t, c * n)) a.terms; k = a.k * n }
+
+let lin_sub a b = lin_add a (lin_scale b (-1))
+
+let lin_of = function Lin l -> Some l | Cmp _ | Top -> None
+
+let lin_is_const l = l.sp = 0 && l.terms = []
+
+let cell_of_lin l =
+  if l.terms <> [] then None
+  else if l.sp = 1 then Some (Stack l.k)
+  else if l.sp = 0 then Some (Data l.k)
+  else None
+
+let has_load_term l =
+  List.exists (fun (t, _) -> match t with Tload _ -> true | _ -> false) l.terms
+
+(* ---------- reaching definitions ---------- *)
+
+type def = D_entry | D_ins of int
+
+module Bits = struct
+  type t = int array
+
+  let create n = Array.make ((n + 62) / 63) 0
+  let get b i = b.(i / 63) land (1 lsl (i mod 63)) <> 0
+  let set b i = b.(i / 63) <- b.(i / 63) lor (1 lsl (i mod 63))
+  let clear b i = b.(i / 63) <- b.(i / 63) land lnot (1 lsl (i mod 63))
+  let copy = Array.copy
+
+  let union_into dst src =
+    let changed = ref false in
+    Array.iteri
+      (fun i w ->
+        let nw = dst.(i) lor w in
+        if nw <> dst.(i) then begin
+          dst.(i) <- nw;
+          changed := true
+        end)
+      src;
+    !changed
+end
+
+(* Def ids: 0 .. num_regs-1 are the entry pseudo-definitions (one per
+   register); real definition sites follow. *)
+type rd = {
+  ndefs : int;
+  defs_of_reg : int list array;  (* reg -> all def ids incl. the entry one *)
+  ins_defs : (int * int) list array;  (* ins index -> (def id, reg) *)
+  rd_in : Bits.t array;  (* per block: defs that may reach block entry *)
+}
+
+let build_rd (cfg : Cfg.t) =
+  let code = cfg.Cfg.code in
+  let n = Rcode.n code in
+  let nb = Cfg.n_blocks cfg in
+  let defs_of_reg = Array.init Isa.num_regs (fun r -> [ r ]) in
+  let ins_defs = Array.make (max n 1) [] in
+  let next = ref Isa.num_regs in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun r ->
+        let id = !next in
+        incr next;
+        defs_of_reg.(r) <- id :: defs_of_reg.(r);
+        ins_defs.(i) <- (id, r) :: ins_defs.(i))
+      (int_clobbers code.Rcode.ins.(i))
+  done;
+  let ndefs = !next in
+  let rd_in = Array.init (max nb 1) (fun _ -> Bits.create ndefs) in
+  if nb > 0 then begin
+    let entry_bits = Bits.create ndefs in
+    for r = 0 to Isa.num_regs - 1 do
+      Bits.set entry_bits r
+    done;
+    ignore (Bits.union_into rd_in.(0) entry_bits);
+    let out_of b =
+      (* flow the block's in-set through its instructions *)
+      let bits = Bits.copy rd_in.(b) in
+      let blk = cfg.Cfg.blocks.(b) in
+      for i = blk.Cfg.first to blk.Cfg.last do
+        List.iter
+          (fun (id, r) ->
+            List.iter (fun d -> Bits.clear bits d) defs_of_reg.(r);
+            Bits.set bits id)
+          ins_defs.(i)
+      done;
+      bits
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = 0 to nb - 1 do
+        if cfg.Cfg.reachable.(b) then begin
+          let out = out_of b in
+          List.iter
+            (fun s ->
+              if Bits.union_into rd_in.(s) out then changed := true)
+            cfg.Cfg.blocks.(b).Cfg.succs
+        end
+      done
+    done
+  end;
+  { ndefs; defs_of_reg; ins_defs; rd_in }
+
+let reaching_rd (cfg : Cfg.t) rd i r =
+  let b = cfg.Cfg.block_of.(i) in
+  let bits = Bits.copy rd.rd_in.(b) in
+  let blk = cfg.Cfg.blocks.(b) in
+  for j = blk.Cfg.first to i - 1 do
+    List.iter
+      (fun (id, r') ->
+        List.iter (fun d -> Bits.clear bits d) rd.defs_of_reg.(r');
+        Bits.set bits id)
+      rd.ins_defs.(j)
+  done;
+  List.filter_map
+    (fun id ->
+      if Bits.get bits id then
+        Some (if id < Isa.num_regs then D_entry else D_ins id)
+      else None)
+    rd.defs_of_reg.(r)
+  |> List.map (function
+       | D_ins id ->
+           (* recover the ins index of a real def id *)
+           D_ins id
+       | d -> d)
+
+(* ---------- symbolic evaluation over reaching definitions ---------- *)
+
+(* One evaluation "generation": [lookup] optionally folds a load from a
+   known cell into a constant (supplied by a previous constant-propagation
+   pass).  Cycles through loop-carried registers collapse to [Top]. *)
+(* Raised when a demand evaluation re-enters a (instruction, register) query
+   already on the stack — a loop-carried dependency. *)
+exception Cycle
+
+let make_eval (cfg : Cfg.t) rd ~trust_data ~lookup =
+  let code = cfg.Cfg.code in
+  let memo : (int * int, value) Hashtbl.t = Hashtbl.create 256 in
+  let inprog : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let def_site = Hashtbl.create 64 in
+  Array.iteri
+    (fun i defs -> List.iter (fun (id, r) -> Hashtbl.replace def_site id (i, r)) defs)
+    rd.ins_defs;
+  let rec value_before i r : value =
+    if r = Isa.reg_zero then lin_const 0
+    else
+      let key = (i, r) in
+      match Hashtbl.find_opt memo key with
+      | Some v -> v
+      | None ->
+          if Hashtbl.mem inprog key then raise_notrace Cycle
+          else begin
+            Hashtbl.add inprog key ();
+            let v =
+              match compute i r with
+              | v -> v
+              | exception e ->
+                  Hashtbl.remove inprog key;
+                  raise e
+            in
+            Hashtbl.remove inprog key;
+            Hashtbl.replace memo key v;
+            v
+          end
+  and compute i r =
+    let def_value = function
+      | D_entry ->
+          if r = Isa.reg_sp then Lin { sp = 1; terms = []; k = 0 } else Top
+      | D_ins id ->
+          let j, _ = Hashtbl.find def_site id in
+          value_of_def j r
+    in
+    match reaching_rd cfg rd i r with
+    | [] -> Top
+    | [ d ] -> def_value d
+    | defs ->
+        (* join over several reaching definitions: they must all agree.
+           Definitions only reached through a cycle (loop-carried, e.g. the
+           sp save/restore around an in-loop call) are first assumed to
+           agree with the acyclic ones, then re-evaluated once under that
+           assumption; on mismatch everything derived from the assumption
+           is dropped. *)
+        let acyclic = ref [] and cyclic = ref [] in
+        List.iter
+          (fun d ->
+            match def_value d with
+            | v -> acyclic := v :: !acyclic
+            | exception Cycle -> cyclic := d :: !cyclic)
+          defs;
+        let v =
+          match !acyclic with
+          | [] -> Top
+          | v :: rest -> if List.for_all (fun w -> w = v) rest then v else Top
+        in
+        if !cyclic = [] || v = Top then v
+        else begin
+          Hashtbl.replace memo (i, r) v;
+          (* re-evaluate under the assumption in a fresh in-progress
+             context: the outer query may have entered the cycle at an
+             interior point, leaving part of it marked in-progress, and
+             those marks would re-raise [Cycle] here even though the
+             tentative memo entry already breaks the cycle *)
+          let saved = Hashtbl.copy inprog in
+          Hashtbl.reset inprog;
+          let ok =
+            List.for_all
+              (fun d ->
+                match def_value d with w -> w = v | exception Cycle -> false)
+              !cyclic
+          in
+          Hashtbl.reset inprog;
+          Hashtbl.iter (fun k () -> Hashtbl.replace inprog k ()) saved;
+          if ok then v
+          else begin
+            (* every memoized value computed under the assumption is
+               suspect; drop the whole cache, keep only the refutation *)
+            Hashtbl.reset memo;
+            Top
+          end
+        end
+  and value_of_def j r =
+    match code.Rcode.ins.(j) with
+    | Isa.Li (rd_, n) when rd_ = r -> lin_const n
+    | Isa.Mov (rd_, rs) when rd_ = r -> value_before j rs
+    | Isa.Bin (op, rd_, rs, o) when rd_ = r -> eval_bin j op rs o
+    | Isa.Load { width = Isa.W8; dst; base; off; pred = None } when dst = r ->
+        eval_load j ~base ~off
+    | Isa.Loads { width = Isa.W8; dst; base; off } when dst = r ->
+        eval_load j ~base ~off
+    | Isa.Load { dst; _ } when dst = r -> opaque j
+    | Isa.Loads { dst; _ } when dst = r -> opaque j
+    | _ -> Top (* calls, syscalls, fcmp, f2i, clobbers *)
+  and opaque j = Lin { sp = 0; terms = [ (Tload j, 1) ]; k = 0 }
+  and eval_load j ~base ~off =
+    match lin_of (value_before j base) with
+    | None -> opaque j
+    | Some a -> (
+        let a = lin_add a (const off) in
+        match cell_of_lin a with
+        | Some (Data _) when not trust_data ->
+            (* pre-link code collapses every data symbol onto one
+               placeholder address; cell identity would alias *)
+            opaque j
+        | Some c -> (
+            match lookup j c with
+            | Some v -> lin_const v
+            | None -> Lin { sp = 0; terms = [ (Tcell c, 1) ]; k = 0 })
+        | None -> opaque j)
+  and eval_bin j op rs o =
+    let a = value_before j rs in
+    let b = match o with Isa.Imm k -> lin_const k | Isa.Reg rr -> value_before j rr in
+    match (lin_of a, lin_of b) with
+    | Some la, Some lb -> (
+        let c2 f =
+          if lin_is_const la && lin_is_const lb then Some (lin_const (f la.k lb.k))
+          else None
+        in
+        match op with
+        | Isa.Add -> Lin (lin_add la lb)
+        | Isa.Sub -> Lin (lin_sub la lb)
+        | Isa.Mul ->
+            if lin_is_const lb then Lin (lin_scale la lb.k)
+            else if lin_is_const la then Lin (lin_scale lb la.k)
+            else opaque j
+        | Isa.Sll ->
+            if lin_is_const lb && lb.k >= 0 && lb.k < 62 then
+              Lin (lin_scale la (1 lsl lb.k))
+            else if lin_is_const la && lin_is_const lb then
+              Lin (const (la.k lsl lb.k))
+            else opaque j
+        | Isa.Div -> (
+            match c2 (fun a b -> if b = 0 then 0 else a / b) with
+            | Some v -> v
+            | None -> opaque j)
+        | Isa.Rem -> (
+            match c2 (fun a b -> if b = 0 then 0 else a mod b) with
+            | Some v -> v
+            | None -> opaque j)
+        | Isa.And -> ( match c2 ( land ) with Some v -> v | None -> opaque j)
+        | Isa.Or -> ( match c2 ( lor ) with Some v -> v | None -> opaque j)
+        | Isa.Xor -> ( match c2 ( lxor ) with Some v -> v | None -> opaque j)
+        | Isa.Srl | Isa.Sra -> (
+            match c2 (fun a b -> if b < 0 || b > 62 then 0 else a asr b) with
+            | Some v -> v
+            | None -> opaque j)
+        | Isa.Slt | Isa.Sle | Isa.Sgt | Isa.Sge | Isa.Seq | Isa.Sne | Isa.Sltu ->
+            if lin_is_const la && lin_is_const lb then
+              let t =
+                match op with
+                | Isa.Slt -> la.k < lb.k
+                | Isa.Sle -> la.k <= lb.k
+                | Isa.Sgt -> la.k > lb.k
+                | Isa.Sge -> la.k >= lb.k
+                | Isa.Seq -> la.k = lb.k
+                | Isa.Sne -> la.k <> lb.k
+                | _ -> false (* Sltu: leave symbolic comparisons alone *)
+              in
+              if op = Isa.Sltu then Cmp (op, la, lb)
+              else lin_const (if t then 1 else 0)
+            else Cmp (op, la, lb))
+    | _ -> (
+        (* the code generator booleanizes comparisons ([sne r, r, 0]) and
+           negates them ([seq r, r, 0]); fold both so loop guards stay
+           reconstructible through the chain *)
+        let negate = function
+          | Isa.Slt -> Some Isa.Sge
+          | Isa.Sle -> Some Isa.Sgt
+          | Isa.Sgt -> Some Isa.Sle
+          | Isa.Sge -> Some Isa.Slt
+          | Isa.Seq -> Some Isa.Sne
+          | Isa.Sne -> Some Isa.Seq
+          | _ -> None (* no unsigned complement in the comparison set *)
+        in
+        match (op, a, b) with
+        | Isa.Sne, Cmp (c, x, y), Lin z when lin_is_const z && z.k = 0 ->
+            Cmp (c, x, y)
+        | Isa.Seq, Cmp (c, x, y), Lin z when lin_is_const z && z.k = 0 -> (
+            match negate c with Some c' -> Cmp (c', x, y) | None -> Top)
+        | _ -> Top)
+  in
+  fun i r -> try value_before i r with Cycle -> Top
+
+(* ---------- frame shape and escape ---------- *)
+
+(* The code generator's prologue: sub sp,8; store fp; mov fp,sp; sub
+   sp,frame.  When present, locals live in [entry-8-frame, entry-9] and
+   everything a callee can touch is strictly below that window. *)
+let detect_frame (cfg : Cfg.t) =
+  let code = cfg.Cfg.code in
+  let n = Rcode.n code in
+  let rec scan i =
+    if i >= n - 1 || i > 8 then None
+    else
+      match (code.Rcode.ins.(i), code.Rcode.ins.(i + 1)) with
+      | Isa.Mov (rd, rs), Isa.Bin (Isa.Sub, rd2, rs2, Isa.Imm f)
+        when rd = Isa.reg_fp && rs = Isa.reg_sp && rd2 = Isa.reg_sp
+             && rs2 = Isa.reg_sp ->
+          Some f
+      | Isa.Mov (rd, rs), _ when rd = Isa.reg_fp && rs = Isa.reg_sp -> Some 0
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+
+(* Does the address of any frame slot leave the frame?  A stored value,
+   block-copy source or syscall argument that is sp-relative means a callee
+   (or the kernel) may read or write the frame through the pointer. *)
+module IntSet = Set.Make (Int)
+
+(* Which locals a callee (or syscall) could legitimately write: the
+   precisely-named stack cells whose address was taken ([&x] evaluates to
+   entry+k with no symbolic part), or the whole frame when an address-of
+   value could not be pinned to one offset. *)
+type esc = Esc_offsets of IntSet.t | Esc_all
+
+let esc_any = function
+  | Esc_all -> true
+  | Esc_offsets s -> not (IntSet.is_empty s)
+
+let esc_mem e o =
+  match e with Esc_all -> true | Esc_offsets s -> IntSet.mem o s
+
+let compute_escapes (cfg : Cfg.t) eval =
+  let code = cfg.Cfg.code in
+  let esc = ref (Esc_offsets IntSet.empty) in
+  let note v =
+    match !esc with
+    | Esc_all -> ()
+    | Esc_offsets s -> (
+        match v with
+        | Lin l when l.sp <> 0 ->
+            if l.sp = 1 && l.terms = [] then
+              esc := Esc_offsets (IntSet.add l.k s)
+            else esc := Esc_all
+        | _ -> ())
+  in
+  Array.iteri
+    (fun i ins ->
+      if cfg.Cfg.reachable.(cfg.Cfg.block_of.(i)) then
+        match ins with
+        | Isa.Store { src; _ } -> note (eval i src)
+        | Isa.Movs { src; _ } -> note (eval i src)
+        | Isa.Syscall _ ->
+            for a = Isa.reg_a0 to Isa.reg_a0 + 3 do
+              note (eval i a)
+            done
+        | _ -> ())
+    code.Rcode.ins;
+  !esc
+
+(* ---------- flow-sensitive cell constant propagation ---------- *)
+
+module CellMap = Map.Make (struct
+  type t = cell
+
+  let compare = compare
+end)
+
+type cp = {
+  cp_in : int CellMap.t option array;  (* per block; None = unreached *)
+  cp_transfer : int CellMap.t -> int -> int CellMap.t;
+      (* apply instruction [i]'s effect *)
+}
+
+let constprop (cfg : Cfg.t) ~eval ~trust_data ~escapes ~frame_size =
+  let code = cfg.Cfg.code in
+  let nb = Cfg.n_blocks cfg in
+  let addr_cell i base off =
+    match lin_of (eval i base) with
+    | None -> `Top
+    | Some a -> (
+        let a = lin_add a (const off) in
+        match cell_of_lin a with
+        | Some (Data _) when not trust_data -> `Wild_data
+        | Some c -> `Cell c
+        | None -> if a.sp <> 0 then `Wild_stack else `Wild_data)
+  in
+  let drop_stack st = CellMap.filter (fun c _ -> match c with Stack _ -> false | _ -> true) st in
+  let drop_data st = CellMap.filter (fun c _ -> match c with Data _ -> false | _ -> true) st in
+  let call_clobber st =
+    let st = drop_data st in
+    match frame_size with
+    | Some f when escapes <> Esc_all ->
+        (* callees stay strictly below the local-variable window, except
+           for the cells whose address escaped to them *)
+        CellMap.filter
+          (fun c _ ->
+            match c with
+            | Stack o -> o >= -(8 + f) && not (esc_mem escapes o)
+            | Data _ -> true)
+          st
+    | _ -> drop_stack st
+  in
+  let transfer st i =
+    match code.Rcode.ins.(i) with
+    | Isa.Store { width; src; base; off; pred } -> (
+        match addr_cell i base off with
+        | `Cell c ->
+            if pred <> None then CellMap.remove c st
+            else if width = Isa.W8 then (
+              match eval i src with
+              | Lin l when lin_is_const l -> CellMap.add c l.k st
+              | _ -> CellMap.remove c st)
+            else CellMap.remove c st
+        | `Wild_stack -> drop_stack st
+        | `Wild_data -> drop_data st
+        | `Top -> CellMap.empty)
+    | Isa.Fstore { base; off; _ } -> (
+        match addr_cell i base off with
+        | `Cell c -> CellMap.remove c st
+        | `Wild_stack -> drop_stack st
+        | `Wild_data -> drop_data st
+        | `Top -> CellMap.empty)
+    | Isa.Movs _ -> CellMap.empty
+    | Isa.Call _ | Isa.Callr _ -> call_clobber st
+    | Isa.Syscall _ -> CellMap.empty
+    | _ -> st
+  in
+  let cp_in = Array.make (max nb 1) None in
+  if nb > 0 then begin
+    cp_in.(0) <- Some CellMap.empty;
+    let meet a b =
+      CellMap.merge
+        (fun _ x y -> match (x, y) with Some v, Some w when v = w -> Some v | _ -> None)
+        a b
+    in
+    let out_of b =
+      match cp_in.(b) with
+      | None -> None
+      | Some st ->
+          let blk = cfg.Cfg.blocks.(b) in
+          let st = ref st in
+          for i = blk.Cfg.first to blk.Cfg.last do
+            st := transfer !st i
+          done;
+          Some !st
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = 0 to nb - 1 do
+        if cfg.Cfg.reachable.(b) then
+          match out_of b with
+          | None -> ()
+          | Some out ->
+              List.iter
+                (fun s ->
+                  match cp_in.(s) with
+                  | None ->
+                      cp_in.(s) <- Some out;
+                      changed := true
+                  | Some cur ->
+                      let nw = meet cur out in
+                      (* semantic equality: two equal maps can differ in
+                         tree shape, and structural (<>) would loop *)
+                      if not (CellMap.equal ( = ) cur nw) then begin
+                        cp_in.(s) <- Some nw;
+                        changed := true
+                      end)
+                cfg.Cfg.blocks.(b).Cfg.succs
+      done
+    done
+  end;
+  { cp_in; cp_transfer = transfer }
+
+let cp_at (cfg : Cfg.t) cp i c =
+  let b = cfg.Cfg.block_of.(i) in
+  match cp.cp_in.(b) with
+  | None -> None
+  | Some st ->
+      let blk = cfg.Cfg.blocks.(b) in
+      let st = ref st in
+      for j = blk.Cfg.first to i - 1 do
+        st := cp.cp_transfer !st j
+      done;
+      CellMap.find_opt c !st
+
+let cp_out (cfg : Cfg.t) cp b c =
+  match cp.cp_in.(b) with
+  | None -> None
+  | Some st ->
+      let blk = cfg.Cfg.blocks.(b) in
+      let st = ref st in
+      for j = blk.Cfg.first to blk.Cfg.last do
+        st := cp.cp_transfer !st j
+      done;
+      CellMap.find_opt c !st
+
+(* ---------- the analysis record ---------- *)
+
+type t = {
+  cfg : Cfg.t;
+  trust_data : bool;
+  frame_size : int option;
+  escapes : esc;
+  eval : int -> int -> value;
+  cp : cp;
+  rd : rd;
+}
+
+let analyze (cfg : Cfg.t) =
+  let trust_data = cfg.Cfg.code.Rcode.base_addr <> None in
+  let rd = build_rd cfg in
+  let eval0 = make_eval cfg rd ~trust_data ~lookup:(fun _ _ -> None) in
+  let escapes = compute_escapes cfg eval0 in
+  let frame_size = detect_frame cfg in
+  (* two rounds: constants found by round one feed loads evaluated in round
+     two (e.g. i = 0; j = i), then a final evaluator folds both *)
+  let cp1 = constprop cfg ~eval:eval0 ~trust_data ~escapes ~frame_size in
+  let eval1 =
+    make_eval cfg rd ~trust_data ~lookup:(fun i c -> cp_at cfg cp1 i c)
+  in
+  let cp2 = constprop cfg ~eval:eval1 ~trust_data ~escapes ~frame_size in
+  let eval2 =
+    make_eval cfg rd ~trust_data ~lookup:(fun i c -> cp_at cfg cp2 i c)
+  in
+  { cfg; trust_data; frame_size; escapes; eval = eval2; cp = cp2; rd }
+
+let cfg t = t.cfg
+let trust_data t = t.trust_data
+let frame_size t = t.frame_size
+let escapes t = esc_any t.escapes
+let escaped_offset t o = esc_mem t.escapes o
+let value_before t i r = t.eval i r
+
+let reaching t i r =
+  reaching_rd t.cfg t.rd i r
+  |> List.map (function
+       | D_entry -> D_entry
+       | D_ins id ->
+           let rec find j =
+             if List.exists (fun (id', _) -> id' = id) t.rd.ins_defs.(j) then j
+             else find (j + 1)
+           in
+           D_ins (find 0))
+
+let cell_const_before t i c = cp_at t.cfg t.cp i c
+
+let cell_const_out_join t blocks c =
+  match blocks with
+  | [] -> None
+  | _ -> (
+      let vals = List.map (fun b -> cp_out t.cfg t.cp b c) blocks in
+      match vals with
+      | Some v :: rest when List.for_all (fun x -> x = Some v) rest -> Some v
+      | _ -> None)
+
+(* ---------- memory-access view ---------- *)
+
+type access = {
+  a_index : int;
+  a_width : int;
+  a_is_store : bool;
+  a_pred : bool;
+  a_addr : value;
+  a_cell : cell option;
+}
+
+let access t i =
+  let code = t.cfg.Cfg.code in
+  let mk ~base ~off ~width ~is_store ~pred =
+    let addr =
+      match lin_of (t.eval i base) with
+      | Some a -> Lin (lin_add a (const off))
+      | None -> Top
+    in
+    let cell =
+      match addr with
+      | Lin a -> (
+          match cell_of_lin a with
+          | Some (Data _) when not t.trust_data -> None
+          | c -> c)
+      | _ -> None
+    in
+    Some
+      {
+        a_index = i;
+        a_width = Isa.width_bytes width;
+        a_is_store = is_store;
+        a_pred = pred <> None;
+        a_addr = addr;
+        a_cell = cell;
+      }
+  in
+  match code.Rcode.ins.(i) with
+  | Isa.Load { width; base; off; pred; _ } -> mk ~base ~off ~width ~is_store:false ~pred
+  | Isa.Loads { width; base; off; _ } -> mk ~base ~off ~width ~is_store:false ~pred:None
+  | Isa.Store { width; base; off; pred; _ } -> mk ~base ~off ~width ~is_store:true ~pred
+  | Isa.Fload { base; off; pred; _ } ->
+      mk ~base ~off ~width:Isa.W8 ~is_store:false ~pred
+  | Isa.Fstore { base; off; pred; _ } ->
+      mk ~base ~off ~width:Isa.W8 ~is_store:true ~pred
+  | _ -> None

@@ -4,6 +4,49 @@ module Program = Tq_vm.Program
 
 let loop_weight = 32.
 
+type mode = Heuristic | Dataflow
+
+(* Weighted bytes by access pattern (dataflow mode only; call/ret and other
+   implicit stack traffic lands in [bk_scalar]). *)
+type buckets = {
+  bk_sequential : float;
+  bk_strided : float;
+  bk_indirect : float;
+  bk_scalar : float;
+  bk_unknown : float;
+}
+
+let bk_zero =
+  {
+    bk_sequential = 0.;
+    bk_strided = 0.;
+    bk_indirect = 0.;
+    bk_scalar = 0.;
+    bk_unknown = 0.;
+  }
+
+let bk_add a b =
+  {
+    bk_sequential = a.bk_sequential +. b.bk_sequential;
+    bk_strided = a.bk_strided +. b.bk_strided;
+    bk_indirect = a.bk_indirect +. b.bk_indirect;
+    bk_scalar = a.bk_scalar +. b.bk_scalar;
+    bk_unknown = a.bk_unknown +. b.bk_unknown;
+  }
+
+let bk_scale a w =
+  {
+    bk_sequential = a.bk_sequential *. w;
+    bk_strided = a.bk_strided *. w;
+    bk_indirect = a.bk_indirect *. w;
+    bk_scalar = a.bk_scalar *. w;
+    bk_unknown = a.bk_unknown *. w;
+  }
+
+let bk_total a =
+  a.bk_sequential +. a.bk_strided +. a.bk_indirect +. a.bk_scalar
+  +. a.bk_unknown
+
 type row = {
   routine : Symtab.routine;
   reads : float;
@@ -11,6 +54,9 @@ type row = {
   blocks : int;
   loops : int;
   max_depth : int;
+  trips_known : int;  (** loops with a constant or affine trip count *)
+  trips_total : int;
+  patterns : buckets;
 }
 
 let bytes row = row.reads +. row.writes
@@ -23,29 +69,108 @@ let ins_bytes i =
   if Isa.is_prefetch i then (0, 0)
   else (Isa.mem_read_bytes i, Isa.mem_write_bytes i)
 
-(* Weighted (reads, writes) of a routine's own code, plus its library call
-   sites with the loop weight of the calling block. *)
-let weigh (cfg : Cfg.t) =
+(* Per-routine weighting context: how much one execution of a block counts,
+   and what pattern each explicit access has. *)
+type ctx = {
+  block_weight : int -> float;
+  pattern_of : int -> Access.pattern option;
+  c_trips_known : int;
+  c_trips_total : int;
+  c_max_const : int;  (** largest constant trip count in the routine *)
+}
+
+(* [unknown_w] is shared across the program's routines: loops whose trip
+   count the dataflow layer cannot pin down are weighted by the largest
+   constant trip resolved anywhere in the main image (floored at the
+   heuristic weight).  A data-dependent scan — a pointer chase, a
+   sentinel-terminated copy — usually walks the very structures the
+   resolved loops built, so its iteration count is of that order, not of
+   the flat per-nesting-level guess. *)
+let ctx_of (cfg : Cfg.t) ~mode ~lw ~unknown_w =
+  match mode with
+  | Heuristic ->
+      {
+        block_weight =
+          (fun b -> lw ** float_of_int cfg.Cfg.loop_depth.(b));
+        pattern_of = (fun _ -> None);
+        c_trips_known = 0;
+        c_trips_total = 0;
+        c_max_const = 0;
+      }
+  | Dataflow ->
+      let li, rep = Access.analyze cfg in
+      let loops = Loopinfo.loops li in
+      let pat = Hashtbl.create 32 in
+      List.iter
+        (fun (a : Access.acc) -> Hashtbl.replace pat a.Access.index a.Access.pattern)
+        rep.Access.accesses;
+      let known = ref 0 and max_const = ref 0 in
+      Array.iter
+        (fun l ->
+          match l.Loopinfo.l_trip with
+          | Loopinfo.Tconst n ->
+              incr known;
+              if n > !max_const then max_const := n
+          | Loopinfo.Taffine _ -> incr known
+          | Loopinfo.Tunknown _ -> ())
+        loops;
+      {
+        block_weight =
+          (fun b ->
+            List.fold_left
+              (fun acc j ->
+                let f =
+                  match loops.(j).Loopinfo.l_trip with
+                  | Loopinfo.Tconst n -> float_of_int (max n 0)
+                  | _ -> !unknown_w
+                in
+                acc *. f)
+              1.0
+              (Loopinfo.loops_of_block li b));
+        pattern_of = Hashtbl.find_opt pat;
+        c_trips_known = !known;
+        c_trips_total = Array.length loops;
+        c_max_const = !max_const;
+      }
+
+(* Weighted (reads, writes, pattern buckets) of a routine's own code, plus
+   its library call sites with the weight of the calling block. *)
+let weigh (cfg : Cfg.t) ctx =
   let code = cfg.Cfg.code in
   let reads = ref 0. and writes = ref 0. in
+  let bks = ref bk_zero in
   let call_sites = ref [] in
   Array.iter
     (fun (b : Cfg.block) ->
       if cfg.Cfg.reachable.(b.Cfg.id) then begin
-        let w = loop_weight ** float_of_int cfg.Cfg.loop_depth.(b.Cfg.id) in
+        let w = ctx.block_weight b.Cfg.id in
         for i = b.Cfg.first to b.Cfg.last do
           let r, wr = ins_bytes code.Rcode.ins.(i) in
           reads := !reads +. (w *. float_of_int r);
           writes := !writes +. (w *. float_of_int wr);
+          (if r + wr > 0 then
+             let wb = w *. float_of_int (r + wr) in
+             bks :=
+               match ctx.pattern_of i with
+               | Some Access.Sequential ->
+                   { !bks with bk_sequential = !bks.bk_sequential +. wb }
+               | Some (Access.Strided _) ->
+                   { !bks with bk_strided = !bks.bk_strided +. wb }
+               | Some Access.Indirect ->
+                   { !bks with bk_indirect = !bks.bk_indirect +. wb }
+               | Some Access.Scalar | None ->
+                   { !bks with bk_scalar = !bks.bk_scalar +. wb }
+               | Some (Access.Unknown _) ->
+                   { !bks with bk_unknown = !bks.bk_unknown +. wb });
           match code.Rcode.flow.(i) with
           | Rcode.Call_known callee -> call_sites := (callee, w) :: !call_sites
           | _ -> ()
         done
       end)
     cfg.Cfg.blocks;
-  (!reads, !writes, !call_sites)
+  (!reads, !writes, !bks, !call_sites)
 
-let per_kernel prog =
+let per_kernel ?(mode = Heuristic) ?loop_weight:(lw = loop_weight) prog =
   let symtab = prog.Program.symtab in
   let cfgs = Hashtbl.create 32 in
   Symtab.iter
@@ -54,6 +179,29 @@ let per_kernel prog =
         Hashtbl.replace cfgs r.Symtab.name
           (r, Cfg.build (Rcode.of_routine prog r)))
     symtab;
+  let ctxs = Hashtbl.create 32 in
+  let unknown_w = ref lw in
+  let ctx_for name cfg =
+    match Hashtbl.find_opt ctxs name with
+    | Some c -> c
+    | None ->
+        let c = ctx_of cfg ~mode ~lw ~unknown_w in
+        Hashtbl.replace ctxs name c;
+        c
+  in
+  (* calibrate the unresolved-loop weight over the main image before any
+     block is weighed (block_weight reads [unknown_w] at use time) *)
+  if mode = Dataflow then begin
+    let mx = ref 0 in
+    Hashtbl.iter
+      (fun name ((r : Symtab.routine), cfg) ->
+        if r.Symtab.is_main_image then begin
+          let c = ctx_for name cfg in
+          if c.c_max_const > !mx then mx := c.c_max_const
+        end)
+      cfgs;
+    unknown_w := Float.max lw (float_of_int !mx)
+  end;
   (* flat weighted bytes of a library routine, with callees folded in
      (librt routines are leaves today, but stay safe under recursion) *)
   let memo = Hashtbl.create 32 in
@@ -61,18 +209,20 @@ let per_kernel prog =
     match Hashtbl.find_opt memo name with
     | Some v -> v
     | None ->
-        if List.mem name visiting then (0., 0.)
+        if List.mem name visiting then (0., 0., bk_zero)
         else
           let v =
             match Hashtbl.find_opt cfgs name with
-            | None -> (0., 0.)
+            | None -> (0., 0., bk_zero)
             | Some (_, cfg) ->
-                let r, w, calls = weigh cfg in
+                let r, w, bk, calls = weigh cfg (ctx_for name cfg) in
                 List.fold_left
-                  (fun (r, w) (callee, cw) ->
-                    let cr, cww = flat (name :: visiting) callee in
-                    (r +. (cw *. cr), w +. (cw *. cww)))
-                  (r, w) calls
+                  (fun (r, w, bk) (callee, cw) ->
+                    let cr, cww, cbk = flat (name :: visiting) callee in
+                    ( r +. (cw *. cr),
+                      w +. (cw *. cww),
+                      bk_add bk (bk_scale cbk cw) ))
+                  (r, w, bk) calls
           in
           Hashtbl.replace memo name v;
           v
@@ -82,18 +232,21 @@ let per_kernel prog =
     (fun r ->
       if r.Symtab.is_main_image && r.Symtab.size > 0 then begin
         let _, cfg = Hashtbl.find cfgs r.Symtab.name in
-        let reads, writes, calls = weigh cfg in
+        let ctx = ctx_for r.Symtab.name cfg in
+        let reads, writes, bks, calls = weigh cfg ctx in
         (* fold in library callees only: main-image callees are kernels of
            their own, mirroring tQUAD's Main_image_only attribution *)
-        let reads, writes =
+        let reads, writes, bks =
           List.fold_left
-            (fun (rd, wr) (callee, cw) ->
+            (fun (rd, wr, bk) (callee, cw) ->
               match Symtab.by_name symtab callee with
-              | Some c when c.Symtab.is_main_image -> (rd, wr)
+              | Some c when c.Symtab.is_main_image -> (rd, wr, bk)
               | _ ->
-                  let cr, cww = flat [ r.Symtab.name ] callee in
-                  (rd +. (cw *. cr), wr +. (cw *. cww)))
-            (reads, writes) calls
+                  let cr, cww, cbk = flat [ r.Symtab.name ] callee in
+                  ( rd +. (cw *. cr),
+                    wr +. (cw *. cww),
+                    bk_add bk (bk_scale cbk cw) ))
+            (reads, writes, bks) calls
         in
         let headers = List.sort_uniq compare (List.map snd cfg.Cfg.back_edges) in
         let max_depth = Array.fold_left max 0 cfg.Cfg.loop_depth in
@@ -105,26 +258,52 @@ let per_kernel prog =
             blocks = Cfg.n_blocks cfg;
             loops = List.length headers;
             max_depth;
+            trips_known = ctx.c_trips_known;
+            trips_total = ctx.c_trips_total;
+            patterns = bks;
           }
           :: !rows
       end)
     symtab;
   List.rev !rows
 
-let render rows =
+let render ?(mode = Heuristic) ?loop_weight:(lw = loop_weight) rows =
   let buf = Buffer.create 512 in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "static bandwidth estimate (loop weight %g per nesting level):\n"
-       loop_weight);
-  Buffer.add_string buf
-    (Printf.sprintf "  %-24s %6s %6s %6s %14s %14s\n" "kernel" "blocks" "loops"
-       "depth" "est. read B" "est. write B");
-  List.iter
-    (fun row ->
+  (match mode with
+  | Heuristic ->
       Buffer.add_string buf
-        (Printf.sprintf "  %-24s %6d %6d %6d %14.0f %14.0f\n"
-           row.routine.Symtab.name row.blocks row.loops row.max_depth row.reads
-           row.writes))
-    rows;
+        (Printf.sprintf
+           "static bandwidth estimate (loop weight %g per nesting level):\n"
+           lw);
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s %6s %6s %6s %14s %14s\n" "kernel" "blocks"
+           "loops" "depth" "est. read B" "est. write B");
+      List.iter
+        (fun row ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-24s %6d %6d %6d %14.0f %14.0f\n"
+               row.routine.Symtab.name row.blocks row.loops row.max_depth
+               row.reads row.writes))
+        rows
+  | Dataflow ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "static bandwidth model (dataflow trip counts; weight >= %g \
+            where unresolved):\n"
+           lw);
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s %6s %6s %14s %14s  %5s %5s %5s\n" "kernel"
+           "loops" "trips" "est. read B" "est. write B" "%seq" "%str" "%ind");
+      List.iter
+        (fun row ->
+          let total = bk_total row.patterns in
+          let pct x = if total <= 0. then 0. else 100. *. x /. total in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-24s %6d %3d/%-3d %14.0f %14.0f  %5.1f %5.1f %5.1f\n"
+               row.routine.Symtab.name row.loops row.trips_known
+               row.trips_total row.reads row.writes
+               (pct row.patterns.bk_sequential)
+               (pct row.patterns.bk_strided)
+               (pct row.patterns.bk_indirect)))
+        rows);
   Buffer.contents buf

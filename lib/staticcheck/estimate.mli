@@ -1,13 +1,33 @@
-(** Static per-kernel bandwidth estimator.
+(** Static per-kernel bandwidth estimator, in two modes.
 
-    Every reachable instruction's statically-known memory traffic (load /
-    store widths; prefetches excluded and block moves counted as 0 bytes,
-    matching the dynamic profilers' accounting as far as the static side
-    can) is weighted by [loop_weight] raised to the block's loop-nest depth
-    and rolled up per main-image routine.  Library callees are folded into
-    the calling kernel at the call site's weight, mirroring tQUAD's
-    main-image-only attribution, so the rows are directly comparable — as a
-    ranking, not as absolute bytes — with the dynamic per-kernel totals. *)
+    [Heuristic] (the original model): every reachable instruction's
+    statically-known memory traffic (load/store widths; prefetches excluded
+    and block moves counted as 0 bytes) is weighted by [loop_weight] raised
+    to the block's loop-nest depth.
+
+    [Dataflow]: block weights are the product of the {e derived} trip
+    counts ({!Loopinfo}) of the loops containing the block — constant trip
+    counts are used exactly, affine and unknown ones fall back to the
+    heuristic weight — and every access's bytes are also attributed to its
+    {!Access} pattern class (sequential / strided / indirect / scalar /
+    unknown).
+
+    In both modes, library callees are folded into the calling kernel at
+    the call site's weight, mirroring tQUAD's main-image-only attribution,
+    so the rows are directly comparable — as a ranking, not as absolute
+    bytes — with the dynamic per-kernel totals. *)
+
+type mode = Heuristic | Dataflow
+
+type buckets = {
+  bk_sequential : float;
+  bk_strided : float;
+  bk_indirect : float;
+  bk_scalar : float;  (** loop-invariant accesses + call/ret stack traffic *)
+  bk_unknown : float;
+}
+
+val bk_total : buckets -> float
 
 type row = {
   routine : Tq_vm.Symtab.routine;
@@ -16,15 +36,20 @@ type row = {
   blocks : int;
   loops : int;  (** natural-loop headers in the routine *)
   max_depth : int;  (** deepest loop nesting *)
+  trips_known : int;  (** loops with a constant or affine trip count *)
+  trips_total : int;
+  patterns : buckets;  (** zero in [Heuristic] mode *)
 }
 
 val loop_weight : float
-(** Assumed trip weight per loop-nesting level. *)
+(** Default assumed trip weight per loop-nesting level. *)
 
 val bytes : row -> float
 (** [reads +. writes]. *)
 
-val per_kernel : Tq_vm.Program.t -> row list
-(** One row per main-image routine, in symbol-table order. *)
+val per_kernel :
+  ?mode:mode -> ?loop_weight:float -> Tq_vm.Program.t -> row list
+(** One row per main-image routine, in symbol-table order.  Defaults
+    reproduce the original heuristic estimator exactly. *)
 
-val render : row list -> string
+val render : ?mode:mode -> ?loop_weight:float -> row list -> string

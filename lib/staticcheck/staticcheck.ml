@@ -12,6 +12,10 @@ type cls =
   | Stack_imbalance
   | Fall_through
   | Bad_address
+  | Uninit_local
+  | Oob_access
+  | Dead_store
+  | Invariant_load
 
 let class_name = function
   | Bad_jump -> "bad-jump"
@@ -22,6 +26,17 @@ let class_name = function
   | Stack_imbalance -> "stack-imbalance"
   | Fall_through -> "fall-through"
   | Bad_address -> "bad-address"
+  | Uninit_local -> "uninit-local"
+  | Oob_access -> "oob-access"
+  | Dead_store -> "dead-store"
+  | Invariant_load -> "invariant-load"
+
+type severity = Error | Warn | Info
+
+let severity_of = function
+  | Uninit_local | Dead_store -> Warn
+  | Invariant_load -> Info
+  | _ -> Error
 
 type diagnostic = {
   routine : string;
@@ -42,9 +57,14 @@ let render diags =
         | Some a -> Printf.sprintf "0x%x" a
         | None -> Printf.sprintf "i%d" d.index
       in
+      let tag =
+        match severity_of d.cls with
+        | Error -> class_name d.cls
+        | Warn -> "warn " ^ class_name d.cls
+        | Info -> "info " ^ class_name d.cls
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%s+%s: [%s] %s\n" d.routine where (class_name d.cls)
-           d.message))
+        (Printf.sprintf "%s+%s: [%s] %s\n" d.routine where tag d.message))
     diags;
   Buffer.contents buf
 
@@ -376,9 +396,307 @@ let check_fall_through (cfg : Cfg.t) add =
       add (n - 1) Fall_through
         "control can fall through the end of the routine's text"
 
+(* ---------- dataflow-refined diagnostics ----------
+
+   These four checks ride on the {!Dataflow}/{!Loopinfo} layer.  The first
+   two are path-sensitive analyses over the routine's frame cells: a local
+   is any stack slot strictly below the saved-fp slot that the code
+   addresses directly through the frame pointer.  Anything the analysis
+   cannot see through (stores via computed pointers, block moves, calls
+   once a frame address escaped, syscalls) conservatively suppresses
+   reports rather than creating them. *)
+
+module CellMap = Map.Make (struct
+  type t = Dataflow.cell
+
+  let compare = compare
+end)
+
+let local_cell = function Dataflow.Stack o when o < -8 -> true | _ -> false
+
+let fp_based code i =
+  match code.Rcode.ins.(i) with
+  | Isa.Load { base; _ }
+  | Isa.Loads { base; _ }
+  | Isa.Store { base; _ }
+  | Isa.Fload { base; _ }
+  | Isa.Fstore { base; _ } ->
+      base = Isa.reg_fp
+  | _ -> false
+
+(* A local read on some path before any store to it (must-defined forward
+   analysis over frame cells, refined by the dataflow layer's address
+   reconstruction — unlike [check_use_before_def], which only sees
+   registers). *)
+let check_uninit (cfg : Cfg.t) df add =
+  let code = cfg.Cfg.code in
+  let n = Rcode.n code in
+  let nb = Cfg.n_blocks cfg in
+  let idx = ref CellMap.empty in
+  let cells = ref [] in
+  for i = 0 to n - 1 do
+    if cfg.Cfg.reachable.(cfg.Cfg.block_of.(i)) && fp_based code i then
+      match Dataflow.access df i with
+      | Some { Dataflow.a_cell = Some c; _ } when local_cell c ->
+          if not (CellMap.mem c !idx) then begin
+            idx := CellMap.add c (List.length !cells) !idx;
+            cells := c :: !cells
+          end
+      | _ -> ()
+  done;
+  let nc = List.length !cells in
+  if nc > 0 && nb > 0 then begin
+    let out = Array.init nb (fun _ -> Array.make nc true) in
+    let in_of b =
+      if b = 0 then Array.make nc false
+      else begin
+        let acc = Array.make nc true in
+        List.iter
+          (fun p ->
+            if cfg.Cfg.reachable.(p) then
+              for k = 0 to nc - 1 do
+                acc.(k) <- acc.(k) && out.(p).(k)
+              done)
+          cfg.Cfg.preds.(b);
+        acc
+      end
+    in
+    let flow_block ~report b =
+      let defined = in_of b in
+      let blk = cfg.Cfg.blocks.(b) in
+      for i = blk.Cfg.first to blk.Cfg.last do
+        match code.Rcode.ins.(i) with
+        | Isa.Movs _ | Isa.Syscall _ -> Array.fill defined 0 nc true
+        | Isa.Call _ | Isa.Callr _ ->
+            if Dataflow.escapes df then Array.fill defined 0 nc true
+        | _ -> (
+            match Dataflow.access df i with
+            | None -> ()
+            | Some a -> (
+                match a.Dataflow.a_cell with
+                | Some c -> (
+                    match CellMap.find_opt c !idx with
+                    | Some k ->
+                        if a.Dataflow.a_is_store then begin
+                          if not a.Dataflow.a_pred then defined.(k) <- true
+                        end
+                        else if
+                          report && fp_based code i && (not a.Dataflow.a_pred)
+                          && not defined.(k)
+                        then
+                          add i Uninit_local
+                            (Printf.sprintf
+                               "local %s may be read before it is written"
+                               (Dataflow.string_of_cell c))
+                    | None -> ())
+                | None ->
+                    if a.Dataflow.a_is_store then
+                      (* a store through an unknown pointer may initialize
+                         any local: suppress, don't report *)
+                      Array.fill defined 0 nc true))
+      done;
+      defined
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = 0 to nb - 1 do
+        if cfg.Cfg.reachable.(b) then begin
+          let o = flow_block ~report:false b in
+          if o <> out.(b) then begin
+            out.(b) <- o;
+            changed := true
+          end
+        end
+      done
+    done;
+    for b = 0 to nb - 1 do
+      if cfg.Cfg.reachable.(b) then ignore (flow_block ~report:true b)
+    done
+  end
+
+(* A store to a local that no path ever reads again (backward liveness over
+   frame cells).  Reads through computed pointers, block moves, and calls
+   with an escaped frame make every local live. *)
+let check_dead_store (cfg : Cfg.t) df add =
+  let code = cfg.Cfg.code in
+  let n = Rcode.n code in
+  let nb = Cfg.n_blocks cfg in
+  let idx = ref CellMap.empty in
+  let ncells = ref 0 in
+  for i = 0 to n - 1 do
+    if cfg.Cfg.reachable.(cfg.Cfg.block_of.(i)) then
+      match Dataflow.access df i with
+      | Some { Dataflow.a_cell = Some c; _ } when local_cell c ->
+          if not (CellMap.mem c !idx) then begin
+            idx := CellMap.add c !ncells !idx;
+            incr ncells
+          end
+      | _ -> ()
+  done;
+  let nc = !ncells in
+  if nc > 0 && nb > 0 then begin
+    let live_in = Array.init nb (fun _ -> Array.make nc false) in
+    let flow_block ~report b =
+      let live = Array.make nc false in
+      List.iter
+        (fun (blk : Cfg.block) ->
+          List.iter
+            (fun s ->
+              for k = 0 to nc - 1 do
+                live.(k) <- live.(k) || live_in.(s).(k)
+              done)
+            blk.Cfg.succs)
+        [ cfg.Cfg.blocks.(b) ];
+      let blk = cfg.Cfg.blocks.(b) in
+      for i = blk.Cfg.last downto blk.Cfg.first do
+        (match code.Rcode.ins.(i) with
+        | Isa.Movs _ -> Array.fill live 0 nc true
+        | Isa.Syscall _ | Isa.Call _ | Isa.Callr _ ->
+            if Dataflow.escapes df then Array.fill live 0 nc true
+        | _ -> (
+            match Dataflow.access df i with
+            | None -> ()
+            | Some a -> (
+                match a.Dataflow.a_cell with
+                | Some c -> (
+                    match CellMap.find_opt c !idx with
+                    | Some k ->
+                        if not a.Dataflow.a_is_store then live.(k) <- true
+                        else if not a.Dataflow.a_pred then begin
+                          if report && fp_based code i && not live.(k) then
+                            add i Dead_store
+                              (Printf.sprintf
+                                 "store to local %s is dead (no later read \
+                                  on any path)"
+                                 (Dataflow.string_of_cell c));
+                          live.(k) <- false
+                        end
+                    | None -> ())
+                | None ->
+                    if not a.Dataflow.a_is_store then
+                      (* a read through an unknown pointer may read any
+                         local *)
+                      Array.fill live 0 nc true)))
+      done;
+      live
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = nb - 1 downto 0 do
+        if cfg.Cfg.reachable.(b) then begin
+          let l = flow_block ~report:false b in
+          if l <> live_in.(b) then begin
+            live_in.(b) <- l;
+            changed := true
+          end
+        end
+      done
+    done;
+    for b = 0 to nb - 1 do
+      if cfg.Cfg.reachable.(b) then ignore (flow_block ~report:true b)
+    done
+  end
+
+(* ---------- provably out-of-bounds constant-index accesses ---------- *)
+
+(** Static-data layout of a linked program: object extents for bounds
+    checking constant addresses. *)
+type bounds = {
+  b_objects : (string * int * int) list;
+      (** (name, start address, byte size), sorted by start *)
+  b_data_end : int;  (** first address past the static-data region *)
+}
+
+let check_oob bounds (cfg : Cfg.t) df add =
+  let n = Rcode.n cfg.Cfg.code in
+  for i = 0 to n - 1 do
+    if cfg.Cfg.reachable.(cfg.Cfg.block_of.(i)) then
+      match Dataflow.access df i with
+      | Some a when not a.Dataflow.a_pred -> (
+          match a.Dataflow.a_addr with
+          | Dataflow.Lin l when Dataflow.lin_is_const l ->
+              let ad = l.Dataflow.k in
+              let what = if a.Dataflow.a_is_store then "store" else "load" in
+              if ad >= Layout.data_base && ad < bounds.b_data_end then begin
+                match
+                  List.find_opt
+                    (fun (_, s, sz) -> ad >= s && ad < s + sz)
+                    bounds.b_objects
+                with
+                | Some (nm, s, sz) ->
+                    if ad + a.Dataflow.a_width > s + sz then
+                      add i Oob_access
+                        (Printf.sprintf
+                           "%d-byte %s at 0x%x overruns %s (object ends at \
+                            0x%x)"
+                           a.Dataflow.a_width what ad nm (s + sz))
+                | None -> (
+                    match
+                      List.fold_left
+                        (fun acc (nm, s, sz) ->
+                          if s + sz <= ad then Some (nm, s, sz) else acc)
+                        None bounds.b_objects
+                    with
+                    | Some (nm, _, _) ->
+                        add i Oob_access
+                          (Printf.sprintf
+                             "%s at constant address 0x%x is past the end \
+                              of %s"
+                             what ad nm)
+                    | None ->
+                        add i Oob_access
+                          (Printf.sprintf
+                             "%s at constant address 0x%x lies before any \
+                              data object"
+                             what ad))
+              end
+          | _ -> ())
+      | _ -> ()
+  done
+
+(* ---------- loop-invariant loads (hoisting opportunities) ---------- *)
+
+let check_invariant_load (cfg : Cfg.t) df li add =
+  let code = cfg.Cfg.code in
+  let n = Rcode.n code in
+  let loops = Loopinfo.loops li in
+  let inner = Loopinfo.innermost li in
+  let seen = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let b = cfg.Cfg.block_of.(i) in
+    if cfg.Cfg.reachable.(b) && inner.(b) >= 0 then
+      match Dataflow.access df i with
+      | Some a when (not a.Dataflow.a_is_store) && not a.Dataflow.a_pred -> (
+          match a.Dataflow.a_cell with
+          | Some c ->
+              let lx = inner.(b) in
+              if
+                Loopinfo.invariant_cell li loops.(lx) c
+                && not (Hashtbl.mem seen (lx, c))
+              then begin
+                Hashtbl.add seen (lx, c) ();
+                add i Invariant_load
+                  (Printf.sprintf
+                     "load of loop-invariant %s inside a loop (hoistable)"
+                     (Dataflow.string_of_cell c))
+              end
+          | None -> ())
+      | _ -> ()
+  done
+
+let check_with_dataflow ?bounds (cfg : Cfg.t) add =
+  let df = Dataflow.analyze cfg in
+  let li = Loopinfo.analyze df in
+  check_uninit cfg df add;
+  check_dead_store cfg df add;
+  (match bounds with Some b -> check_oob b cfg df add | None -> ());
+  check_invariant_load cfg df li add
+
 (* ---------- entry points ---------- *)
 
-let check_cfg (cfg : Cfg.t) =
+let check_cfg ?bounds ?(dataflow = false) (cfg : Cfg.t) =
   let diags = ref [] in
   let add index cls message =
     diags :=
@@ -397,17 +715,18 @@ let check_cfg (cfg : Cfg.t) =
   check_use_before_def cfg add;
   check_stack cfg add;
   check_addresses cfg add;
+  if dataflow then check_with_dataflow ?bounds cfg add;
   List.sort (fun a b -> compare (a.index, a.cls) (b.index, b.cls)) !diags
 
-let check_rcode code = check_cfg (Cfg.build code)
+let check_rcode ?bounds ?dataflow code = check_cfg ?bounds ?dataflow (Cfg.build code)
 
 let check_items ~name items = check_rcode (Rcode.of_items ~name items)
 
-let check_program ?(all_images = true) prog =
+let check_program ?(all_images = true) ?bounds ?dataflow prog =
   let acc = ref [] in
   Symtab.iter
     (fun r ->
       if (all_images || r.Symtab.is_main_image) && r.Symtab.size > 0 then
-        acc := check_rcode (Rcode.of_routine prog r) :: !acc)
+        acc := check_rcode ?bounds ?dataflow (Rcode.of_routine prog r) :: !acc)
     prog.Program.symtab;
   List.concat (List.rev !acc)

@@ -16,6 +16,17 @@
     - memory: loads/stores whose constant effective address lies outside
       every data, heap and stack region.
 
+    With [~dataflow:true], four further checks run on the {!Dataflow} /
+    {!Loopinfo} layer:
+
+    - [Uninit_local] (warning): a frame-pointer-addressed local may be
+      read before any store to it on some path;
+    - [Dead_store] (warning): a store to a local that no path ever reads;
+    - [Oob_access] (error, needs [~bounds]): a constant-address access
+      that overruns its data object or lands in inter-object padding;
+    - [Invariant_load] (info): a load of a loop-invariant cell inside a
+      loop — a hoisting opportunity, reported once per loop and cell.
+
     An empty diagnostic list means the checks passed; it does not mean the
     program is correct. *)
 
@@ -28,9 +39,20 @@ type cls =
   | Stack_imbalance
   | Fall_through
   | Bad_address
+  | Uninit_local
+  | Oob_access
+  | Dead_store
+  | Invariant_load
 
 val class_name : cls -> string
 (** Stable kebab-case name, e.g. ["use-before-def"]. *)
+
+type severity = Error | Warn | Info
+
+val severity_of : cls -> severity
+(** [Error] for the eight structural classes and [Oob_access];
+    [Uninit_local] and [Dead_store] are warnings, [Invariant_load] is
+    informational. *)
 
 type diagnostic = {
   routine : string;
@@ -43,16 +65,33 @@ type diagnostic = {
 val has_class : cls -> diagnostic list -> bool
 
 val render : diagnostic list -> string
-(** One line per diagnostic: [routine+addr: [class] message]. *)
+(** One line per diagnostic: [routine+addr: [class] message]; warnings and
+    infos tag the class as [[warn class]] / [[info class]]. *)
 
-val check_cfg : Cfg.t -> diagnostic list
+(** Static-data layout of a linked program, for bounds-checking constant
+    addresses ([Oob_access]). *)
+type bounds = {
+  b_objects : (string * int * int) list;
+      (** (name, start address, byte size), sorted by start address *)
+  b_data_end : int;  (** first address past the static-data region *)
+}
 
-val check_rcode : Rcode.t -> diagnostic list
+val check_cfg : ?bounds:bounds -> ?dataflow:bool -> Cfg.t -> diagnostic list
+
+val check_rcode : ?bounds:bounds -> ?dataflow:bool -> Rcode.t -> diagnostic list
 
 val check_items : name:string -> Tq_asm.Builder.item array -> diagnostic list
-(** Check one unlinked assembler unit (label-resolved, symbols opaque). *)
+(** Check one unlinked assembler unit (label-resolved, symbols opaque).
+    Runs the structural checks only — this is the codegen verify gate, so
+    its diagnostics must all be hard errors. *)
 
-val check_program : ?all_images:bool -> Tq_vm.Program.t -> diagnostic list
+val check_program :
+  ?all_images:bool ->
+  ?bounds:bounds ->
+  ?dataflow:bool ->
+  Tq_vm.Program.t ->
+  diagnostic list
 (** Check every routine of a linked program ([all_images:false] restricts
-    to main-image routines).  Diagnostics are in symbol-table order, then
-    by instruction index. *)
+    to main-image routines; [dataflow] defaults to [false], keeping the
+    default contract identical to the structural checker).  Diagnostics
+    are in symbol-table order, then by instruction index. *)

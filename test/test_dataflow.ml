@@ -1,0 +1,479 @@
+(* The dataflow layer of the static checker: symbolic trip counts,
+   stride-classified access patterns, the dataflow-only diagnostics, the
+   parametric bandwidth model, and the CLI exit-code contract.
+
+   The differential property is the load-bearing one: for randomized
+   constant-bound MiniC loop nests, every statically classified access is
+   checked against the effective addresses the instrumented engine actually
+   observes, and every constant trip count against the dynamic header
+   execution count. *)
+
+open Tq_vm
+module Isa = Tq_isa.Isa
+module Engine = Tq_dbi.Engine
+module Sc = Tq_staticcheck.Staticcheck
+module Cfg = Tq_staticcheck.Cfg
+module Rcode = Tq_staticcheck.Rcode
+module Dataflow = Tq_staticcheck.Dataflow
+module Loopinfo = Tq_staticcheck.Loopinfo
+module Access = Tq_staticcheck.Access
+module Estimate = Tq_staticcheck.Estimate
+
+let compile src = Tq_rt.Rt.link [ Tq_minic.Driver.compile_unit ~image:"app" src ]
+
+let rep_of prog name =
+  let r = Option.get (Symtab.by_name prog.Program.symtab name) in
+  let cfg = Cfg.build (Rcode.of_routine prog r) in
+  let li, rep = Access.analyze cfg in
+  (r, li, rep)
+
+let loops_by_addr (rep : Access.routine) =
+  List.sort
+    (fun (a : Access.loop_report) b -> compare a.Access.lr_head_addr b.Access.lr_head_addr)
+    rep.Access.loops
+
+(* ---------- trip counts ---------- *)
+
+let test_trip_const () =
+  let prog =
+    compile
+      "int buf[64];\n\
+       int kern() { int s; s = 0; for (int i = 0; i < 40; i = i + 3) s = s + \
+       buf[i]; return s; }\n\
+       int main() { return kern(); }\n"
+  in
+  let _, _, rep = rep_of prog "kern" in
+  match loops_by_addr rep with
+  | [ l ] ->
+      Alcotest.(check string)
+        "ceil(40/3) trips" "14"
+        (Loopinfo.trip_to_string l.Access.lr_trip)
+  | ls -> Alcotest.failf "expected 1 loop, got %d" (List.length ls)
+
+let test_trip_affine () =
+  let prog =
+    compile
+      "int buf[64];\n\
+       int kern(int n) { for (int i = 0; i < n; i = i + 1) buf[i] = i; return \
+       0; }\n\
+       int main() { return kern(17); }\n"
+  in
+  let _, _, rep = rep_of prog "kern" in
+  match loops_by_addr rep with
+  | [ l ] -> (
+      match l.Access.lr_trip with
+      | Loopinfo.Taffine { num = 1; den = 1; off = 0; _ } -> ()
+      | t ->
+          Alcotest.failf "expected affine trips in the parameter, got %s"
+            (Loopinfo.trip_to_string t))
+  | ls -> Alcotest.failf "expected 1 loop, got %d" (List.length ls)
+
+let test_trip_nested_and_calls () =
+  (* in-loop calls — one of them conditional — must not destroy the
+     induction variable: the sp save/restore around each call-argument
+     area joins across the cycle (the wfs main-chunk-loop shape) *)
+  let prog =
+    compile
+      "int out[32]; int tr_slot;\n\
+       int helper(int x) { tr_slot = x + 1; return 0; }\n\
+       int kern() {\n\
+      \  for (int i = 0; i < 8; i = i + 1) {\n\
+      \    helper(i);\n\
+      \    if (i % 2 == 0 && i <= 4) helper(i / 2);\n\
+      \    for (int j = 0; j < 4; j = j + 1) out[i * 4 + j] = tr_slot;\n\
+      \  }\n\
+      \  return out[0]; }\n\
+       int main() { return kern(); }\n"
+  in
+  let _, _, rep = rep_of prog "kern" in
+  match loops_by_addr rep with
+  | [ outer; inner ] ->
+      Alcotest.(check string)
+        "outer trips" "8"
+        (Loopinfo.trip_to_string outer.Access.lr_trip);
+      Alcotest.(check string)
+        "inner trips" "4"
+        (Loopinfo.trip_to_string inner.Access.lr_trip)
+  | ls -> Alcotest.failf "expected 2 loops, got %d" (List.length ls)
+
+let test_trip_unknown_geometric () =
+  let prog =
+    compile
+      "int kern(int n) { int x; x = 1; while (x < n) x = x * 2; return x; }\n\
+       int main() { return kern(100); }\n"
+  in
+  let _, _, rep = rep_of prog "kern" in
+  match loops_by_addr rep with
+  | [ l ] -> (
+      match l.Access.lr_trip with
+      | Loopinfo.Tunknown _ -> ()
+      | t ->
+          Alcotest.failf "geometric loop should be unknown, got %s"
+            (Loopinfo.trip_to_string t))
+  | ls -> Alcotest.failf "expected 1 loop, got %d" (List.length ls)
+
+(* ---------- access patterns ---------- *)
+
+let patterns_of prog name =
+  let _, _, rep = rep_of prog name in
+  List.filter_map
+    (fun (a : Access.acc) ->
+      if a.Access.loop <> None then Some (a.Access.is_store, a.Access.pattern)
+      else None)
+    rep.Access.accesses
+
+let test_patterns () =
+  let prog =
+    compile
+      "int a[128]; int b[128]; int idx[128]; int g;\n\
+       int kern() { int s; s = 0;\n\
+      \  for (int i = 0; i < 64; i = i + 1) {\n\
+      \    a[i] = s;            \n\
+      \    b[2 * i] = i;        \n\
+      \    s = s + a[idx[i]];   \n\
+      \    s = s + g;           \n\
+      \  }\n\
+      \  return s; }\n\
+       int main() { return kern(); }\n"
+  in
+  let pats = patterns_of prog "kern" in
+  Alcotest.(check bool) "has sequential store" true
+    (List.mem (true, Access.Sequential) pats);
+  Alcotest.(check bool) "has 16-byte strided store" true
+    (List.mem (true, Access.Strided 16) pats);
+  Alcotest.(check bool) "has indirect load" true
+    (List.mem (false, Access.Indirect) pats);
+  Alcotest.(check int) "nothing unclassified" 0
+    (List.length
+       (List.filter
+          (fun (_, q) -> match q with Access.Unknown _ -> true | _ -> false)
+          pats))
+
+(* ---------- dataflow diagnostics ---------- *)
+
+let diag_classes src =
+  Sc.check_program ~dataflow:true (compile src)
+
+let test_diag_uninit () =
+  let ds = diag_classes "int main() { int x; return x; }\n" in
+  Alcotest.(check bool) "uninit-local fires" true (Sc.has_class Sc.Uninit_local ds)
+
+let test_diag_dead_store () =
+  let ds =
+    diag_classes "int main() { int x; x = 5; x = 6; return x; }\n"
+  in
+  Alcotest.(check bool) "dead-store fires" true (Sc.has_class Sc.Dead_store ds)
+
+let test_diag_invariant_load () =
+  let ds =
+    diag_classes
+      "int g;\n\
+       int main() { int s; s = 0; for (int i = 0; i < 8; i = i + 1) s = s + \
+       g; return s; }\n"
+  in
+  Alcotest.(check bool) "invariant-load fires" true
+    (Sc.has_class Sc.Invariant_load ds)
+
+let test_diag_clean_stays_clean () =
+  (* turning the dataflow layer on must not invent errors or warnings for
+     the clean case-study program *)
+  let prog = Tq_wfs.Harness.compile Tq_wfs.Scenario.tiny in
+  let non_info ds =
+    List.length
+      (List.filter (fun d -> Sc.severity_of d.Sc.cls <> Sc.Info) ds)
+  in
+  Alcotest.(check int) "default check clean" 0
+    (non_info (Sc.check_program prog));
+  Alcotest.(check int) "dataflow check clean" 0
+    (non_info (Sc.check_program ~dataflow:true prog))
+
+(* ---------- parametric estimator ---------- *)
+
+let test_estimator_ranks_big_loop () =
+  let prog =
+    compile
+      "int big[4096];\n\
+       int kern() { int s; s = 0; for (int i = 0; i < 4096; i = i + 1) s = s \
+       + big[i]; return s; }\n\
+       int straight() { return big[0] + big[1] + big[2]; }\n\
+       int main() { return kern() + straight(); }\n"
+  in
+  let find rows n =
+    List.find (fun (r : Estimate.row) -> r.Estimate.routine.Symtab.name = n) rows
+  in
+  List.iter
+    (fun mode ->
+      let rows = Estimate.per_kernel ~mode prog in
+      let k = find rows "kern" and s = find rows "straight" in
+      Alcotest.(check bool)
+        "kern outweighs straight" true
+        (Estimate.bytes k > Estimate.bytes s))
+    [ Estimate.Heuristic; Estimate.Dataflow ];
+  (* dataflow mode knows the real trip count: 4096 iterations of a loop
+     reading 8 bytes dominates, far beyond the heuristic weight *)
+  let rows = Estimate.per_kernel ~mode:Estimate.Dataflow prog in
+  let k = find rows "kern" in
+  Alcotest.(check bool) "trip-weighted bytes >= 4096*8" true
+    (Estimate.bytes k >= 4096. *. 8.);
+  Alcotest.(check int) "trips resolved" 1 k.Estimate.trips_known
+
+(* ---------- CLI exit-code contract ---------- *)
+
+let cli_path () =
+  let candidates =
+    [
+      "../bin/tquad_cli.exe";
+      "_build/default/bin/tquad_cli.exe";
+      Filename.concat (Filename.dirname Sys.executable_name) "../bin/tquad_cli.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail "tquad_cli.exe not built"
+
+let write_tmp ext content =
+  let path = Filename.temp_file "tq_dataflow" ext in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let run_cli args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" (cli_path ()) args)
+
+let test_exit_codes () =
+  let clean = write_tmp ".mc" "int main() { return 0; }\n" in
+  let diag =
+    write_tmp ".mc" "int g[4];\nint main() { int x; return g[9] + x; }\n"
+  in
+  let garbage = write_tmp ".mc" "int main( {\n" in
+  Alcotest.(check int) "clean program: 0" 0
+    (run_cli (Printf.sprintf "check %s" clean));
+  Alcotest.(check int) "unknown flag: 2" 2
+    (run_cli (Printf.sprintf "check --no-such-flag %s" clean));
+  Alcotest.(check int) "--json with --bandwidth: 2" 2
+    (run_cli (Printf.sprintf "check --json --bandwidth %s" clean));
+  Alcotest.(check int) "missing file: 3" 3
+    (run_cli "check /nonexistent/input.mc");
+  Alcotest.(check int) "unparseable source: 3" 3
+    (run_cli (Printf.sprintf "check %s" garbage));
+  Alcotest.(check int) "diagnostics: 4" 4
+    (run_cli (Printf.sprintf "check --dataflow %s" diag));
+  List.iter Sys.remove [ clean; diag; garbage ]
+
+let test_json_manifest () =
+  let clean =
+    write_tmp ".mc"
+      "int buf[64];\n\
+       int main() { for (int i = 0; i < 64; i = i + 1) buf[i] = i; return 0; \
+       }\n"
+  in
+  let out = Filename.temp_file "tq_dataflow" ".json" in
+  let rc =
+    Sys.command
+      (Printf.sprintf "%s check --dataflow --json %s > %s 2>/dev/null"
+         (cli_path ()) clean out)
+  in
+  Alcotest.(check int) "clean --json exits 0" 0 rc;
+  let ic = open_in_bin out in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let doc = Tq_obs.Json.of_string raw in
+  (match Tq_obs.Manifest.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "manifest invalid: %s" e);
+  let check = Option.get (Tq_obs.Json.member "check" doc) in
+  Alcotest.(check bool) "dataflow flag set" true
+    (Tq_obs.Json.member "dataflow" check = Some (Tq_obs.Json.Int 1));
+  (match Tq_obs.Json.member "loops" check with
+  | Some loops ->
+      Alcotest.(check bool) "one const loop" true
+        (Tq_obs.Json.member "const" loops = Some (Tq_obs.Json.Int 1))
+  | None -> Alcotest.fail "no loops object");
+  List.iter Sys.remove [ clean; out ]
+
+(* ---------- differential: static model vs instrumented execution -------- *)
+
+(* Observe one run: per-address execution counts and, for memory
+   instructions, the effective addresses in execution order. *)
+let observe prog =
+  let m = Machine.create prog in
+  let eng = Engine.create m in
+  let counts : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let eas : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  Engine.add_ins_instrumenter eng (fun v ->
+      let a = Engine.Ins_view.addr v in
+      let ins = Engine.Ins_view.ins v in
+      let bump () =
+        Hashtbl.replace counts a
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts a))
+      in
+      if Isa.mem_read_bytes ins + Isa.mem_write_bytes ins > 0 then
+        let ea () =
+          if Isa.mem_write_bytes ins > 0 then Machine.write_ea m ins
+          else Machine.read_ea m ins
+        in
+        [
+          bump;
+          (fun () ->
+            Hashtbl.replace eas a
+              (ea () :: Option.value ~default:[] (Hashtbl.find_opt eas a)));
+        ]
+      else [ bump ]);
+  Engine.run ~fuel:10_000_000 eng;
+  let count a = Option.value ~default:0 (Hashtbl.find_opt counts a) in
+  let ea_trace a =
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt eas a))
+  in
+  (count, ea_trace)
+
+let deltas = function
+  | [] | [ _ ] -> []
+  | x :: rest -> List.rev (fst (List.fold_left
+      (fun (acc, prev) y -> ((y - prev) :: acc, y)) ([], x) rest))
+
+let gen_params =
+  QCheck.Gen.(
+    map
+      (fun ((n, step), (k, c, m)) -> (n, step, k, c, m))
+      (pair
+         (pair (int_range 0 12) (int_range 1 3))
+         (triple (int_range 0 3) (int_range 0 4) (int_range 1 8))))
+
+let src_of (n, step, k, c, m) =
+  Printf.sprintf
+    "int buf[512]; int out[512];\n\
+     int kern() { int s; s = 0;\n\
+    \  for (int i = 0; i < %d; i = i + %d) buf[%d * i + %d] = i;\n\
+    \  for (int i = 0; i < %d; i = i + 1) { s = s + buf[i]; out[i] = s; }\n\
+    \  return s; }\n\
+     int main() { return kern(); }\n"
+    n step k c m
+
+let expected_trips1 (n, step, _, _, _) = (n + step - 1) / step
+
+(* per-iteration byte advance a pattern promises; None = no promise *)
+let promised_delta width = function
+  | Access.Scalar -> Some 0
+  | Access.Sequential -> Some width
+  | Access.Strided k -> Some k
+  | Access.Indirect | Access.Unknown _ -> None
+
+let qcheck_static_vs_dynamic =
+  QCheck.Test.make ~count:20 ~name:"static trips and strides match execution"
+    (QCheck.make
+       ~print:(fun (n, s, k, c, m) ->
+         Printf.sprintf "N=%d STEP=%d K=%d C=%d M=%d" n s k c m)
+       gen_params)
+    (fun params ->
+      let _, step, k, _, m = params in
+      let prog = compile (src_of params) in
+      let _, _, rep = rep_of prog "kern" in
+      let count, ea_trace = observe prog in
+      (match loops_by_addr rep with
+      | [ l1; l2 ] ->
+          (* constant trip counts, exactly *)
+          let trips lr =
+            match lr.Access.lr_trip with
+            | Loopinfo.Tconst t -> t
+            | t ->
+                QCheck.Test.fail_reportf "non-constant trips: %s"
+                  (Loopinfo.trip_to_string t)
+          in
+          let t1 = trips l1 and t2 = trips l2 in
+          if t1 <> expected_trips1 params then
+            QCheck.Test.fail_reportf "loop1 trips %d, expected %d" t1
+              (expected_trips1 params);
+          if t2 <> m then
+            QCheck.Test.fail_reportf "loop2 trips %d, expected %d" t2 m;
+          (* the header of a counted loop runs trips+1 times *)
+          List.iter
+            (fun (lr, t) ->
+              let h = Option.get lr.Access.lr_head_addr in
+              if count h <> t + 1 then
+                QCheck.Test.fail_reportf
+                  "header 0x%x executed %d times, trips %d" h (count h) t)
+            [ (l1, t1); (l2, t2) ];
+          (* the first store of loop1 is the generated strided one *)
+          let in_loop1 =
+            List.filter (fun (a : Access.acc) -> a.Access.loop <> None) rep.Access.accesses
+            |> List.filter (fun (a : Access.acc) ->
+                   match a.Access.addr with
+                   | Some ad ->
+                       ad >= Option.get l1.Access.lr_head_addr
+                       && (ad < Option.get l2.Access.lr_head_addr)
+                   | None -> false)
+          in
+          let buf_store =
+            List.filter (fun (a : Access.acc) -> a.Access.is_store) in_loop1
+            |> List.sort (fun (a : Access.acc) b -> compare a.Access.addr b.Access.addr)
+            |> List.hd
+          in
+          let expect =
+            if k = 0 then Access.Scalar
+            else if k * step = 1 then Access.Sequential
+            else Access.Strided (8 * k * step)
+          in
+          if buf_store.Access.pattern <> expect then
+            QCheck.Test.fail_reportf "buf store classified %s, expected %s"
+              (Access.pattern_to_string buf_store.Access.pattern)
+              (Access.pattern_to_string expect);
+          (* every classified in-loop access keeps its address promise *)
+          List.iter
+            (fun (a : Access.acc) ->
+              match
+                (a.Access.addr, promised_delta a.Access.width a.Access.pattern)
+              with
+              | Some ad, Some d ->
+                  List.iter
+                    (fun got ->
+                      if got <> d then
+                        QCheck.Test.fail_reportf
+                          "access 0x%x (%s): observed delta %d, promised %d"
+                          ad
+                          (Access.pattern_to_string a.Access.pattern)
+                          got d)
+                    (deltas (ea_trace ad))
+              | _ -> ())
+            (List.filter (fun (a : Access.acc) -> a.Access.loop <> None)
+               rep.Access.accesses);
+          (* nothing in a constant-bound nest may stay unclassified *)
+          List.iter
+            (fun (a : Access.acc) ->
+              match a.Access.pattern with
+              | Access.Unknown why when a.Access.loop <> None ->
+                  QCheck.Test.fail_reportf "unclassified in-loop access: %s" why
+              | _ -> ())
+            rep.Access.accesses
+      | ls -> QCheck.Test.fail_reportf "expected 2 loops, got %d" (List.length ls));
+      true)
+
+let suites =
+  [
+    ( "dataflow",
+      [
+        Alcotest.test_case "trips: constant bound, non-unit step" `Quick
+          test_trip_const;
+        Alcotest.test_case "trips: affine in a parameter" `Quick
+          test_trip_affine;
+        Alcotest.test_case "trips: nested loop with in-loop calls" `Quick
+          test_trip_nested_and_calls;
+        Alcotest.test_case "trips: geometric loop stays unknown" `Quick
+          test_trip_unknown_geometric;
+        Alcotest.test_case "patterns: sequential/strided/indirect" `Quick
+          test_patterns;
+        Alcotest.test_case "diagnostic: uninit local" `Quick test_diag_uninit;
+        Alcotest.test_case "diagnostic: dead store" `Quick test_diag_dead_store;
+        Alcotest.test_case "diagnostic: invariant load" `Quick
+          test_diag_invariant_load;
+        Alcotest.test_case "dataflow adds no errors to wfs" `Quick
+          test_diag_clean_stays_clean;
+        Alcotest.test_case "estimator: trip-weighted ranking" `Quick
+          test_estimator_ranks_big_loop;
+        Alcotest.test_case "CLI exit-code contract (0/2/3/4)" `Quick
+          test_exit_codes;
+        Alcotest.test_case "CLI --json manifest validates" `Quick
+          test_json_manifest;
+        QCheck_alcotest.to_alcotest qcheck_static_vs_dynamic;
+      ] );
+  ]
