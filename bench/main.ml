@@ -620,8 +620,8 @@ let generality () =
 
 let replay_bench () =
   section
-    "Record once, replay many: one traced execution drives every tool \
-     (vs one instrumented run per tool)";
+    "Sharded streaming replay: one traced execution drives every tool \
+     (chunk-parallel decode, mergeable tool shards)";
   let tiny = Scenario.tiny in
   let prog = Harness.compile tiny in
   let symtab = prog.Tq_vm.Program.symtab in
@@ -633,54 +633,75 @@ let replay_bench () =
     R.figure t ~metric:Tq.Read_incl ~kernels:(Tq.kernels t) ~title:"fig" ()
   in
   let render_quad q = R.quad_table (Q.rows q) in
+  let render_gprof g = R.flat_profile (G.flat_profile g) in
   (* record once ... *)
   let path = Filename.temp_file "tquad_bench" ".trc" in
   let events, record_dt =
     timed (fun () ->
         bspan "record" (fun () -> Tq_trace.Probe.record ~fuel (fresh ()) ~path))
   in
-  let reader = Tq_trace.Reader.load path in
-  let reader_unverified = Tq_trace.Reader.load ~verify:false path in
+  (* A fresh reader per timed run: the reader memoizes per-chunk CRC
+     verification (verify-at-most-once), so reusing one would let every
+     round after the first skip the CRC work being measured. *)
+  let fresh_reader ?verify () = Tq_trace.Reader.load ?verify path in
+  let r0 = fresh_reader () in
   Printf.printf
     "  recorded %s events in %s bytes (%.2fs; %d chunks)\n"
     (Tq_util.Text_table.int_cell events)
-    (Tq_util.Text_table.int_cell (Tq_trace.Reader.byte_size reader))
+    (Tq_util.Text_table.int_cell (Tq_trace.Reader.byte_size r0))
     record_dt
-    (Tq_trace.Reader.n_chunks reader);
-  (* ... replay every tool from the one trace, fanned over domains *)
+    (Tq_trace.Reader.n_chunks r0);
+  (* ... replay every tool from the one trace; every tool except the
+     order-sensitive cache simulator carries its shard capability *)
   let job = Tq_trace.Replay.job in
   let jobs =
     [
-      job ~wants:Tq.interest "tquad" (fun () ->
+      job ~wants:Tq.interest
+        ~sharded:(Tq.sharded ~slice_interval:2_000 symtab ~render:render_tquad)
+        "tquad"
+        (fun () ->
           let t = Tq.create ~slice_interval:2_000 symtab in
           (Tq.consume t, fun () -> render_tquad t));
-      job ~wants:Q.interest "quad" (fun () ->
+      job ~wants:Q.interest ~sharded:(Q.sharded symtab ~render:render_quad)
+        "quad"
+        (fun () ->
           let q = Q.create symtab in
           (Q.consume q, fun () -> render_quad q));
-      job ~wants:G.interest "gprof" (fun () ->
+      job ~wants:G.interest
+        ~sharded:(G.sharded ~period:2_000 symtab ~render:render_gprof)
+        "gprof"
+        (fun () ->
           let g = G.create ~period:2_000 symtab in
-          (G.consume g, fun () -> R.flat_profile (G.flat_profile g)));
-      job ~wants:Tq_prof.Ins_mix.interest "mix" (fun () ->
+          (G.consume g, fun () -> render_gprof g));
+      job ~wants:Tq_prof.Ins_mix.interest
+        ~sharded:(Tq_prof.Ins_mix.sharded prog ~render:Tq_prof.Ins_mix.render)
+        "mix"
+        (fun () ->
           let mix = Tq_prof.Ins_mix.create prog in
           (Tq_prof.Ins_mix.consume mix, fun () -> Tq_prof.Ins_mix.render mix));
       job ~wants:Tq_prof.Cache_sim.interest "cache" (fun () ->
           let c = Tq_prof.Cache_sim.create symtab in
           (Tq_prof.Cache_sim.consume c, fun () -> Tq_prof.Cache_sim.render c));
-      job ~wants:Tq_prof.Footprint.interest "footprint" (fun () ->
+      job ~wants:Tq_prof.Footprint.interest
+        ~sharded:(Tq_prof.Footprint.sharded prog ~render:Tq_prof.Footprint.render)
+        "footprint"
+        (fun () ->
           let f = Tq_prof.Footprint.create prog in
           (Tq_prof.Footprint.consume f, fun () -> Tq_prof.Footprint.render f));
     ]
   in
   (* Interleaved rounds, best-of per side: one-shot wall clocks on these
      sub-second runs swing with machine load and accumulated GC state, so
-     each round times live tquad, live quad and the replay back to back
-     (drift hits all three alike) behind a compacted heap, and each side
-     keeps its fastest round. *)
+     each round times live tquad, live quad, the sequential oracle and the
+     sharded pipeline back to back (drift hits all sides alike) behind a
+     compacted heap, and each side keeps its fastest round. *)
   let rounds = 5 in
   let live_tquad = ref "" and tquad_dt = ref infinity in
   let live_quad = ref "" and quad_dt = ref infinity in
+  let seq_results = ref [] and seq_dt = ref infinity in
   let results = ref [] and replay_dt = ref infinity in
   let noverify_dt = ref infinity in
+  let stats = ref None in
   let best dt_ref v_ref (v, dt) =
     if dt < !dt_ref then begin
       dt_ref := dt;
@@ -703,31 +724,73 @@ let replay_bench () =
            Engine.run ~fuel eng;
            render_quad q));
     Gc.compact ();
+    best seq_dt seq_results
+      (timed (fun () -> Tq_trace.Replay.sequential (fresh_reader ()) jobs));
+    Gc.compact ();
     best replay_dt results
-      (timed (fun () -> Tq_trace.Replay.parallel ~domains:2 reader jobs));
+      (timed (fun () ->
+           Tq_trace.Replay.parallel
+             ~stats:(fun s -> stats := Some s)
+             (fresh_reader ()) jobs));
     Gc.compact ();
     best noverify_dt (ref [])
       (timed (fun () ->
-           Tq_trace.Replay.parallel ~domains:2 reader_unverified jobs))
+           Tq_trace.Replay.parallel (fresh_reader ~verify:false ()) jobs))
   done;
   let live_tquad = !live_tquad and tquad_dt = !tquad_dt in
   let live_quad = !live_quad and quad_dt = !quad_dt in
+  let seq_results = !seq_results and seq_dt = !seq_dt in
   let results = !results and replay_dt = !replay_dt in
   let noverify_dt = !noverify_dt in
+  (* shard-count scaling: same pipeline, fixed shard counts *)
+  let shard_table =
+    List.map
+      (fun shards ->
+        let dt = ref infinity in
+        for _ = 1 to 2 do
+          Gc.compact ();
+          best dt (ref [])
+            (timed (fun () ->
+                 Tq_trace.Replay.parallel ~shards (fresh_reader ()) jobs))
+        done;
+        (shards, !dt))
+      [ 1; 2; 4; 8 ]
+  in
   Sys.remove path;
   let identical name live =
     match List.assoc_opt name results with
     | Some (Ok replayed) -> replayed = live
     | Some (Error _) | None -> false
   in
+  (* the tentpole's exactness bar: every sharded report byte-identical to
+     the sequential oracle's *)
+  let all_identical =
+    List.for_all
+      (fun (j : Tq_trace.Replay.job) ->
+        match
+          (List.assoc_opt j.name results, List.assoc_opt j.name seq_results)
+        with
+        | Some (Ok a), Some (Ok b) -> a = b
+        | _ -> false)
+      jobs
+  in
   let failures =
     List.filter (fun (_, o) -> Result.is_error o) results |> List.length
   in
+  let domains_used =
+    match !stats with Some s -> s.Tq_trace.Replay.rs_domains | None -> 1
+  in
+  let shards_used =
+    match !stats with Some s -> s.Tq_trace.Replay.rs_shards | None -> 1
+  in
   Printf.printf
-    "  replayed %d tools (2 domains requested, %d hardware) in %.2fs\n"
-    (List.length results)
+    "  replayed %d tools (%d domain(s), %d shard(s), %d hardware) in %.2fs\n"
+    (List.length results) domains_used shards_used
     (Domain.recommended_domain_count ())
     replay_dt;
+  Printf.printf "  sequential oracle (single pass, all tools): %.2fs\n" seq_dt;
+  Printf.printf "  sharded reports byte-identical to sequential oracle: %b\n"
+    all_identical;
   Printf.printf "  tquad replay byte-identical to live run: %b\n"
     (identical "tquad" live_tquad);
   Printf.printf "  quad  replay byte-identical to live run: %b\n"
@@ -749,20 +812,39 @@ let replay_bench () =
   in
   Printf.printf
     "  CRC verification: replay %.3fs verified vs %.3fs unverified \
-     (%+.2f%% overhead)\n"
+     (%+.2f%% overhead; CRC runs inside the decode stage)\n"
     replay_dt noverify_dt crc_overhead_pct;
+  List.iter
+    (fun (shards, dt) ->
+      Printf.printf "  shards=%d: %.3fs (%.2fx vs sequential)\n" shards dt
+        (seq_dt /. dt))
+    shard_table;
   Printf.printf "  job failures during replay: %d\n" failures;
   json_emit "replay"
     [
       ("events", jint events);
       ("tools", jint (List.length jobs));
       ("record_s", jfloat record_dt);
+      ("replay_sequential_s", jfloat seq_dt);
       ("replay_verified_s", jfloat replay_dt);
       ("replay_unverified_s", jfloat noverify_dt);
       ("crc_overhead_pct", jfloat crc_overhead_pct);
       ("speedup_vs_two_live_runs", jfloat (two_runs /. replay_dt));
+      ("sharded_vs_sequential", jfloat (seq_dt /. replay_dt));
+      ("domains_used", jint domains_used);
+      ("shards_used", jint shards_used);
+      ( "shard_table",
+        Obs.Json.List
+          (List.map
+             (fun (shards, dt) ->
+               Obs.Json.Obj
+                 [ ("shards", jint shards);
+                   ("wall_s", jfloat dt);
+                   ("speedup_vs_sequential", jfloat (seq_dt /. dt)) ])
+             shard_table) );
       ("tquad_identical", jstr (string_of_bool (identical "tquad" live_tquad)));
       ("quad_identical", jstr (string_of_bool (identical "quad" live_quad)));
+      ("all_identical", jbool all_identical);
       ("job_failures", jint failures);
     ]
 

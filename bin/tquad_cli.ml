@@ -710,8 +710,24 @@ let replay_cmd =
     Arg.(
       value & opt int 0
       & info [ "domains" ] ~docv:"N"
-          ~doc:"Domains for --all (0 = one per core, capped at the tool \
-                count; 1 = sequential).")
+          ~doc:"Worker domains for --all (0 = one per core; 1 with default \
+                --shards = sequential).")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Trace ranges per shardable tool for --all (0 = one per \
+                domain).  Tools that cannot shard consume the ordered chunk \
+                walk instead.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Decode window: chunks decoded ahead of the slowest consumer \
+                (0 = twice the domain count, at least 4).  Bounds replay's \
+                resident decoded-event memory.")
   in
   let slice_arg =
     Arg.(
@@ -738,7 +754,8 @@ let replay_cmd =
             "Testing aid: make TOOL's replay job raise on its first event, \
              to exercise the partial-failure exit code (4).")
   in
-  let run metrics trace file wfs tool all domains slice period salvage fail_tool =
+  let run metrics trace file wfs tool all domains shards batch slice period
+      salvage fail_tool =
     obs_init "replay" metrics;
     let prog =
       match (file, wfs) with
@@ -799,21 +816,51 @@ let replay_cmd =
     let prepare jobs =
       match fail_tool with Some name -> sabotage name jobs | None -> jobs
     in
-    (* per-domain wall times for the manifest's ["replay"] section *)
+    (* per-domain wall times and pipeline stats for the manifest's
+       ["replay"] section; captured into refs so one section carries both *)
+    let timings_ref = ref None and stats_ref = ref None in
     let timings =
-      if not (Obs.Span.is_enabled !obs) then None
-      else
-        Some
-          (fun ts ->
-            let domains =
-              List.length
-                (List.sort_uniq compare
-                   (List.map (fun t -> t.Tq_trace.Replay.domain) ts))
-            in
-            obs_section "replay"
-              (Obs.Json.Obj
-                 [ ("domains", Obs.Json.Int domains);
-                   ( "timings",
+      if Obs.Span.is_enabled !obs then Some (fun ts -> timings_ref := Some ts)
+      else None
+    in
+    let stats =
+      if Obs.Span.is_enabled !obs then Some (fun s -> stats_ref := Some s)
+      else None
+    in
+    let emit_replay_section () =
+      match !timings_ref with
+      | None -> ()
+      | Some ts ->
+          let n_domains =
+            match !stats_ref with
+            | Some s -> s.Tq_trace.Replay.rs_domains
+            | None ->
+                List.length
+                  (List.sort_uniq compare
+                     (List.map (fun t -> t.Tq_trace.Replay.domain) ts))
+          in
+          let stat_fields =
+            match !stats_ref with
+            | None -> []
+            | Some s ->
+                Tq_trace.Replay.
+                  [ ("shards", Obs.Json.Int s.rs_shards);
+                    ("batch", Obs.Json.Int s.rs_batch);
+                    ("chunks", Obs.Json.Int s.rs_chunks);
+                    ("events", Obs.Json.Int s.rs_events);
+                    ("peak_live_chunks", Obs.Json.Int s.rs_peak_live_chunks);
+                    ( "stage_s",
+                      Obs.Json.Obj
+                        [ ("decode", Obs.Json.Float s.rs_decode_s);
+                          ("ordered", Obs.Json.Float s.rs_ordered_s);
+                          ("shard", Obs.Json.Float s.rs_shard_s);
+                          ("merge", Obs.Json.Float s.rs_merge_s) ] ) ]
+          in
+          obs_section "replay"
+            (Obs.Json.Obj
+               (("domains", Obs.Json.Int n_domains)
+               :: stat_fields
+               @ [ ( "timings",
                      Obs.Json.List
                        (List.map
                           (fun (t : Tq_trace.Replay.domain_timing) ->
@@ -830,21 +877,28 @@ let replay_cmd =
     match (tool, all) with
     | Some name, false ->
         let jobs = prepare [ replay_job prog ~slice ~period name ] in
-        finish_results ~banner:false
-          (span "replay" (fun () ->
-               Tq_trace.Replay.sequential ?timings reader jobs))
+        let results =
+          span "replay" (fun () ->
+              Tq_trace.Replay.sequential ?timings reader jobs)
+        in
+        emit_replay_section ();
+        finish_results ~banner:false results
     | None, true ->
         let jobs =
           prepare (List.map (replay_job prog ~slice ~period) all_tool_names)
         in
         let results =
           span "replay" (fun () ->
-              if domains = 1 then Tq_trace.Replay.sequential ?timings reader jobs
+              if domains = 1 && shards <= 1 && batch <= 0 then
+                Tq_trace.Replay.sequential ?timings reader jobs
               else
                 Tq_trace.Replay.parallel
-                  ?domains:(if domains > 1 then Some domains else None)
-                  ?timings reader jobs)
+                  ?domains:(if domains > 0 then Some domains else None)
+                  ?shards:(if shards > 0 then Some shards else None)
+                  ?batch:(if batch > 0 then Some batch else None)
+                  ?timings ?stats reader jobs)
         in
+        emit_replay_section ();
         finish_results ~banner:true results
     | _ ->
         Printf.eprintf "replay: give exactly one of --tool or --all\n";
@@ -860,8 +914,8 @@ let replay_cmd =
           survivors' reports were printed)")
     Term.(
       const run $ metrics_arg $ trace_pos_arg $ file_pos_arg $ wfs_arg
-      $ tool_arg $ all_arg $ domains_arg $ slice_arg $ period_arg $ salvage_arg
-      $ fail_tool_arg)
+      $ tool_arg $ all_arg $ domains_arg $ shards_arg $ batch_arg $ slice_arg
+      $ period_arg $ salvage_arg $ fail_tool_arg)
 
 (* ---------- trace inspection / fault injection ---------- *)
 

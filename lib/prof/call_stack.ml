@@ -10,6 +10,8 @@ type t = {
 }
 
 let create policy = { policy; frames = []; depth = 0; max_depth = 0 }
+let copy t = { t with policy = t.policy }
+let policy t = t.policy
 
 let tracked t (r : Tq_vm.Symtab.routine) =
   match t.policy with Track_all -> true | Main_image_only -> r.is_main_image

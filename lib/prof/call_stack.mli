@@ -19,6 +19,15 @@ type t
 
 val create : policy -> t
 
+val copy : t -> t
+(** An independent snapshot: pushes/pops on the copy do not affect the
+    original (frames are immutable, so the spine is shared).  Used to seed
+    trace-range shards of the sharded replay pipeline with the exact stack
+    state at the shard boundary. *)
+
+val policy : t -> policy
+(** The policy the stack was created with. *)
+
 val on_entry : t -> Tq_vm.Symtab.routine -> sp:int -> unit
 (** Call from a routine-entry analysis event; [sp] is the stack pointer at
     the entry instruction (pointing at the pushed return address). *)

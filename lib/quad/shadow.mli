@@ -13,7 +13,28 @@ val create : unit -> t
 val set : t -> int -> int -> unit
 (** [set t addr producer_id] records the last writer of one byte. *)
 
+val set_range : t -> int -> int -> int -> unit
+(** [set_range t addr len producer_id] records the last writer of [len]
+    consecutive bytes — page-split [Array.fill]s, equivalent to [len]
+    {!set}s. *)
+
 val get : t -> int -> int
 (** [-1] if the byte has never been written. *)
 
+val page_size : int
+(** Bytes per shadow page (a power of two). *)
+
+val page_mask : int
+(** [page_size - 1]: [addr land page_mask] indexes within {!page_ro}. *)
+
+val page_ro : t -> int -> int array
+(** The page holding [addr], for reading only: a never-written page resolves
+    to a shared all-[-1] page without allocating.  Entries are producer ids
+    or [-1]; callers must not write through the returned array. *)
+
 val page_count : t -> int
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] overlays [src]'s written bytes onto [dst]: bytes
+    with a producer in [src] take [src]'s producer (later range wins); bytes
+    [src] never wrote keep [dst]'s.  [src] is unchanged. *)

@@ -72,7 +72,7 @@ let cached_iter cache key reader per_tag =
           Lru.add cache (key, i) ~weight:((64 * Array.length evs) + 256) evs;
           evs
     in
-    Array.iter (fun ev -> per_tag.(Event.tag ev) ev) evs
+    Replay.dispatch per_tag evs
   done
 
 let run_spec cache spec =

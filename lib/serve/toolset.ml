@@ -63,28 +63,46 @@ let render_mix mix =
     (Tq_prof.Ins_mix.per_kernel mix);
   Buffer.contents buf
 
+(* Each job carries its tool's shard capability where one exists, so
+   [Replay.parallel] can split the trace; cache_sim's replacement state is
+   inherently order-sensitive, so it stays an ordered (non-sharded) job and
+   replays on the in-order walk. *)
 let job ~prog ~slice ~period name =
   let symtab = prog.Tq_vm.Program.symtab in
   match name with
   | "tquad" ->
       Ok
-        (Tq_trace.Replay.job ~wants:Tq_tquad.Tquad.interest "tquad" (fun () ->
+        (Tq_trace.Replay.job ~wants:Tq_tquad.Tquad.interest
+           ~sharded:
+             (Tq_tquad.Tquad.sharded ~slice_interval:slice symtab
+                ~render:(render_tquad ~slice))
+           "tquad"
+           (fun () ->
              let t = Tq_tquad.Tquad.create ~slice_interval:slice symtab in
              (Tq_tquad.Tquad.consume t, fun () -> render_tquad ~slice t)))
   | "quad" ->
       Ok
-        (Tq_trace.Replay.job ~wants:Tq_quad.Quad.interest "quad" (fun () ->
+        (Tq_trace.Replay.job ~wants:Tq_quad.Quad.interest
+           ~sharded:(Tq_quad.Quad.sharded symtab ~render:render_quad)
+           "quad"
+           (fun () ->
              let q = Tq_quad.Quad.create symtab in
              (Tq_quad.Quad.consume q, fun () -> render_quad q)))
   | "gprof" ->
       Ok
-        (Tq_trace.Replay.job ~wants:Tq_gprofsim.Gprofsim.interest "gprof"
+        (Tq_trace.Replay.job ~wants:Tq_gprofsim.Gprofsim.interest
+           ~sharded:
+             (Tq_gprofsim.Gprofsim.sharded ~period symtab ~render:render_gprof)
+           "gprof"
            (fun () ->
              let g = Tq_gprofsim.Gprofsim.create ~period symtab in
              (Tq_gprofsim.Gprofsim.consume g, fun () -> render_gprof g)))
   | "mix" ->
       Ok
-        (Tq_trace.Replay.job ~wants:Tq_prof.Ins_mix.interest "mix" (fun () ->
+        (Tq_trace.Replay.job ~wants:Tq_prof.Ins_mix.interest
+           ~sharded:(Tq_prof.Ins_mix.sharded prog ~render:render_mix)
+           "mix"
+           (fun () ->
              let mix = Tq_prof.Ins_mix.create prog in
              (Tq_prof.Ins_mix.consume mix, fun () -> render_mix mix)))
   | "cache" ->
@@ -95,7 +113,10 @@ let job ~prog ~slice ~period name =
              (Tq_prof.Cache_sim.consume c, fun () -> Tq_prof.Cache_sim.render c)))
   | "footprint" ->
       Ok
-        (Tq_trace.Replay.job ~wants:Tq_prof.Footprint.interest "footprint"
+        (Tq_trace.Replay.job ~wants:Tq_prof.Footprint.interest
+           ~sharded:
+             (Tq_prof.Footprint.sharded prog ~render:Tq_prof.Footprint.render)
+           "footprint"
            (fun () ->
              let f = Tq_prof.Footprint.create prog in
              (Tq_prof.Footprint.consume f, fun () -> Tq_prof.Footprint.render f)))

@@ -477,6 +477,11 @@ let chunk_events t idx =
       incr k);
   out
 
+let chunk_event_count t idx =
+  if idx < 0 || idx >= Array.length t.chunks then
+    invalid_arg "Trace.Reader.chunk_event_count: chunk index out of range";
+  t.chunks.(idx).c_events
+
 let fingerprint t = t.fingerprint
 let n_events t = t.n_events
 let n_chunks t = Array.length t.chunks

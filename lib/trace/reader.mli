@@ -83,6 +83,12 @@ val chunk_events : t -> int -> Event.t array
     @raise Invalid_argument if the index is out of range.
     @raise Format_error if the chunk fails its CRC check or is malformed. *)
 
+val chunk_event_count : t -> int -> int
+(** Number of events in chunk [i], straight from the chunk index — no decode,
+    no CRC.  Lets the sharded replay pipeline place event-balanced shard
+    boundaries before any chunk is touched.
+    @raise Invalid_argument if the index is out of range. *)
+
 val verified_chunks : t -> int
 (** How many chunks have their verified bit set — observability for the
     verify-at-most-once contract ([= ]{!n_chunks} after {!crc_check} or a

@@ -1,23 +1,71 @@
-(* Table-driven CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). *)
+(* Table-driven CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320),
+   slicing-by-8: eight derived tables let the hot loop fold eight input
+   bytes per iteration with eight independent table lookups instead of a
+   serial byte-at-a-time chain.  Digests are bit-identical to the classic
+   single-table algorithm (the derived tables are just the byte-at-a-time
+   recurrence pre-composed), so existing containers verify unchanged. *)
 
-let table =
+let tables =
   lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
+    (let t0 =
+       Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c :=
+               if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c)
+     in
+     let ts = Array.make 8 t0 in
+     for k = 1 to 7 do
+       let prev = ts.(k - 1) in
+       ts.(k) <-
+         Array.init 256 (fun n ->
+             let p = prev.(n) in
+             t0.(p land 0xFF) lxor (p lsr 8))
+     done;
+     ts)
+
+(* Unaligned 16-bit little-endian load: the sliced hot loop wants 8 input
+   bytes per iteration, and four 2-byte loads beat eight 1-byte loads.  The
+   caller has bounds-checked the whole slice up front. *)
+external get16u : string -> int -> int = "%caml_string_get16u"
 
 let digest ?(crc = 0) ?(pos = 0) ?len s =
   let len = match len with Some l -> l | None -> String.length s - pos in
   if pos < 0 || len < 0 || pos > String.length s - len then
     invalid_arg "Crc32.digest: slice out of bounds";
-  let t = Lazy.force table in
+  let ts = Lazy.force tables in
+  let t0 = Array.unsafe_get ts 0
+  and t1 = Array.unsafe_get ts 1
+  and t2 = Array.unsafe_get ts 2
+  and t3 = Array.unsafe_get ts 3
+  and t4 = Array.unsafe_get ts 4
+  and t5 = Array.unsafe_get ts 5
+  and t6 = Array.unsafe_get ts 6
+  and t7 = Array.unsafe_get ts 7 in
   let c = ref (crc lxor 0xFFFFFFFF) in
-  for i = pos to pos + len - 1 do
+  let b i = Char.code (String.unsafe_get s i) in
+  let i = ref pos in
+  let stop8 = pos + len - 7 in
+  while !i < stop8 do
+    let j = !i in
+    let lo = !c lxor (get16u s j lor (get16u s (j + 2) lsl 16)) in
+    let hi = get16u s (j + 4) lor (get16u s (j + 6) lsl 16) in
     c :=
-      Array.unsafe_get t ((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
-      lxor (!c lsr 8)
+      Array.unsafe_get t7 (lo land 0xFF)
+      lxor Array.unsafe_get t6 ((lo lsr 8) land 0xFF)
+      lxor Array.unsafe_get t5 ((lo lsr 16) land 0xFF)
+      lxor Array.unsafe_get t4 ((lo lsr 24) land 0xFF)
+      lxor Array.unsafe_get t3 (hi land 0xFF)
+      lxor Array.unsafe_get t2 ((hi lsr 8) land 0xFF)
+      lxor Array.unsafe_get t1 ((hi lsr 16) land 0xFF)
+      lxor Array.unsafe_get t0 ((hi lsr 24) land 0xFF);
+    i := j + 8
+  done;
+  let stop = pos + len in
+  while !i < stop do
+    c := Array.unsafe_get t0 ((!c lxor b !i) land 0xFF) lxor (!c lsr 8);
+    incr i
   done;
   !c lxor 0xFFFFFFFF land 0xFFFFFFFF

@@ -332,6 +332,159 @@ let test_supervised_replay () =
       (* even with every job sharing one domain's decode pass *)
       check (Replay.parallel ~domains:1 reader jobs))
 
+(* ---------- sharded replay property ---------- *)
+
+(* The sharded pipeline's whole contract is byte-identity with
+   {!Replay.sequential} no matter where chunk boundaries fall or how many
+   shards each tool is split into.  Exercise it with a real recording (the
+   tools need a coherent program, stack discipline and address layout, which
+   [gen_events] cannot provide) re-encoded under a randomized chunk size, so
+   every iteration puts the shard/seed boundaries at different events. *)
+
+let micro_scen = { Tq_wfs.Scenario.tiny with speakers = 2; chunks = 2 }
+
+(* Record once, lazily; iterations only re-encode. *)
+let micro_recording =
+  lazy
+    (let path = Filename.temp_file "tq_wfs" ".trc" in
+     Fun.protect
+       ~finally:(fun () -> Sys.remove path)
+       (fun () ->
+         let prog = Tq_wfs.Harness.compile micro_scen in
+         let m =
+           Machine.create ~vfs:(Tq_wfs.Harness.make_vfs micro_scen) prog
+         in
+         let eng = Engine.create m in
+         let _events : int =
+           Probe.record ~fuel:(Tq_wfs.Harness.fuel micro_scen) eng ~path
+         in
+         let r = Reader.load path in
+         let out = ref [] in
+         Reader.iter r (fun ev -> out := ev :: !out);
+         (prog, List.rev !out)))
+
+(* [replay_jobs] plus each tool's shard capability — the same render
+   functions on both paths, so string equality is full-state equality.
+   cache stays order-sensitive (replacement state has no merge) and rides
+   the pipeline's ordered stage. *)
+let sharded_jobs prog =
+  let symtab = prog.Program.symtab in
+  [
+    Replay.job ~wants:Tq_tquad.Tquad.interest
+      ~sharded:
+        (Tq_tquad.Tquad.sharded ~slice_interval:slice symtab
+           ~render:render_tquad)
+      "tquad"
+      (fun () ->
+        let t = Tq_tquad.Tquad.create ~slice_interval:slice symtab in
+        (Tq_tquad.Tquad.consume t, fun () -> render_tquad t));
+    Replay.job ~wants:Tq_quad.Quad.interest
+      ~sharded:(Tq_quad.Quad.sharded symtab ~render:render_quad)
+      "quad"
+      (fun () ->
+        let q = Tq_quad.Quad.create symtab in
+        (Tq_quad.Quad.consume q, fun () -> render_quad q));
+    Replay.job ~wants:Tq_gprofsim.Gprofsim.interest
+      ~sharded:(Tq_gprofsim.Gprofsim.sharded ~period symtab ~render:render_gprof)
+      "gprof"
+      (fun () ->
+        let g = Tq_gprofsim.Gprofsim.create ~period symtab in
+        (Tq_gprofsim.Gprofsim.consume g, fun () -> render_gprof g));
+    Replay.job ~wants:Tq_prof.Ins_mix.interest
+      ~sharded:(Tq_prof.Ins_mix.sharded prog ~render:Tq_prof.Ins_mix.render)
+      "mix"
+      (fun () ->
+        let mix = Tq_prof.Ins_mix.create prog in
+        (Tq_prof.Ins_mix.consume mix, fun () -> Tq_prof.Ins_mix.render mix));
+    Replay.job ~wants:Tq_prof.Cache_sim.interest "cache" (fun () ->
+        let c = Tq_prof.Cache_sim.create symtab in
+        (Tq_prof.Cache_sim.consume c, fun () -> Tq_prof.Cache_sim.render c));
+    Replay.job ~wants:Tq_prof.Footprint.interest
+      ~sharded:(Tq_prof.Footprint.sharded prog ~render:Tq_prof.Footprint.render)
+      "footprint"
+      (fun () ->
+        let f = Tq_prof.Footprint.create prog in
+        (Tq_prof.Footprint.consume f, fun () -> Tq_prof.Footprint.render f));
+  ]
+
+(* Outcome lists match when every job agrees by name and payload; failures
+   compare by message (backtraces are environment-dependent). *)
+let outcomes_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (n1, o1) (n2, o2) ->
+         n1 = n2
+         &&
+         match (o1, o2) with
+         | Ok r1, Ok r2 -> r1 = r2
+         | Error f1, Error f2 ->
+             Replay.failure_message f1 = Replay.failure_message f2
+         | _ -> false)
+       a b
+
+let reencode ~chunk_bytes evs =
+  let path = Filename.temp_file "tq_shard" ".trc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Writer.with_file ~chunk_bytes path (fun w ->
+          List.iter (Writer.emit w) evs);
+      In_channel.with_open_bin path In_channel.input_all)
+
+let gen_pipeline_shape =
+  QCheck.Gen.(
+    quad
+      (int_range 256 4096) (* chunk_bytes: boundaries land anywhere *)
+      (int_range 1 8) (* shards *)
+      (int_range 1 3) (* domains (capped by the machine) *)
+      (int_range 1 6) (* batch: decode window *))
+
+let arb_pipeline_shape =
+  QCheck.make
+    ~print:(fun (cb, s, d, b) ->
+      Printf.sprintf "chunk_bytes=%d shards=%d domains=%d batch=%d" cb s d b)
+    gen_pipeline_shape
+
+let qcheck_sharded_identity =
+  QCheck.Test.make
+    ~name:"sharded replay = sequential for every tool (random chunks/shards)"
+    ~count:12 arb_pipeline_shape
+    (fun (chunk_bytes, shards, domains, batch) ->
+      let prog, evs = Lazy.force micro_recording in
+      let raw = reencode ~chunk_bytes evs in
+      let jobs = sharded_jobs prog in
+      let seq = Replay.sequential (Reader.of_string raw) jobs in
+      let par =
+        Replay.parallel ~domains ~shards ~batch (Reader.of_string raw) jobs
+      in
+      List.for_all (fun (_, o) -> Result.is_ok o) seq
+      && outcomes_equal seq par)
+
+(* Same identity under salvage: corrupt the container, load what survives,
+   and the pipeline must still agree with the sequential walk of the same
+   salvaged reader.  A mutation that defeats salvage entirely must do so on
+   both paths ([of_string] raises before any replay starts). *)
+let qcheck_sharded_salvage_identity =
+  QCheck.Test.make
+    ~name:"sharded replay = sequential under salvage of a corrupted trace"
+    ~count:16
+    (QCheck.pair arb_pipeline_shape QCheck.(int_bound 10_000))
+    (fun ((chunk_bytes, shards, domains, batch), seed) ->
+      let prog, evs = Lazy.force micro_recording in
+      let raw = reencode ~chunk_bytes evs in
+      let mutation = Tq_faultgen.Faultgen.random ~seed raw in
+      let mutated = Tq_faultgen.Faultgen.apply mutation raw in
+      let jobs = sharded_jobs prog in
+      match Reader.of_string ~mode:Reader.Salvage mutated with
+      | exception Reader.Format_error _ -> (
+          match Reader.of_string ~mode:Reader.Salvage mutated with
+          | exception Reader.Format_error _ -> true
+          | _ -> false)
+      | r1 ->
+          let r2 = Reader.of_string ~mode:Reader.Salvage mutated in
+          outcomes_equal (Replay.sequential r1 jobs)
+            (Replay.parallel ~domains ~shards ~batch r2 jobs))
+
 (* ---------- crash safety of the writer ---------- *)
 
 let test_writer_atomic_rename () =
@@ -514,6 +667,8 @@ let suites =
           test_replay_equivalence;
         Alcotest.test_case "supervised replay isolates a raising tool" `Quick
           test_supervised_replay;
+        QCheck_alcotest.to_alcotest qcheck_sharded_identity;
+        QCheck_alcotest.to_alcotest qcheck_sharded_salvage_identity;
         Alcotest.test_case "writer streams to .tmp, renames on close" `Quick
           test_writer_atomic_rename;
         QCheck_alcotest.to_alcotest qcheck_v2_backcompat;
