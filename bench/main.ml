@@ -1244,11 +1244,69 @@ let serve_bench () =
     "  phase 2: burst of %d replays at rate 0.001/s: %d admitted, %d busy \
      (server counted %d rejections)\n"
     burst_requests !admitted !busy busy_rejections;
+  (* phase 3: a wire-level chaos storm — seeded malformed-frame strikes
+     against a third daemon with tight frame deadlines; the server must
+     answer every strike (never go unreachable or silent) and still serve a
+     clean full-toolset replay afterwards *)
+  let module W = Tq_faultgen.Wire in
+  let socket3 = tmp_socket () in
+  let cfg3 =
+    {
+      (Sv.default ~socket_path:socket3) with
+      Sv.workers = 1;
+      frame_timeout_s = 0.2;
+      idle_timeout_s = 5.;
+    }
+  in
+  let th3 = start_server cfg3 in
+  let chaos_rounds = if !tiny_mode then 16 else 64 in
+  let storm_events, storm_dt =
+    timed (fun () ->
+        W.storm ~socket:socket3 ~seed:42 ~rounds:chaos_rounds ())
+  in
+  let count p =
+    List.length (List.filter (fun e -> p e.W.verdict) storm_events)
+  in
+  let unreachable =
+    count (function W.Unreachable _ -> true | _ -> false)
+  in
+  let chaos_rejected = count (function W.Rejected _ -> true | _ -> false) in
+  let chaos_closed = count (function W.Closed -> true | _ -> false) in
+  let chaos_silent = count (function W.Silent -> true | _ -> false) in
+  let chaos_accepted = count (function W.Accepted -> true | _ -> false) in
+  let c3 = Result.get_ok (Cl.connect socket3) in
+  let id3 = Result.get_ok (Cl.upload ~program ~trace c3) in
+  let healthy_after_storm =
+    match Cl.replay ~slice:2_000 ~period:2_000 c3 id3 with
+    | Error e ->
+        fail ("phase 3 replay: " ^ e.Cl.reason);
+        false
+    | Ok jid -> (
+        match Cl.report ~wait:true c3 jid with
+        | Ok r -> r.Cl.failures = []
+        | Error e ->
+            fail ("phase 3 report: " ^ e.Cl.reason);
+            false)
+  in
+  let stats3 = Result.get_ok (Cl.stats c3) in
+  let reaped = int_of_float (num stats3 "reaped_connections") in
+  ignore (Cl.shutdown c3);
+  Cl.close c3;
+  Thread.join th3;
+  Printf.printf
+    "  phase 3: %d chaos strikes in %.2fs: %d rejected, %d closed, %d \
+     accepted, %d silent, %d unreachable (%d reaped)\n"
+    chaos_rounds storm_dt chaos_rejected chaos_closed chaos_accepted
+    chaos_silent unreachable reaped;
+  Printf.printf "  post-storm replay healthy: %b\n" healthy_after_storm;
   let ok =
     !errs = [] && failed = 0 && hit_rate > 0.5 && !busy > 0
     && !jobs_ok = clients * cycles
+    && unreachable = 0 && chaos_silent = 0 && healthy_after_storm
   in
-  Printf.printf "  acceptance (no failures, hit rate > 0.5, busy > 0): %b\n"
+  Printf.printf
+    "  acceptance (no failures, hit rate > 0.5, busy > 0, storm survived): \
+     %b\n"
     ok;
   json_emit "serve"
     [
@@ -1273,6 +1331,15 @@ let serve_bench () =
       ("burst_admitted", jint !admitted);
       ("burst_busy", jint !busy);
       ("busy_rejections", jint busy_rejections);
+      ("chaos_rounds", jint chaos_rounds);
+      ("chaos_wall_s", jfloat storm_dt);
+      ("chaos_rejected", jint chaos_rejected);
+      ("chaos_closed", jint chaos_closed);
+      ("chaos_accepted", jint chaos_accepted);
+      ("chaos_silent", jint chaos_silent);
+      ("chaos_unreachable", jint unreachable);
+      ("chaos_reaped_connections", jint reaped);
+      ("chaos_healthy_after", jbool healthy_after_storm);
       ("acceptance_ok", jbool ok);
     ]
 

@@ -1591,6 +1591,40 @@ let serve_cmd =
       & info [ "max-traces" ] ~docv:"N"
           ~doc:"Resident uploaded traces; further uploads are refused busy.")
   in
+  let max_connections_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Concurrent connection cap; over it new peers get a typed busy \
+             frame and an immediate close (0 disables the cap).")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 300.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Reap connections idle between requests for this long (0 \
+             disables).")
+  in
+  let frame_timeout_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "frame-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Budget for completing a started frame or response write — the \
+             slow-loris bound (0 disables).")
+  in
+  let job_timeout_arg =
+    Arg.(
+      value & opt float 120.
+      & info [ "job-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Default wall-clock budget per replay job, measured from \
+             submission; over-budget jobs die with a typed \
+             deadline-exceeded failure (0 disables).  Clients can tighten \
+             it per request, never loosen it.")
+  in
   let manifest_dir_arg =
     Arg.(
       value
@@ -1607,7 +1641,8 @@ let serve_cmd =
       & info [ "manifest-period" ] ~docv:"SECONDS"
           ~doc:"Server-manifest rewrite period.")
   in
-  let run socket domains queue cache_mb rate burst max_traces mdir mperiod =
+  let run socket domains queue cache_mb rate burst max_traces max_conns
+      idle_timeout frame_timeout job_timeout mdir mperiod =
     if
       domains < 0 || queue < 1 || cache_mb < 1 || rate <= 0. || burst < 1
       || max_traces < 1 || mperiod <= 0.
@@ -1615,6 +1650,15 @@ let serve_cmd =
       Printf.eprintf
         "serve: limits must be positive (queue-limit, cache-mb, rate, \
          burst, max-traces, manifest-period) and --domains non-negative\n";
+      exit exit_usage
+    end;
+    if
+      max_conns < 0 || idle_timeout < 0. || frame_timeout < 0.
+      || job_timeout < 0.
+    then begin
+      Printf.eprintf
+        "serve: --max-connections, --idle-timeout, --frame-timeout and \
+         --job-timeout must be non-negative (0 disables)\n";
       exit exit_usage
     end;
     (match mdir with
@@ -1633,6 +1677,10 @@ let serve_cmd =
         rate;
         burst;
         max_traces;
+        max_connections = max_conns;
+        idle_timeout_s = idle_timeout;
+        frame_timeout_s = frame_timeout;
+        job_timeout_s = job_timeout;
         manifest_dir = mdir;
         manifest_period_s = mperiod;
       }
@@ -1658,20 +1706,79 @@ let serve_cmd =
           client shutdown request) drains gracefully.  See docs/SERVE.md")
     Term.(
       const run $ socket_arg $ domains_arg $ queue_arg $ cache_arg $ rate_arg
-      $ burst_arg $ max_traces_arg $ manifest_dir_arg $ manifest_period_arg)
+      $ burst_arg $ max_traces_arg $ max_connections_arg $ idle_timeout_arg
+      $ frame_timeout_arg $ job_timeout_arg $ manifest_dir_arg
+      $ manifest_period_arg)
 
+(* exit-code contract: a bad-request refusal means this CLI asked for
+   something malformed (unknown tool, bad parameter) — a usage error, exit
+   2; every other refusal or transport/timeout failure means the analysis
+   never ran — exit 3.  A job that ran but failed (or was killed) exits 4
+   via print_served_report, mirroring `tquad replay`. *)
 let client_fail ctx (e : Tq_serve.Client.err) =
   Printf.eprintf "client %s: %s: %s\n" ctx e.Tq_serve.Client.kind e.reason;
   (match e.retry_after_s with
   | Some s -> Printf.eprintf "client %s: retry after %.3fs\n" ctx s
   | None -> ());
-  exit exit_unreadable
+  exit
+    (if e.Tq_serve.Client.kind = Tq_serve.Protocol.bad_request then exit_usage
+     else exit_unreadable)
 
-let with_client socket f =
-  match Tq_serve.Client.connect socket with
-  | Error e -> client_fail "connect" e
-  | Ok c ->
-      Fun.protect ~finally:(fun () -> Tq_serve.Client.close c) (fun () -> f c)
+(* --retries/--timeout/--backoff, shared by every client subcommand. *)
+let retry_args =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry busy/transport/timeout failures up to N times with \
+             exponential backoff and jitter, honouring the server's \
+             retry_after_s hint.  Terminal refusals (bad-request, \
+             not-found, server-error, ...) never retry.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Bound every send and response wait; an unresponsive server \
+             fails typed instead of hanging (0 = wait forever).")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:"Base delay before the first retry (doubles per attempt).")
+  in
+  let mk retries timeout backoff =
+    if retries < 0 || timeout < 0. || backoff <= 0. then begin
+      Printf.eprintf
+        "client: --retries and --timeout must be non-negative, --backoff \
+         positive\n";
+      exit exit_usage
+    end;
+    (retries, (if timeout > 0. then Some timeout else None), backoff)
+  in
+  Term.(const mk $ retries_arg $ timeout_arg $ backoff_arg)
+
+(* One fresh connection per attempt: after a transport failure the old
+   connection is dead, and a reconnect carries the attempt number so the
+   server's retries_observed counter sees the backoff happen. *)
+let with_client ~ctx (retries, timeout_s, backoff) socket f =
+  let policy =
+    { Tq_serve.Client.default_policy with retries; base_s = backoff }
+  in
+  match
+    Tq_serve.Client.with_retry ~policy (fun ~attempt ->
+        match Tq_serve.Client.connect ?timeout_s ~attempt socket with
+        | Error e -> Error e
+        | Ok c ->
+            Fun.protect
+              ~finally:(fun () -> Tq_serve.Client.close c)
+              (fun () -> f c))
+  with
+  | Ok v -> v
+  | Error e -> client_fail ctx e
 
 let print_served_report (r : Tq_serve.Client.report) =
   if not r.Tq_serve.Client.done_ then
@@ -1689,6 +1796,9 @@ let print_served_report (r : Tq_serve.Client.report) =
         if banner then Printf.printf "=== %s ===\n" name;
         print_string rep)
       r.Tq_serve.Client.reports;
+    (match r.Tq_serve.Client.killed with
+    | Some how -> Printf.eprintf "client: job killed: %s\n" how
+    | None -> ());
     List.iter
       (fun (name, msg) ->
         Printf.eprintf "client: tool %s failed: %s\n" name msg)
@@ -1698,15 +1808,13 @@ let print_served_report (r : Tq_serve.Client.report) =
 
 let client_cmd =
   let ping_cmd =
-    let run socket =
-      with_client socket (fun c ->
-          match Tq_serve.Client.ping c with
-          | Ok () -> print_endline "pong"
-          | Error e -> client_fail "ping" e)
+    let run socket retry =
+      with_client ~ctx:"ping" retry socket Tq_serve.Client.ping;
+      print_endline "pong"
     in
     Cmd.v
       (Cmd.info "ping" ~doc:"Check that the daemon answers")
-      Term.(const run $ socket_arg)
+      Term.(const run $ socket_arg $ retry_args)
   in
   let upload_cmd =
     let trace_pos_arg =
@@ -1721,7 +1829,7 @@ let client_cmd =
         & opt (some string) None
         & info [ "name" ] ~docv:"NAME" ~doc:"Display name for the trace.")
     in
-    let run socket trace file wfs name =
+    let run socket trace file wfs name retry =
       let bytes =
         try read_file trace
         with Sys_error msg ->
@@ -1740,12 +1848,11 @@ let client_cmd =
             Printf.eprintf "client upload: give at most one of FILE.mc or --wfs\n";
             exit exit_usage
       in
-      with_client socket (fun c ->
-          match
-            Tq_serve.Client.upload ?name ?program ~trace:bytes c
-          with
-          | Ok id -> Printf.printf "%s\n" id
-          | Error e -> client_fail "upload" e)
+      let id =
+        with_client ~ctx:"upload" retry socket
+          (Tq_serve.Client.upload ?name ?program ~trace:bytes)
+      in
+      Printf.printf "%s\n" id
     in
     Cmd.v
       (Cmd.info "upload"
@@ -1755,24 +1862,25 @@ let client_cmd =
             identical bytes")
       Term.(
         const run $ socket_arg $ trace_pos_arg $ file_pos_arg $ wfs_arg
-        $ name_arg)
+        $ name_arg $ retry_args)
   in
   let info_cmd =
     let id_pos_arg =
       Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
     in
-    let run socket id =
-      with_client socket (fun c ->
-          match Tq_serve.Client.trace_info c id with
-          | Ok j -> print_string (Obs.Json.to_string j)
-          | Error e -> client_fail "info" e)
+    let run socket id retry =
+      let j =
+        with_client ~ctx:"info" retry socket (fun c ->
+            Tq_serve.Client.trace_info c id)
+      in
+      print_string (Obs.Json.to_string j)
     in
     Cmd.v
       (Cmd.info "info"
          ~doc:
            "Print the daemon's trace section (JSON) for an uploaded trace \
             id — the same codec as 'tquad trace-info --json'")
-      Term.(const run $ socket_arg $ id_pos_arg)
+      Term.(const run $ socket_arg $ id_pos_arg $ retry_args)
   in
   let replay_cmd =
     let id_pos_arg =
@@ -1797,20 +1905,43 @@ let client_cmd =
         & info [ "wait" ]
             ~doc:
               "Block until the job completes and print its reports (exit 4 \
-               if any tool failed) instead of printing the job id.")
+               if any tool failed) instead of printing the job id.  The \
+               job attaches to this connection: hang up and the server \
+               cancels it.")
     in
-    let run socket id tools slice period wait =
+    let deadline_arg =
+      Arg.(
+        value & opt float 0.
+        & info [ "deadline" ] ~docv:"SECONDS"
+            ~doc:
+              "Tighten the server's wall-clock budget for this job (it can \
+               never loosen it); over-budget jobs die with a typed \
+               deadline-exceeded failure.  0 keeps the server default.")
+    in
+    let run socket id tools slice period wait deadline retry =
       let tools = if tools = [] then None else Some tools in
-      with_client socket (fun c ->
-          match Tq_serve.Client.replay ?tools ~slice ~period c id with
-          | Error e -> client_fail "replay" e
-          | Ok jid ->
-              if not wait then Printf.printf "job %d\n" jid
-              else begin
-                match Tq_serve.Client.report ~wait:true c jid with
-                | Ok r -> print_served_report r
-                | Error e -> client_fail "report" e
-              end)
+      if deadline < 0. then begin
+        Printf.eprintf "client replay: --deadline must be non-negative\n";
+        exit exit_usage
+      end;
+      let deadline_s = if deadline > 0. then Some deadline else None in
+      let outcome =
+        with_client ~ctx:"replay" retry socket (fun c ->
+            match
+              Tq_serve.Client.replay ?tools ~slice ~period ?deadline_s
+                ~attach:wait c id
+            with
+            | Error e -> Error e
+            | Ok jid ->
+                if not wait then Ok (`Job jid)
+                else
+                  Result.map
+                    (fun r -> `Report r)
+                    (Tq_serve.Client.report ~wait:true c jid))
+      in
+      match outcome with
+      | `Job jid -> Printf.printf "job %d\n" jid
+      | `Report r -> print_served_report r
     in
     Cmd.v
       (Cmd.info "replay"
@@ -1820,7 +1951,7 @@ let client_cmd =
             submissions are refused with a typed busy response")
       Term.(
         const run $ socket_arg $ id_pos_arg $ tool_arg $ slice_arg
-        $ period_arg $ wait_arg)
+        $ period_arg $ wait_arg $ deadline_arg $ retry_args)
   in
   let report_cmd =
     let job_pos_arg =
@@ -1831,51 +1962,105 @@ let client_cmd =
         value & flag
         & info [ "wait" ] ~doc:"Block until the job completes.")
     in
-    let run socket jid wait =
-      with_client socket (fun c ->
-          match Tq_serve.Client.report ~wait c jid with
-          | Ok r -> print_served_report r
-          | Error e -> client_fail "report" e)
+    let run socket jid wait retry =
+      let r =
+        with_client ~ctx:"report" retry socket (fun c ->
+            Tq_serve.Client.report ~wait c jid)
+      in
+      print_served_report r
     in
     Cmd.v
       (Cmd.info "report"
          ~doc:
            "Fetch a job's reports (exit 4 if any tool failed; '--wait' \
             blocks server-side until the job is done)")
-      Term.(const run $ socket_arg $ job_pos_arg $ wait_arg)
+      Term.(const run $ socket_arg $ job_pos_arg $ wait_arg $ retry_args)
   in
   let stats_cmd =
-    let run socket =
-      with_client socket (fun c ->
-          match Tq_serve.Client.stats c with
-          | Ok j -> print_string (Obs.Json.to_string j)
-          | Error e -> client_fail "stats" e)
+    let run socket retry =
+      let j = with_client ~ctx:"stats" retry socket Tq_serve.Client.stats in
+      print_string (Obs.Json.to_string j)
     in
     Cmd.v
       (Cmd.info "stats"
          ~doc:
            "Print the daemon's live server section (queue, cache, rate, \
             latency percentiles) as JSON")
-      Term.(const run $ socket_arg)
+      Term.(const run $ socket_arg $ retry_args)
   in
   let shutdown_cmd =
-    let run socket =
-      with_client socket (fun c ->
-          match Tq_serve.Client.shutdown c with
-          | Ok () -> print_endline "draining"
-          | Error e -> client_fail "shutdown" e)
+    let run socket retry =
+      with_client ~ctx:"shutdown" retry socket Tq_serve.Client.shutdown;
+      print_endline "draining"
     in
     Cmd.v
       (Cmd.info "shutdown" ~doc:"Ask the daemon to drain and exit")
-      Term.(const run $ socket_arg)
+      Term.(const run $ socket_arg $ retry_args)
+  in
+  let chaos_cmd =
+    let seed_arg =
+      Arg.(
+        value & opt int 1
+        & info [ "seed" ] ~docv:"N"
+            ~doc:"Seed of the deterministic strike sequence.")
+    in
+    let rounds_arg =
+      Arg.(
+        value & opt int 32
+        & info [ "rounds" ] ~docv:"N" ~doc:"Number of strikes to deliver.")
+    in
+    let wait_arg =
+      Arg.(
+        value & opt float 2.
+        & info [ "wait" ] ~docv:"SECONDS"
+            ~doc:"Per-strike wait for the server's answer.")
+    in
+    let run socket seed rounds wait_s =
+      if rounds < 1 || wait_s <= 0. then begin
+        Printf.eprintf
+          "client chaos: --rounds and --wait must be positive\n";
+        exit exit_usage
+      end;
+      let module W = Tq_faultgen.Wire in
+      let events = W.storm ~wait_s ~socket ~seed ~rounds () in
+      List.iteri
+        (fun i (e : W.event) ->
+          Printf.printf "%3d  %-20s %s\n" i (W.slug e.mutation)
+            (W.verdict_slug e.verdict))
+        events;
+      let unreachable =
+        List.exists
+          (fun (e : W.event) ->
+            match e.verdict with W.Unreachable _ -> true | _ -> false)
+          events
+      in
+      if unreachable then begin
+        Printf.eprintf "client chaos: server became unreachable mid-storm\n";
+        exit exit_unreadable
+      end;
+      match W.ping ~socket () with
+      | Ok () -> Printf.printf "server survived %d strikes\n" rounds
+      | Error why ->
+          Printf.eprintf "client chaos: server unhealthy after storm: %s\n"
+            why;
+          exit exit_unreadable
+    in
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Fire a deterministic storm of malformed wire frames (torn \
+            headers, oversized lengths, garbage payloads, mid-frame \
+            disconnects, stalls) at the daemon, then health-check it; exit \
+            0 iff the server survived every strike")
+      Term.(const run $ socket_arg $ seed_arg $ rounds_arg $ wait_arg)
   in
   Cmd.group
     (Cmd.info "client"
        ~doc:
          "Talk to a running 'tquad serve' daemon: ping, upload, info, \
-          replay, report, stats, shutdown")
+          replay, report, stats, shutdown, chaos")
     [ ping_cmd; upload_cmd; info_cmd; replay_cmd; report_cmd; stats_cmd;
-      shutdown_cmd ]
+      shutdown_cmd; chaos_cmd ]
 
 let version_cmd =
   let run () = print_endline version_string in

@@ -149,7 +149,8 @@ let check_server v =
       let path = "server." ^ k in
       match k with
       | "uptime_s" -> ignore (as_num path x)
-      | "connections" | "active_connections" | "busy_rejections" ->
+      | "connections" | "active_connections" | "busy_rejections"
+      | "reaped_connections" | "refused_connections" | "retries_observed" ->
           ignore (as_int path x)
       | "requests" | "rate" | "queue" | "cache" | "latency" ->
           List.iter

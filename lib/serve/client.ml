@@ -1,6 +1,6 @@
 module Json = Tq_obs.Json
 
-type t = { fd : Unix.file_descr }
+type t = { fd : Unix.file_descr; timeout_s : float option; attempt : int }
 
 type err = {
   kind : string;
@@ -9,21 +9,34 @@ type err = {
 }
 
 let transport reason = { kind = "transport"; reason; retry_after_s = None }
+let timed_out reason = { kind = "timeout"; reason; retry_after_s = None }
 
-let connect path =
+let connect ?timeout_s ?(attempt = 1) path =
+  (match timeout_s with
+  | Some t when t <= 0. -> invalid_arg "Client.connect: timeout_s must be positive"
+  | _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_UNIX path) with
-  | () -> Ok { fd }
+  | () -> Ok { fd; timeout_s; attempt }
   | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (transport (Printf.sprintf "connect %s: %s" path (Unix.error_message e)))
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+(* Retried requests carry their attempt number, so the server's
+   [retries_observed] counter sees client-side backoff in action. *)
+let stamp t req =
+  match req with
+  | Json.Obj members when t.attempt > 1 ->
+      Json.Obj (members @ [ ("attempt", Json.Int t.attempt) ])
+  | j -> j
+
 let request t req =
   match
-    Protocol.write_frame t.fd req;
-    Protocol.read_frame t.fd
+    Protocol.write_frame ?timeout_s:t.timeout_s t.fd (stamp t req);
+    Protocol.read_frame ?idle_timeout_s:t.timeout_s
+      ?frame_timeout_s:t.timeout_s t.fd
   with
   | None -> Error (transport "server closed the connection")
   | Some resp -> (
@@ -37,17 +50,60 @@ let request t req =
             Option.value (Protocol.get_str "reason" resp)
               ~default:"malformed error response"
           in
-          let retry_after_s =
-            match Json.member "retry_after_s" resp with
-            | Some (Json.Float f) -> Some f
-            | Some (Json.Int i) -> Some (float_of_int i)
-            | _ -> None
-          in
+          let retry_after_s = Protocol.get_num "retry_after_s" resp in
           Error { kind; reason; retry_after_s })
   | exception End_of_file -> Error (transport "server closed mid-frame")
   | exception Protocol.Frame_error msg -> Error (transport msg)
+  | exception Protocol.Timeout what ->
+      Error (timed_out ("no response from server: " ^ what))
   | exception Unix.Unix_error (e, fn, _) ->
       Error (transport (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+(* ---------- retry policy ---------- *)
+
+type policy = {
+  retries : int;
+  base_s : float;
+  factor : float;
+  max_s : float;
+  jitter : float;
+}
+
+let default_policy =
+  { retries = 0; base_s = 0.1; factor = 2.; max_s = 5.; jitter = 0.25 }
+
+(* busy is explicit backpressure, timeout and transport are plausibly
+   transient (server restarting, frame lost to a reaped connection).
+   Everything else — bad-request, not-found, bad-trace, shutting-down,
+   server-error — will fail identically on retry. *)
+let retryable e =
+  match e.kind with "busy" | "transport" | "timeout" -> true | _ -> false
+
+let backoff_delay ?(rand = Random.float) policy ~attempt ~retry_after_s =
+  let exp =
+    Float.min policy.max_s
+      (policy.base_s *. (policy.factor ** float_of_int (attempt - 1)))
+  in
+  (* full jitter on a fraction of the delay: desynchronises clients that
+     got refused together without collapsing the backoff floor *)
+  let jittered = exp *. (1. -. (policy.jitter *. rand 1.0)) in
+  (* the server's hint is a floor, not a cap: it knows when capacity frees *)
+  match retry_after_s with
+  | Some hint -> Float.max jittered hint
+  | None -> jittered
+
+let with_retry ?(policy = default_policy) ?(sleep = Unix.sleepf) ?rand f =
+  let rec go attempt =
+    match f ~attempt with
+    | Ok v -> Ok v
+    | Error e when attempt <= policy.retries && retryable e ->
+        sleep
+          (backoff_delay ?rand policy ~attempt
+             ~retry_after_s:e.retry_after_s);
+        go (attempt + 1)
+    | Error e -> Error e
+  in
+  go 1
 
 let op name members = Json.Obj (("op", Json.Str name) :: members)
 
@@ -75,14 +131,18 @@ let trace_info t id =
       | Some j -> Ok j
       | None -> Error (transport "trace-info response carries no trace"))
 
-let replay ?tools ?slice ?period t id =
+let replay ?tools ?slice ?period ?deadline_s ?attach t id =
   let members =
     [ ("id", Json.Str id) ]
     @ (match tools with
       | Some ts -> [ ("tools", Json.List (List.map (fun t -> Json.Str t) ts)) ]
       | None -> [])
     @ (match slice with Some n -> [ ("slice", Json.Int n) ] | None -> [])
-    @ match period with Some n -> [ ("period", Json.Int n) ] | None -> []
+    @ (match period with Some n -> [ ("period", Json.Int n) ] | None -> [])
+    @ (match deadline_s with
+      | Some d -> [ ("deadline_s", Json.Float d) ]
+      | None -> [])
+    @ match attach with Some a -> [ ("attach", Json.Bool a) ] | None -> []
   in
   match request t (op "replay" members) with
   | Error e -> Error e
@@ -96,6 +156,7 @@ type report = {
   done_ : bool;
   reports : (string * string) list;
   failures : (string * string) list;
+  killed : string option;
 }
 
 let str_members = function
@@ -118,6 +179,7 @@ let report ?(wait = false) t jid =
             Option.value (Protocol.get_bool "done" resp) ~default:false;
           reports = str_members (Json.member "reports" resp);
           failures = str_members (Json.member "failures" resp);
+          killed = Protocol.get_str "killed" resp;
         }
 
 let stats t =

@@ -17,12 +17,30 @@ type status = Unknown | Pending | Done of outcome
 
 type state = Queued | Running | Finished of outcome
 
-type jrec = { spec : spec; mutable state : state }
+exception Cancelled of string
+exception Deadline_exceeded of float
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled reason -> Some ("job cancelled: " ^ reason)
+    | Deadline_exceeded budget ->
+        Some (Printf.sprintf "job deadline exceeded (budget %.3gs)" budget)
+    | _ -> None)
+
+type jrec = {
+  spec : spec;
+  mutable state : state;
+  cancelled : string option Atomic.t;  (* Some reason once cancelled *)
+  deadline : float option;  (* absolute, measured from submission *)
+  budget_s : float option;  (* the relative budget, for the error text *)
+}
 
 type stats = {
   submitted : int;
   completed : int;
   failed_jobs : int;
+  timed_out_jobs : int;
+  cancelled_jobs : int;
   rejected : int;
   depth : int;
   running : int;
@@ -42,10 +60,13 @@ type t = {
   queue_limit : int;
   cache : Event.t array Lru.t;
   on_done : int -> unit;
+  default_deadline_s : float option;
   mutable next_id : int;
   mutable submitted : int;
   mutable completed : int;
   mutable failed_jobs : int;
+  mutable timed_out_jobs : int;
+  mutable cancelled_jobs : int;
   mutable rejected : int;
   mutable running : int;
   mutable peak_depth : int;
@@ -58,12 +79,28 @@ type t = {
 
 (* ---------- execution ---------- *)
 
+(* The watchdog's cooperative checkpoint: runs between chunks of the
+   supervised iteration pass (chunk granularity keeps the hot dispatch loop
+   untouched).  Raising here fails every tool still live in the group — the
+   job comes back as a typed failure and the worker domain moves on, so a
+   pathological trace can occupy its domain-pool slot for at most one chunk
+   past its budget. *)
+let checkpoint jr =
+  (match Atomic.get jr.cancelled with
+  | Some reason -> raise (Cancelled reason)
+  | None -> ());
+  match jr.deadline with
+  | Some d when Unix.gettimeofday () > d ->
+      raise (Deadline_exceeded (Option.value jr.budget_s ~default:0.))
+  | _ -> ()
+
 (* Decode-or-hit dispatch pass: the cache-aware equivalent of
    Reader.iter_tags.  ~64 bytes per boxed event plus per-array overhead is
    the weight estimate — it only has to be proportionate, the budget is a
    soft memory bound, not an accounting. *)
-let cached_iter cache key reader per_tag =
+let cached_iter ~check cache key reader per_tag =
   for i = 0 to Reader.n_chunks reader - 1 do
+    check ();
     let evs =
       match Lru.find cache (key, i) with
       | Some evs -> evs
@@ -75,7 +112,7 @@ let cached_iter cache key reader per_tag =
     Replay.dispatch per_tag evs
   done
 
-let run_spec cache spec =
+let run_spec ~check cache spec =
   let fail msg = Error Replay.{ exn = Failure msg; backtrace = "" } in
   let built =
     List.map
@@ -90,7 +127,7 @@ let run_spec cache spec =
   in
   let results =
     Replay.supervised
-      ~iter:(cached_iter cache spec.trace_key spec.reader)
+      ~iter:(cached_iter ~check cache spec.trace_key spec.reader)
       jobs
   in
   List.map
@@ -103,12 +140,25 @@ let run_spec cache spec =
           | None -> (name, fail "job produced no outcome")))
     built
 
+(* The job-level verdict a finished outcome carries: the supervised pass
+   fails every live tool with the killing exception, so one probe suffices. *)
+let killed outcome =
+  List.find_map
+    (fun (_, o) ->
+      match o with
+      | Error { Replay.exn = Deadline_exceeded _; _ } ->
+          Some `Deadline_exceeded
+      | Error { Replay.exn = Cancelled _; _ } -> Some `Cancelled
+      | _ -> None)
+    outcome
+
 (* Run job [id] (already popped and marked Running) outside the lock, then
-   publish its results. *)
+   publish its results.  A job already cancelled or past its deadline when
+   popped fails fast — its checkpoint raises before the first chunk. *)
 let execute t id jr =
   let t0 = Unix.gettimeofday () in
   let results =
-    try run_spec t.cache jr.spec
+    try run_spec ~check:(fun () -> checkpoint jr) t.cache jr.spec
     with exn ->
       (* run_spec is not supposed to raise (supervision happens inside), but
          a job must never take a worker domain down with it *)
@@ -120,6 +170,10 @@ let execute t id jr =
   jr.state <- Finished results;
   t.running <- t.running - 1;
   t.completed <- t.completed + 1;
+  (match killed results with
+  | Some `Deadline_exceeded -> t.timed_out_jobs <- t.timed_out_jobs + 1
+  | Some `Cancelled -> t.cancelled_jobs <- t.cancelled_jobs + 1
+  | None -> ());
   if List.exists (fun (_, o) -> Result.is_error o) results then
     t.failed_jobs <- t.failed_jobs + 1;
   t.lat.(t.lat_n mod lat_cap) <- wall;
@@ -151,8 +205,13 @@ let rec worker_loop t =
 
 (* ---------- api ---------- *)
 
-let create ?workers ?(on_done = fun _ -> ()) ~queue_limit ~cache () =
+let create ?workers ?(on_done = fun _ -> ()) ?default_deadline_s ~queue_limit
+    ~cache () =
   if queue_limit < 1 then invalid_arg "Jobs.create: queue_limit must be >= 1";
+  (match default_deadline_s with
+  | Some d when d <= 0. ->
+      invalid_arg "Jobs.create: default_deadline_s must be positive"
+  | _ -> ());
   let workers =
     match workers with
     | Some n when n >= 0 -> n
@@ -168,10 +227,13 @@ let create ?workers ?(on_done = fun _ -> ()) ~queue_limit ~cache () =
       queue_limit;
       cache;
       on_done;
+      default_deadline_s;
       next_id = 1;
       submitted = 0;
       completed = 0;
       failed_jobs = 0;
+      timed_out_jobs = 0;
+      cancelled_jobs = 0;
       rejected = 0;
       running = 0;
       peak_depth = 0;
@@ -185,7 +247,13 @@ let create ?workers ?(on_done = fun _ -> ()) ~queue_limit ~cache () =
   t.domains <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let submit t spec =
+let submit ?deadline_s t spec =
+  (match deadline_s with
+  | Some d when d < 0. -> invalid_arg "Jobs.submit: negative deadline_s"
+  | _ -> ());
+  let budget_s =
+    match deadline_s with Some _ -> deadline_s | None -> t.default_deadline_s
+  in
   Mutex.protect t.lock (fun () ->
       let depth = Queue.length t.queue in
       if t.draining || depth >= t.queue_limit then begin
@@ -195,13 +263,33 @@ let submit t spec =
       else begin
         let id = t.next_id in
         t.next_id <- id + 1;
-        Hashtbl.add t.jobs id { spec; state = Queued };
+        Hashtbl.add t.jobs id
+          {
+            spec;
+            state = Queued;
+            cancelled = Atomic.make None;
+            (* the budget covers queue wait too: a job that sat past its
+               deadline fails fast when popped instead of occupying a slot *)
+            deadline =
+              Option.map (fun d -> Unix.gettimeofday () +. d) budget_s;
+            budget_s;
+          };
         Queue.push id t.queue;
         t.submitted <- t.submitted + 1;
         t.peak_depth <- max t.peak_depth (depth + 1);
         Condition.broadcast t.cond;
         Ok id
       end)
+
+let cancel ?(reason = "cancelled by client") t id =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.jobs id with
+      | None | Some { state = Finished _; _ } -> false
+      | Some jr ->
+          (* first cancellation wins; the running checkpoint (or the pop
+             fast-path) turns the token into a typed failure *)
+          Atomic.compare_and_set jr.cancelled None (Some reason) |> ignore;
+          true)
 
 let status t id =
   Mutex.protect t.lock (fun () ->
@@ -247,6 +335,8 @@ let stats t =
         submitted = t.submitted;
         completed = t.completed;
         failed_jobs = t.failed_jobs;
+        timed_out_jobs = t.timed_out_jobs;
+        cancelled_jobs = t.cancelled_jobs;
         rejected = t.rejected;
         depth = Queue.length t.queue;
         running = t.running;

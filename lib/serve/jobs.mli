@@ -29,10 +29,22 @@ type status =
   | Pending  (** queued or running *)
   | Done of outcome
 
+exception Cancelled of string
+(** The cooperative cancellation token fired — the reason says who pulled
+    it (e.g. a disconnected client).  Appears as the [Error] exn of every
+    tool in a cancelled job's outcome. *)
+
+exception Deadline_exceeded of float
+(** The job overran its wall-clock budget (the payload, in seconds).
+    Appears as the [Error] exn of every tool in a timed-out job's
+    outcome. *)
+
 type stats = {
   submitted : int;
   completed : int;
   failed_jobs : int;  (** completed jobs with at least one [Error] outcome *)
+  timed_out_jobs : int;  (** jobs killed by their wall-clock deadline *)
+  cancelled_jobs : int;  (** jobs killed by their cancellation token *)
   rejected : int;  (** submissions refused by the full queue *)
   depth : int;  (** queued, not yet picked up *)
   running : int;
@@ -49,6 +61,7 @@ type t
 val create :
   ?workers:int ->
   ?on_done:(int -> unit) ->
+  ?default_deadline_s:float ->
   queue_limit:int ->
   cache:Tq_trace.Event.t array Lru.t ->
   unit ->
@@ -58,13 +71,34 @@ val create :
     no domains — jobs then run only via {!step}, the deterministic mode the
     tests use.  [on_done id] fires after job [id]'s results are stored and
     waiters are woken, outside the manager lock (the server writes the
-    job's manifest there). *)
+    job's manifest there).  [default_deadline_s] is the wall-clock budget
+    applied to every job that does not carry its own (none by default). *)
 
-val submit : t -> spec -> (int, [ `Queue_full of int ]) result
+val submit : ?deadline_s:float -> t -> spec -> (int, [ `Queue_full of int ]) result
 (** Enqueue; [Ok id] or [`Queue_full depth] when the bound is hit (also
-    after {!drain} began).  Never blocks. *)
+    after {!drain} began).  Never blocks.
+
+    [deadline_s] overrides the pool's default wall-clock budget, measured
+    from submission (queue wait counts: a stale job fails fast instead of
+    occupying a worker slot).  Enforcement is cooperative — the supervised
+    iteration pass checks between chunks — so an over-budget job dies
+    within one chunk's work, its outcome a typed {!Deadline_exceeded}
+    failure for every tool, and its worker-domain slot is freed. *)
+
+val cancel : ?reason:string -> t -> int -> bool
+(** Pull job [id]'s cooperative cancellation token.  [false] if the id is
+    unknown or the job already finished (its results stay readable); [true]
+    if the token was (or already had been) pulled while the job was queued
+    or running — it will finish promptly with a typed {!Cancelled} failure
+    for every tool.  Used by the server when a job's client disconnects. *)
 
 val status : t -> int -> status
+
+val killed : outcome -> [ `Deadline_exceeded | `Cancelled ] option
+(** The job-level verdict carried by a finished outcome: [Some] when the
+    watchdog or a cancellation killed the whole job ([None] for ordinary
+    completions, including per-tool failures).  The server turns this into
+    the typed [killed] member of the report response. *)
 
 val wait : t -> int -> outcome option
 (** Block until the job completes; [None] for an unknown id.  Returns

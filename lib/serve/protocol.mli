@@ -18,19 +18,44 @@ val max_frame : int
 (** Upper bound on a frame's payload length (bytes). *)
 
 exception Frame_error of string
-(** A malformed frame: oversized length prefix, or a payload that is not
-    valid JSON.  Distinct from [End_of_file]-style clean closure, which
-    {!read_frame} reports as [None]. *)
+(** A malformed frame: oversized or negative length prefix, or a payload
+    that is not valid JSON.  Distinct from [End_of_file]-style clean
+    closure, which {!read_frame} reports as [None]. *)
 
-val read_frame : Unix.file_descr -> Tq_obs.Json.t option
+exception Timeout of string
+(** A deadline expired while waiting for socket readiness.  Raised only
+    when the caller passed a timeout; the payload says which wait stalled. *)
+
+val read_frame :
+  ?idle_timeout_s:float ->
+  ?frame_timeout_s:float ->
+  ?max_frame:int ->
+  Unix.file_descr ->
+  Tq_obs.Json.t option
 (** Read one frame.  [None] when the peer closed the connection cleanly
     (EOF before any length byte).
-    @raise Frame_error on an oversized length or malformed payload.
-    @raise End_of_file when the connection dies mid-frame. *)
 
-val write_frame : Unix.file_descr -> Tq_obs.Json.t -> unit
-(** Serialise and send one frame.
-    @raise Frame_error if the rendering exceeds {!max_frame}. *)
+    [idle_timeout_s] bounds the wait for the frame's {e first} byte (an
+    idle-but-healthy peer); [frame_timeout_s] bounds the rest of the frame
+    once that byte arrived — header and payload together — so a peer
+    dribbling bytes (slow loris) cannot pin the reader.  Either elapsing
+    raises {!Timeout}.  Omitted timeouts block forever.  [max_frame]
+    overrides the module default, for boundary tests.
+
+    Reads retry on [EINTR]/[EAGAIN]/[EWOULDBLOCK] — a signal during a
+    blocking socket read must not tear down a healthy connection.
+    @raise Frame_error on an out-of-bounds length or malformed payload.
+    @raise End_of_file when the connection dies mid-frame.
+    @raise Timeout when a deadline expires. *)
+
+val write_frame :
+  ?timeout_s:float -> ?max_frame:int -> Unix.file_descr -> Tq_obs.Json.t -> unit
+(** Serialise and send one frame.  [timeout_s] bounds the whole write (a
+    peer that stops reading cannot pin the writer); writes retry on
+    [EINTR]/[EAGAIN]/[EWOULDBLOCK].
+    @raise Frame_error if the rendering exceeds [max_frame]
+    (default {!max_frame}).
+    @raise Timeout when the deadline expires. *)
 
 (** {1 Trace identity} *)
 
@@ -81,8 +106,21 @@ val bad_trace : string
 val shutting_down : string
 (** The server is draining; no new work is accepted. *)
 
+val timeout : string
+(** A server-side deadline expired: the connection idled past its budget,
+    a frame stalled mid-transfer, or a job overran its wall-clock limit. *)
+
+val server_error : string
+(** The request raised inside the server — a bug, not the client's fault.
+    Terminal for the client (retrying the same request will likely raise
+    again). *)
+
 (** {1 Request accessors} *)
 
 val get_str : string -> Tq_obs.Json.t -> string option
 val get_int : string -> Tq_obs.Json.t -> int option
+
+val get_num : string -> Tq_obs.Json.t -> float option
+(** [Int] or [Float] members, as float. *)
+
 val get_bool : string -> Tq_obs.Json.t -> bool option

@@ -12,6 +12,10 @@ type config = {
   rate : float;
   burst : int;
   max_traces : int;
+  max_connections : int;
+  idle_timeout_s : float;
+  frame_timeout_s : float;
+  job_timeout_s : float;
   manifest_dir : string option;
   manifest_period_s : float;
 }
@@ -25,6 +29,10 @@ let default ~socket_path =
     rate = 50.;
     burst = 100;
     max_traces = 64;
+    max_connections = 64;
+    idle_timeout_s = 300.;
+    frame_timeout_s = 10.;
+    job_timeout_s = 120.;
     manifest_dir = None;
     manifest_period_s = 5.;
   }
@@ -37,17 +45,34 @@ type trace_entry = {
   prog : Tq_vm.Program.t option;
 }
 
+(* One live connection, registered so the listener-side reaper can see it.
+   [last_active] is written by the owning thread and read by the reaper —
+   a torn float read at worst mis-times one reap, so no lock on the fast
+   path.  [attached] collects job ids this connection asked to own
+   (replay with [attach]); they are cancelled when it closes. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_id : int;
+  mutable last_active : float;
+  mutable attached : int list;  (* guarded by the server lock *)
+}
+
 type t = {
   cfg : config;
   cache : Event.t array Lru.t;
   jobs : Jobs.t;
   limiter : Limiter.t;
-  lock : Mutex.t;  (* guards traces, requests, connection counters *)
+  lock : Mutex.t;  (* guards traces, requests, conns, connection counters *)
   traces : (string, trace_entry) Hashtbl.t;
   requests : (string, int ref) Hashtbl.t;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn_id : int;
   mutable connections : int;
   mutable active : int;
   mutable busy_rejections : int;
+  mutable reaped_connections : int;
+  mutable refused_connections : int;
+  mutable retries_observed : int;
   start : float;
   mutable stop : bool;
   pipe_w : Unix.file_descr;
@@ -73,7 +98,7 @@ let server_section s =
   let lat = js.Jobs.latency in
   let pct p = if Array.length lat = 0 then 0. else Tq_util.Stats.percentile lat p in
   let lat_max = Array.fold_left Float.max 0. lat in
-  let connections, active, busy, requests =
+  let connections, active, busy, reaped, refused, retries, requests =
     Mutex.protect s.lock (fun () ->
         let reqs =
           Hashtbl.fold (fun op r acc -> (op, Json.Int !r) :: acc) s.requests []
@@ -81,6 +106,9 @@ let server_section s =
         ( s.connections,
           s.active,
           s.busy_rejections,
+          s.reaped_connections,
+          s.refused_connections,
+          s.retries_observed,
           List.sort (fun (a, _) (b, _) -> compare a b) reqs ))
   in
   Json.Obj
@@ -89,6 +117,9 @@ let server_section s =
       ("active_connections", Json.Int active);
       ("requests", Json.Obj requests);
       ("busy_rejections", Json.Int busy);
+      ("reaped_connections", Json.Int reaped);
+      ("refused_connections", Json.Int refused);
+      ("retries_observed", Json.Int retries);
       ( "rate",
         Json.Obj
           [ ("allowed", Json.Int (Limiter.allowed s.limiter));
@@ -103,6 +134,8 @@ let server_section s =
             ("submitted", Json.Int js.submitted);
             ("completed", Json.Int js.completed);
             ("failed_jobs", Json.Int js.failed_jobs);
+            ("timed_out_jobs", Json.Int js.timed_out_jobs);
+            ("cancelled_jobs", Json.Int js.cancelled_jobs);
             ("rejected", Json.Int js.rejected) ] );
       ( "cache",
         Json.Obj
@@ -247,7 +280,7 @@ let handle_trace_info s req =
               ("name", Json.Str e.name);
               ("trace", Protocol.trace_section e.reader) ])
 
-let handle_replay s req =
+let handle_replay s conn req =
   if s.stop then Protocol.error Protocol.shutting_down "server is draining"
   else
     match Protocol.get_str "id" req with
@@ -277,11 +310,30 @@ let handle_replay s req =
         let period =
           Option.value (Protocol.get_int "period" req) ~default:10_000
         in
+        (* a client may ask for a tighter budget than the server default,
+           never a looser one; [job_timeout_s <= 0] disables the server
+           default *)
+        let server_budget =
+          if s.cfg.job_timeout_s > 0. then Some s.cfg.job_timeout_s else None
+        in
+        let deadline_s =
+          match (Protocol.get_num "deadline_s" req, server_budget) with
+          | Some d, Some b -> Some (Float.min d b)
+          | Some d, None -> Some d
+          | None, b -> b
+        in
+        let attach =
+          Option.value (Protocol.get_bool "attach" req) ~default:false
+        in
         match tools with
         | Error msg -> Protocol.error Protocol.bad_request ("replay: " ^ msg)
         | Ok _ when slice < 1 || period < 1 ->
             Protocol.error Protocol.bad_request
               "replay: slice and period must be positive"
+        | Ok _ when (match deadline_s with Some d -> d < 0. | None -> false)
+          ->
+            Protocol.error Protocol.bad_request
+              "replay: deadline_s must be non-negative"
         | Ok tools -> (
             match
               Mutex.protect s.lock (fun () -> Hashtbl.find_opt s.traces id)
@@ -303,8 +355,12 @@ let handle_replay s req =
                     Jobs.
                       { trace_key = key; reader; prog; tools; slice; period }
                   in
-                  (match Jobs.submit s.jobs spec with
-                  | Ok jid -> Protocol.ok [ ("job", Json.Int jid) ]
+                  (match Jobs.submit ?deadline_s s.jobs spec with
+                  | Ok jid ->
+                      if attach then
+                        Mutex.protect s.lock (fun () ->
+                            conn.attached <- jid :: conn.attached);
+                      Protocol.ok [ ("job", Json.Int jid) ]
                   | Error (`Queue_full depth) ->
                       busy_response s
                         ~extra:
@@ -322,11 +378,18 @@ let render_results jid results =
             Either.Right (name, Json.Str (Replay.failure_message f)))
       results
   in
+  let killed =
+    match Jobs.killed results with
+    | Some `Deadline_exceeded -> [ ("killed", Json.Str "deadline-exceeded") ]
+    | Some `Cancelled -> [ ("killed", Json.Str "cancelled") ]
+    | None -> []
+  in
   Protocol.ok
-    [ ("job", Json.Int jid);
-      ("done", Json.Bool true);
-      ("reports", Json.Obj reports);
-      ("failures", Json.Obj failures) ]
+    ([ ("job", Json.Int jid);
+       ("done", Json.Bool true);
+       ("reports", Json.Obj reports);
+       ("failures", Json.Obj failures) ]
+    @ killed)
 
 let handle_report s req =
   match Protocol.get_int "job" req with
@@ -344,12 +407,12 @@ let handle_report s req =
             Protocol.ok [ ("job", Json.Int jid); ("done", Json.Bool false) ]
         | Jobs.Done results -> render_results jid results)
 
-let handle_request s op req =
+let handle_request s conn op req =
   match op with
   | "ping" -> Protocol.ok [ ("pong", Json.Bool true) ]
   | "upload" -> handle_upload s req
   | "trace-info" -> handle_trace_info s req
-  | "replay" -> handle_replay s req
+  | "replay" -> handle_replay s conn req
   | "report" -> handle_report s req
   | "stats" -> Protocol.ok [ ("server", server_section s) ]
   | "shutdown" ->
@@ -360,34 +423,72 @@ let handle_request s op req =
 
 (* ---------- connections ---------- *)
 
-let handle_conn s fd =
+(* Positive timeouts only: a non-positive configured timeout disables the
+   bound (blocking reads, the pre-deadline behaviour). *)
+let pos t = if t > 0. then Some t else None
+
+let handle_conn s conn =
+  let fd = conn.c_fd in
+  let reaped reason =
+    Mutex.protect s.lock (fun () ->
+        s.reaped_connections <- s.reaped_connections + 1);
+    (* best-effort typed goodbye; the peer may be gone or not reading *)
+    try
+      Protocol.write_frame ~timeout_s:1. fd
+        (Protocol.error Protocol.timeout reason)
+    with _ -> ()
+  in
   let finally () =
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    Mutex.protect s.lock (fun () -> s.active <- s.active - 1)
+    let attached =
+      Mutex.protect s.lock (fun () ->
+          s.active <- s.active - 1;
+          Hashtbl.remove s.conns conn.c_id;
+          conn.attached)
+    in
+    (* in-flight jobs whose owner hung up release their worker slots *)
+    List.iter
+      (fun jid ->
+        ignore (Jobs.cancel ~reason:"client disconnected" s.jobs jid))
+      attached
   in
   Fun.protect ~finally (fun () ->
       let rec loop () =
-        match Protocol.read_frame fd with
+        match
+          Protocol.read_frame
+            ?idle_timeout_s:(pos s.cfg.idle_timeout_s)
+            ?frame_timeout_s:(pos s.cfg.frame_timeout_s)
+            fd
+        with
         | None -> ()
         | Some req ->
+            conn.last_active <- Unix.gettimeofday ();
             let op =
               Option.value (Protocol.get_str "op" req) ~default:""
             in
             count_req s (if op = "" then "invalid" else op);
+            (match Protocol.get_int "attempt" req with
+            | Some a when a > 1 ->
+                Mutex.protect s.lock (fun () ->
+                    s.retries_observed <- s.retries_observed + 1)
+            | _ -> ());
             let resp =
-              try handle_request s op req
+              try handle_request s conn op req
               with exn ->
-                Protocol.error Protocol.bad_request
+                Protocol.error Protocol.server_error
                   ("internal error: " ^ Printexc.to_string exn)
             in
-            Protocol.write_frame fd resp;
+            Protocol.write_frame ?timeout_s:(pos s.cfg.frame_timeout_s) fd
+              resp;
+            conn.last_active <- Unix.gettimeofday ();
             loop ()
       in
       try loop () with
       | End_of_file -> ()
+      | Protocol.Timeout what -> reaped what
       | Protocol.Frame_error msg -> (
           try
-            Protocol.write_frame fd
+            Protocol.write_frame ~timeout_s:1. fd
               (Protocol.error Protocol.bad_request msg)
           with _ -> ())
       | Unix.Unix_error _ -> ())
@@ -415,9 +516,14 @@ let run ?(on_ready = fun () -> ()) ?(handle_signals = true) cfg =
       lock = Mutex.create ();
       traces = Hashtbl.create 16;
       requests = Hashtbl.create 16;
+      conns = Hashtbl.create 16;
+      next_conn_id = 0;
       connections = 0;
       active = 0;
       busy_rejections = 0;
+      reaped_connections = 0;
+      refused_connections = 0;
+      retries_observed = 0;
       start = Unix.gettimeofday ();
       stop = false;
       pipe_w;
@@ -439,27 +545,92 @@ let run ?(on_ready = fun () -> ()) ?(handle_signals = true) cfg =
   end;
   on_ready ();
   write_server_manifest s;
+  (* connection-thread timeouts are the first line of defense; this listener-
+     side backstop shuts down sockets whose owning thread has been silent for
+     twice the idle budget (e.g. wedged mid-write on a dead peer).  shutdown,
+     not close: the owning thread still holds the fd and will close it when
+     its read fails. *)
+  let reap_stale () =
+    match pos s.cfg.idle_timeout_s with
+    | None -> ()
+    | Some idle ->
+        let now = Unix.gettimeofday () in
+        let stale =
+          Mutex.protect s.lock (fun () ->
+              Hashtbl.fold
+                (fun _ c acc ->
+                  if now -. c.last_active > 2. *. idle then c :: acc else acc)
+                s.conns [])
+        in
+        List.iter
+          (fun c ->
+            try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
+          stale
+  in
+  let accept_conn fd =
+    let over, conn =
+      Mutex.protect s.lock (fun () ->
+          s.connections <- s.connections + 1;
+          if
+            s.cfg.max_connections > 0
+            && s.active >= s.cfg.max_connections
+          then begin
+            s.refused_connections <- s.refused_connections + 1;
+            (true, None)
+          end
+          else begin
+            s.active <- s.active + 1;
+            let c =
+              {
+                c_fd = fd;
+                c_id = s.next_conn_id;
+                last_active = Unix.gettimeofday ();
+                attached = [];
+              }
+            in
+            s.next_conn_id <- s.next_conn_id + 1;
+            Hashtbl.add s.conns c.c_id c;
+            (false, Some c)
+          end)
+    in
+    if over then begin
+      (* typed refusal so a well-behaved client backs off instead of
+         retrying immediately *)
+      (try
+         Protocol.write_frame ~timeout_s:1. fd
+           (Protocol.error
+              ~extra:[ ("retry_after_s", Json.Float 0.5) ]
+              Protocol.busy "connection limit reached")
+       with _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+    else
+      match conn with
+      | Some c -> ignore (Thread.create (fun () -> handle_conn s c) ())
+      | None -> ()
+  in
   let deadline = ref (Unix.gettimeofday () +. cfg.manifest_period_s) in
   let rec loop () =
     if not s.stop then begin
-      let timeout = Float.max 0.05 (!deadline -. Unix.gettimeofday ()) in
+      let timeout =
+        Float.min 0.5
+          (Float.max 0.05 (!deadline -. Unix.gettimeofday ()))
+      in
       (match Unix.select [ listen_fd; pipe_r ] [] [] timeout with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | ready, _, _ ->
           if List.mem listen_fd ready then begin
             match Unix.accept listen_fd with
             | exception Unix.Unix_error _ -> ()
-            | fd, _ ->
-                Mutex.protect s.lock (fun () ->
-                    s.connections <- s.connections + 1;
-                    s.active <- s.active + 1);
-                ignore (Thread.create (fun () -> handle_conn s fd) ())
+            | fd, _ -> accept_conn fd
           end;
           if List.mem pipe_r ready then begin
             let b = Bytes.create 16 in
             try ignore (Unix.read pipe_r b 0 16)
             with Unix.Unix_error _ -> ()
           end);
+      reap_stale ();
       if Unix.gettimeofday () >= !deadline then begin
         write_server_manifest s;
         deadline := Unix.gettimeofday () +. cfg.manifest_period_s

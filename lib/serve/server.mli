@@ -22,6 +22,24 @@ type config = {
   rate : float;  (** replay admissions per second (token-bucket refill) *)
   burst : int;  (** token-bucket depth *)
   max_traces : int;  (** resident uploaded traces; beyond it uploads get [busy] *)
+  max_connections : int;
+      (** concurrent connection cap; over it new peers get a typed [busy]
+          frame and an immediate close.  [0] disables the cap. *)
+  idle_timeout_s : float;
+      (** how long a connection may sit between requests before it is
+          reaped with a typed [timeout] frame.  A listener-side backstop
+          additionally shuts down sockets silent for twice this budget.
+          [0.] disables both. *)
+  frame_timeout_s : float;
+      (** budget for completing a frame once its first byte arrived
+          (header and payload together) and for writing a response — the
+          slow-loris bound.  [0.] disables it. *)
+  job_timeout_s : float;
+      (** default wall-clock budget per replay job, measured from
+          submission; an over-budget job dies with a typed
+          [deadline-exceeded] failure and frees its worker slot.  Clients
+          can tighten (never loosen) it per request with [deadline_s].
+          [0.] disables the default. *)
   manifest_dir : string option;
       (** where run manifests land: [server.json] (periodic and at
           shutdown) plus one [job-N.json] per completed job *)
@@ -30,7 +48,9 @@ type config = {
 
 val default : socket_path:string -> config
 (** [workers = 0], [queue_limit = 32], [cache_bytes = 64 MiB], [rate = 50.],
-    [burst = 100], [max_traces = 64], no manifests, period [5.]. *)
+    [burst = 100], [max_traces = 64], [max_connections = 64],
+    [idle_timeout_s = 300.], [frame_timeout_s = 10.],
+    [job_timeout_s = 120.], no manifests, period [5.]. *)
 
 val run : ?on_ready:(unit -> unit) -> ?handle_signals:bool -> config -> unit
 (** Bind the socket, serve until shut down, clean up (drain the job pool,
