@@ -756,6 +756,41 @@ let replay_bench () =
         (shards, !dt))
       [ 1; 2; 4; 8 ]
   in
+  (* v4 redundancy suppression: record overhead, container shrink, and the
+     replay effect of decoding each loop body once per repeat chunk *)
+  let cpath = Filename.temp_file "tquad_bench" ".trc4" in
+  let _, crecord_dt =
+    timed (fun () ->
+        bspan "record-compress" (fun () ->
+            Tq_trace.Probe.record ~fuel ~compress:true (fresh ()) ~path:cpath))
+  in
+  let cr0 = Tq_trace.Reader.load cpath in
+  let plain_bytes = Tq_trace.Reader.byte_size r0 in
+  let comp_bytes = Tq_trace.Reader.byte_size cr0 in
+  let byte_ratio = float_of_int plain_bytes /. float_of_int comp_bytes in
+  let event_ratio =
+    float_of_int (Tq_trace.Reader.n_events cr0)
+    /. float_of_int (max 1 (Tq_trace.Reader.stored_events cr0))
+  in
+  let cseq_results = ref [] and cseq_dt = ref infinity in
+  for _ = 1 to 3 do
+    Gc.compact ();
+    best cseq_dt cseq_results
+      (timed (fun () ->
+           Tq_trace.Replay.sequential (Tq_trace.Reader.load cpath) jobs))
+  done;
+  let compress_identical =
+    List.for_all
+      (fun (j : Tq_trace.Replay.job) ->
+        match
+          (List.assoc_opt j.name !cseq_results, List.assoc_opt j.name seq_results)
+        with
+        | Some (Ok a), Some (Ok b) -> a = b
+        | _ -> false)
+      jobs
+  in
+  let cseq_dt = !cseq_dt in
+  Sys.remove cpath;
   Sys.remove path;
   let identical name live =
     match List.assoc_opt name results with
@@ -820,6 +855,18 @@ let replay_bench () =
         (seq_dt /. dt))
     shard_table;
   Printf.printf "  job failures during replay: %d\n" failures;
+  Printf.printf
+    "  compression (record --compress): %s -> %s bytes (%.2fx smaller, \
+     %.2fx fewer stored events)\n"
+    (Tq_util.Text_table.int_cell plain_bytes)
+    (Tq_util.Text_table.int_cell comp_bytes)
+    byte_ratio event_ratio;
+  Printf.printf
+    "  compressed record %.2fs (plain %.2fs); sequential replay %.3fs \
+     compressed vs %.3fs plain (%.2fx)\n"
+    crecord_dt record_dt cseq_dt seq_dt (seq_dt /. cseq_dt);
+  Printf.printf "  compressed replay reports byte-identical: %b\n"
+    compress_identical;
   json_emit "replay"
     [
       ("events", jint events);
@@ -846,6 +893,14 @@ let replay_bench () =
       ("quad_identical", jstr (string_of_bool (identical "quad" live_quad)));
       ("all_identical", jbool all_identical);
       ("job_failures", jint failures);
+      ("compress_record_s", jfloat crecord_dt);
+      ("compress_bytes", jint comp_bytes);
+      ("plain_bytes", jint plain_bytes);
+      ("compress_byte_ratio", jfloat byte_ratio);
+      ("compress_event_ratio", jfloat event_ratio);
+      ("compress_replay_sequential_s", jfloat cseq_dt);
+      ("compress_replay_speedup", jfloat (seq_dt /. cseq_dt));
+      ("compress_identical", jbool compress_identical);
     ]
 
 (* ---------- execution engine: closure compilation + trace chaining ----- *)

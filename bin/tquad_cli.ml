@@ -606,7 +606,16 @@ let record_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output trace file.")
   in
-  let run metrics file wfs dir out =
+  let compress_arg =
+    Arg.(
+      value & flag
+      & info [ "compress" ]
+          ~doc:
+            "Write a v4 (redundancy-suppressed) container: repeated loop \
+             bodies are stored once with per-iteration operand strides.  \
+             Replay output is byte-identical to an uncompressed recording.")
+  in
+  let run metrics file wfs dir out compress =
     obs_init "record" metrics;
     let prog, vfs, fuel =
       match (file, wfs) with
@@ -629,7 +638,7 @@ let record_cmd =
         "record"
         (fun () ->
           try
-            let n = Tq_trace.Probe.record ?fuel eng ~path:out in
+            let n = Tq_trace.Probe.record ?fuel ~compress eng ~path:out in
             events_ref := n;
             n
           with
@@ -654,14 +663,28 @@ let record_cmd =
       out events
       (Tq_trace.Reader.n_chunks r)
       (Tq_trace.Reader.byte_size r)
-      (Tq_trace.Reader.last_icount r)
+      (Tq_trace.Reader.last_icount r);
+    if compress then begin
+      let stored = Tq_trace.Reader.stored_events r in
+      Printf.printf
+        "  compressed: %d of %d events stored (%.2fx event ratio; %d plain + \
+         %d repeat + %d body chunks)\n"
+        stored events
+        (if stored = 0 then 1.0
+         else float_of_int events /. float_of_int stored)
+        (Tq_trace.Reader.plain_chunks r)
+        (Tq_trace.Reader.repeat_chunks r)
+        (Tq_trace.Reader.body_chunks r)
+    end
   in
   Cmd.v
     (Cmd.info "record"
        ~doc:
          "Execute once under the event recorder and stream the trace to disk; \
           any analysis tool can then replay it without re-running the program")
-    Term.(const run $ metrics_arg $ file_opt_arg $ wfs_arg $ dir_arg $ out_arg)
+    Term.(
+      const run $ metrics_arg $ file_opt_arg $ wfs_arg $ dir_arg $ out_arg
+      $ compress_arg)
 
 let all_tool_names = Tq_serve.Toolset.names
 
@@ -960,6 +983,18 @@ let trace_info_cmd =
       Printf.printf "  fingerprint %016Lx%s\n" fp
         (if Int64.equal fp 0L then " (program unknown to the recorder)" else "");
       Printf.printf "  last icount %d\n" (Tq_trace.Reader.last_icount r);
+      (if Tq_trace.Reader.version r = 4 then
+         let stored = Tq_trace.Reader.stored_events r in
+         let events = Tq_trace.Reader.n_events r in
+         Printf.printf
+           "  compression: %d of %d events stored (%.2fx); chunks: %d plain, \
+            %d repeat, %d body-def\n"
+           stored events
+           (if stored = 0 then 1.0
+            else float_of_int events /. float_of_int stored)
+           (Tq_trace.Reader.plain_chunks r)
+           (Tq_trace.Reader.repeat_chunks r)
+           (Tq_trace.Reader.body_chunks r));
       match Tq_trace.Reader.salvage_info r with
       | Some s ->
           Printf.printf
@@ -1026,9 +1061,10 @@ let faultgen_cmd =
       & info [ "mutation" ] ~docv:"KIND"
           ~doc:
             "Mutation to apply: bit-flip, truncate, dup-chunk, drop-chunk, \
-             corrupt-index, corrupt-trailer or strip-tail (parameters drawn \
-             from --seed; strip-tail is deterministic and simulates a \
-             recorder killed mid-run).")
+             corrupt-index, corrupt-trailer, strip-tail, flip-kind or \
+             corrupt-repeat (parameters drawn from --seed; strip-tail is \
+             deterministic and simulates a recorder killed mid-run; the last \
+             two need a v4 container).")
   in
   let run metrics trace out seed sweep mutation =
     obs_init "faultgen" metrics;
@@ -1045,7 +1081,7 @@ let faultgen_cmd =
     in
     let known_kinds =
       [ "bit-flip"; "truncate"; "dup-chunk"; "drop-chunk"; "corrupt-index";
-        "corrupt-trailer"; "strip-tail" ]
+        "corrupt-trailer"; "strip-tail"; "flip-kind"; "corrupt-repeat" ]
     in
     let gen_named kind =
       if not (List.mem kind known_kinds) then begin

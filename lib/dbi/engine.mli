@@ -67,15 +67,20 @@ val add_rtn_instrumenter : t -> (Tq_vm.Symtab.routine -> action list) -> unit
     control reaches the routine's entry instruction, before any
     instruction-level actions for it. *)
 
-val add_trace_instrumenter : t -> (addr:int -> n:int -> action list) -> unit
+val add_trace_instrumenter :
+  t -> (id:int -> addr:int -> n:int -> action list) -> unit
 (** Trace (basic-block) granularity instrumentation, Pin's
-    [TRACE_AddInstrumentFunction] analogue.  The callback sees the block's
-    start address and instruction count at compile time; the returned
-    actions run on every execution of the block, before any routine- or
-    instruction-level actions of its first instruction.  Because the ISA
-    ends a block at {e any} control-transfer instruction (including
+    [TRACE_AddInstrumentFunction] analogue.  The callback sees the compiled
+    trace's identity [id] (its ordinal in compilation order — the code
+    cache's name for the trace, stable until {!invalidate_cache}), the
+    block's start address and its instruction count at compile time; the
+    returned actions run on every execution of the block, before any
+    routine- or instruction-level actions of its first instruction.  Because
+    the ISA ends a block at {e any} control-transfer instruction (including
     [Syscall] and [Halt]), a dispatched block always retires all [n]
-    instructions. *)
+    instructions.  [id] is what lets a recorder key a repeated-body
+    dictionary on the engine's own trace identity ({!Tq_trace.Writer}
+    compression). *)
 
 val predicated : t -> Ins_view.view -> action -> action
 (** [predicated t v a] is [a] guarded by [v]'s predicate register (no-op

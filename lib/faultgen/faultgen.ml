@@ -9,6 +9,8 @@ type mutation =
   | Corrupt_index of { offset : int; bit : int }
   | Corrupt_trailer of { offset : int; bit : int }
   | Strip_tail
+  | Flip_kind of { index : int }
+  | Corrupt_repeat of { offset : int; bit : int }
 
 let describe = function
   | Bit_flip { offset; bit } -> Printf.sprintf "bit-flip @%d.%d" offset bit
@@ -20,6 +22,10 @@ let describe = function
   | Corrupt_trailer { offset; bit } ->
       Printf.sprintf "corrupt trailer @%d.%d" offset bit
   | Strip_tail -> "strip index+trailer (unfinalized .tmp shape)"
+  | Flip_kind { index } ->
+      Printf.sprintf "flip chunk %d kind byte (plain <-> repeat)" index
+  | Corrupt_repeat { offset; bit } ->
+      Printf.sprintf "corrupt repeat chunk @%d.%d" offset bit
 
 let slug = function
   | Bit_flip _ -> "bit-flip"
@@ -29,16 +35,20 @@ let slug = function
   | Corrupt_index _ -> "corrupt-index"
   | Corrupt_trailer _ -> "corrupt-trailer"
   | Strip_tail -> "strip-tail"
+  | Flip_kind _ -> "flip-kind"
+  | Corrupt_repeat _ -> "corrupt-repeat"
 
 (* ---------- container layout ----------
 
-   Faultgen parses the v3 container with its own minimal scanner (chunk
+   Faultgen parses the v3/v4 container with its own minimal scanner (chunk
    headers are self-delimiting) rather than through [Reader] — the module
    exists to test the reader, so it must not trust it. *)
 
 type layout = {
   file_len : int;
+  v4 : bool;
   chunk_spans : (int * int) array;  (* (offset, end) of each chunk *)
+  chunk_kinds : char array;  (* 0xA7 plain / 0xA8 repeat / 0xA9 body def *)
   index_offset : int;  (* also: end of the chunk region *)
 }
 
@@ -47,8 +57,12 @@ let bad fmt = Printf.ksprintf invalid_arg fmt
 let layout raw =
   let len = String.length raw in
   let mlen = String.length Writer.magic in
-  if len < Writer.header_bytes || String.sub raw 0 mlen <> Writer.magic then
-    bad "Faultgen: not a v3 trace container";
+  let v4 =
+    len >= mlen && String.sub raw 0 mlen = Writer.magic_v4
+  in
+  if len < Writer.header_bytes
+     || (String.sub raw 0 mlen <> Writer.magic && not v4)
+  then bad "Faultgen: not a v3/v4 trace container";
   let tlen = String.length Writer.trailer_magic in
   if len < Writer.header_bytes + 8 + tlen
      || String.sub raw (len - tlen) tlen <> Writer.trailer_magic
@@ -62,13 +76,18 @@ let layout raw =
   in
   if index_offset < Writer.header_bytes || index_offset > len - tlen - 8 then
     bad "Faultgen: index offset out of range";
-  let spans = ref [] in
+  let spans = ref [] and kinds = ref [] in
   let pos = ref Writer.header_bytes in
   (try
      while !pos < index_offset do
        let start = !pos in
-       if raw.[!pos] <> Writer.chunk_magic then
-         bad "Faultgen: chunk magic missing at %d" !pos;
+       let kind = raw.[!pos] in
+       if
+         kind <> Writer.chunk_magic
+         && not
+              (v4
+              && (kind = Writer.repeat_magic || kind = Writer.body_magic))
+       then bad "Faultgen: chunk magic missing at %d" !pos;
        incr pos;
        let _n = Leb.read_u raw pos in
        let _fic = Leb.read_u raw pos in
@@ -76,10 +95,17 @@ let layout raw =
        pos := !pos + 4 + plen;
        if !pos > index_offset then
          bad "Faultgen: chunk at %d overruns the chunk region" start;
-       spans := (start, !pos) :: !spans
+       spans := (start, !pos) :: !spans;
+       kinds := kind :: !kinds
      done
    with Leb.Truncated p -> bad "Faultgen: truncated chunk header at %d" p);
-  { file_len = len; chunk_spans = Array.of_list (List.rev !spans); index_offset }
+  {
+    file_len = len;
+    v4;
+    chunk_spans = Array.of_list (List.rev !spans);
+    chunk_kinds = Array.of_list (List.rev !kinds);
+    index_offset;
+  }
 
 (* ---------- mutations ---------- *)
 
@@ -128,6 +154,31 @@ let apply mut raw =
   | Strip_tail ->
       let l = lay () in
       String.sub raw 0 l.index_offset
+  | Flip_kind { index } ->
+      let l = lay () in
+      if index < 0 || index >= Array.length l.chunk_spans then
+        bad "Faultgen: no chunk %d" index;
+      let s, _ = l.chunk_spans.(index) in
+      let flipped =
+        if l.chunk_kinds.(index) = Writer.chunk_magic then Writer.repeat_magic
+        else Writer.chunk_magic
+      in
+      let b = Bytes.of_string raw in
+      Bytes.set b s flipped;
+      Bytes.to_string b
+  | Corrupt_repeat { offset; bit } ->
+      let l = lay () in
+      let in_repeat =
+        Array.exists2
+          (fun (s, e) kind ->
+            (kind = Writer.repeat_magic || kind = Writer.body_magic)
+            && offset > s && offset < e)
+          l.chunk_spans l.chunk_kinds
+      in
+      if not in_repeat then
+        bad "Faultgen: offset %d is not inside a repeat or body-def chunk"
+          offset;
+      flip raw offset bit
 
 (* ---------- seeded deterministic generation ----------
 
@@ -151,7 +202,17 @@ let random ~seed raw =
   let n_chunks = Array.length l.chunk_spans in
   let tail = l.file_len - String.length Writer.trailer_magic - 8 in
   let index_len = tail - l.index_offset in
-  match pick r 7 with
+  let repeat_idx =
+    Array.to_list
+      (Array.mapi (fun i k -> (i, k)) l.chunk_kinds)
+    |> List.filter_map (fun (i, k) ->
+           if k = Writer.repeat_magic || k = Writer.body_magic then Some i
+           else None)
+    |> Array.of_list
+  in
+  (* v3 containers keep the historic 7-way draw (seeded sweeps of old traces
+     stay byte-reproducible); v4 adds the two kind-aware mutations *)
+  match pick r (if l.v4 then 9 else 7) with
   | 0 -> Bit_flip { offset = pick r l.file_len; bit = pick r 8 }
   | 1 -> Truncate { len = pick r l.file_len }
   | 2 when n_chunks > 0 -> Duplicate_chunk { index = pick r n_chunks }
@@ -160,7 +221,11 @@ let random ~seed raw =
       Corrupt_index { offset = l.index_offset + pick r index_len; bit = pick r 8 }
   | 5 -> Corrupt_trailer { offset = tail + pick r (l.file_len - tail); bit = pick r 8 }
   | 6 -> Strip_tail
-  | _ -> Truncate { len = pick r l.file_len } (* empty-container fallback *)
+  | 7 when n_chunks > 0 -> Flip_kind { index = pick r n_chunks }
+  | 8 when Array.length repeat_idx > 0 ->
+      let s, e = l.chunk_spans.(repeat_idx.(pick r (Array.length repeat_idx))) in
+      Corrupt_repeat { offset = s + 1 + pick r (e - s - 1); bit = pick r 8 }
+  | _ -> Truncate { len = pick r l.file_len } (* fallback when guards fail *)
 
 let sweep ~seed ~count raw =
   List.init count (fun i ->

@@ -105,10 +105,11 @@ let check_trace v =
     (fun (k, x) ->
       let path = "trace." ^ k in
       match k with
-      | "version" | "events" | "chunks" | "bytes" | "last_icount" ->
+      | "version" | "events" | "chunks" | "bytes" | "last_icount"
+      | "stored_events" | "plain_chunks" | "repeat_chunks" | "body_chunks" ->
           ignore (as_int path x)
       | "fingerprint" -> ignore (as_str path x)
-      | "crc_verify_s" -> ignore (as_num path x)
+      | "crc_verify_s" | "event_ratio" -> ignore (as_num path x)
       | "salvage" ->
           let m = as_obj path x in
           List.iter

@@ -152,6 +152,21 @@ let trace_section ?(extra = []) r =
                 ("dropped_bytes", Json.Int s.dropped_bytes);
                 ("reason", Json.Str s.reason) ] ) ]
   in
+  (* the v4 redundancy-suppression accounting; present for every version
+     (a v2/v3 trace reports stored = events and zero repeat/body chunks) so
+     consumers need no version-conditional parsing *)
+  let compression =
+    let stored = Reader.stored_events r in
+    let events = Reader.n_events r in
+    [ ("stored_events", Json.Int stored);
+      ("plain_chunks", Json.Int (Reader.plain_chunks r));
+      ("repeat_chunks", Json.Int (Reader.repeat_chunks r));
+      ("body_chunks", Json.Int (Reader.body_chunks r));
+      ( "event_ratio",
+        Json.Float
+          (if stored = 0 then 1.0
+           else float_of_int events /. float_of_int stored) ) ]
+  in
   Json.Obj
     ([ ("version", Json.Int (Reader.version r));
        ("events", Json.Int (Reader.n_events r));
@@ -159,7 +174,7 @@ let trace_section ?(extra = []) r =
        ("bytes", Json.Int (Reader.byte_size r));
        ("fingerprint", Json.Str (Printf.sprintf "%016Lx" (Reader.fingerprint r)));
        ("last_icount", Json.Int (Reader.last_icount r)) ]
-    @ salvage @ extra)
+    @ compression @ salvage @ extra)
 
 (* ---------- response shapes ---------- *)
 

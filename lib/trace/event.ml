@@ -63,6 +63,117 @@ let icount = function
   | End { icount } ->
       icount
 
+(* ---------- per-iteration numeric fields (v4 repeat chunks) ----------
+
+   A repeat chunk stores a loop body once and reconstructs each iteration by
+   advancing the body's "numeric" fields — the values that change per
+   iteration (instruction counts, addresses, lengths, stack pointers).
+   Everything else (constructor, [static], [routine], [size], [addr], [n])
+   is "structural" and must be identical across iterations.  The canonical
+   field order below is part of the wire format (docs/TRACE.md). *)
+
+let num_fields = function
+  | Rtn_entry _ -> 2 (* icount sp *)
+  | Ret _ -> 2 (* icount sp *)
+  | Load _ -> 3 (* icount ea sp *)
+  | Store _ -> 3 (* icount ea sp *)
+  | Block_copy _ -> 5 (* icount src dst len sp *)
+  | Prefetch _ -> 2 (* icount ea *)
+  | Block_exec _ -> 1 (* icount *)
+  | End _ -> 1 (* icount *)
+
+(* Write event [ev]'s numeric fields into [out] at [off] (canonical order).
+   Returns the next free offset. *)
+let read_num_fields ev out off =
+  match ev with
+  | Rtn_entry { icount; sp; _ } ->
+      out.(off) <- icount;
+      out.(off + 1) <- sp;
+      off + 2
+  | Ret { icount; sp } ->
+      out.(off) <- icount;
+      out.(off + 1) <- sp;
+      off + 2
+  | Load { icount; ea; sp; _ } | Store { icount; ea; sp; _ } ->
+      out.(off) <- icount;
+      out.(off + 1) <- ea;
+      out.(off + 2) <- sp;
+      off + 3
+  | Block_copy { icount; src; dst; len; sp; _ } ->
+      out.(off) <- icount;
+      out.(off + 1) <- src;
+      out.(off + 2) <- dst;
+      out.(off + 3) <- len;
+      out.(off + 4) <- sp;
+      off + 5
+  | Prefetch { icount; ea; _ } ->
+      out.(off) <- icount;
+      out.(off + 1) <- ea;
+      off + 2
+  | Block_exec { icount; _ } ->
+      out.(off) <- icount;
+      off + 1
+  | End _ ->
+      out.(off) <- icount ev;
+      off + 1
+
+(* Rebuild an event from a structural template and the numeric fields at
+   [vals.(off ..)].  Inverse of [read_num_fields]. *)
+let with_num_fields ev vals off =
+  match ev with
+  | Rtn_entry { routine; _ } ->
+      Rtn_entry { icount = vals.(off); routine; sp = vals.(off + 1) }
+  | Ret _ -> Ret { icount = vals.(off); sp = vals.(off + 1) }
+  | Load { static; size; _ } ->
+      Load
+        {
+          icount = vals.(off);
+          static;
+          ea = vals.(off + 1);
+          size;
+          sp = vals.(off + 2);
+        }
+  | Store { static; size; _ } ->
+      Store
+        {
+          icount = vals.(off);
+          static;
+          ea = vals.(off + 1);
+          size;
+          sp = vals.(off + 2);
+        }
+  | Block_copy { static; _ } ->
+      Block_copy
+        {
+          icount = vals.(off);
+          static;
+          src = vals.(off + 1);
+          dst = vals.(off + 2);
+          len = vals.(off + 3);
+          sp = vals.(off + 4);
+        }
+  | Prefetch { size; _ } ->
+      Prefetch { icount = vals.(off); ea = vals.(off + 1); size }
+  | Block_exec { addr; n; _ } -> Block_exec { icount = vals.(off); addr; n }
+  | End _ -> End { icount = vals.(off) }
+
+(* Do two events agree on everything except their numeric fields?  The
+   matching predicate of the record-time repetition detector. *)
+let struct_same a b =
+  match (a, b) with
+  | Rtn_entry { routine = r1; _ }, Rtn_entry { routine = r2; _ } -> r1 = r2
+  | Ret _, Ret _ -> true
+  | Load { static = st1; size = sz1; _ }, Load { static = st2; size = sz2; _ }
+  | Store { static = st1; size = sz1; _ }, Store { static = st2; size = sz2; _ }
+    ->
+      st1 = st2 && sz1 = sz2
+  | Block_copy { static = st1; _ }, Block_copy { static = st2; _ } -> st1 = st2
+  | Prefetch { size = sz1; _ }, Prefetch { size = sz2; _ } -> sz1 = sz2
+  | Block_exec { addr = a1; n = n1; _ }, Block_exec { addr = a2; n = n2; _ } ->
+      a1 = a2 && n1 = n2
+  | End _, End _ -> true
+  | _ -> false
+
 let pp ppf = function
   | Rtn_entry { icount; routine; sp } ->
       Format.fprintf ppf "@%d rtn-entry r%d sp=0x%x" icount routine sp

@@ -71,6 +71,40 @@ val icount : t -> int
 
 val pp : Format.formatter -> t -> unit
 
+(** {2 Numeric fields (v4 repeat chunks)}
+
+    A v4 repeat chunk stores one loop-body iteration plus, per event, the
+    evolution of its {e numeric} fields — the values that change between
+    iterations.  The canonical per-kind field order is part of the wire
+    format (docs/TRACE.md):
+
+    - [Rtn_entry]: icount, sp
+    - [Ret]: icount, sp
+    - [Load]/[Store]: icount, ea, sp
+    - [Block_copy]: icount, src, dst, len, sp
+    - [Prefetch]: icount, ea
+    - [Block_exec]/[End]: icount
+
+    Everything else ([static], [routine], [size], [addr], [n] and the
+    constructor itself) is {e structural}: identical across iterations by
+    construction, stored once in the body. *)
+
+val num_fields : t -> int
+(** Number of numeric fields of this event's kind. *)
+
+val read_num_fields : t -> int array -> int -> int
+(** [read_num_fields ev out off] writes [ev]'s numeric fields into
+    [out.(off ..)] in canonical order and returns the next free offset. *)
+
+val with_num_fields : t -> int array -> int -> t
+(** [with_num_fields tmpl vals off] rebuilds an event: structure from
+    [tmpl], numeric fields from [vals.(off ..)].  Inverse of
+    {!read_num_fields}. *)
+
+val struct_same : t -> t -> bool
+(** Do the two events agree on constructor and every structural field?  The
+    matching predicate of the record-time repetition detector. *)
+
 (** {2 Codec}
 
     Events are delta-encoded against a running {!state} (instruction counts,

@@ -13,16 +13,33 @@
     the guard is true ([INS_InsertPredicatedCall] semantics); prefetches
     come out as [Prefetch]; block copies carry their dynamic length. *)
 
-val attach : Tq_dbi.Engine.t -> (Event.t -> unit) -> unit
+val attach :
+  ?block_sink:(trace_id:int -> Event.t -> unit) ->
+  Tq_dbi.Engine.t ->
+  (Event.t -> unit) ->
+  unit
 (** Register the probe's instrumentation.  Must be called before the engine
     runs.  Multiple probes (one per live tool) may coexist on one engine;
-    each synthesizes its own stream. *)
+    each synthesizes its own stream.  [block_sink], when given, receives
+    the [Block_exec] events instead of [sink], together with the engine's
+    compiled-trace id — the recorder uses it to key the v4 redundancy
+    suppressor's dictionary on the code cache's own trace identity
+    ({!Writer.emit_boundary}). *)
 
-val record : ?fuel:int -> ?chunk_bytes:int -> Tq_dbi.Engine.t -> path:string -> int
+val record :
+  ?fuel:int ->
+  ?chunk_bytes:int ->
+  ?compress:bool ->
+  Tq_dbi.Engine.t ->
+  path:string ->
+  int
 (** Attach a probe streaming to [path], run the engine to halt, append the
     final [End] event and close the file (also on exceptions).  Returns the
-    number of events recorded.  The recording streams to ["path.tmp"] and is
-    atomically renamed to [path] when finalized; a recorder killed mid-run
-    therefore leaves a [.tmp] file that {!Reader.load}[ ~mode:Salvage] can
-    recover chunk by chunk.  @raise Tq_vm.Executor.Out_of_fuel (and
-    anything [Engine.run] raises) after closing the partial file. *)
+    number of events recorded.  [compress] (default [false]) records a v4
+    redundancy-suppressed container (see {!Writer}); the decoded event
+    stream — and therefore every replayed report — is identical either way.
+    The recording streams to ["path.tmp"] and is atomically renamed to
+    [path] when finalized; a recorder killed mid-run therefore leaves a
+    [.tmp] file that {!Reader.load}[ ~mode:Salvage] can recover chunk by
+    chunk.  @raise Tq_vm.Executor.Out_of_fuel (and anything [Engine.run]
+    raises) after closing the partial file. *)

@@ -1,10 +1,26 @@
-(** Reader for recorded traces (see {!Writer} for the file layout).
+(** Reader for recorded traces (see {!Writer} for the file layout and
+    [docs/TRACE.md] for the full wire-format specification).
 
     A loaded reader is immutable — [iter] keeps all decoding state local —
     so one reader can drive any number of concurrent replay domains over the
     same in-memory image ({!Replay.parallel}).
 
-    Fault tolerance: v3 chunks carry a CRC-32 that is verified lazily, per
+    All three live container versions load here: v2 (no checksums), v3
+    (CRC + salvage) and v4 (redundancy-suppressed).  A v4 {e repeat chunk}
+    — an iteration count, per-field stride/literal tables and a reference
+    to the {e body-def chunk} holding the loop body's events (interned:
+    one def serves every repeat of the same body) — is expanded
+    transparently during iteration, so every consumer ({!iter},
+    {!iter_tags}, {!chunk_events}, and everything built on them:
+    sequential, sharded and salvage replay) sees the exact event stream
+    the probe emitted.  Body refs are cross-checked against the def's
+    payload CRC at load time, so a reference can never silently resolve to
+    the wrong body; in [Salvage] mode a repeat chunk whose def was lost to
+    corruption is dropped and counted.  All event counts exposed here
+    ({!n_events}, {!chunk_event_count}, the index) are {e raw} (decoded)
+    counts; {!stored_events} is the physically-encoded count.
+
+    Fault tolerance: v3/v4 chunks carry a CRC-32 that is verified lazily, per
     chunk, before any of its events are decoded — corruption anywhere in a
     chunk surfaces as {!Format_error}, never as a decode crash or silently
     wrong events.  Each chunk is verified {e at most once per process}: the
@@ -27,7 +43,7 @@ type mode =
   | Strict  (** require an intact trailer, index and chunk tiling (default) *)
   | Salvage
       (** rebuild the chunk list by forward scan; only CRC-verified chunks
-          are kept (v3 containers only — v2 has no checksums) *)
+          are kept (v3/v4 containers only — v2 has no checksums) *)
 
 type salvage = {
   salvaged_chunks : int;  (** chunks recovered (CRC-verified) *)
@@ -110,7 +126,24 @@ val byte_size : t -> int
 (** On-disk size of the trace, in bytes. *)
 
 val version : t -> int
-(** Container version of the loaded file: [3] or [2]. *)
+(** Container version of the loaded file: [4], [3] or [2]. *)
+
+val stored_events : t -> int
+(** Events physically encoded in the container: plain events plus one body
+    per body-def chunk (a body shared by many repeats is counted once).
+    [= n_events] for v2/v3; [n_events t / stored_events t] is the
+    event-level compression ratio of a v4 trace. *)
+
+val plain_chunks : t -> int
+(** Plain event chunks in the container ([= n_chunks] for v2/v3). *)
+
+val repeat_chunks : t -> int
+(** v4 repeat (suppressed loop) chunks in the container ([0] for v2/v3). *)
+
+val body_chunks : t -> int
+(** v4 body-def chunks (interned loop bodies referenced by repeat chunks)
+    in the container ([0] for v2/v3).  A def decodes to no events of its
+    own — {!chunk_event_count} reports [0] for it. *)
 
 val salvage_info : t -> salvage option
 (** Scan statistics; [Some] exactly when the reader was loaded in [Salvage]

@@ -1,0 +1,69 @@
+(** Record-time redundancy suppression — the v4 container's compressor.
+
+    Loop-dominated executions emit the same loop-body event sequence over
+    and over, only the numeric operands (instruction counts, addresses,
+    stack pointers, lengths) advancing — usually by a constant stride per
+    iteration.  This module detects such runs online, as the probe emits
+    events, and hands {!Writer} either plain events (in order) or whole
+    {e repeat records}: the body's events once, an iteration count, and per
+    numeric field either one affine stride or the literal per-iteration
+    deltas (see docs/TRACE.md for the wire encoding, {!Event.num_fields}
+    for the canonical field order).
+
+    Detection is keyed on the engine's compiled-trace identity: the probe
+    feeds each block dispatch through {!feed_boundary} with the trace id
+    the code cache assigned, so a candidate body is the segment window
+    between two dispatches of the same compiled trace.  {!feed} falls back
+    to the block address as the key for streams without engine identity
+    (hand-built writers, container re-encodes).
+
+    Guarantees: the concatenation of everything flushed — plain events plus
+    each repeat record expanded to [iters] copies of its body with the
+    field tables applied — is exactly the input event stream, in order.
+    Memory is bounded by the pending window, the body cap and the
+    uncommitted-iteration buffer; a run reaching the raw-event cap is
+    flushed and detection restarts. *)
+
+type field_enc =
+  | Affine of int  (** the field advances by this stride every iteration *)
+  | Literal of string
+      (** concatenated SLEB128 per-iteration deltas, [iters - 1] of them *)
+
+type out = {
+  out_plain : Event.t -> unit;  (** one event the suppressor won't elide *)
+  out_repeat : body:Event.t array -> iters:int -> fields:field_enc array -> unit;
+      (** a committed run: [body] repeated [iters] times ([iters >= 2],
+          body included), [fields] aligned with the flattened
+          {!Event.num_fields} of the body's events *)
+}
+
+type t
+
+val create :
+  ?min_iters:int ->
+  ?min_raw:int ->
+  ?max_body:int ->
+  ?max_raw:int ->
+  out ->
+  t
+(** [min_iters] (default 2) and [min_raw] (default 32): a run is committed
+    to a repeat record once it covers at least [min_iters] iterations {e
+    and} [min_raw] raw events — shorter runs replay as plain events (tiny
+    repeat chunks would cost more than they save).  [max_body] (default
+    512): cap on body length in events, also the pending-window size.
+    [max_raw] (default 65536): cap on raw events covered by one record
+    (bounds the decoder's per-chunk expansion).
+    @raise Invalid_argument on nonsensical caps. *)
+
+val feed : t -> Event.t -> unit
+(** Feed one event.  [Block_exec] events are treated as segment boundaries
+    keyed by their address. *)
+
+val feed_boundary : t -> key:int -> Event.t -> unit
+(** Feed a block-dispatch event using [key] (the engine's compiled-trace
+    id) as the dictionary key instead of the block address. *)
+
+val flush : t -> unit
+(** Flush all buffered state: the open run (as a repeat record if
+    committed, else as plain events), the pending window and the open
+    segment.  Call exactly once, at end of stream. *)
